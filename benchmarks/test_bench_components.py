@@ -1,0 +1,84 @@
+"""Microbenchmarks of the core components (true pytest-benchmark kernels).
+
+These quantify simulation throughput: plant steps per second bounds how
+long the Table III sweeps take.
+"""
+
+from __future__ import annotations
+
+from repro.config import ServerConfig
+from repro.core.gain_schedule import GainRegion, GainSchedule
+from repro.core.pid import PIDController, PIDGains
+from repro.sensing.sensor import TemperatureSensor
+from repro.sim.scenarios import (
+    build_global_controller,
+    build_plant,
+    build_sensor,
+    paper_workload,
+)
+from repro.sim.engine import Simulator
+from repro.thermal.server import ServerThermalModel
+
+
+def test_plant_step_throughput(benchmark):
+    """One exact-exponential plant step (heat sink + die + powers)."""
+    plant = ServerThermalModel(ServerConfig())
+
+    def step():
+        plant.step(0.1, 0.5, 4000.0)
+
+    benchmark(step)
+
+
+def test_sensor_pipeline_throughput(benchmark):
+    """One observe+read through noise, ADC, and delay line."""
+    sensor = TemperatureSensor(ServerConfig().sensing)
+    state = {"t": 0.0}
+
+    def observe_read():
+        state["t"] += 1.0
+        sensor.observe(state["t"], 75.0 + 0.01 * (state["t"] % 7))
+        sensor.read(state["t"])
+
+    benchmark(observe_read)
+
+
+def test_pid_update_throughput(benchmark):
+    """One position-form PID update with clamping."""
+    pid = PIDController(
+        gains=PIDGains(kp=300.0, ki=6.0, kd=8800.0),
+        setpoint=75.0,
+        sample_time_s=30.0,
+        output_offset=3000.0,
+        output_limits=(1000.0, 8500.0),
+    )
+    benchmark(pid.update, 76.0)
+
+
+def test_gain_schedule_lookup_throughput(benchmark):
+    """One Eqn 8-9 interpolation."""
+    schedule = GainSchedule(
+        [
+            GainRegion(2000.0, PIDGains(300.0, 6.0, 8800.0)),
+            GainRegion(6000.0, PIDGains(2400.0, 45.0, 84000.0)),
+        ]
+    )
+    benchmark(schedule.gains_at, 4100.0)
+
+
+def test_closed_loop_simulated_minute(benchmark):
+    """60 simulated seconds of the full R-coord stack (dt = 0.1 s)."""
+    cfg = ServerConfig()
+
+    def run_minute():
+        controller = build_global_controller("rcoord", cfg)
+        sim = Simulator(
+            build_plant(cfg),
+            build_sensor(cfg, seed=1),
+            paper_workload(60.0, seed=1),
+            controller,
+            record_decimation=10,
+        )
+        return sim.run(60.0)
+
+    benchmark.pedantic(run_minute, rounds=3, iterations=1)

@@ -1,0 +1,55 @@
+"""Benchmarks regenerating every figure of the paper.
+
+Each benchmark runs the corresponding experiment end-to-end (timed once -
+these are simulations, not microkernels), prints the series/rows the
+paper's figure shows, and asserts the reproduction checks.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig1_sensor_lag(benchmark):
+    """Fig. 1: ~10 s apparent lag behind a utilization step."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig1"), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.all_checks_pass, result.checks
+    assert result.data["apparent_lag_s"] == pytest.approx(10.0, abs=2.0)
+
+
+def test_fig3_adaptive_vs_fixed_pid(benchmark):
+    """Fig. 3: @2000 stable-slow, @6000 unstable at low speed, adaptive both."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig3", duration_s=2400.0), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.all_checks_pass, result.checks
+
+
+def test_fig4_deadzone_oscillation(benchmark):
+    """Fig. 4: deadzone oscillates under lag+quantization; adaptive holds."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", duration_s=1800.0), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.all_checks_pass, result.checks
+
+
+def test_fig5_dynamic_stability(benchmark):
+    """Fig. 5: bounded fan trace under the noisy alternating workload."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5"), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.all_checks_pass, result.checks

@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Tables II and III of the paper."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table2_rule_matrix(benchmark):
+    """Table II: all nine coordination cells behave as published."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2"), rounds=3, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.all_checks_pass, result.checks
+
+
+def test_table3_coordination_schemes(benchmark):
+    """Table III: the five-scheme comparison, seed-averaged.
+
+    Prints paper-vs-measured for both columns; asserts the ordering
+    checks (who wins on violations and on energy).
+    """
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3", duration_s=1800.0, seeds=(1, 2, 3)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.report)
+    assert result.all_checks_pass, result.checks

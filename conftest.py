@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+Lets ``pytest tests/`` and ``pytest benchmarks/`` run in offline
+environments where ``pip install -e .`` is unavailable (see README).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,54 @@
+"""Quickstart: simulate the paper's full DTM stack on one workload.
+
+Runs the complete scheme (rule-based coordination + adaptive T_ref +
+single-step fan scaling) on the Section VI-A synthetic workload and
+prints the headline metrics plus terminal trace plots.
+
+Usage::
+
+    python examples/quickstart.py [duration_seconds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run_scheme
+from repro.analysis.report import format_table, sparkline
+
+
+def main() -> None:
+    duration_s = float(sys.argv[1]) if len(sys.argv) > 1 else 1200.0
+
+    print(f"Simulating {duration_s:.0f} s of the full scheme "
+          "(R-coord + A-Tref + SSfan)...")
+    result = run_scheme("rcoord_atref_ssfan", duration_s=duration_s, seed=1)
+
+    print()
+    print("  demand   :", sparkline(result.demand, 70))
+    print("  applied  :", sparkline(result.applied_util, 70))
+    print("  fan      :", sparkline(result.fan_speed_rpm, 70))
+    print("  junction :", sparkline(result.junction_c, 70))
+    print("  measured :", sparkline(result.tmeas_c, 70))
+    print()
+
+    summary = result.summary()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["deadline violations [%]", summary["violation_percent"]],
+                ["fan energy [J]", summary["fan_energy_j"]],
+                ["CPU energy [J]", summary["cpu_energy_j"]],
+                ["max junction [degC]", summary["max_junction_c"]],
+                ["mean fan speed [rpm]", summary["mean_fan_speed_rpm"]],
+            ],
+        )
+    )
+    print()
+    print("The junction stays below the 80 degC limit while the fan tracks")
+    print("the load; spikes trigger brief max-speed boosts (SSfan).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Study: how the sensing non-idealities destabilize simple fan control.
+
+Reproduces the paper's motivation (Figs 1 and 4) as a parameter study:
+
+* a deadzone controller on an ideal sensor converges;
+* adding the 10 s lag + 1 degC quantization makes it oscillate;
+* the adaptive PID with the Eqn 10 guard stays stable on the same
+  degraded telemetry;
+* a lag sweep shows how oscillation amplitude grows with delay.
+
+Usage::
+
+    python examples/sensor_nonideality_study.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import ServerConfig, ideal_sensing_config
+from repro.analysis.report import format_table, sparkline
+from repro.analysis.stability import analyze_stability
+from repro.core.fan_baselines import DeadzoneFanController
+from repro.sim.scenarios import build_fan_controller, run_fan_only
+from repro.workload.synthetic import ConstantWorkload
+
+
+def deadzone(config: ServerConfig) -> DeadzoneFanController:
+    return DeadzoneFanController(
+        t_low_c=74.0,
+        t_high_c=76.0,
+        step_rpm=600.0,
+        fan_limits_rpm=(config.fan.min_speed_rpm, config.fan.max_speed_rpm),
+        initial_speed_rpm=2500.0,
+    )
+
+
+def run_case(label, controller, config) -> tuple[str, object]:
+    result = run_fan_only(
+        controller,
+        ConstantWorkload(0.5),
+        1500.0,
+        config=config,
+        initial_utilization=0.5,
+        dt_s=0.5,
+        label=label,
+    )
+    return label, result
+
+
+def main() -> None:
+    base = ServerConfig().with_control(fan_interval_s=5.0)
+    ideal = replace(base, sensing=ideal_sensing_config())
+    adaptive_cfg = ServerConfig()
+
+    cases = [
+        run_case("deadzone + ideal sensor", deadzone(ideal), ideal),
+        run_case("deadzone + lag/quant", deadzone(base), base),
+        run_case(
+            "adaptive PID + lag/quant",
+            build_fan_controller(adaptive_cfg, initial_speed_rpm=2500.0),
+            adaptive_cfg,
+        ),
+    ]
+
+    rows = []
+    print("fan speed traces (constant 50% load):")
+    for label, result in cases:
+        report = analyze_stability(
+            result.times, result.fan_speed_rpm, min_amplitude=500.0
+        )
+        rows.append([label, report.oscillatory, report.amplitude,
+                     report.period_s])
+        print(f"  {label:26s} {sparkline(result.fan_speed_rpm, 56)}")
+    print()
+    print(
+        format_table(
+            ["configuration", "oscillates", "amplitude [rpm]", "period [s]"],
+            rows,
+        )
+    )
+
+    print()
+    print("lag sweep (deadzone controller):")
+    sweep_rows = []
+    for lag in (0.0, 2.0, 5.0, 10.0, 20.0):
+        config = base.with_sensing(lag_s=lag)
+        _, result = run_case(f"lag={lag}", deadzone(config), config)
+        amplitude = analyze_stability(
+            result.times, result.fan_speed_rpm, min_amplitude=500.0
+        ).amplitude
+        sweep_rows.append([lag, amplitude])
+    print(format_table(["lag [s]", "fan oscillation amplitude [rpm]"],
+                       sweep_rows))
+    print()
+    print("The delay, not the controller structure alone, drives the")
+    print("oscillation - the paper's core observation (Section I).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments whose setuptools lacks PEP 660 editable wheels.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` via the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro: reproduction of Kim et al., "Global Fan Speed Control Considering
+Non-Ideal Temperature Measurements in Enterprise Servers" (DATE 2014).
+
+The library models an enterprise server (CPU die + fan-cooled heat sink,
+Table I parameters), its non-ideal temperature telemetry (10 s I2C lag,
+1 degC ADC quantization), and the paper's dynamic thermal management
+stack: an adaptive gain-scheduled PID fan controller robust to those
+non-idealities, a deadzone CPU capper, and a rule-based global coordinator
+with predictive set-point adaptation and single-step fan scaling.
+
+Quickstart::
+
+    from repro import run_scheme
+
+    result = run_scheme("rcoord_atref_ssfan", duration_s=1800.0, seed=1)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.config import (
+    ControlConfig,
+    CpuPowerConfig,
+    DieConfig,
+    FanConfig,
+    HeatSinkConfig,
+    SensingConfig,
+    ServerConfig,
+    default_server_config,
+    ideal_sensing_config,
+)
+from repro.core import (
+    AdaptivePIDFanController,
+    AdaptiveSetpoint,
+    ControlInputs,
+    ControlState,
+    DeadzoneCpuCapper,
+    DeadzoneFanController,
+    EnergyAwareCoordinator,
+    GainRegion,
+    GainSchedule,
+    GlobalController,
+    PIDController,
+    PIDGains,
+    QuantizationGuard,
+    RuleBasedCoordinator,
+    SingleStepFanScaling,
+    SingleThresholdFanController,
+    StaticFanController,
+    UncoordinatedCoordinator,
+    ZieglerNicholsRule,
+    find_ultimate_gain,
+    tune_region,
+    ziegler_nichols_gains,
+)
+from repro.errors import ReproError
+from repro.sensing import TemperatureSensor
+from repro.sim import (
+    SCHEME_NAMES,
+    SimulationResult,
+    Simulator,
+    build_global_controller,
+    build_plant,
+    build_sensor,
+    paper_workload,
+    run_fan_only,
+    run_scheme,
+)
+from repro.thermal import ServerThermalModel, SteadyStateServerModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivePIDFanController",
+    "AdaptiveSetpoint",
+    "ControlConfig",
+    "ControlInputs",
+    "ControlState",
+    "CpuPowerConfig",
+    "DeadzoneCpuCapper",
+    "DeadzoneFanController",
+    "DieConfig",
+    "EnergyAwareCoordinator",
+    "FanConfig",
+    "GainRegion",
+    "GainSchedule",
+    "GlobalController",
+    "HeatSinkConfig",
+    "PIDController",
+    "PIDGains",
+    "QuantizationGuard",
+    "ReproError",
+    "RuleBasedCoordinator",
+    "SCHEME_NAMES",
+    "SensingConfig",
+    "ServerConfig",
+    "ServerThermalModel",
+    "SimulationResult",
+    "Simulator",
+    "SingleStepFanScaling",
+    "SingleThresholdFanController",
+    "StaticFanController",
+    "SteadyStateServerModel",
+    "TemperatureSensor",
+    "UncoordinatedCoordinator",
+    "ZieglerNicholsRule",
+    "build_global_controller",
+    "build_plant",
+    "build_sensor",
+    "default_server_config",
+    "find_ultimate_gain",
+    "ideal_sensing_config",
+    "paper_workload",
+    "run_fan_only",
+    "run_scheme",
+    "tune_region",
+    "ziegler_nichols_gains",
+    "__version__",
+]

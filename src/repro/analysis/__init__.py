@@ -1,0 +1,46 @@
+"""Analysis utilities: stability metrics, Table III metrics, linearization.
+
+* :mod:`repro.analysis.stability` - oscillation detection, settling time,
+  overshoot (used to score Figs 3-5 quantitatively).
+* :mod:`repro.analysis.metrics` - deadline-violation and normalized-energy
+  comparisons (Table III).
+* :mod:`repro.analysis.linearize` - piecewise linearization of the
+  temperature/fan-speed relation and region-count selection (Section IV-B).
+* :mod:`repro.analysis.report` - plain-text tables and sparklines for the
+  experiment scripts.
+"""
+
+from repro.analysis.linearize import (
+    LinearizationFit,
+    linearization_error,
+    linearize_plant,
+    suggest_regions,
+)
+from repro.analysis.metrics import SchemeComparison, compare_schemes, scheme_row
+from repro.analysis.stability import (
+    StabilityReport,
+    analyze_stability,
+    is_oscillatory,
+    oscillation_amplitude,
+    overshoot_percent,
+    settling_time_s,
+)
+from repro.analysis.report import format_table, sparkline
+
+__all__ = [
+    "LinearizationFit",
+    "SchemeComparison",
+    "StabilityReport",
+    "analyze_stability",
+    "compare_schemes",
+    "format_table",
+    "is_oscillatory",
+    "linearization_error",
+    "linearize_plant",
+    "oscillation_amplitude",
+    "overshoot_percent",
+    "scheme_row",
+    "settling_time_s",
+    "sparkline",
+    "suggest_regions",
+]

@@ -1,0 +1,51 @@
+"""Table III metrics: deadline violations and normalized fan energy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.sim.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """One Table III row: a scheme scored against the baseline."""
+
+    label: str
+    violation_percent: float
+    normalized_fan_energy: float
+    fan_energy_j: float
+    max_junction_c: float
+
+
+def scheme_row(
+    result: SimulationResult, baseline: SimulationResult, label: str | None = None
+) -> SchemeComparison:
+    """Score one run against the uncoordinated baseline."""
+    return SchemeComparison(
+        label=label or result.label,
+        violation_percent=result.violation_percent,
+        normalized_fan_energy=result.normalized_fan_energy(baseline),
+        fan_energy_j=result.fan_energy_j,
+        max_junction_c=result.max_junction_c,
+    )
+
+
+def compare_schemes(
+    results: dict[str, SimulationResult], baseline_key: str = "uncoordinated"
+) -> list[SchemeComparison]:
+    """Build the full Table III from a dict of scheme runs.
+
+    Rows keep the input dict's insertion order; energies are normalized to
+    ``results[baseline_key]``.
+    """
+    if baseline_key not in results:
+        raise AnalysisError(
+            f"baseline {baseline_key!r} missing from results: {sorted(results)}"
+        )
+    baseline = results[baseline_key]
+    return [
+        scheme_row(result, baseline, label=name)
+        for name, result in results.items()
+    ]

@@ -1,0 +1,68 @@
+"""Plain-text reporting helpers for the experiment scripts.
+
+The paper's artefacts are tables and trace figures; in a terminal-only
+environment we render tables with aligned columns and traces as unicode
+sparklines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Every row must match the header width.
+    """
+    if not headers:
+        raise AnalysisError("table needs at least one column")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Downsample a signal to ``width`` buckets of unicode block levels."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise AnalysisError("cannot sparkline an empty signal")
+    if v.size > width:
+        edges = np.linspace(0, v.size, width + 1, dtype=int)
+        v = np.array([v[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(np.min(v)), float(np.max(v))
+    if hi == lo:
+        return _SPARK_LEVELS[0] * v.size
+    scaled = (v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)

@@ -1,0 +1,86 @@
+"""The paper's contribution: robust fan control and global coordination.
+
+Section IV (robust fan speed controller):
+
+* :class:`~repro.core.pid.PIDController` - discrete PID with anti-windup.
+* :mod:`repro.core.tuning` - Ziegler-Nichols closed-loop tuning (Eqns 5-7)
+  run as an actual experiment on the simulated plant.
+* :class:`~repro.core.gain_schedule.GainSchedule` - per-fan-speed-region
+  parameter interpolation (Eqns 8-9).
+* :class:`~repro.core.quantization.QuantizationGuard` - Eqn 10 deadband.
+* :class:`~repro.core.fan_controller.AdaptivePIDFanController` - the
+  composed robust controller.
+
+Section V (global controller):
+
+* :class:`~repro.core.rules.RuleBasedCoordinator` - Table II.
+* :class:`~repro.core.setpoint.AdaptiveSetpoint` - predictive T_ref (V-B).
+* :class:`~repro.core.single_step.SingleStepFanScaling` - SSfan (V-C).
+* :class:`~repro.core.global_controller.GlobalController` - the assembled
+  DTM unit of Fig. 2.
+
+Baselines used in the evaluation:
+
+* :mod:`repro.core.fan_baselines` - single-threshold / deadzone / static.
+* :class:`~repro.core.ecoord.EnergyAwareCoordinator` - E-coord [6].
+* :class:`~repro.core.uncoordinated.UncoordinatedCoordinator`.
+"""
+
+from repro.core.base import (
+    ControlInputs,
+    ControlState,
+    Coordinator,
+    FanController,
+)
+from repro.core.cpu_capper import DeadzoneCpuCapper
+from repro.core.ecoord import EnergyAwareCoordinator
+from repro.core.fan_baselines import (
+    DeadzoneFanController,
+    SingleThresholdFanController,
+    StaticFanController,
+)
+from repro.core.fan_controller import AdaptivePIDFanController
+from repro.core.gain_schedule import GainRegion, GainSchedule
+from repro.core.global_controller import GlobalController
+from repro.core.pid import PIDController, PIDGains
+from repro.core.quantization import QuantizationGuard
+from repro.core.rules import CoordinationAction, RuleBasedCoordinator
+from repro.core.setpoint import AdaptiveSetpoint
+from repro.core.single_step import SingleStepFanScaling
+from repro.core.tuning import (
+    UltimateGain,
+    ZieglerNicholsRule,
+    find_ultimate_gain,
+    tune_region,
+    ziegler_nichols_gains,
+)
+from repro.core.uncoordinated import UncoordinatedCoordinator
+
+__all__ = [
+    "AdaptivePIDFanController",
+    "AdaptiveSetpoint",
+    "ControlInputs",
+    "ControlState",
+    "CoordinationAction",
+    "Coordinator",
+    "DeadzoneCpuCapper",
+    "DeadzoneFanController",
+    "EnergyAwareCoordinator",
+    "FanController",
+    "GainRegion",
+    "GainSchedule",
+    "GlobalController",
+    "PIDController",
+    "PIDGains",
+    "QuantizationGuard",
+    "RuleBasedCoordinator",
+    "SingleStepFanScaling",
+    "SingleThresholdFanController",
+    "StaticFanController",
+    "UltimateGain",
+    "UncoordinatedCoordinator",
+    "ZieglerNicholsRule",
+    "find_ultimate_gain",
+    "tune_region",
+    "ziegler_nichols_gains",
+]

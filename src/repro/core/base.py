@@ -1,0 +1,104 @@
+"""Shared controller interfaces and value types (the Fig. 2 architecture).
+
+The DTM unit hosts two *local* controllers - a fan speed controller and a
+CPU cap controller - whose independent proposals flow into a *global*
+coordinator that decides what is actually applied.  These types define the
+contract between them and the simulation engine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+
+from repro.units import check_fan_speed, check_nonnegative, check_utilization
+
+
+@dataclass(frozen=True)
+class ControlState:
+    """The knob settings currently applied to the server."""
+
+    fan_speed_rpm: float
+    cpu_cap: float
+
+    def __post_init__(self) -> None:
+        check_fan_speed(self.fan_speed_rpm, "fan_speed_rpm")
+        check_utilization(self.cpu_cap, "cpu_cap")
+
+    def with_fan(self, speed_rpm: float) -> "ControlState":
+        """Copy with a new fan speed."""
+        return replace(self, fan_speed_rpm=speed_rpm)
+
+    def with_cap(self, cap: float) -> "ControlState":
+        """Copy with a new CPU cap."""
+        return replace(self, cpu_cap=cap)
+
+
+@dataclass(frozen=True)
+class ControlInputs:
+    """Telemetry available to the DTM at a decision instant.
+
+    * ``tmeas_c`` - the *firmware-visible* (lagged, quantized) temperature.
+    * ``measured_util`` - applied CPU utilization reported by the OS.
+    * ``recent_degradation`` - sliding-window mean utilization deficit,
+      the signal single-step fan scaling monitors (Section V-C).
+    * ``demand_estimate`` - the OS's view of demanded (run-queue)
+      utilization; unlike the temperature it does not cross the I2C path,
+      so it is fresh.  Defaults to ``measured_util`` when not provided.
+    """
+
+    time_s: float
+    tmeas_c: float
+    measured_util: float
+    recent_degradation: float = 0.0
+    demand_estimate: float | None = None
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.time_s, "time_s")
+        check_utilization(self.measured_util, "measured_util")
+        check_nonnegative(self.recent_degradation, "recent_degradation")
+        if self.demand_estimate is None:
+            object.__setattr__(self, "demand_estimate", self.measured_util)
+        else:
+            check_utilization(self.demand_estimate, "demand_estimate")
+
+
+class FanController(ABC):
+    """A local fan speed controller.
+
+    Controllers are *proposal makers*: :meth:`propose` returns the speed
+    the controller wants, and the coordinator may reject it.  The engine
+    reports what was actually applied via :meth:`notify_applied`, which
+    position-form controllers use to stay anchored to reality.
+    """
+
+    @abstractmethod
+    def propose(self, time_s: float, tmeas_c: float) -> float:
+        """Proposed fan speed (rpm) for the next period."""
+
+    def notify_applied(self, fan_speed_rpm: float) -> None:
+        """Called with the speed the coordinator actually applied."""
+
+    def set_reference(self, t_ref_c: float) -> None:
+        """Update the tracked reference temperature (A-Tref hook).
+
+        Controllers without a temperature reference ignore this.
+        """
+
+
+class Coordinator(ABC):
+    """Global arbitration among local control proposals (Section V).
+
+    ``fan_proposal`` / ``cap_proposal`` are ``None`` when the respective
+    local controller had no decision due this period ("no change").
+    """
+
+    @abstractmethod
+    def coordinate(
+        self,
+        current: ControlState,
+        fan_proposal: float | None,
+        cap_proposal: float | None,
+        inputs: ControlInputs,
+    ) -> ControlState:
+        """Return the state to apply for the next period."""

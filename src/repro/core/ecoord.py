@@ -1,0 +1,182 @@
+"""E-coord: energy-aware coordination baseline (Ayoub et al. [6]).
+
+Section II describes the scheme the paper compares against: when several
+control actions could resolve a thermal state, take the one with the best
+*efficiency* - the ratio of temperature reduction to energy increase -
+without regard to performance impact.
+
+Policy implemented here (and its reading of [6]):
+
+* **Thermal emergency** (measurement at/above ``t_emergency_c``): both
+  *cap down* and *fan up* would cool.  Capping sheds dynamic CPU power,
+  so its energy delta is negative and its efficiency unbounded, while a
+  fan boost pays the cubic fan law; the capper therefore wins whenever it
+  still has range.  This is exactly why E-coord's deadline violations
+  blow up in Table III.
+* **Pre-emergency band** (within ``fan_admission_margin_c`` below the
+  emergency threshold): a fan increase now has a genuine temperature-
+  violation-avoidance benefit, so it is admitted.  Below that band a fan
+  boost buys nothing [6] values - it only spends energy - so fan-up
+  proposals are rejected.
+* **Relaxation** (cooling unneeded): the most energy-saving action wins;
+  lowering the fan saves energy while raising the cap costs energy, so
+  fan-downs win at instants where both are proposed, and cap recovery
+  proceeds on the CPU controller's own (more frequent) decisions.
+
+Marginal temperature/energy figures come from the closed-form steady-state
+model (:class:`~repro.thermal.steady_state.SteadyStateServerModel`), i.e.
+the same plant knowledge [6] assumes.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import ControlInputs, ControlState, Coordinator
+from repro.core.rules import CoordinationAction, classify
+from repro.errors import ControlError
+from repro.thermal.steady_state import SteadyStateServerModel
+from repro.units import check_nonnegative, check_temperature
+
+
+class EnergyAwareCoordinator(Coordinator):
+    """Efficiency-ratio action selection in the style of [6].
+
+    Parameters
+    ----------
+    model:
+        Steady-state plant model used for marginal dT and dP estimates.
+    t_emergency_c:
+        Measured temperature at/above which cooling action is mandatory.
+    t_comfort_c:
+        Measured temperature below which relaxation actions are considered.
+    fan_admission_margin_c:
+        Width of the pre-emergency band in which a fan increase is deemed
+        to have violation-avoidance value and is admitted.
+    """
+
+    def __init__(
+        self,
+        model: SteadyStateServerModel,
+        t_emergency_c: float = 80.0,
+        t_comfort_c: float = 76.0,
+        fan_admission_margin_c: float = 1.0,
+    ) -> None:
+        self._model = model
+        self._t_emergency_c = check_temperature(t_emergency_c, "t_emergency_c")
+        self._t_comfort_c = check_temperature(t_comfort_c, "t_comfort_c")
+        if self._t_comfort_c > self._t_emergency_c:
+            raise ControlError(
+                f"t_comfort_c ({t_comfort_c}) must not exceed "
+                f"t_emergency_c ({t_emergency_c})"
+            )
+        self._fan_margin_c = check_nonnegative(
+            fan_admission_margin_c, "fan_admission_margin_c"
+        )
+        self._last_action = CoordinationAction.NONE
+        self._action_counts: dict[CoordinationAction, int] = {
+            action: 0 for action in CoordinationAction
+        }
+
+    @property
+    def last_action(self) -> CoordinationAction:
+        """Action chosen at the most recent decision."""
+        return self._last_action
+
+    @property
+    def action_counts(self) -> dict[CoordinationAction, int]:
+        """Histogram of actions chosen so far."""
+        return dict(self._action_counts)
+
+    def coordinate(
+        self,
+        current: ControlState,
+        fan_proposal: float | None,
+        cap_proposal: float | None,
+        inputs: ControlInputs,
+    ) -> ControlState:
+        ds = 0 if fan_proposal is None else classify(
+            fan_proposal - current.fan_speed_rpm
+        )
+        du = 0 if cap_proposal is None else classify(cap_proposal - current.cpu_cap)
+
+        emergency = inputs.tmeas_c >= self._t_emergency_c
+        fan_useful = inputs.tmeas_c >= self._t_emergency_c - self._fan_margin_c
+
+        cooling: list[tuple[float, CoordinationAction, ControlState]] = []
+        relaxing: list[tuple[float, CoordinationAction, ControlState]] = []
+
+        if ds > 0 and fan_useful:
+            assert fan_proposal is not None
+            cooling.append(
+                (
+                    self._fan_up_efficiency(current, fan_proposal, inputs),
+                    CoordinationAction.FAN_UP,
+                    current.with_fan(fan_proposal),
+                )
+            )
+        elif ds < 0:
+            assert fan_proposal is not None
+            relaxing.append(
+                (
+                    self._fan_down_saving_w(current, fan_proposal),
+                    CoordinationAction.FAN_DOWN,
+                    current.with_fan(fan_proposal),
+                )
+            )
+        if du < 0:
+            assert cap_proposal is not None
+            # Shedding dynamic CPU power cools AND saves energy: the
+            # efficiency ratio is unbounded, so it dominates any fan boost.
+            cooling.append(
+                (
+                    float("inf"),
+                    CoordinationAction.CAP_DOWN,
+                    current.with_cap(cap_proposal),
+                )
+            )
+        elif du > 0:
+            assert cap_proposal is not None
+            relaxing.append(
+                (
+                    self._cap_up_saving_w(current, cap_proposal),
+                    CoordinationAction.CAP_UP,
+                    current.with_cap(cap_proposal),
+                )
+            )
+
+        if cooling and (emergency or fan_useful):
+            _, action, state = max(cooling, key=lambda item: item[0])
+        elif relaxing:
+            _, action, state = max(relaxing, key=lambda item: item[0])
+        else:
+            action, state = CoordinationAction.NONE, current
+        self._last_action = action
+        self._action_counts[action] += 1
+        return state
+
+    def _fan_up_efficiency(
+        self, current: ControlState, proposal: float, inputs: ControlInputs
+    ) -> float:
+        """Temperature reduction per watt for a fan speed increase."""
+        delta_s = proposal - current.fan_speed_rpm
+        slope = self._model.junction_slope_per_rpm(
+            inputs.measured_util, current.fan_speed_rpm
+        )
+        temp_reduction = -slope * delta_s  # slope < 0, so this is positive
+        power_increase = (
+            self._model.fan_power_w(proposal)
+            - self._model.fan_power_w(current.fan_speed_rpm)
+        )
+        if power_increase <= 0.0:
+            return float("inf")
+        return temp_reduction / power_increase
+
+    def _fan_down_saving_w(self, current: ControlState, proposal: float) -> float:
+        """Power saved by a fan decrease (always >= 0 for a real decrease)."""
+        return self._model.fan_power_w(current.fan_speed_rpm) - self._model.fan_power_w(
+            proposal
+        )
+
+    def _cap_up_saving_w(self, current: ControlState, proposal: float) -> float:
+        """(Negative) power saving of a cap increase: it costs power."""
+        delta_u = proposal - current.cpu_cap
+        return -self._model.marginal_cpu_power_w_per_util() * delta_u

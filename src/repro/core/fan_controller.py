@@ -1,0 +1,180 @@
+"""The robust adaptive PID fan speed controller (Section IV).
+
+Composes the three Section IV mechanisms:
+
+* PID control law (Eqn 4) with Ziegler-Nichols-derived gains,
+* gain scheduling over fan-speed regions (Eqns 8-9), including the
+  integral reset and offset re-basing on region change, and
+* the quantization-error elimination deadband (Eqn 10).
+
+The controller is *position-form*: each decision produces an absolute fan
+speed ``s_ref + PID terms``.  On a region change the offset ``s_ref`` is
+re-based to the currently applied speed and the integral cleared, which
+keeps the transfer bumpless (the paper: "when the operating region is
+changed, s_ref in Eqn (4) is updated and the error sum is set to zero").
+"""
+
+from __future__ import annotations
+
+from repro.core.base import FanController
+from repro.core.gain_schedule import GainSchedule
+from repro.core.pid import PIDController
+from repro.core.quantization import QuantizationGuard
+from repro.errors import ControlError
+from repro.units import check_duration, check_fan_speed, check_temperature
+
+
+class AdaptivePIDFanController(FanController):
+    """Gain-scheduled PID fan controller robust to lag and quantization.
+
+    Parameters
+    ----------
+    schedule:
+        Tuned gain regions; a single-region schedule reproduces the
+        conventional fixed-gain PID baseline of Fig. 3.
+    t_ref_c:
+        Reference junction temperature to track (may be changed at runtime
+        by the adaptive set-point scheme via :meth:`set_reference`).
+    fan_limits_rpm:
+        Physical ``(min, max)`` fan speed.
+    interval_s:
+        Fan decision period (Section VI-A: 30 s).
+    initial_speed_rpm:
+        Speed assumed applied before the first decision.
+    quantization_guard:
+        Eqn 10 deadband; ``None`` disables it (ablation studies).
+    slew_limit_rpm:
+        Maximum speed change per decision.  Server fan firmware ramps the
+        fan over several decision periods rather than jumping (this is the
+        ``N_trans * t_interval`` transient the paper's Section V-C builds
+        on); ``None`` disables the limit.  Single-step scaling bypasses it
+        by overriding *after* coordination.
+    """
+
+    def __init__(
+        self,
+        schedule: GainSchedule,
+        t_ref_c: float,
+        fan_limits_rpm: tuple[float, float],
+        interval_s: float = 30.0,
+        initial_speed_rpm: float | None = None,
+        quantization_guard: QuantizationGuard | None = None,
+        slew_limit_rpm: float | None = None,
+    ) -> None:
+        self._schedule = schedule
+        low, high = fan_limits_rpm
+        check_fan_speed(low, "fan_limits_rpm[0]")
+        check_fan_speed(high, "fan_limits_rpm[1]")
+        if low >= high:
+            raise ControlError(f"fan limits must satisfy min < max: {fan_limits_rpm}")
+        self._limits = (low, high)
+        check_duration(interval_s, "interval_s")
+        if initial_speed_rpm is None:
+            initial_speed_rpm = 0.5 * (low + high)
+        self._applied_speed = min(max(initial_speed_rpm, low), high)
+        self._guard = quantization_guard
+        if slew_limit_rpm is not None and slew_limit_rpm <= 0.0:
+            raise ControlError(
+                f"slew_limit_rpm must be positive or None, got {slew_limit_rpm}"
+            )
+        self._slew_limit = slew_limit_rpm
+        self._region_index = schedule.segment_index(self._applied_speed)
+        self._pid = PIDController(
+            gains=schedule.gains_at(self._applied_speed),
+            setpoint=check_temperature(t_ref_c, "t_ref_c"),
+            sample_time_s=interval_s,
+            output_offset=self._applied_speed,
+            output_limits=self._limits,
+        )
+
+    @property
+    def schedule(self) -> GainSchedule:
+        """The gain schedule in use."""
+        return self._schedule
+
+    @property
+    def t_ref_c(self) -> float:
+        """Currently tracked reference temperature."""
+        return self._pid.setpoint
+
+    @property
+    def applied_speed_rpm(self) -> float:
+        """Fan speed the controller believes is currently applied."""
+        return self._applied_speed
+
+    @property
+    def region_index(self) -> int:
+        """Current operating-region segment index."""
+        return self._region_index
+
+    @property
+    def pid(self) -> PIDController:
+        """The underlying PID (exposed for inspection/tests)."""
+        return self._pid
+
+    @property
+    def slew_limit_rpm(self) -> float | None:
+        """Per-decision speed-change limit (None = unlimited)."""
+        return self._slew_limit
+
+    def set_reference(self, t_ref_c: float) -> None:
+        """Change the tracked reference temperature (A-Tref hook)."""
+        self._pid.setpoint = check_temperature(t_ref_c, "t_ref_c")
+
+    def notify_applied(self, fan_speed_rpm: float) -> None:
+        """Record the speed the coordinator actually applied.
+
+        Keeps the position-form controller anchored to reality when a
+        proposal was rejected or overridden (rule-based coordination,
+        single-step scaling).
+        """
+        low, high = self._limits
+        self._applied_speed = min(max(fan_speed_rpm, low), high)
+
+    def propose(self, time_s: float, tmeas_c: float) -> float:
+        """One fan decision (Eqn 4 with Eqns 8-10 applied).
+
+        Call once per fan decision period with the firmware-visible
+        temperature.  Returns the proposed speed; it becomes binding only
+        after the coordinator applies it and :meth:`notify_applied` runs.
+        """
+        # Eqn 10: inside the quantization deadband, freeze everything.
+        if self._guard is not None and self._guard.should_hold(
+            self._pid.setpoint, tmeas_c
+        ):
+            return self._applied_speed
+
+        # Eqns 8-9: gains follow the *applied* operating speed.
+        region = self._schedule.segment_index(self._applied_speed)
+        if region != self._region_index:
+            # Region change: re-base the offset and clear the error sum.
+            self._region_index = region
+            self._pid.output_offset = self._applied_speed
+            self._pid.reset_integral()
+        self._pid.gains = self._schedule.gains_at(self._applied_speed)
+
+        # Deadband error shaping: act only on the part of the error that
+        # exceeds one LSB, so the loop can settle into the Eqn 10 hold
+        # window instead of repeatedly hopping across it.
+        measurement = tmeas_c
+        if self._guard is not None:
+            error = tmeas_c - self._pid.setpoint
+            measurement = self._pid.setpoint + self._guard.shape_error(error)
+
+        proposal = self._pid.update(measurement)
+        # Direction sanity: a measurably hot reading must never produce a
+        # speed *decrease* (nor a cold reading an increase).  The position
+        # form's integral lags workload phase changes by design; without
+        # this guard its stale value can briefly dominate the fresh error
+        # and invert the action - which the Table II rules would then
+        # amplify by letting the inverted fan action pre-empt a cap cut.
+        shaped_error = measurement - self._pid.setpoint
+        if shaped_error > 0.0:
+            proposal = max(proposal, self._applied_speed)
+        elif shaped_error < 0.0:
+            proposal = min(proposal, self._applied_speed)
+        if self._slew_limit is not None:
+            lo = self._applied_speed - self._slew_limit
+            hi = self._applied_speed + self._slew_limit
+            proposal = min(max(proposal, lo), hi)
+        return proposal

@@ -1,0 +1,106 @@
+"""Fan-speed-region gain scheduling (Section IV-B, Eqns 8-9).
+
+A single Ziegler-Nichols gain set is only valid near the fan speed where
+it was tuned, because the plant sensitivity ``dT/ds`` varies by almost an
+order of magnitude across the speed range (Table I resistance law).  The
+adaptive scheme keeps one gain set per *region* (the paper uses two,
+tuned at 2000 and 6000 rpm) and, at every decision, interpolates between
+the two regions bracketing the current operating speed:
+
+    K(k)     = (1 - alpha(k)) * K_i + alpha(k) * K_{i+1}      (Eqn 8)
+    alpha(k) = (s(k) - s_i) / (s_{i+1} - s_i)                 (Eqn 9)
+
+Speeds outside the tuned range clamp to the end regions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.core.pid import PIDGains
+from repro.errors import ControlError
+from repro.units import check_fan_speed
+
+
+@dataclass(frozen=True)
+class GainRegion:
+    """One tuned operating region: a reference speed and its gain set."""
+
+    ref_speed_rpm: float
+    gains: PIDGains
+
+    def __post_init__(self) -> None:
+        check_fan_speed(self.ref_speed_rpm, "ref_speed_rpm")
+
+
+class GainSchedule:
+    """Ordered set of tuned regions with Eqn 8-9 interpolation.
+
+    A schedule with a single region degenerates to conventional fixed-gain
+    PID, which is exactly the baseline Fig. 3 compares against.
+    """
+
+    def __init__(self, regions: list[GainRegion]) -> None:
+        if not regions:
+            raise ControlError("gain schedule needs at least one region")
+        ordered = sorted(regions, key=lambda r: r.ref_speed_rpm)
+        speeds = [r.ref_speed_rpm for r in ordered]
+        if len(set(speeds)) != len(speeds):
+            raise ControlError(f"duplicate region reference speeds: {speeds}")
+        self._regions = ordered
+        self._speeds = speeds
+
+    @property
+    def regions(self) -> list[GainRegion]:
+        """Regions in increasing reference-speed order."""
+        return list(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def segment_index(self, fan_speed_rpm: float) -> int:
+        """Index ``i`` of the segment ``[s_i, s_{i+1})`` containing the speed.
+
+        Speeds below the first region return 0; speeds at or above the
+        last region return ``len - 1`` (the degenerate final segment).
+        The fan controller resets its integral when this index changes
+        between decisions (Section IV-B).
+        """
+        speed = check_fan_speed(fan_speed_rpm, "fan_speed_rpm")
+        if len(self._regions) == 1:
+            return 0
+        idx = bisect_right(self._speeds, speed) - 1
+        return min(max(idx, 0), len(self._regions) - 1)
+
+    def bracket(self, fan_speed_rpm: float) -> tuple[int, int, float]:
+        """Bracketing region indices and the Eqn 9 weight ``alpha``.
+
+        Returns ``(i, j, alpha)`` with gains to blend as
+        ``(1 - alpha) * K_i + alpha * K_j``.  Outside the tuned range the
+        weight clamps to 0 or 1 (pure end-region gains).
+        """
+        speed = check_fan_speed(fan_speed_rpm, "fan_speed_rpm")
+        if len(self._regions) == 1:
+            return 0, 0, 0.0
+        if speed <= self._speeds[0]:
+            return 0, 0, 0.0
+        if speed >= self._speeds[-1]:
+            last = len(self._regions) - 1
+            return last, last, 0.0
+        i = bisect_right(self._speeds, speed) - 1
+        j = i + 1
+        alpha = (speed - self._speeds[i]) / (self._speeds[j] - self._speeds[i])
+        return i, j, alpha
+
+    def gains_at(self, fan_speed_rpm: float) -> PIDGains:
+        """Interpolated gains for the given operating speed (Eqns 8-9)."""
+        i, j, alpha = self.bracket(fan_speed_rpm)
+        if i == j:
+            return self._regions[i].gains
+        return self._regions[i].gains.blend(self._regions[j].gains, alpha)
+
+    @classmethod
+    def fixed(cls, gains: PIDGains, ref_speed_rpm: float = 0.0) -> "GainSchedule":
+        """Single-region schedule: conventional (non-adaptive) PID."""
+        return cls([GainRegion(ref_speed_rpm=ref_speed_rpm, gains=gains)])

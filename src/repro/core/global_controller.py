@@ -1,0 +1,137 @@
+"""The assembled DTM unit of Fig. 2.
+
+``GlobalController`` hosts the two local controllers (fan speed, CPU cap),
+routes their proposals through a global coordinator, and applies the
+optional Section V enhancements (adaptive set-point, single-step fan
+scaling).  The simulation engine calls :meth:`step` once per CPU control
+period (1 s); fan decisions run on their own slower period (30 s) inside.
+"""
+
+from __future__ import annotations
+
+from repro.config import ControlConfig
+from repro.core.base import ControlInputs, ControlState, Coordinator, FanController
+from repro.core.cpu_capper import DeadzoneCpuCapper
+from repro.core.setpoint import AdaptiveSetpoint
+from repro.core.single_step import SingleStepFanScaling
+from repro.core.uncoordinated import UncoordinatedCoordinator
+
+
+class GlobalController:
+    """Fan controller + CPU capper + global coordination (Fig. 2).
+
+    Parameters
+    ----------
+    control:
+        Timing/threshold configuration (decision periods, T_ref).
+    fan_controller:
+        Any :class:`~repro.core.base.FanController`.
+    coordinator:
+        Global arbitration scheme; defaults to uncoordinated (the paper's
+        baseline).
+    cpu_capper:
+        Optional CPU cap controller; omit to run fan-only experiments
+        (Figs 3 and 4).
+    setpoint:
+        Optional A-Tref adapter (Section V-B).
+    single_step:
+        Optional SSfan override (Section V-C).
+    initial_state:
+        Knob settings in force before the first decision.
+    """
+
+    def __init__(
+        self,
+        control: ControlConfig,
+        fan_controller: FanController,
+        coordinator: Coordinator | None = None,
+        cpu_capper: DeadzoneCpuCapper | None = None,
+        setpoint: AdaptiveSetpoint | None = None,
+        single_step: SingleStepFanScaling | None = None,
+        initial_state: ControlState | None = None,
+    ) -> None:
+        self._control = control
+        self._fan = fan_controller
+        self._coordinator = coordinator or UncoordinatedCoordinator()
+        self._capper = cpu_capper
+        self._setpoint = setpoint
+        self._single_step = single_step
+        if initial_state is None:
+            initial_state = ControlState(
+                fan_speed_rpm=getattr(fan_controller, "applied_speed_rpm", 4000.0),
+                cpu_cap=1.0,
+            )
+        self._state = initial_state
+        self._t_ref_c = getattr(fan_controller, "t_ref_c", control.t_ref_fan_c)
+        self._next_fan_decision_s = control.fan_interval_s
+        self._last_fan_proposal: float | None = None
+        self._last_cap_proposal: float | None = None
+        self._fan.notify_applied(self._state.fan_speed_rpm)
+
+    @property
+    def state(self) -> ControlState:
+        """Knob settings currently applied."""
+        return self._state
+
+    @property
+    def control(self) -> ControlConfig:
+        """Timing/threshold configuration."""
+        return self._control
+
+    @property
+    def t_ref_c(self) -> float:
+        """Reference temperature currently tracked by the fan loop."""
+        return self._t_ref_c
+
+    @property
+    def coordinator(self) -> Coordinator:
+        """The coordination scheme in use."""
+        return self._coordinator
+
+    @property
+    def fan_controller(self) -> FanController:
+        """The local fan controller."""
+        return self._fan
+
+    @property
+    def last_proposals(self) -> tuple[float | None, float | None]:
+        """(fan, cap) proposals from the most recent step (None = not due)."""
+        return self._last_fan_proposal, self._last_cap_proposal
+
+    def step(self, inputs: ControlInputs) -> ControlState:
+        """One CPU control period: gather proposals, coordinate, apply."""
+        # Section V-B: predictive T_ref adjustment, every CPU period.
+        if self._setpoint is not None:
+            self._t_ref_c = self._setpoint.update(inputs.measured_util)
+            self._fan.set_reference(self._t_ref_c)
+
+        cap_proposal = None
+        if self._capper is not None:
+            cap_proposal = self._capper.propose(
+                inputs.time_s, inputs.tmeas_c, self._state.cpu_cap
+            )
+
+        fan_proposal = None
+        if inputs.time_s + 1e-9 >= self._next_fan_decision_s:
+            fan_proposal = self._fan.propose(inputs.time_s, inputs.tmeas_c)
+            while self._next_fan_decision_s <= inputs.time_s + 1e-9:
+                self._next_fan_decision_s += self._control.fan_interval_s
+
+        self._last_fan_proposal = fan_proposal
+        self._last_cap_proposal = cap_proposal
+        state = self._coordinator.coordinate(
+            self._state, fan_proposal, cap_proposal, inputs
+        )
+
+        # Section V-C: SSfan may override the fan speed after coordination.
+        if self._single_step is not None:
+            predicted = (
+                self._setpoint.predicted_util
+                if self._setpoint is not None
+                else inputs.measured_util
+            )
+            state = self._single_step.apply(state, inputs, self._t_ref_c, predicted)
+
+        self._fan.notify_applied(state.fan_speed_rpm)
+        self._state = state
+        return state

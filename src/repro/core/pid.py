@@ -1,0 +1,184 @@
+"""Discrete PID controller (Eqn 4) with anti-windup and output limits.
+
+The paper's control law for the (k+1)-th fan decision is position-form::
+
+    s(k+1) = s_ref + KP * dT(k) + KI * sum_i dT(i) + KD * (dT(k) - dT(k-1))
+
+with ``dT = T_meas - T_ref``.  This module implements the textbook
+discrete PID [9] with the sampling period handled explicitly:
+
+    u(k) = offset + Kp * e(k) + Ki * I(k) + Kd * (e(k) - e(k-1)) / dt
+    I(k) = I(k-1) + e(k) * dt
+
+so that Ziegler-Nichols gains derived from continuous-time rules
+(Eqns 5-7) can be used unchanged regardless of the decision period.
+
+Anti-windup uses conditional integration: when the output saturates and
+the error pushes further into saturation, the integral is not accumulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ControlError
+from repro.units import check_duration, check_nonnegative
+
+
+@dataclass(frozen=True)
+class PIDGains:
+    """Proportional/integral/derivative gains.
+
+    For the fan controller the units are rpm/K (Kp), rpm/(K*s) (Ki) and
+    rpm*s/K (Kd).
+    """
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.kp, "kp")
+        check_nonnegative(self.ki, "ki")
+        check_nonnegative(self.kd, "kd")
+
+    def scaled(self, factor: float) -> "PIDGains":
+        """All three gains multiplied by ``factor`` (>= 0)."""
+        check_nonnegative(factor, "factor")
+        return PIDGains(self.kp * factor, self.ki * factor, self.kd * factor)
+
+    def blend(self, other: "PIDGains", alpha: float) -> "PIDGains":
+        """Weighted sum ``(1 - alpha) * self + alpha * other`` (Eqn 8)."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ControlError(f"blend weight must be in [0, 1], got {alpha}")
+        return PIDGains(
+            kp=(1.0 - alpha) * self.kp + alpha * other.kp,
+            ki=(1.0 - alpha) * self.ki + alpha * other.ki,
+            kd=(1.0 - alpha) * self.kd + alpha * other.kd,
+        )
+
+
+class PIDController:
+    """Position-form discrete PID with offset, clamping, and anti-windup.
+
+    Parameters
+    ----------
+    gains:
+        Controller gains (may be replaced at runtime via :attr:`gains` -
+        the gain-scheduled fan controller does this every decision).
+    setpoint:
+        Reference value the measurement should track.
+    sample_time_s:
+        Decision period; integral and derivative terms are scaled by it.
+    output_offset:
+        The ``s_ref`` of Eqn (4): output when all error terms are zero.
+        Mutable, to support bumpless transfer between operating regions.
+    output_limits:
+        Optional ``(low, high)`` saturation limits for the output.
+    """
+
+    def __init__(
+        self,
+        gains: PIDGains,
+        setpoint: float,
+        sample_time_s: float,
+        output_offset: float = 0.0,
+        output_limits: tuple[float, float] | None = None,
+    ) -> None:
+        self.gains = gains
+        self._setpoint = float(setpoint)
+        self._dt = check_duration(sample_time_s, "sample_time_s")
+        self._offset = float(output_offset)
+        if output_limits is not None:
+            low, high = output_limits
+            if low >= high:
+                raise ControlError(f"output_limits must satisfy low < high: {output_limits}")
+        self._limits = output_limits
+        self._integral = 0.0
+        self._prev_error: float | None = None
+        self._last_output: float | None = None
+
+    @property
+    def setpoint(self) -> float:
+        """Current reference value."""
+        return self._setpoint
+
+    @setpoint.setter
+    def setpoint(self, value: float) -> None:
+        self._setpoint = float(value)
+
+    @property
+    def output_offset(self) -> float:
+        """The ``s_ref`` offset term."""
+        return self._offset
+
+    @output_offset.setter
+    def output_offset(self, value: float) -> None:
+        self._offset = float(value)
+
+    @property
+    def integral(self) -> float:
+        """Accumulated integral term (error * time)."""
+        return self._integral
+
+    @property
+    def sample_time_s(self) -> float:
+        """Decision period in seconds."""
+        return self._dt
+
+    @property
+    def last_output(self) -> float | None:
+        """Most recent output (None before the first update)."""
+        return self._last_output
+
+    def reset_integral(self) -> None:
+        """Zero the integral term (paper: on operating-region change)."""
+        self._integral = 0.0
+
+    def reset(self) -> None:
+        """Full reset: integral, derivative memory, and last output."""
+        self._integral = 0.0
+        self._prev_error = None
+        self._last_output = None
+
+    def update(self, measurement: float) -> float:
+        """Compute the next output from a new measurement.
+
+        Implements Eqn (4) with dt-scaled integral/derivative terms,
+        output clamping, and conditional-integration anti-windup.
+        """
+        error = measurement - self._setpoint
+        candidate_integral = self._integral + error * self._dt
+        if self._prev_error is None:
+            derivative = 0.0
+        else:
+            derivative = (error - self._prev_error) / self._dt
+
+        output = (
+            self._offset
+            + self.gains.kp * error
+            + self.gains.ki * candidate_integral
+            + self.gains.kd * derivative
+        )
+
+        self._integral = candidate_integral
+        if self._limits is not None:
+            low, high = self._limits
+            if output > high or output < low:
+                clamped = high if output > high else low
+                # Back-calculation anti-windup: shrink the integral so the
+                # unclamped output would sit exactly on the limit.  The
+                # loop then reacts immediately when the error changes sign
+                # instead of waiting for a large integral to unwind.
+                if self.gains.ki > 0.0:
+                    self._integral = (
+                        clamped
+                        - self._offset
+                        - self.gains.kp * error
+                        - self.gains.kd * derivative
+                    ) / self.gains.ki
+                output = clamped
+
+        self._prev_error = error
+        self._last_output = output
+        return output

@@ -1,0 +1,77 @@
+"""Quantization-error elimination (Section IV-C, Eqn 10).
+
+With a 1 degC LSB, a converged loop still sees the measurement toggle
+between adjacent codes, and the PID chases that dither forever - the
+fan-speed jitter of Fig. 4.  Eqn (10) freezes the fan speed whenever the
+apparent error is smaller than the quantization step:
+
+    s(k+1) = s(k)   when |T_ref - T_meas(k)| < |T_Q|
+
+The guard here additionally freezes the *controller state* (no integral
+accumulation while held), so the dither cannot wind the integral up.
+"""
+
+from __future__ import annotations
+
+from repro.units import check_nonnegative
+
+
+class QuantizationGuard:
+    """Deadband comparator implementing Eqn (10).
+
+    Parameters
+    ----------
+    quantization_step_c:
+        The ``|T_Q|`` of Eqn (10); a value of 0 disables the guard.
+    margin:
+        Optional multiplicative margin on the step (1.0 = exactly Eqn 10).
+        Values slightly above 1 add robustness when noise rides on top of
+        quantization.
+    """
+
+    def __init__(self, quantization_step_c: float, margin: float = 1.0) -> None:
+        self._step = check_nonnegative(quantization_step_c, "quantization_step_c")
+        self._margin = check_nonnegative(margin, "margin")
+        self._hold_count = 0
+
+    @property
+    def step_c(self) -> float:
+        """The quantization step |T_Q|."""
+        return self._step
+
+    @property
+    def threshold_c(self) -> float:
+        """Effective deadband half-width (step * margin)."""
+        return self._step * self._margin
+
+    @property
+    def hold_count(self) -> int:
+        """How many decisions the guard has suppressed so far."""
+        return self._hold_count
+
+    def should_hold(self, t_ref_c: float, tmeas_c: float) -> bool:
+        """True when Eqn (10) says to keep the fan speed unchanged."""
+        if self._step == 0.0:
+            return False
+        held = abs(t_ref_c - tmeas_c) < self.threshold_c
+        if held:
+            self._hold_count += 1
+        return held
+
+    def shape_error(self, error_c: float) -> float:
+        """Deadband-shaped error: ``sign(e) * max(0, |e| - |T_Q|)``.
+
+        A quantized reading one LSB away from the reference may correspond
+        to a true error anywhere in ``(0, 2 * T_Q)``; acting on the full
+        LSB systematically overreacts.  Subtracting the quantization step
+        from the acted-on magnitude makes the controller respond to the
+        part of the error that is guaranteed real - the natural companion
+        of the Eqn 10 hold, and what lets the loop *settle into* the
+        deadband instead of hopping across it.
+        """
+        if self._step == 0.0:
+            return error_c
+        magnitude = abs(error_c) - self._step
+        if magnitude <= 0.0:
+            return 0.0
+        return magnitude if error_c > 0.0 else -magnitude

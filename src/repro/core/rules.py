@@ -1,0 +1,109 @@
+"""Rule-based global coordination (Section V-A, Table II).
+
+Only one local control action is admitted per decision instant, because
+each local controller is stable on its own but their joint action is not
+guaranteed to be.  Table II picks the action with performance as the
+primary concern:
+
+=====================  ==================  ==================  ==============
+                       s(k+1) < s(k)       s(k+1) = s(k)       s(k+1) > s(k)
+=====================  ==================  ==================  ==============
+u(k+1) < u(k)          fan down            cap down            fan up
+u(k+1) = u(k)          fan down            (nothing)           fan up
+u(k+1) > u(k)          cap up              cap up              fan up
+=====================  ==================  ==================  ==============
+
+Rationale (paper): a fan increase is always admitted (fan decisions are
+infrequent, so setting the speed too low hurts performance until the next
+fan period); a fan decrease yields to a cap increase (restore performance
+first, keep the cooling we have).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.base import ControlInputs, ControlState, Coordinator
+
+
+class CoordinationAction(enum.Enum):
+    """Which single knob the coordinator chose to move."""
+
+    NONE = "none"
+    FAN_UP = "fan_up"
+    FAN_DOWN = "fan_down"
+    CAP_UP = "cap_up"
+    CAP_DOWN = "cap_down"
+
+
+def classify(delta: float, tolerance: float = 1e-9) -> int:
+    """Sign of a proposal delta with a numerical tolerance: -1, 0, or +1."""
+    if delta > tolerance:
+        return 1
+    if delta < -tolerance:
+        return -1
+    return 0
+
+
+def table_ii_action(ds: int, du: int) -> CoordinationAction:
+    """The Table II cell for fan-delta sign ``ds`` and cap-delta sign ``du``."""
+    if ds > 0:
+        return CoordinationAction.FAN_UP
+    if ds < 0:
+        if du > 0:
+            return CoordinationAction.CAP_UP
+        return CoordinationAction.FAN_DOWN
+    # ds == 0
+    if du > 0:
+        return CoordinationAction.CAP_UP
+    if du < 0:
+        return CoordinationAction.CAP_DOWN
+    return CoordinationAction.NONE
+
+
+class RuleBasedCoordinator(Coordinator):
+    """Applies exactly one proposal per instant, per Table II.
+
+    Missing proposals (``None``) are treated as "no change requested".
+    The chosen action of the last decision is exposed via
+    :attr:`last_action` for tracing and tests.
+    """
+
+    def __init__(self) -> None:
+        self._last_action = CoordinationAction.NONE
+        self._action_counts: dict[CoordinationAction, int] = {
+            action: 0 for action in CoordinationAction
+        }
+
+    @property
+    def last_action(self) -> CoordinationAction:
+        """Action chosen at the most recent decision."""
+        return self._last_action
+
+    @property
+    def action_counts(self) -> dict[CoordinationAction, int]:
+        """Histogram of actions chosen so far."""
+        return dict(self._action_counts)
+
+    def coordinate(
+        self,
+        current: ControlState,
+        fan_proposal: float | None,
+        cap_proposal: float | None,
+        inputs: ControlInputs,
+    ) -> ControlState:
+        ds = 0 if fan_proposal is None else classify(
+            fan_proposal - current.fan_speed_rpm
+        )
+        du = 0 if cap_proposal is None else classify(cap_proposal - current.cpu_cap)
+        action = table_ii_action(ds, du)
+        self._last_action = action
+        self._action_counts[action] += 1
+
+        if action in (CoordinationAction.FAN_UP, CoordinationAction.FAN_DOWN):
+            assert fan_proposal is not None
+            return current.with_fan(fan_proposal)
+        if action in (CoordinationAction.CAP_UP, CoordinationAction.CAP_DOWN):
+            assert cap_proposal is not None
+            return current.with_cap(cap_proposal)
+        return current

@@ -1,0 +1,84 @@
+"""Predictive fan set-point adaptation: A-Tref (Section V-B).
+
+Observations from the paper:
+
+* at *low* CPU utilization, attenuate ``T_ref`` (run the fan a little
+  harder than strictly needed) so an abrupt load increase has thermal
+  headroom and does not trigger capping;
+* at *high* utilization, amplify ``T_ref`` (the fan's cubic power makes
+  deep cooling expensive exactly when the CPU already runs hot).
+
+``T_ref`` is scaled *linearly* with the predicted utilization, where the
+prediction is a moving average of measured utilization to filter noise
+(Coskun et al. [19]).  The evaluation sweeps T_ref over 70-80 degC.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControlError
+from repro.units import check_temperature, check_utilization, clamp
+from repro.workload.filters import MovingAverageFilter
+
+
+class AdaptiveSetpoint:
+    """Linear T_ref schedule driven by predicted CPU utilization.
+
+    Parameters
+    ----------
+    t_min_c, t_max_c:
+        Reference temperature at the low/high end of the utilization range
+        (paper: 70 and 80 degC).
+    util_low, util_high:
+        Utilization range mapped onto ``[t_min_c, t_max_c]``; predictions
+        outside clamp to the ends.
+    window:
+        Moving-average window (in CPU control periods) for the predictor.
+    """
+
+    def __init__(
+        self,
+        t_min_c: float = 70.0,
+        t_max_c: float = 80.0,
+        util_low: float = 0.0,
+        util_high: float = 1.0,
+        window: int = 10,
+    ) -> None:
+        self._t_min_c = check_temperature(t_min_c, "t_min_c")
+        self._t_max_c = check_temperature(t_max_c, "t_max_c")
+        if self._t_min_c > self._t_max_c:
+            raise ControlError(
+                f"t_min_c ({t_min_c}) must not exceed t_max_c ({t_max_c})"
+            )
+        check_utilization(util_low, "util_low")
+        check_utilization(util_high, "util_high")
+        if util_low >= util_high:
+            raise ControlError(
+                f"util_low ({util_low}) must be below util_high ({util_high})"
+            )
+        self._util_low = util_low
+        self._util_high = util_high
+        self._filter = MovingAverageFilter(window=window)
+
+    @property
+    def range_c(self) -> tuple[float, float]:
+        """The ``(t_min, t_max)`` reference range."""
+        return self._t_min_c, self._t_max_c
+
+    @property
+    def predicted_util(self) -> float:
+        """Current moving-average utilization prediction."""
+        return self._filter.value
+
+    def reference_for(self, predicted_util: float) -> float:
+        """T_ref for a given predicted utilization (pure function)."""
+        check_utilization(predicted_util, "predicted_util")
+        fraction = (predicted_util - self._util_low) / (
+            self._util_high - self._util_low
+        )
+        fraction = clamp(fraction, 0.0, 1.0)
+        return self._t_min_c + fraction * (self._t_max_c - self._t_min_c)
+
+    def update(self, measured_util: float) -> float:
+        """Feed one utilization sample; returns the new T_ref."""
+        predicted = self._filter.update(check_utilization(measured_util))
+        return self.reference_for(predicted)

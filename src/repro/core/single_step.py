@@ -1,0 +1,176 @@
+"""Single-step fan speed scaling: SSfan (Section V-C).
+
+Load spikes are faster than the fan loop's settling time
+(``N_trans * t_interval``; Bhattacharya et al. [20]), so a spike can
+throttle the CPU for minutes while the PID ramps the fan.  SSfan bounds
+that loss: when the *measured performance degradation* exceeds a
+threshold, the fan jumps straight to maximum speed in a single step.  As
+soon as the degradation clears, the fan steps down to "the lowest
+possible fan speed which enables to run required CPU utilization without
+any temperature violation" - computed from the steady-state model and the
+OS's (fresh) demand estimate - and normal PID control resumes from there.
+
+The scheme is a momentary override, not a sustained boost: the max-speed
+blast crushes the junction temperature so the capper can restore the cap,
+and the computed landing speed is what actually serves the new demand.  A
+refractory period prevents chattering re-triggers while the PID settles.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.base import ControlInputs, ControlState
+from repro.errors import ControlError
+from repro.thermal.steady_state import SteadyStateServerModel
+from repro.units import check_nonnegative, check_utilization, clamp
+
+
+class SingleStepPhase(enum.Enum):
+    """Internal state of the SSfan override."""
+
+    INACTIVE = "inactive"
+    BOOSTED = "boosted"
+    REFRACTORY = "refractory"
+
+
+class SingleStepFanScaling:
+    """Performance-triggered maximum-fan override.
+
+    Parameters
+    ----------
+    model:
+        Steady-state plant model for the step-down speed computation.
+    degradation_threshold:
+        Recent mean utilization deficit that triggers the boost
+        (utilization units; e.g. 0.08 = 8% lost utilization).
+    max_boost_periods:
+        Upper bound on how many CPU control periods the max-speed blast
+        may last before the landing step is forced.
+    refractory_periods:
+        Periods after landing during which no re-trigger is allowed
+        (lets the cap recover and the degradation window flush).
+    headroom_util:
+        Extra utilization margin added to the demand estimate when
+        computing the landing speed, to absorb the spike's remainder.
+    landing_margin_c:
+        Safety margin below the critical temperature used for the landing
+        speed.  The paper's wording is "without any temperature
+        violation", i.e. the landing targets the critical limit (not the
+        energy-optimal T_ref) - the PID then trims back down once the
+        spike passes.
+    """
+
+    def __init__(
+        self,
+        model: SteadyStateServerModel,
+        degradation_threshold: float = 0.08,
+        max_boost_periods: int = 5,
+        refractory_periods: int = 30,
+        headroom_util: float = 0.05,
+        landing_margin_c: float = 2.0,
+    ) -> None:
+        self._model = model
+        self._threshold = check_nonnegative(
+            degradation_threshold, "degradation_threshold"
+        )
+        if max_boost_periods < 1:
+            raise ControlError(
+                f"max_boost_periods must be >= 1, got {max_boost_periods}"
+            )
+        if refractory_periods < 0:
+            raise ControlError(
+                f"refractory_periods must be >= 0, got {refractory_periods}"
+            )
+        self._max_boost = max_boost_periods
+        self._refractory = refractory_periods
+        self._headroom = check_nonnegative(headroom_util, "headroom_util")
+        self._landing_margin_c = check_nonnegative(
+            landing_margin_c, "landing_margin_c"
+        )
+        self._phase = SingleStepPhase.INACTIVE
+        self._periods_in_phase = 0
+        self._boost_count = 0
+
+    @property
+    def phase(self) -> SingleStepPhase:
+        """Current override phase."""
+        return self._phase
+
+    @property
+    def boost_count(self) -> int:
+        """How many times the max-speed boost has engaged."""
+        return self._boost_count
+
+    @property
+    def degradation_threshold(self) -> float:
+        """The triggering degradation level."""
+        return self._threshold
+
+    def _required_speed_rpm(
+        self, inputs: ControlInputs, predicted_util: float
+    ) -> float:
+        """Lowest safe speed for the current demand estimate.
+
+        "Safe" means the steady-state junction stays ``landing_margin_c``
+        below the critical temperature at the estimated demand plus
+        headroom.
+        """
+        demand_estimate = inputs.demand_estimate
+        assert demand_estimate is not None  # defaulted in ControlInputs
+        demand = clamp(
+            max(demand_estimate, predicted_util) + self._headroom, 0.0, 1.0
+        )
+        target_c = (
+            self._model.config.control.t_critical_c - self._landing_margin_c
+        )
+        return self._model.required_fan_speed_rpm(demand, target_c)
+
+    def apply(
+        self,
+        state: ControlState,
+        inputs: ControlInputs,
+        t_ref_c: float,
+        predicted_util: float,
+    ) -> ControlState:
+        """Post-process the coordinated state; may override the fan speed.
+
+        Called after coordination each CPU control period.  Returns the
+        (possibly overridden) state to apply.
+        """
+        check_utilization(predicted_util, "predicted_util")
+        max_speed = self._model.config.fan.max_speed_rpm
+
+        if self._phase is SingleStepPhase.BOOSTED:
+            self._periods_in_phase += 1
+            degraded = inputs.recent_degradation > self._threshold
+            if degraded and self._periods_in_phase < self._max_boost:
+                return state.with_fan(max_speed)
+            self._phase = SingleStepPhase.REFRACTORY
+            self._periods_in_phase = 0
+            return state.with_fan(
+                self._required_speed_rpm(inputs, predicted_util)
+            )
+
+        if self._phase is SingleStepPhase.REFRACTORY:
+            self._periods_in_phase += 1
+            if self._periods_in_phase >= self._refractory:
+                self._phase = SingleStepPhase.INACTIVE
+                self._periods_in_phase = 0
+                return state
+            # "We lower the fan speed to reach the lowest possible fan
+            # speed which enables to run required CPU utilization": track
+            # the spike's decay at the CPU control cadence instead of
+            # waiting for the slow fan-period PID descent; hand control
+            # back to the PID once the refractory window closes.
+            return state.with_fan(
+                self._required_speed_rpm(inputs, predicted_util)
+            )
+
+        # INACTIVE
+        if self._threshold > 0.0 and inputs.recent_degradation > self._threshold:
+            self._phase = SingleStepPhase.BOOSTED
+            self._periods_in_phase = 0
+            self._boost_count += 1
+            return state.with_fan(max_speed)
+        return state

@@ -1,0 +1,327 @@
+"""Ziegler-Nichols closed-loop tuning (Section IV-A, Eqns 5-7).
+
+The paper tunes its PID with the classic closed-loop recipe [21]:
+
+1. With proportional-only control, find the *ultimate gain* ``Ku`` - the
+   gain at which the loop oscillates indefinitely at steady state.
+2. Measure the *ultimate period* ``Pu`` of that oscillation.
+3. Set ``KP = 0.6 Ku``, ``KI = KP * 2 / Pu``, ``KD = KP * Pu / 8``.
+
+This module runs that procedure as an actual experiment on the simulated
+server: a proportional-only loop is perturbed from equilibrium, the decay
+ratio of the error oscillation is measured, and ``Ku`` is found by
+bisection on the stable/unstable boundary.
+
+The ultimate-gain search runs on the *lagged but unquantized* loop by
+default (``quantized=False``): the 10 s transport delay is what truly
+limits the achievable gain, and it preserves the ~8x sensitivity ratio
+between the 2000 and 6000 rpm regions that drives the whole Section IV-B
+adaptive story.  Searching on the quantized loop instead
+(``quantized=True``) finds the quantization-induced limit cycle first,
+which collapses the region ratio - useful as an ablation, not as the
+default.
+
+Because the LSB granularity is handled separately (Eqn 10 hold + deadband
+error shaping in the fan controller), the shipped gain rule must satisfy
+the capture bound ``KP * T_Q <= hold-window width in rpm``; the classic
+0.6-Ku rule violates it ~3x on this plant, so :func:`tune_region`
+defaults to the no-overshoot variant (``KP = 0.2 Ku``).  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+from scipy.signal import find_peaks
+
+from repro.config import ServerConfig
+from repro.core.gain_schedule import GainRegion, GainSchedule
+from repro.core.pid import PIDGains
+from repro.errors import TuningError
+from repro.sensing.adc import AdcQuantizer
+from repro.sensing.delay import DelayLine
+from repro.thermal.server import ServerThermalModel
+from repro.units import check_duration, check_positive, check_utilization, clamp
+
+
+@dataclass(frozen=True)
+class UltimateGain:
+    """Result of the ultimate-gain search."""
+
+    ku: float
+    pu_s: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.ku, "ku")
+        check_positive(self.pu_s, "pu_s")
+
+
+@dataclass(frozen=True)
+class OscillationMeasurement:
+    """Decay ratio and period extracted from a closed-loop error trace."""
+
+    decay_ratio: float
+    period_s: float
+    n_peaks: int
+
+
+class ZieglerNicholsRule(enum.Enum):
+    """Tuning-rule variants; CLASSIC_PID is the paper's Eqns 5-7."""
+
+    P_ONLY = "p_only"
+    CLASSIC_PI = "classic_pi"
+    CLASSIC_PID = "classic_pid"
+    PESSEN = "pessen"
+    SOME_OVERSHOOT = "some_overshoot"
+    NO_OVERSHOOT = "no_overshoot"
+
+
+#: (kp_factor, Ti as fraction of Pu or None, Td as fraction of Pu or None)
+_RULE_TABLE: dict[ZieglerNicholsRule, tuple[float, float | None, float | None]] = {
+    ZieglerNicholsRule.P_ONLY: (0.5, None, None),
+    ZieglerNicholsRule.CLASSIC_PI: (0.45, 1.0 / 1.2, None),
+    ZieglerNicholsRule.CLASSIC_PID: (0.6, 0.5, 0.125),
+    ZieglerNicholsRule.PESSEN: (0.7, 0.4, 0.15),
+    ZieglerNicholsRule.SOME_OVERSHOOT: (0.33, 0.5, 1.0 / 3.0),
+    ZieglerNicholsRule.NO_OVERSHOOT: (0.2, 0.5, 1.0 / 3.0),
+}
+
+
+def ziegler_nichols_gains(
+    ku: float,
+    pu_s: float,
+    rule: ZieglerNicholsRule = ZieglerNicholsRule.CLASSIC_PID,
+) -> PIDGains:
+    """Map (Ku, Pu) to PID gains under the chosen rule.
+
+    For CLASSIC_PID this is exactly Eqns (5)-(7): ``KP = 0.6 Ku``,
+    ``KI = KP * 2 / Pu``, ``KD = KP * Pu / 8``.
+    """
+    check_positive(ku, "ku")
+    check_duration(pu_s, "pu_s")
+    kp_factor, ti_frac, td_frac = _RULE_TABLE[rule]
+    kp = kp_factor * ku
+    ki = 0.0 if ti_frac is None else kp / (ti_frac * pu_s)
+    kd = 0.0 if td_frac is None else kp * (td_frac * pu_s)
+    return PIDGains(kp=kp, ki=ki, kd=kd)
+
+
+def simulate_p_only_loop(
+    config: ServerConfig,
+    kp: float,
+    fan_speed_rpm: float,
+    utilization: float = 0.4,
+    duration_s: float = 2400.0,
+    dt_s: float = 1.0,
+    perturbation_c: float = 2.0,
+    quantized: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-loop P-only experiment around one operating point.
+
+    The plant is settled at ``(utilization, fan_speed_rpm)``, the setpoint
+    is placed at the corresponding steady-state junction temperature, the
+    heat sink is perturbed by ``perturbation_c``, and the loop
+
+        s(k+1) = s_op + kp * (T_measured(k) - T_op)
+
+    runs with fan decisions every ``control.fan_interval_s`` while the
+    measurement passes through the configured lag and (when ``quantized``)
+    the ADC quantizer.  Returns ``(times, errors)`` sampled every ``dt_s``.
+    """
+    check_utilization(utilization, "utilization")
+    check_duration(duration_s, "duration_s")
+    plant = ServerThermalModel(config)
+    s_op = plant.clamp_fan_speed(fan_speed_rpm)
+    plant.settle(utilization, s_op)
+    t_op = plant.junction_c
+    # Perturb the slow state so the loop has something to regulate away.
+    plant.heatsink.reset(plant.state.heatsink_c + perturbation_c)
+    plant.die.reset(plant.junction_c + perturbation_c)
+
+    quantizer = AdcQuantizer.from_config(config.sensing) if quantized else None
+    initial = quantizer.quantize(t_op) if quantizer is not None else t_op
+    delay = DelayLine(config.sensing.lag_s, initial_value=initial)
+    fan_interval = config.control.fan_interval_s
+    fan = config.fan
+    speed = s_op
+    next_decision = fan_interval
+
+    n_steps = int(round(duration_s / dt_s))
+    times = np.empty(n_steps)
+    errors = np.empty(n_steps)
+    for k in range(n_steps):
+        t = (k + 1) * dt_s
+        state = plant.step(dt_s, utilization, speed)
+        sample = state.junction_c
+        if quantizer is not None:
+            sample = quantizer.quantize(sample)
+        delay.push(t, sample)
+        error = delay.read(t) - t_op
+        if t + 1e-9 >= next_decision:
+            speed = clamp(s_op + kp * error, fan.min_speed_rpm, fan.max_speed_rpm)
+            next_decision += fan_interval
+        times[k] = t
+        errors[k] = error
+    return times, errors
+
+
+def measure_oscillation(
+    times: np.ndarray,
+    errors: np.ndarray,
+    settle_fraction: float = 0.2,
+    min_prominence: float = 0.02,
+) -> OscillationMeasurement:
+    """Extract decay ratio and period from a closed-loop error trace.
+
+    The first ``settle_fraction`` of the trace is discarded (initial
+    transient), peaks of the error are located, and the decay ratio is the
+    geometric mean of successive peak-amplitude ratios.  Fewer than three
+    peaks means the response is overdamped: decay ratio 0.
+    """
+    start = int(len(errors) * settle_fraction)
+    tail_t = np.asarray(times)[start:]
+    tail_e = np.asarray(errors)[start:]
+    peak_idx, _ = find_peaks(tail_e, prominence=min_prominence)
+    if len(peak_idx) < 3:
+        return OscillationMeasurement(decay_ratio=0.0, period_s=0.0, n_peaks=len(peak_idx))
+    amplitudes = tail_e[peak_idx]
+    positive = amplitudes > 0.0
+    if np.count_nonzero(positive) < 3:
+        return OscillationMeasurement(decay_ratio=0.0, period_s=0.0, n_peaks=len(peak_idx))
+    amps = amplitudes[positive]
+    peak_times = tail_t[peak_idx][positive]
+    ratios = amps[1:] / amps[:-1]
+    decay = float(np.exp(np.mean(np.log(ratios))))
+    period = float(np.mean(np.diff(peak_times)))
+    return OscillationMeasurement(
+        decay_ratio=decay, period_s=period, n_peaks=int(np.count_nonzero(positive))
+    )
+
+
+def find_ultimate_gain(
+    config: ServerConfig,
+    fan_speed_rpm: float,
+    utilization: float = 0.4,
+    sustained_threshold: float = 0.97,
+    max_doublings: int = 12,
+    bisection_steps: int = 10,
+    duration_s: float = 2400.0,
+    quantized: bool = False,
+) -> UltimateGain:
+    """Search for (Ku, Pu) at one operating point by bisection.
+
+    The initial proportional-gain guess targets unity static loop gain
+    (``1 / |dTj/dV|``); it is doubled until the loop's decay ratio reaches
+    ``sustained_threshold`` (unstable side), then bisected against the
+    last stable gain.  ``Pu`` is measured at the found boundary gain.
+
+    Raises :class:`TuningError` if no oscillation can be provoked (e.g.
+    the fan saturates before the loop destabilizes).
+    """
+    plant = ServerThermalModel(config)
+    slope = plant.steady_state.junction_slope_per_rpm(utilization, fan_speed_rpm)
+    if slope == 0.0:
+        raise TuningError("plant has zero sensitivity at this operating point")
+    kp = 1.0 / abs(slope)
+
+    def decay_at(gain: float) -> float:
+        times, errors = simulate_p_only_loop(
+            config,
+            gain,
+            fan_speed_rpm,
+            utilization,
+            duration_s=duration_s,
+            quantized=quantized,
+        )
+        return measure_oscillation(times, errors).decay_ratio
+
+    # Grow until unstable.
+    kp_low = 0.0
+    kp_high = None
+    for _ in range(max_doublings):
+        if decay_at(kp) >= sustained_threshold:
+            kp_high = kp
+            break
+        kp_low = kp
+        kp *= 2.0
+    if kp_high is None:
+        raise TuningError(
+            f"no sustained oscillation up to kp={kp:.1f} rpm/K at "
+            f"{fan_speed_rpm} rpm; is the loop saturating?"
+        )
+    if kp_low == 0.0:
+        kp_low = kp_high / 2.0
+        while decay_at(kp_low) >= sustained_threshold:
+            kp_high = kp_low
+            kp_low /= 2.0
+            if kp_low < 1e-6:
+                raise TuningError("loop appears unstable at arbitrarily small gain")
+
+    for _ in range(bisection_steps):
+        mid = 0.5 * (kp_low + kp_high)
+        if decay_at(mid) >= sustained_threshold:
+            kp_high = mid
+        else:
+            kp_low = mid
+
+    ku = kp_high
+    times, errors = simulate_p_only_loop(
+        config,
+        ku,
+        fan_speed_rpm,
+        utilization,
+        duration_s=duration_s,
+        quantized=quantized,
+    )
+    oscillation = measure_oscillation(times, errors)
+    if oscillation.period_s <= 0.0:
+        raise TuningError("boundary gain produced no measurable period")
+    return UltimateGain(ku=ku, pu_s=oscillation.period_s)
+
+
+def tune_region(
+    config: ServerConfig,
+    fan_speed_rpm: float,
+    utilization: float = 0.4,
+    rule: ZieglerNicholsRule = ZieglerNicholsRule.NO_OVERSHOOT,
+) -> GainRegion:
+    """Tune one operating region end-to-end (Ku/Pu search + ZN rule).
+
+    The default rule is the no-overshoot variant (``KP = 0.2 Ku``): with a
+    1 degC LSB the controller must satisfy the capture bound
+    ``KP * T_Q <= deadband width in rpm`` or it hops across the Eqn 10
+    hold window forever, and the classic 0.6-Ku rule violates that bound
+    by ~3x on this plant (see DESIGN.md).  The SASO tuning freedom the
+    paper invokes [9], [21] explicitly covers choosing the variant.
+    """
+    ultimate = find_ultimate_gain(config, fan_speed_rpm, utilization)
+    gains = ziegler_nichols_gains(ultimate.ku, ultimate.pu_s, rule)
+    return GainRegion(ref_speed_rpm=fan_speed_rpm, gains=gains)
+
+
+#: The paper's two tuned regions (Section IV-B: "two regions, i.e., 2000
+#: and 6000 rpm, are enough to linearize the relationship within 5% error").
+DEFAULT_REGION_SPEEDS_RPM = (2000.0, 6000.0)
+
+
+@lru_cache(maxsize=8)
+def default_gain_schedule(
+    config: ServerConfig | None = None,
+    region_speeds_rpm: tuple[float, ...] = DEFAULT_REGION_SPEEDS_RPM,
+    utilization: float = 0.4,
+    rule: ZieglerNicholsRule = ZieglerNicholsRule.NO_OVERSHOOT,
+) -> GainSchedule:
+    """Tuned gain schedule for the Table I server (cached).
+
+    Runs the full Ziegler-Nichols pipeline once per (config, regions)
+    combination; the frozen config dataclasses make the cache key exact.
+    """
+    cfg = config or ServerConfig()
+    regions = [
+        tune_region(cfg, speed, utilization=utilization, rule=rule)
+        for speed in region_speeds_rpm
+    ]
+    return GainSchedule(regions)

@@ -1,0 +1,29 @@
+"""The uncoordinated baseline (Table III: "w/o coordination").
+
+Both local controllers act independently: every proposal is applied as-is,
+conflicts and all.  This is the configuration whose joint dynamics the
+paper argues are not guaranteed stable, and the normalization baseline for
+Table III's energy column.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import ControlInputs, ControlState, Coordinator
+
+
+class UncoordinatedCoordinator(Coordinator):
+    """Applies every local proposal unconditionally."""
+
+    def coordinate(
+        self,
+        current: ControlState,
+        fan_proposal: float | None,
+        cap_proposal: float | None,
+        inputs: ControlInputs,
+    ) -> ControlState:
+        state = current
+        if fan_proposal is not None:
+            state = state.with_fan(fan_proposal)
+        if cap_proposal is not None:
+            state = state.with_cap(cap_proposal)
+        return state

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Specific subclasses indicate which
+subsystem rejected the input or detected an inconsistent state.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is missing, out of range, or inconsistent."""
+
+
+class UnitsError(ReproError, ValueError):
+    """A physical quantity failed validation (wrong sign, range, or unit)."""
+
+
+class ThermalModelError(ReproError):
+    """The thermal model was built or stepped with invalid inputs."""
+
+
+class SensorError(ReproError):
+    """A sensing-pipeline component received invalid input or state."""
+
+
+class ControlError(ReproError):
+    """A controller was configured or invoked incorrectly."""
+
+
+class TuningError(ControlError):
+    """Ziegler-Nichols tuning failed to find a sustained oscillation."""
+
+
+class CoordinationError(ControlError):
+    """The global coordinator received inconsistent local proposals."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an invalid schedule or state."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload generator was configured with invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """Post-processing (stability / metrics) could not interpret a trace."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment failed to run."""

@@ -1,0 +1,32 @@
+"""Experiment scripts reproducing every figure and table of the paper.
+
+Each experiment module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.registry.ExperimentResult` with structured data
+plus a formatted text report.  The registry maps experiment ids to those
+functions; ``python -m repro.experiments <id>`` runs one from the shell.
+
+=========  =======================================================
+id         artefact
+=========  =======================================================
+fig1       Fig. 1 - I2C lag on a utilization step
+fig3       Fig. 3 - fixed-gain vs adaptive PID traces
+fig4       Fig. 4 - deadzone fan oscillation under fixed load
+fig5       Fig. 5 - global scheme stability under noisy load
+table2     Table II - coordination rule matrix behaviour
+table3     Table III - five coordination schemes compared
+=========  =======================================================
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,46 @@
+"""CLI: ``python -m repro.experiments [id ...]`` runs paper experiments.
+
+With no arguments, every registered experiment runs in order and a final
+summary line reports the reproduction checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments; returns a process exit code."""
+    get_experiment("table2")  # force registry load for the help text
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce figures/tables from Kim et al., DATE 2014.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="id",
+        help=f"experiment ids to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    args = parser.parse_args(argv)
+    ids = args.ids or sorted(EXPERIMENTS)
+
+    failures = 0
+    for experiment_id in ids:
+        result = get_experiment(experiment_id)()
+        print(f"=== {result.title}")
+        print(result.report)
+        for name, passed in result.checks.items():
+            print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+            failures += 0 if passed else 1
+        print()
+    if failures:
+        print(f"{failures} reproduction check(s) failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Fig. 1: the ~10 s measurement lag behind a workload change.
+
+The paper's Fig. 1 plots *CPU utilization* against the *power sensor*
+reading: the telemetry follows the workload change only ~10 seconds
+later, caused by the I2C path to the BMC.  We reproduce it three ways:
+
+* with the power-sensor pipeline (the figure's own signal), measuring
+  the apparent delay between the utilization step and the measured power
+  response;
+* with the temperature pipeline (the controller's view), showing the
+  same lag on the junction channel; and
+* with the transaction-level I2C bus model, showing how the lag grows
+  with the number of sensors sharing the bus (the paper's "bandwidth
+  contention becomes even worse in newer generation servers").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_table, sparkline
+from repro.config import ServerConfig
+from repro.experiments.registry import ExperimentResult
+from repro.sensing.i2c import I2CBus
+from repro.sensing.power_sensor import PowerSensor
+from repro.sensing.sensor import TemperatureSensor
+from repro.thermal.server import ServerThermalModel
+from repro.workload.synthetic import StepWorkload
+
+
+def _step_response(
+    config: ServerConfig, step_time_s: float, duration_s: float, dt_s: float
+) -> dict[str, np.ndarray]:
+    """Open-loop utilization step at fixed fan speed.
+
+    Records the true junction and its measurement, plus the utilization
+    and the power-sensor reading - the two curves the paper's figure
+    shows.
+    """
+    plant = ServerThermalModel(config, initial_utilization=0.1,
+                               initial_fan_speed_rpm=3000.0)
+    plant.settle(0.1, 3000.0)
+    sensor = TemperatureSensor(config.sensing)
+    power_sensor = PowerSensor(config.cpu, lag_s=config.sensing.lag_s)
+    workload = StepWorkload(before=0.1, after=0.7, step_time_s=step_time_s)
+    n = int(round(duration_s / dt_s))
+    times = np.empty(n)
+    true_c = np.empty(n)
+    meas_c = np.empty(n)
+    utilization = np.empty(n)
+    power_meas_w = np.empty(n)
+    sensor.observe(0.0, plant.junction_c)
+    power_sensor.observe_utilization(0.0, 0.1)
+    for k in range(n):
+        t = (k + 1) * dt_s
+        demand = workload.demand(t)
+        state = plant.step(dt_s, demand, 3000.0)
+        sensor.observe(t, state.junction_c)
+        power_sensor.observe_utilization(t, demand)
+        times[k] = t
+        true_c[k] = state.junction_c
+        meas_c[k] = sensor.read(t).value_c
+        utilization[k] = demand
+        power_meas_w[k] = power_sensor.read(t).power_w
+    return {
+        "times": times,
+        "true_c": true_c,
+        "meas_c": meas_c,
+        "utilization": utilization,
+        "power_meas_w": power_meas_w,
+    }
+
+
+def measure_apparent_lag_s(
+    times: np.ndarray,
+    true_c: np.ndarray,
+    meas_c: np.ndarray,
+    step_time_s: float,
+    threshold_c: float = 1.0,
+) -> float:
+    """Delay between true and measured crossing of a response threshold."""
+    base = true_c[times < step_time_s].mean()
+    true_idx = np.argmax(true_c > base + threshold_c)
+    meas_idx = np.argmax(meas_c > base + threshold_c)
+    return float(times[meas_idx] - times[true_idx])
+
+
+def contention_lag_table(
+    sensor_counts: tuple[int, ...] = (1, 4, 8, 16, 32),
+    transaction_time_s: float = 0.3,
+    base_latency_s: float = 0.5,
+) -> list[tuple[int, float]]:
+    """Worst-case reading staleness vs number of sensors on the bus."""
+    rows = []
+    for count in sensor_counts:
+        bus = I2CBus(transaction_time_s, base_latency_s)
+        for i in range(count):
+            bus.attach(f"sensor{i}")
+        rows.append((count, bus.worst_case_lag_s()))
+    return rows
+
+
+def run(
+    config: ServerConfig | None = None,
+    step_time_s: float = 60.0,
+    duration_s: float = 240.0,
+    dt_s: float = 0.5,
+) -> ExperimentResult:
+    """Reproduce Fig. 1 and report the measured apparent lag."""
+    cfg = config or ServerConfig()
+    series = _step_response(cfg, step_time_s, duration_s, dt_s)
+    lag = measure_apparent_lag_s(
+        series["times"], series["true_c"], series["meas_c"], step_time_s
+    )
+    # Power-channel lag: first time the measured power reflects the step.
+    power_before = series["power_meas_w"][series["times"] < step_time_s].max()
+    power_idx = int(np.argmax(series["power_meas_w"] > power_before + 1.0))
+    power_lag = float(series["times"][power_idx] - step_time_s)
+    contention = contention_lag_table()
+
+    checks = {
+        # The paper measures ~10 s; our pipeline is configured for 10 s.
+        "lag_matches_configuration": abs(lag - cfg.sensing.lag_s) <= 2.0,
+        "power_sensor_lag_matches": abs(power_lag - cfg.sensing.lag_s) <= 2.0,
+        "contention_grows_with_sensors": contention[-1][1] > contention[0][1],
+    }
+    report = "\n".join(
+        [
+            "Fig. 1 - telemetry lag behind a 0.1 -> 0.7 utilization step",
+            f"  CPU utilization : {sparkline(series['utilization'], 70)}",
+            f"  power sensor    : {sparkline(series['power_meas_w'], 70)}",
+            f"  true junction   : {sparkline(series['true_c'], 70)}",
+            f"  measured Tj     : {sparkline(series['meas_c'], 70)}",
+            f"  power lag {power_lag:.1f} s / junction lag {lag:.1f} s "
+            f"(configured {cfg.sensing.lag_s:.1f} s; paper: ~10 s)",
+            "",
+            "I2C bandwidth contention (worst-case staleness vs sensor count):",
+            format_table(
+                ["sensors", "worst-case lag [s]"],
+                [[n, lag_s] for n, lag_s in contention],
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Fig. 1: sensing lag on a utilization step",
+        data={
+            "apparent_lag_s": lag,
+            "power_lag_s": power_lag,
+            "configured_lag_s": cfg.sensing.lag_s,
+            "contention": contention,
+            "series": series,
+        },
+        report=report,
+        checks=checks,
+    )

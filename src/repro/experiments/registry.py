@@ -1,0 +1,72 @@
+"""Experiment registry: id -> runnable, with a structured result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment run.
+
+    ``data`` holds machine-readable series/metrics (used by tests and
+    benchmarks); ``report`` is the human-readable text the experiment
+    prints.
+    """
+
+    experiment_id: str
+    title: str
+    data: dict[str, Any]
+    report: str
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every recorded reproduction check holds."""
+        return all(self.checks.values())
+
+
+#: Populated lazily by :func:`get_experiment` to avoid import cycles.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def _load() -> None:
+    if EXPERIMENTS:
+        return
+    from repro.experiments import (
+        fig1_sensor_lag,
+        fig3_adaptive_pid,
+        fig4_deadzone_oscillation,
+        fig5_dynamic_stability,
+        table2_rules,
+        table3_coordination,
+    )
+
+    EXPERIMENTS.update(
+        {
+            "fig1": fig1_sensor_lag.run,
+            "fig3": fig3_adaptive_pid.run,
+            "fig4": fig4_deadzone_oscillation.run,
+            "fig5": fig5_dynamic_stability.run,
+            "table2": table2_rules.run,
+            "table3": table3_coordination.run,
+        }
+    )
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment runner by id."""
+    _load()
+    if experiment_id not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run one experiment by id with optional overrides."""
+    return get_experiment(experiment_id)(**kwargs)

@@ -1,0 +1,13 @@
+"""Power substrate: CPU power (Eqn 1), cubic fan law, and energy accounting."""
+
+from repro.power.cpu import CpuPowerModel
+from repro.power.energy import EnergyAccountant, EnergyBreakdown
+from repro.power.fan import FanCurve, FanPowerModel
+
+__all__ = [
+    "CpuPowerModel",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "FanCurve",
+    "FanPowerModel",
+]

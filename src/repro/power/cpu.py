@@ -1,0 +1,47 @@
+"""CPU power model: Eqn (1) of the paper.
+
+``P_cpu = P_static + P_dyn * u`` with ``u`` the CPU utilization in [0, 1],
+following Economou et al. [16] and Pedram & Hwang [17].
+"""
+
+from __future__ import annotations
+
+from repro.config import CpuPowerConfig
+from repro.errors import UnitsError
+from repro.units import check_utilization
+
+
+class CpuPowerModel:
+    """Linear-in-utilization CPU power model (Eqn 1)."""
+
+    def __init__(self, config: CpuPowerConfig | None = None) -> None:
+        self._config = config or CpuPowerConfig()
+
+    @property
+    def config(self) -> CpuPowerConfig:
+        """The power-model parameters."""
+        return self._config
+
+    def power_w(self, utilization: float) -> float:
+        """CPU power in watts at the given utilization."""
+        util = check_utilization(utilization, "utilization")
+        return self._config.p_static_w + self._config.p_dynamic_w * util
+
+    def utilization_for_power(self, power_w: float) -> float:
+        """Invert Eqn (1): utilization that draws exactly ``power_w``.
+
+        Raises :class:`UnitsError` if the power lies outside
+        ``[P_idle, P_max]`` (no utilization can produce it).
+        """
+        cfg = self._config
+        if not cfg.p_idle_w <= power_w <= cfg.p_max_w:
+            raise UnitsError(
+                f"power {power_w} W outside [{cfg.p_idle_w}, {cfg.p_max_w}] W"
+            )
+        if cfg.p_dynamic_w == 0.0:
+            return 0.0
+        return (power_w - cfg.p_static_w) / cfg.p_dynamic_w
+
+    def marginal_power_per_utilization_w(self) -> float:
+        """``dP/du = P_dyn``; used by E-coord's efficiency ratios."""
+        return self._config.p_dynamic_w

@@ -1,0 +1,77 @@
+"""Energy accounting over a simulation run.
+
+Integrates CPU and fan power with the trapezoidal rule, producing the
+energy figures that Table III normalizes ("Norm. Fan energy consumption").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.units import check_nonnegative
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Accumulated energies in joules."""
+
+    cpu_j: float
+    fan_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total server energy (CPU + fans)."""
+        return self.cpu_j + self.fan_j
+
+    @property
+    def fan_fraction(self) -> float:
+        """Fraction of total energy consumed by fans."""
+        if self.total_j == 0.0:
+            return 0.0
+        return self.fan_j / self.total_j
+
+
+class EnergyAccountant:
+    """Online trapezoidal integrator for CPU and fan power samples.
+
+    Feed one sample per simulation step via :meth:`record`; timestamps must
+    be non-decreasing.
+    """
+
+    def __init__(self) -> None:
+        self._last_time_s: float | None = None
+        self._last_cpu_w = 0.0
+        self._last_fan_w = 0.0
+        self._cpu_j = 0.0
+        self._fan_j = 0.0
+
+    def record(self, time_s: float, cpu_power_w: float, fan_power_w: float) -> None:
+        """Add one power sample at ``time_s``."""
+        check_nonnegative(cpu_power_w, "cpu_power_w")
+        check_nonnegative(fan_power_w, "fan_power_w")
+        if self._last_time_s is not None:
+            dt = time_s - self._last_time_s
+            if dt < 0.0:
+                raise AnalysisError(
+                    f"energy samples must be time-ordered; got {time_s} after "
+                    f"{self._last_time_s}"
+                )
+            self._cpu_j += 0.5 * (self._last_cpu_w + cpu_power_w) * dt
+            self._fan_j += 0.5 * (self._last_fan_w + fan_power_w) * dt
+        self._last_time_s = time_s
+        self._last_cpu_w = cpu_power_w
+        self._last_fan_w = fan_power_w
+
+    @property
+    def breakdown(self) -> EnergyBreakdown:
+        """The accumulated energy so far."""
+        return EnergyBreakdown(cpu_j=self._cpu_j, fan_j=self._fan_j)
+
+    def reset(self) -> None:
+        """Clear all accumulated state."""
+        self._last_time_s = None
+        self._last_cpu_w = 0.0
+        self._last_fan_w = 0.0
+        self._cpu_j = 0.0
+        self._fan_j = 0.0

@@ -1,0 +1,79 @@
+"""Fan power models.
+
+The paper uses the classic fan affinity law ``P_fan ∝ s_fan**3`` anchored
+at Table I's 29.4 W per socket at 8500 rpm.  :class:`FanPowerModel`
+implements exactly that; :class:`FanCurve` generalizes to an arbitrary
+exponent and an offset (some server fans draw measurable power even when
+barely spinning) for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from repro.config import FanConfig
+from repro.units import check_fan_speed, check_nonnegative, check_positive
+
+
+class FanPowerModel:
+    """Cubic fan power law anchored at the configured maximum point."""
+
+    def __init__(self, config: FanConfig | None = None) -> None:
+        self._config = config or FanConfig()
+
+    @property
+    def config(self) -> FanConfig:
+        """Fan subsystem parameters."""
+        return self._config
+
+    def power_w(self, speed_rpm: float) -> float:
+        """Fan power in watts at a speed in rpm (cubic law)."""
+        speed = check_fan_speed(speed_rpm, "speed_rpm")
+        ratio = speed / self._config.max_speed_rpm
+        return self._config.power_per_socket_w * ratio**3
+
+    def marginal_power_w_per_rpm(self, speed_rpm: float) -> float:
+        """``dP/ds = 3 * P_max * s**2 / s_max**3``.
+
+        The steep marginal cost at high speeds is what makes E-coord
+        prefer CPU capping over fan boosts (Section II discussion of [6]).
+        """
+        speed = check_fan_speed(speed_rpm, "speed_rpm")
+        s_max = self._config.max_speed_rpm
+        return 3.0 * self._config.power_per_socket_w * speed**2 / s_max**3
+
+    def speed_for_power_rpm(self, power_w: float) -> float:
+        """Invert the cubic law: speed drawing exactly ``power_w``."""
+        power = check_nonnegative(power_w, "power_w")
+        ratio = (power / self._config.power_per_socket_w) ** (1.0 / 3.0)
+        return ratio * self._config.max_speed_rpm
+
+
+class FanCurve:
+    """Generalized fan power curve ``P(s) = offset + k * (s/s_ref)**exponent``.
+
+    ``k`` is chosen so that ``P(s_ref) = offset + anchor_power_w``.
+    With ``offset = 0`` and ``exponent = 3`` this reduces to
+    :class:`FanPowerModel`.
+    """
+
+    def __init__(
+        self,
+        anchor_power_w: float,
+        anchor_speed_rpm: float,
+        exponent: float = 3.0,
+        offset_w: float = 0.0,
+    ) -> None:
+        self._anchor_power_w = check_positive(anchor_power_w, "anchor_power_w")
+        self._anchor_speed_rpm = check_positive(anchor_speed_rpm, "anchor_speed_rpm")
+        self._exponent = check_positive(exponent, "exponent")
+        self._offset_w = check_nonnegative(offset_w, "offset_w")
+
+    @property
+    def exponent(self) -> float:
+        """Power-law exponent (3 for the ideal affinity law)."""
+        return self._exponent
+
+    def power_w(self, speed_rpm: float) -> float:
+        """Fan power at ``speed_rpm``."""
+        speed = check_fan_speed(speed_rpm, "speed_rpm")
+        ratio = speed / self._anchor_speed_rpm
+        return self._offset_w + self._anchor_power_w * ratio**self._exponent

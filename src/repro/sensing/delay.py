@@ -1,0 +1,78 @@
+"""Transport-delay line for sensor samples.
+
+Models the fixed latency between when a value is produced at the sensor
+and when the control firmware can read it (Fig. 1: ~10 s through the I2C
+path).  Samples pushed at time ``t`` become readable at ``t + delay``;
+reads return the newest sample that has cleared the delay (zero-order
+hold).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SensorError
+from repro.units import check_nonnegative
+
+
+class DelayLine:
+    """FIFO of timestamped samples with a fixed transport delay.
+
+    Parameters
+    ----------
+    delay_s:
+        Transport delay; 0 makes the line transparent.
+    initial_value:
+        Value returned before any pushed sample has cleared the delay.
+        ``None`` means reads before then raise :class:`SensorError`.
+    """
+
+    def __init__(self, delay_s: float, initial_value: float | None = None) -> None:
+        self._delay_s = check_nonnegative(delay_s, "delay_s")
+        self._queue: deque[tuple[float, float]] = deque()
+        self._current: float | None = initial_value
+        self._last_push_time: float | None = None
+
+    @property
+    def delay_s(self) -> float:
+        """The configured transport delay in seconds."""
+        return self._delay_s
+
+    @property
+    def pending(self) -> int:
+        """Number of samples still in flight."""
+        return len(self._queue)
+
+    def push(self, time_s: float, value: float) -> None:
+        """Insert a sample produced at ``time_s``.
+
+        Timestamps must be non-decreasing (the bus preserves order).
+        """
+        if self._last_push_time is not None and time_s < self._last_push_time:
+            raise SensorError(
+                f"delay line requires time-ordered pushes; got {time_s} after "
+                f"{self._last_push_time}"
+            )
+        self._last_push_time = time_s
+        self._queue.append((time_s + self._delay_s, value))
+
+    def read(self, time_s: float) -> float:
+        """Newest value whose arrival time is <= ``time_s``.
+
+        Values that cleared the delay earlier are dropped; the line behaves
+        as a zero-order hold on the delayed signal.
+        """
+        while self._queue and self._queue[0][0] <= time_s:
+            self._current = self._queue.popleft()[1]
+        if self._current is None:
+            raise SensorError(
+                f"no sample has cleared the {self._delay_s} s delay by t={time_s}"
+            )
+        return self._current
+
+    def peek(self, time_s: float) -> float | None:
+        """Like :meth:`read` but returns ``None`` instead of raising."""
+        try:
+            return self.read(time_s)
+        except SensorError:
+            return None

@@ -1,0 +1,158 @@
+"""Transaction-level I2C bus model with bandwidth contention.
+
+The paper attributes the ~10 s measurement lag to the bandwidth-limited
+I2C bus between sensors and the BMC, and notes that the lag *grows with
+the number of sensors* sharing the bus (Section I).  This module models
+that mechanism explicitly:
+
+* the bus serves one read transaction at a time, each taking
+  ``transaction_time_s``;
+* attached devices are polled round-robin;
+* a transaction captures the device's value at transaction *start* and
+  delivers it at transaction *end* plus a firmware ``base_latency_s``.
+
+With ``n`` devices, a device's reading is therefore stale by between
+``base_latency_s + transaction_time_s`` and roughly
+``base_latency_s + (n + 1) * transaction_time_s`` - reproducing the
+contention-scaling effect.  The simpler fixed-lag
+:class:`~repro.sensing.delay.DelayLine` (10 s) is what the paper's control
+experiments assume; this model justifies that number and supports
+sensitivity studies over sensor count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SensorError
+from repro.units import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class I2CTransaction:
+    """One completed bus transaction (useful for tracing/diagnostics)."""
+
+    device: str
+    start_s: float
+    end_s: float
+    value: float
+
+    @property
+    def duration_s(self) -> float:
+        """Bus occupancy of this transaction."""
+        return self.end_s - self.start_s
+
+
+class I2CBus:
+    """Round-robin polled sensor bus.
+
+    Drive it from the simulation loop with :meth:`step`, passing the
+    *current physical values* of all attached devices; read the firmware-
+    visible value of a device with :meth:`read`.
+    """
+
+    def __init__(
+        self, transaction_time_s: float = 0.5, base_latency_s: float = 0.0
+    ) -> None:
+        self._txn_time = check_positive(transaction_time_s, "transaction_time_s")
+        self._base_latency = check_nonnegative(base_latency_s, "base_latency_s")
+        self._devices: list[str] = []
+        self._rr_index = 0
+        self._pending: tuple[str, float, float] | None = None  # device, start, value
+        #: Per-device queue of (available_time, value) deliveries awaiting
+        #: their firmware latency; drained into _current on read().
+        self._deliveries: dict[str, deque[tuple[float, float]]] = {}
+        self._current: dict[str, float] = {}
+        self._last_time = 0.0
+        self._history: list[I2CTransaction] = []
+
+    @property
+    def transaction_time_s(self) -> float:
+        """Time one read transaction occupies the bus."""
+        return self._txn_time
+
+    @property
+    def base_latency_s(self) -> float:
+        """Fixed firmware-path latency added after transaction completion."""
+        return self._base_latency
+
+    @property
+    def devices(self) -> list[str]:
+        """Names of attached devices, in polling order."""
+        return list(self._devices)
+
+    @property
+    def history(self) -> list[I2CTransaction]:
+        """All completed transactions (grows with simulation length)."""
+        return list(self._history)
+
+    def worst_case_lag_s(self) -> float:
+        """Upper bound on reading staleness for the current device count.
+
+        A device just missed by the poller waits a full cycle plus its own
+        transaction, plus the firmware latency.
+        """
+        n = max(len(self._devices), 1)
+        return self._base_latency + (n + 1) * self._txn_time
+
+    def attach(self, name: str) -> None:
+        """Attach a named device to the polling cycle."""
+        if name in self._devices:
+            raise SensorError(f"device {name!r} already attached")
+        self._devices.append(name)
+        self._deliveries[name] = deque()
+
+    def step(self, time_s: float, values: dict[str, float]) -> list[I2CTransaction]:
+        """Advance the bus schedule to ``time_s``.
+
+        ``values`` must contain the current physical value of every
+        attached device; a transaction starting now captures from it.
+        Returns transactions completed during this step.
+        """
+        if time_s < self._last_time:
+            raise SensorError(
+                f"bus time must be monotonic; got {time_s} after {self._last_time}"
+            )
+        if not self._devices:
+            raise SensorError("no devices attached to the I2C bus")
+        missing = [d for d in self._devices if d not in values]
+        if missing:
+            raise SensorError(f"missing values for devices: {missing}")
+
+        completed: list[I2CTransaction] = []
+        # Start a transaction immediately if the bus is idle.
+        if self._pending is None:
+            device = self._devices[self._rr_index]
+            self._pending = (device, self._last_time, values[device])
+
+        # Complete as many transactions as fit before time_s.
+        while self._pending is not None:
+            device, start, value = self._pending
+            end = start + self._txn_time
+            if end > time_s:
+                break
+            txn = I2CTransaction(device=device, start_s=start, end_s=end, value=value)
+            completed.append(txn)
+            self._history.append(txn)
+            self._deliveries[device].append((end + self._base_latency, value))
+            self._rr_index = (self._rr_index + 1) % len(self._devices)
+            next_device = self._devices[self._rr_index]
+            self._pending = (next_device, end, values[next_device])
+
+        self._last_time = time_s
+        return completed
+
+    def read(self, name: str, time_s: float) -> float | None:
+        """Firmware-visible value of device ``name`` at ``time_s``.
+
+        Returns the newest delivery whose firmware latency has elapsed;
+        ``None`` until the device's first delivery.  Reads must not go
+        backwards in time (deliveries are consumed in order).
+        """
+        if name not in self._devices:
+            raise SensorError(f"unknown device {name!r}")
+        queue = self._deliveries[name]
+        while queue and queue[0][0] <= time_s:
+            self._current[name] = queue.popleft()[1]
+        return self._current.get(name)

@@ -1,0 +1,63 @@
+"""Additive measurement-noise models applied before quantization."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.units import check_nonnegative
+
+
+class NoiseModel(ABC):
+    """Additive noise drawn per sample."""
+
+    @abstractmethod
+    def sample(self) -> float:
+        """Draw one noise value to add to a measurement."""
+
+
+class NoNoise(NoiseModel):
+    """Ideal noiseless sensor."""
+
+    def sample(self) -> float:
+        return 0.0
+
+
+class GaussianNoise(NoiseModel):
+    """Zero-mean Gaussian noise with standard deviation ``std``.
+
+    A ``std`` of 0 behaves identically to :class:`NoNoise`.
+    """
+
+    def __init__(self, std: float, seed: int | None = None) -> None:
+        self._std = check_nonnegative(std, "std")
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def std(self) -> float:
+        """Noise standard deviation."""
+        return self._std
+
+    def sample(self) -> float:
+        if self._std == 0.0:
+            return 0.0
+        return float(self._rng.normal(0.0, self._std))
+
+
+class UniformNoise(NoiseModel):
+    """Zero-mean uniform noise on ``[-half_width, +half_width]``."""
+
+    def __init__(self, half_width: float, seed: int | None = None) -> None:
+        self._half_width = check_nonnegative(half_width, "half_width")
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def half_width(self) -> float:
+        """Half-width of the uniform interval."""
+        return self._half_width
+
+    def sample(self) -> float:
+        if self._half_width == 0.0:
+            return 0.0
+        return float(self._rng.uniform(-self._half_width, self._half_width))

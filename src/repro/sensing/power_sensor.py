@@ -1,0 +1,112 @@
+"""Power-sensor telemetry pipeline (the signal Fig. 1 actually plots).
+
+Fig. 1 of the paper shows *CPU utilization* against the *power sensor*
+reading: the power telemetry lags the workload by ~10 s through the same
+I2C path as the temperature sensors.  This module models that channel:
+utilization drives CPU power (Eqn 1), and the reading passes through the
+same noise -> ADC -> transport-delay stages as a temperature measurement,
+just with a watts-scaled quantizer.
+
+Enterprise BMCs typically digitize power with the same standardized 8-bit
+converters, so the default LSB is full-scale/255.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CpuPowerConfig, SensingConfig
+from repro.errors import SensorError
+from repro.power.cpu import CpuPowerModel
+from repro.sensing.adc import AdcQuantizer
+from repro.sensing.delay import DelayLine
+from repro.sensing.noise import GaussianNoise, NoiseModel, NoNoise
+from repro.units import check_nonnegative, check_utilization
+
+
+@dataclass(frozen=True)
+class PowerReading:
+    """A firmware-visible power reading with its sample timestamp."""
+
+    time_s: float
+    power_w: float
+
+
+class PowerSensor:
+    """CPU power telemetry: Eqn 1 + noise + ADC + I2C transport delay.
+
+    Parameters
+    ----------
+    cpu_config:
+        Eqn 1 coefficients (power span defines the ADC full scale).
+    lag_s:
+        Transport delay of the telemetry path (default: the same 10 s the
+        temperature channel suffers).
+    adc_bits:
+        Converter resolution; the LSB is ``p_max / (2**bits - 1)``.
+    noise_std_w:
+        Gaussian noise on the analog reading, in watts.
+    sample_interval_s:
+        Sensor sampling cadence.
+    """
+
+    def __init__(
+        self,
+        cpu_config: CpuPowerConfig | None = None,
+        lag_s: float = 10.0,
+        adc_bits: int = 8,
+        noise_std_w: float = 0.0,
+        sample_interval_s: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        self._power_model = CpuPowerModel(cpu_config)
+        check_nonnegative(lag_s, "lag_s")
+        check_nonnegative(noise_std_w, "noise_std_w")
+        p_max = self._power_model.config.p_max_w
+        step = p_max / (2**adc_bits - 1)
+        self._adc = AdcQuantizer(step=step, bits=adc_bits, minimum=0.0)
+        self._noise: NoiseModel = (
+            GaussianNoise(noise_std_w, seed=seed) if noise_std_w > 0.0 else NoNoise()
+        )
+        self._delay = DelayLine(lag_s)
+        self._sample_interval = sample_interval_s
+        self._next_sample_time = 0.0
+        self._primed = False
+
+    @property
+    def lag_s(self) -> float:
+        """Transport delay of the power telemetry."""
+        return self._delay.delay_s
+
+    @property
+    def lsb_w(self) -> float:
+        """Quantization step in watts."""
+        return self._adc.step
+
+    def observe_utilization(self, time_s: float, utilization: float) -> None:
+        """Feed the applied CPU utilization; the sensor sees Eqn 1 power."""
+        check_utilization(utilization, "utilization")
+        self.observe_power(time_s, self._power_model.power_w(utilization))
+
+    def observe_power(self, time_s: float, power_w: float) -> None:
+        """Feed the instantaneous CPU power directly."""
+        check_nonnegative(time_s, "time_s")
+        check_nonnegative(power_w, "power_w")
+        quantized = self._adc.quantize(power_w + self._noise.sample())
+        if not self._primed:
+            self._delay = DelayLine(self._delay.delay_s, initial_value=quantized)
+            self._delay.push(time_s, quantized)
+            self._primed = True
+            self._next_sample_time = time_s + self._sample_interval
+            return
+        if time_s + 1e-9 < self._next_sample_time:
+            return
+        self._delay.push(time_s, quantized)
+        while self._next_sample_time <= time_s + 1e-9:
+            self._next_sample_time += self._sample_interval
+
+    def read(self, time_s: float) -> PowerReading:
+        """Firmware-visible power at ``time_s``."""
+        if not self._primed:
+            raise SensorError("power sensor has never observed a sample")
+        return PowerReading(time_s=time_s, power_w=self._delay.read(time_s))

@@ -1,0 +1,130 @@
+"""The composed temperature sensor pipeline.
+
+Physical junction temperature
+    -> additive noise (transducer)
+    -> ADC quantization (8-bit, 1 degC LSB)
+    -> I2C transport delay (~10 s)
+    -> periodic sampling by the control firmware.
+
+:class:`TemperatureSensor` is driven from the simulation loop: call
+:meth:`observe` every plant step with the true temperature, and
+:meth:`read` whenever a controller samples its input.  The value a
+controller sees is the quantized, delayed one - never the physical
+temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SensingConfig
+from repro.errors import SensorError
+from repro.sensing.adc import AdcQuantizer
+from repro.sensing.delay import DelayLine
+from repro.sensing.noise import GaussianNoise, NoiseModel, NoNoise
+from repro.units import check_nonnegative
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """A firmware-visible reading with its sample timestamp."""
+
+    time_s: float
+    value_c: float
+
+
+class TemperatureSensor:
+    """Noise + quantization + transport delay measurement pipeline.
+
+    Parameters
+    ----------
+    config:
+        Sensing parameters (lag, LSB, noise, sample interval).
+    noise:
+        Override the noise model (defaults to Gaussian with the
+        configured std, or :class:`NoNoise` when the std is zero).
+    seed:
+        RNG seed for the default Gaussian noise model.
+    initial_value_c:
+        Reading reported before the first sample clears the delay;
+        defaults to the first observed value (see :meth:`observe`).
+    """
+
+    def __init__(
+        self,
+        config: SensingConfig | None = None,
+        noise: NoiseModel | None = None,
+        seed: int | None = None,
+        initial_value_c: float | None = None,
+    ) -> None:
+        self._config = config or SensingConfig()
+        if noise is not None:
+            self._noise = noise
+        elif self._config.noise_std_c > 0.0:
+            self._noise = GaussianNoise(self._config.noise_std_c, seed=seed)
+        else:
+            self._noise = NoNoise()
+        self._adc = AdcQuantizer.from_config(self._config)
+        self._delay = DelayLine(self._config.lag_s, initial_value=initial_value_c)
+        self._sample_interval = self._config.sample_interval_s
+        self._next_sample_time = 0.0
+        self._last_reading: SensorReading | None = None
+        self._primed = initial_value_c is not None
+
+    @property
+    def config(self) -> SensingConfig:
+        """The sensing configuration in force."""
+        return self._config
+
+    @property
+    def adc(self) -> AdcQuantizer:
+        """The quantizer stage (exposes LSB/bit configuration)."""
+        return self._adc
+
+    @property
+    def lag_s(self) -> float:
+        """Transport delay of the pipeline."""
+        return self._delay.delay_s
+
+    def observe(self, time_s: float, true_temp_c: float) -> None:
+        """Feed the physical temperature at ``time_s``.
+
+        The sensor samples at its own cadence (``sample_interval_s``); calls
+        between sample instants are ignored, mirroring a transducer polled
+        by the ADC at a fixed rate.  The very first observation also primes
+        the pre-delay output so early reads are defined.
+        """
+        check_nonnegative(time_s, "time_s")
+        if not self._primed:
+            # Before anything clears the 10 s delay, firmware sees the
+            # power-on reading: the first sampled value.
+            quantized = self._adc.quantize(true_temp_c + self._noise.sample())
+            self._delay = DelayLine(self._config.lag_s, initial_value=quantized)
+            self._delay.push(time_s, quantized)
+            self._primed = True
+            self._next_sample_time = time_s + self._sample_interval
+            return
+        if time_s + 1e-9 < self._next_sample_time:
+            return
+        measured = true_temp_c + self._noise.sample()
+        quantized = self._adc.quantize(measured)
+        self._delay.push(time_s, quantized)
+        # Schedule the next sample; catch up if observe() was called late.
+        while self._next_sample_time <= time_s + 1e-9:
+            self._next_sample_time += self._sample_interval
+    def read(self, time_s: float) -> SensorReading:
+        """Firmware-visible reading at ``time_s``.
+
+        Raises :class:`SensorError` if :meth:`observe` has never been
+        called (the pipeline has no data at all).
+        """
+        if not self._primed:
+            raise SensorError("sensor has never observed a temperature")
+        value = self._delay.read(time_s)
+        self._last_reading = SensorReading(time_s=time_s, value_c=value)
+        return self._last_reading
+
+    @property
+    def last_reading(self) -> SensorReading | None:
+        """Most recent reading returned by :meth:`read`."""
+        return self._last_reading

@@ -1,0 +1,88 @@
+"""Per-core sensor array polled over a shared I2C bus.
+
+The Section I scaling problem, in executable form: each core has its own
+8-bit-quantized sensor, all sensors share one bus, and the firmware acts
+on the *hottest* reading it has - which may be several polling cycles
+stale.  With enough sensors on the bus, the effective lag alone
+reproduces the 10 s figure of the paper's fixed-lag model.
+"""
+
+from __future__ import annotations
+
+from repro.config import SensingConfig
+from repro.errors import SensorError
+from repro.sensing.adc import AdcQuantizer
+from repro.sensing.i2c import I2CBus
+
+
+class SensorArray:
+    """N quantized temperature sensors behind one polled I2C bus.
+
+    Parameters
+    ----------
+    n_sensors:
+        Number of per-core sensors on the bus.
+    sensing:
+        LSB/bit configuration (shared by all sensors).
+    transaction_time_s:
+        Bus occupancy of one sensor read.
+    base_latency_s:
+        Firmware-path latency after a transaction completes.
+    """
+
+    def __init__(
+        self,
+        n_sensors: int,
+        sensing: SensingConfig | None = None,
+        transaction_time_s: float = 0.5,
+        base_latency_s: float = 0.5,
+    ) -> None:
+        if n_sensors < 1:
+            raise SensorError(f"n_sensors must be >= 1, got {n_sensors}")
+        self._sensing = sensing or SensingConfig()
+        self._adc = AdcQuantizer.from_config(self._sensing)
+        self._bus = I2CBus(transaction_time_s, base_latency_s)
+        self._names = [f"core{i}" for i in range(n_sensors)]
+        for name in self._names:
+            self._bus.attach(name)
+
+    @property
+    def n_sensors(self) -> int:
+        """Number of sensors on the bus."""
+        return len(self._names)
+
+    @property
+    def bus(self) -> I2CBus:
+        """The underlying bus (exposes contention diagnostics)."""
+        return self._bus
+
+    def worst_case_lag_s(self) -> float:
+        """Upper bound on any single reading's staleness."""
+        return self._bus.worst_case_lag_s()
+
+    def observe(self, time_s: float, temps_c: list[float]) -> None:
+        """Feed the true per-core temperatures at ``time_s``."""
+        if len(temps_c) != len(self._names):
+            raise SensorError(
+                f"expected {len(self._names)} temperatures, got {len(temps_c)}"
+            )
+        values = {
+            name: self._adc.quantize(temp)
+            for name, temp in zip(self._names, temps_c)
+        }
+        self._bus.step(time_s, values)
+
+    def read_all(self, time_s: float) -> dict[str, float | None]:
+        """Firmware-visible reading per sensor (None before first delivery)."""
+        return {name: self._bus.read(name, time_s) for name in self._names}
+
+    def read_hottest(self, time_s: float) -> float:
+        """The hottest firmware-visible reading - the DTM input.
+
+        Raises :class:`SensorError` until at least one sensor has
+        delivered a reading.
+        """
+        readings = [r for r in self.read_all(time_s).values() if r is not None]
+        if not readings:
+            raise SensorError(f"no sensor delivered a reading by t={time_s}")
+        return max(readings)

@@ -1,0 +1,68 @@
+"""Telemetry recorder: append-only channels exported as numpy arrays.
+
+The simulation engine records one sample per step into named channels
+(time, junction temperature, fan speed, ...).  Channels grow in amortized
+O(1) python lists and convert to numpy arrays on demand for analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+class TelemetryRecorder:
+    """Named, synchronized telemetry channels.
+
+    Every :meth:`record` call must provide the same set of channels as the
+    first call, keeping all channels equal-length and index-aligned.
+    """
+
+    def __init__(self) -> None:
+        self._channels: dict[str, list[float]] = {}
+        self._length = 0
+
+    @property
+    def length(self) -> int:
+        """Number of recorded samples."""
+        return self._length
+
+    @property
+    def channel_names(self) -> list[str]:
+        """Names of all channels (insertion order)."""
+        return list(self._channels)
+
+    def record(self, **values: float) -> None:
+        """Append one sample across all channels."""
+        if not values:
+            raise AnalysisError("record() needs at least one channel")
+        if not self._channels:
+            self._channels = {name: [] for name in values}
+        elif set(values) != set(self._channels):
+            raise AnalysisError(
+                f"channel set changed: expected {sorted(self._channels)}, "
+                f"got {sorted(values)}"
+            )
+        for name, value in values.items():
+            self._channels[name].append(float(value))
+        self._length += 1
+
+    def array(self, name: str) -> np.ndarray:
+        """One channel as a float numpy array."""
+        if name not in self._channels:
+            raise AnalysisError(
+                f"unknown channel {name!r}; have {sorted(self._channels)}"
+            )
+        return np.asarray(self._channels[name], dtype=float)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """All channels as numpy arrays."""
+        return {name: self.array(name) for name in self._channels}
+
+    def last(self, name: str) -> float:
+        """Most recent value of a channel."""
+        channel = self._channels.get(name)
+        if not channel:
+            raise AnalysisError(f"channel {name!r} is empty or unknown")
+        return channel[-1]

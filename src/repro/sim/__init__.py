@@ -1,0 +1,36 @@
+"""Simulation engine: discrete-time closed-loop server simulation.
+
+* :class:`~repro.sim.engine.Simulator` - the time loop wiring workload,
+  plant, sensing pipeline, and DTM controller together.
+* :class:`~repro.sim.result.SimulationResult` - telemetry + metrics.
+* :mod:`repro.sim.scenarios` - canned builders for every paper experiment
+  (the five Table III schemes, the Fig. 3/4 fan-only setups, workloads).
+* :class:`~repro.sim.sweep.ParameterSweep` - small sweep harness.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.result import SimulationResult
+from repro.sim.scenarios import (
+    SCHEME_NAMES,
+    build_global_controller,
+    build_plant,
+    build_sensor,
+    paper_workload,
+    run_fan_only,
+    run_scheme,
+)
+from repro.sim.sweep import ParameterSweep, SweepPoint
+
+__all__ = [
+    "ParameterSweep",
+    "SCHEME_NAMES",
+    "SimulationResult",
+    "Simulator",
+    "SweepPoint",
+    "build_global_controller",
+    "build_plant",
+    "build_sensor",
+    "paper_workload",
+    "run_fan_only",
+    "run_scheme",
+]

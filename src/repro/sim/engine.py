@@ -1,0 +1,182 @@
+"""The closed-loop discrete-time simulation engine.
+
+One :class:`Simulator` wires together the four layers of Fig. 2:
+
+* a **workload** producing demanded utilization,
+* the **plant** (:class:`~repro.thermal.server.ServerThermalModel`),
+* the **sensing pipeline** degrading the junction temperature before any
+  controller sees it, and
+* the **DTM** (:class:`~repro.core.global_controller.GlobalController`)
+  deciding fan speed and CPU cap.
+
+Loop order per step of ``dt_s``: demand is sampled, capped, applied to
+the plant; the sensor observes the new junction temperature; at each CPU
+control period boundary the deadline tracker scores the period and the
+DTM takes its decision from the *measured* temperature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import ControlInputs
+from repro.core.global_controller import GlobalController
+from repro.errors import SimulationError
+from repro.power.energy import EnergyAccountant
+from repro.sensing.sensor import TemperatureSensor
+from repro.sim.result import SimulationResult
+from repro.thermal.server import ServerThermalModel
+from repro.units import check_duration
+from repro.workload.base import Workload
+from repro.workload.performance import DeadlineTracker
+
+
+class Simulator:
+    """Closed-loop simulation of plant + sensing + DTM.
+
+    Parameters
+    ----------
+    plant, sensor, workload, controller:
+        The four layers; see module docstring.
+    dt_s:
+        Integration step (default 0.1 s - well below every control period
+        and exact for the stiff die node thanks to the exponential
+        integrator).
+    record_decimation:
+        Record telemetry every N-th step (1 = every step).
+    violation_tolerance:
+        Utilization deficit above which a CPU period counts as a deadline
+        violation (see :class:`~repro.workload.performance.DeadlineTracker`).
+    """
+
+    def __init__(
+        self,
+        plant: ServerThermalModel,
+        sensor: TemperatureSensor,
+        workload: Workload,
+        controller: GlobalController,
+        dt_s: float = 0.1,
+        record_decimation: int = 1,
+        violation_tolerance: float = 0.01,
+        degradation_window: int = 10,
+    ) -> None:
+        self._plant = plant
+        self._sensor = sensor
+        self._workload = workload
+        self._controller = controller
+        self._dt = check_duration(dt_s, "dt_s")
+        cpu_interval = controller.control.cpu_interval_s
+        if cpu_interval + 1e-12 < self._dt:
+            raise SimulationError(
+                f"dt_s ({dt_s}) must not exceed the CPU control interval "
+                f"({cpu_interval})"
+            )
+        if record_decimation < 1:
+            raise SimulationError(
+                f"record_decimation must be >= 1, got {record_decimation}"
+            )
+        self._decimation = record_decimation
+        self._tracker = DeadlineTracker(
+            tolerance=violation_tolerance, window=degradation_window
+        )
+
+    @property
+    def plant(self) -> ServerThermalModel:
+        """The thermal plant."""
+        return self._plant
+
+    @property
+    def controller(self) -> GlobalController:
+        """The DTM under test."""
+        return self._controller
+
+    @property
+    def tracker(self) -> DeadlineTracker:
+        """The deadline/performance tracker."""
+        return self._tracker
+
+    def run(self, duration_s: float, label: str = "run") -> SimulationResult:
+        """Simulate for ``duration_s`` seconds and collect the result."""
+        check_duration(duration_s, "duration_s")
+        n_steps = int(round(duration_s / self._dt))
+        if n_steps < 1:
+            raise SimulationError(f"duration {duration_s} shorter than one step")
+
+        cpu_interval = self._controller.control.cpu_interval_s
+        state = self._controller.state
+        fan_speed = state.fan_speed_rpm
+        cap = state.cpu_cap
+
+        energy = EnergyAccountant()
+        start_time = self._plant.time_s
+        self._sensor.observe(start_time, self._plant.junction_c)
+        energy.record(
+            start_time,
+            self._plant.state.cpu_power_w,
+            self._plant.state.fan_power_w,
+        )
+        next_control = start_time + cpu_interval
+
+        n_records = (n_steps + self._decimation - 1) // self._decimation
+        channels = {
+            name: np.empty(n_records)
+            for name in (
+                "time",
+                "junction",
+                "heatsink",
+                "tmeas",
+                "fan_speed",
+                "cpu_cap",
+                "demand",
+                "applied",
+                "t_ref",
+            )
+        }
+        record_idx = 0
+
+        for k in range(n_steps):
+            t = start_time + (k + 1) * self._dt
+            demand = self._workload.demand(t)
+            applied = min(demand, cap)
+            plant_state = self._plant.step(self._dt, applied, fan_speed)
+            self._sensor.observe(t, plant_state.junction_c)
+            energy.record(t, plant_state.cpu_power_w, plant_state.fan_power_w)
+
+            if t + 1e-9 >= next_control:
+                self._tracker.record(demand, cap)
+                reading = self._sensor.read(t)
+                inputs = ControlInputs(
+                    time_s=t,
+                    tmeas_c=reading.value_c,
+                    measured_util=applied,
+                    recent_degradation=self._tracker.recent_degradation,
+                    demand_estimate=demand,
+                )
+                new_state = self._controller.step(inputs)
+                fan_speed = new_state.fan_speed_rpm
+                cap = new_state.cpu_cap
+                while next_control <= t + 1e-9:
+                    next_control += cpu_interval
+
+            if k % self._decimation == 0:
+                reading = self._sensor.read(t)
+                channels["time"][record_idx] = t
+                channels["junction"][record_idx] = plant_state.junction_c
+                channels["heatsink"][record_idx] = plant_state.heatsink_c
+                channels["tmeas"][record_idx] = reading.value_c
+                channels["fan_speed"][record_idx] = fan_speed
+                channels["cpu_cap"][record_idx] = cap
+                channels["demand"][record_idx] = demand
+                channels["applied"][record_idx] = applied
+                channels["t_ref"][record_idx] = self._controller.t_ref_c
+                record_idx += 1
+
+        trimmed = {name: arr[:record_idx] for name, arr in channels.items()}
+        return SimulationResult(
+            channels=trimmed,
+            performance=self._tracker.summary,
+            energy=energy.breakdown,
+            config=self._plant.config,
+            dt_s=self._dt,
+            label=label,
+        )

@@ -1,0 +1,123 @@
+"""Simulation results: telemetry arrays plus the paper's metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.config import ServerConfig
+from repro.errors import AnalysisError
+from repro.power.energy import EnergyBreakdown
+from repro.workload.performance import PerformanceSummary
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a closed-loop run produced.
+
+    Telemetry channels (one row per recorded step):
+
+    ========== ==========================================================
+    channel     meaning
+    ========== ==========================================================
+    time        simulation time [s]
+    junction    true junction temperature [degC]
+    heatsink    true heat sink temperature [degC]
+    tmeas       firmware-visible (lagged, quantized) temperature [degC]
+    fan_speed   applied fan speed [rpm]
+    cpu_cap     applied CPU cap [0, 1]
+    demand      demanded utilization [0, 1]
+    applied     applied utilization = min(demand, cap)
+    t_ref       fan reference temperature in force [degC]
+    ========== ==========================================================
+    """
+
+    channels: dict[str, np.ndarray]
+    performance: PerformanceSummary
+    energy: EnergyBreakdown
+    config: ServerConfig
+    dt_s: float
+    label: str = "run"
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def channel(self, name: str) -> np.ndarray:
+        """One telemetry channel by name."""
+        if name not in self.channels:
+            raise AnalysisError(
+                f"unknown channel {name!r}; have {sorted(self.channels)}"
+            )
+        return self.channels[name]
+
+    @property
+    def times(self) -> np.ndarray:
+        """Time axis in seconds."""
+        return self.channel("time")
+
+    @property
+    def junction_c(self) -> np.ndarray:
+        """True junction temperature trace."""
+        return self.channel("junction")
+
+    @property
+    def tmeas_c(self) -> np.ndarray:
+        """Firmware-visible temperature trace."""
+        return self.channel("tmeas")
+
+    @property
+    def fan_speed_rpm(self) -> np.ndarray:
+        """Applied fan speed trace."""
+        return self.channel("fan_speed")
+
+    @property
+    def cpu_cap(self) -> np.ndarray:
+        """Applied CPU cap trace."""
+        return self.channel("cpu_cap")
+
+    @property
+    def demand(self) -> np.ndarray:
+        """Demanded utilization trace."""
+        return self.channel("demand")
+
+    @property
+    def applied_util(self) -> np.ndarray:
+        """Applied utilization trace."""
+        return self.channel("applied")
+
+    @property
+    def violation_percent(self) -> float:
+        """Deadline violation percentage (Table III column 2)."""
+        return self.performance.violation_percent
+
+    @property
+    def fan_energy_j(self) -> float:
+        """Fan energy in joules (numerator of Table III column 3)."""
+        return self.energy.fan_j
+
+    @property
+    def cpu_energy_j(self) -> float:
+        """CPU energy in joules."""
+        return self.energy.cpu_j
+
+    @property
+    def max_junction_c(self) -> float:
+        """Hottest true junction temperature reached."""
+        return float(np.max(self.junction_c))
+
+    def normalized_fan_energy(self, baseline: "SimulationResult") -> float:
+        """Fan energy relative to a baseline run (Table III column 3)."""
+        if baseline.fan_energy_j <= 0.0:
+            raise AnalysisError("baseline fan energy is zero; cannot normalize")
+        return self.fan_energy_j / baseline.fan_energy_j
+
+    def summary(self) -> dict[str, float]:
+        """Headline metrics as a flat dict."""
+        return {
+            "duration_s": float(self.times[-1]) if self.times.size else 0.0,
+            "violation_percent": self.violation_percent,
+            "fan_energy_j": self.fan_energy_j,
+            "cpu_energy_j": self.cpu_energy_j,
+            "max_junction_c": self.max_junction_c,
+            "mean_fan_speed_rpm": float(np.mean(self.fan_speed_rpm)),
+        }

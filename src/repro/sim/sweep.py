@@ -1,0 +1,57 @@
+"""Small parameter-sweep harness used by the ablation benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the parameter value and the run it produced."""
+
+    value: Any
+    result: SimulationResult
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+class ParameterSweep:
+    """Run a factory across a list of parameter values and collect metrics.
+
+    Parameters
+    ----------
+    runner:
+        Callable mapping one parameter value to a
+        :class:`~repro.sim.result.SimulationResult`.
+    metric_fns:
+        Optional named metric extractors evaluated on each result.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Any], SimulationResult],
+        metric_fns: dict[str, Callable[[SimulationResult], float]] | None = None,
+    ) -> None:
+        self._runner = runner
+        self._metric_fns = metric_fns or {}
+
+    def run(self, values: list[Any]) -> list[SweepPoint]:
+        """Execute the sweep in order; raises on an empty value list."""
+        if not values:
+            raise SimulationError("sweep needs at least one parameter value")
+        points = []
+        for value in values:
+            result = self._runner(value)
+            metrics = {
+                name: fn(result) for name, fn in self._metric_fns.items()
+            }
+            points.append(SweepPoint(value=value, result=result, metrics=metrics))
+        return points
+
+    @staticmethod
+    def table(points: list[SweepPoint], metric: str) -> list[tuple[Any, float]]:
+        """(value, metric) pairs for one metric across the sweep."""
+        return [(p.value, p.metrics[metric]) for p in points]

@@ -1,0 +1,48 @@
+"""Thermal substrate: RC models of die, heat sink, and full server.
+
+The paper models the server with the standard thermal/electrical duality
+(Section III-B): the heat sink is a single RC node whose resistance depends
+nonlinearly on fan speed (Table I), and the CPU die is a much faster node
+riding on top of it.  This package provides:
+
+* :class:`~repro.thermal.rc_node.RCNode` - exact-exponential single-node
+  integrator (Eqn 2).
+* :class:`~repro.thermal.heatsink.HeatSink` - Rhs(V) law and derived Chs.
+* :class:`~repro.thermal.die.CpuDie` - fast junction node.
+* :class:`~repro.thermal.server.ServerThermalModel` - the plant used by
+  every experiment.
+* :class:`~repro.thermal.network.ThermalNetwork` - a general multi-node RC
+  network (used for validation and extension studies).
+* Ambient profiles in :mod:`repro.thermal.ambient`.
+"""
+
+from repro.thermal.ambient import (
+    AmbientProfile,
+    ConstantAmbient,
+    DiurnalAmbient,
+    StepAmbient,
+)
+from repro.thermal.die import CpuDie
+from repro.thermal.heatsink import HeatSink
+from repro.thermal.multicore import MultiCoreServerModel, MultiCoreState
+from repro.thermal.network import ThermalNetwork, ThermalNode
+from repro.thermal.rc_node import RCNode
+from repro.thermal.server import ServerState, ServerThermalModel
+from repro.thermal.steady_state import SteadyStateServerModel
+
+__all__ = [
+    "AmbientProfile",
+    "ConstantAmbient",
+    "CpuDie",
+    "DiurnalAmbient",
+    "HeatSink",
+    "MultiCoreServerModel",
+    "MultiCoreState",
+    "RCNode",
+    "ServerState",
+    "ServerThermalModel",
+    "SteadyStateServerModel",
+    "StepAmbient",
+    "ThermalNetwork",
+    "ThermalNode",
+]

@@ -1,0 +1,72 @@
+"""Ambient-temperature profiles.
+
+All paper experiments use a constant ambient; step and diurnal profiles are
+provided for robustness studies (e.g. how coordination behaves when inlet
+temperature drifts, a common datacenter scenario).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigError
+from repro.units import check_duration, check_nonnegative, check_temperature
+
+
+class AmbientProfile(ABC):
+    """Time-varying ambient (inlet air) temperature."""
+
+    @abstractmethod
+    def temperature_c(self, t_s: float) -> float:
+        """Ambient temperature in Celsius at simulation time ``t_s``."""
+
+
+class ConstantAmbient(AmbientProfile):
+    """Fixed ambient temperature (the paper's setting)."""
+
+    def __init__(self, temp_c: float = 25.0) -> None:
+        self._temp_c = check_temperature(temp_c, "temp_c")
+
+    def temperature_c(self, t_s: float) -> float:
+        return self._temp_c
+
+
+class StepAmbient(AmbientProfile):
+    """Ambient that steps from ``before_c`` to ``after_c`` at ``step_time_s``.
+
+    Models e.g. a CRAC unit failure or a hot-aisle containment breach.
+    """
+
+    def __init__(self, before_c: float, after_c: float, step_time_s: float) -> None:
+        self._before_c = check_temperature(before_c, "before_c")
+        self._after_c = check_temperature(after_c, "after_c")
+        self._step_time_s = check_nonnegative(step_time_s, "step_time_s")
+
+    def temperature_c(self, t_s: float) -> float:
+        return self._after_c if t_s >= self._step_time_s else self._before_c
+
+
+class DiurnalAmbient(AmbientProfile):
+    """Sinusoidal day/night ambient swing.
+
+    ``T(t) = mean + amplitude * sin(2*pi*(t - phase)/period)``
+    """
+
+    def __init__(
+        self,
+        mean_c: float = 25.0,
+        amplitude_c: float = 3.0,
+        period_s: float = 86400.0,
+        phase_s: float = 0.0,
+    ) -> None:
+        self._mean_c = check_temperature(mean_c, "mean_c")
+        self._amplitude_c = check_nonnegative(amplitude_c, "amplitude_c")
+        self._period_s = check_duration(period_s, "period_s")
+        if not math.isfinite(phase_s):
+            raise ConfigError(f"phase_s must be finite, got {phase_s!r}")
+        self._phase_s = float(phase_s)
+
+    def temperature_c(self, t_s: float) -> float:
+        angle = 2.0 * math.pi * (t_s - self._phase_s) / self._period_s
+        return self._mean_c + self._amplitude_c * math.sin(angle)

@@ -1,0 +1,60 @@
+"""CPU die (junction) thermal node.
+
+Section III-B: the die time constant (0.1 s, Table I) is far below the heat
+sink's (>= 60 s), so the junction temperature is computed by integrating
+the die node while treating the heat sink temperature as constant over each
+step.  The die relaxes toward ``T_hs + R_die * P_cpu``.
+"""
+
+from __future__ import annotations
+
+from repro.config import DieConfig
+from repro.thermal.rc_node import RCNode
+
+
+class CpuDie:
+    """Fast junction node riding on the heat sink.
+
+    Parameters
+    ----------
+    config:
+        Die time constant and junction-to-heatsink resistance.
+    initial_temp_c:
+        Starting junction temperature.
+    """
+
+    def __init__(self, config: DieConfig, initial_temp_c: float) -> None:
+        self._config = config
+        capacitance = config.time_constant_s / config.r_die_k_per_w
+        self._node = RCNode(
+            resistance_k_per_w=config.r_die_k_per_w,
+            capacitance_j_per_k=capacitance,
+            initial_temp_c=initial_temp_c,
+        )
+
+    @property
+    def config(self) -> DieConfig:
+        """Die thermal configuration."""
+        return self._config
+
+    @property
+    def temperature_c(self) -> float:
+        """Current junction temperature in Celsius."""
+        return self._node.temperature_c
+
+    @property
+    def time_constant_s(self) -> float:
+        """Die thermal time constant (Table I: 0.1 s)."""
+        return self._config.time_constant_s
+
+    def steady_state_c(self, heatsink_temp_c: float, power_w: float) -> float:
+        """Junction steady state for a fixed heat sink temperature."""
+        return self._node.steady_state_c(heatsink_temp_c, power_w)
+
+    def step(self, dt_s: float, heatsink_temp_c: float, power_w: float) -> float:
+        """Advance the junction by ``dt_s`` seconds and return it."""
+        return self._node.step(dt_s, heatsink_temp_c, power_w)
+
+    def reset(self, temp_c: float) -> None:
+        """Force the junction temperature."""
+        self._node.reset(temp_c)

@@ -1,0 +1,117 @@
+"""Heat sink model: fan-speed-dependent resistance and fixed capacitance.
+
+Table I of the paper gives the resistance law
+
+    Rhs(V) = 0.141 + 132.51 / V**0.923   [K/W],  V = fan speed in rpm
+
+and a thermal time constant of 60 s *at maximum airflow*.  The capacitance
+is therefore derived once as ``Chs = 60 / Rhs(V_max)`` and kept constant;
+at lower fan speeds the effective time constant grows as Rhs grows, which
+is exactly the slow-plant behaviour that makes low-fan-speed operating
+regions more sensitive (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from repro.config import HeatSinkConfig
+from repro.errors import ThermalModelError
+from repro.thermal.rc_node import RCNode
+from repro.units import check_fan_speed, check_positive
+
+
+class HeatSink:
+    """Heat sink RC node whose resistance follows the Table I fan-speed law.
+
+    Parameters
+    ----------
+    config:
+        Resistance-law coefficients and the time constant at max airflow.
+    max_fan_speed_rpm:
+        Fan speed at which the 60 s time constant is specified (Table I:
+        8500 rpm).
+    initial_temp_c:
+        Starting heat sink temperature.
+    """
+
+    def __init__(
+        self,
+        config: HeatSinkConfig,
+        max_fan_speed_rpm: float,
+        initial_temp_c: float,
+    ) -> None:
+        self._config = config
+        self._max_speed = check_positive(max_fan_speed_rpm, "max_fan_speed_rpm")
+        r_at_max = self.resistance_at(self._max_speed)
+        capacitance = config.tau_at_max_airflow_s / r_at_max
+        self._node = RCNode(
+            resistance_k_per_w=r_at_max,
+            capacitance_j_per_k=capacitance,
+            initial_temp_c=initial_temp_c,
+        )
+
+    @property
+    def config(self) -> HeatSinkConfig:
+        """The resistance-law configuration."""
+        return self._config
+
+    @property
+    def capacitance_j_per_k(self) -> float:
+        """Derived thermal capacitance (fixed)."""
+        return self._node.capacitance_j_per_k
+
+    @property
+    def temperature_c(self) -> float:
+        """Current heat sink temperature in Celsius."""
+        return self._node.temperature_c
+
+    def resistance_at(self, fan_speed_rpm: float) -> float:
+        """Evaluate ``Rhs(V)`` for a fan speed in rpm.
+
+        Raises :class:`ThermalModelError` for a zero speed (the law
+        diverges: no airflow means effectively unbounded resistance).
+        """
+        speed = check_fan_speed(fan_speed_rpm, "fan_speed_rpm")
+        if speed <= 0.0:
+            raise ThermalModelError(
+                "heat sink resistance is undefined at zero fan speed"
+            )
+        cfg = self._config
+        return cfg.r_base_k_per_w + cfg.r_coeff / speed**cfg.r_exponent
+
+    def resistance_slope_at(self, fan_speed_rpm: float) -> float:
+        """Analytic derivative ``dRhs/dV`` in (K/W)/rpm.
+
+        Used by the linearization analysis (Section IV-B) and the E-coord
+        baseline, which needs the marginal temperature benefit of a fan
+        speed increase.
+        """
+        speed = check_fan_speed(fan_speed_rpm, "fan_speed_rpm")
+        if speed <= 0.0:
+            raise ThermalModelError("resistance slope undefined at zero fan speed")
+        cfg = self._config
+        return -cfg.r_coeff * cfg.r_exponent / speed ** (cfg.r_exponent + 1.0)
+
+    def time_constant_at(self, fan_speed_rpm: float) -> float:
+        """Effective time constant ``Rhs(V) * Chs`` in seconds."""
+        return self.resistance_at(fan_speed_rpm) * self._node.capacitance_j_per_k
+
+    def steady_state_c(
+        self, fan_speed_rpm: float, ambient_c: float, power_w: float
+    ) -> float:
+        """Steady-state heat sink temperature (Eqn 3)."""
+        return ambient_c + self.resistance_at(fan_speed_rpm) * power_w
+
+    def step(
+        self, dt_s: float, fan_speed_rpm: float, ambient_c: float, power_w: float
+    ) -> float:
+        """Advance the heat sink node by ``dt_s`` seconds (Eqn 2).
+
+        The fan speed is held constant over the step; its effect enters via
+        the updated resistance.
+        """
+        self._node.resistance_k_per_w = self.resistance_at(fan_speed_rpm)
+        return self._node.step(dt_s, ambient_c, power_w)
+
+    def reset(self, temp_c: float) -> None:
+        """Force the heat sink temperature."""
+        self._node.reset(temp_c)

@@ -1,0 +1,173 @@
+"""Multi-core server plant: N die nodes sharing one fan-cooled heat sink.
+
+Section III-A assumes perfectly balanced load so one junction suffices;
+newer platforms carry one sensor per core and poll them all over the
+shared I2C bus (Section I).  This extension models that configuration:
+
+* each core is its own fast RC node (Eqn 1 power split per core),
+* all cores couple to the common heat sink, which sees the total power,
+* per-core utilizations may be imbalanced - the hottest core is what the
+  DTM must regulate.
+
+With balanced utilizations the model reduces exactly to the single-node
+:class:`~repro.thermal.server.ServerThermalModel` (verified in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ServerConfig
+from repro.errors import ThermalModelError
+from repro.power.fan import FanPowerModel
+from repro.thermal.die import CpuDie
+from repro.thermal.heatsink import HeatSink
+from repro.units import check_duration, check_utilization, clamp
+
+
+@dataclass(frozen=True)
+class MultiCoreState:
+    """Snapshot of the multi-core plant after one step."""
+
+    time_s: float
+    junctions_c: tuple[float, ...]
+    heatsink_c: float
+    cpu_power_w: float
+    fan_power_w: float
+    fan_speed_rpm: float
+
+    @property
+    def hottest_c(self) -> float:
+        """Hottest junction - the DTM's regulation target."""
+        return max(self.junctions_c)
+
+    @property
+    def spread_c(self) -> float:
+        """Temperature spread across cores (0 when balanced)."""
+        return max(self.junctions_c) - min(self.junctions_c)
+
+
+class MultiCoreServerModel:
+    """N cores on a shared heat sink.
+
+    Eqn 1 is split evenly: each core contributes ``P_static / n`` idle
+    power and ``(P_dyn / n) * u_i`` dynamic power; the die resistance per
+    core is ``n * R_die`` so that a balanced load reproduces the
+    single-node junction temperature exactly.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        n_cores: int = 4,
+        initial_utilization: float = 0.1,
+        initial_fan_speed_rpm: float = 4000.0,
+    ) -> None:
+        if n_cores < 1:
+            raise ThermalModelError(f"n_cores must be >= 1, got {n_cores}")
+        self._config = config or ServerConfig()
+        self._n = n_cores
+        self._fan_power = FanPowerModel(self._config.fan)
+        check_utilization(initial_utilization, "initial_utilization")
+
+        cpu = self._config.cpu
+        self._static_per_core = cpu.p_static_w / n_cores
+        self._dyn_per_core = cpu.p_dynamic_w / n_cores
+        # Per-core junction rise must match the single-node model under
+        # balanced load: r_core * P_core == R_die * P_total.
+        self._r_core = self._config.die.r_die_k_per_w * n_cores
+
+        self._time_s = 0.0
+        ambient = self._config.ambient_c
+        speed = clamp(
+            initial_fan_speed_rpm,
+            self._config.fan.min_speed_rpm,
+            self._config.fan.max_speed_rpm,
+        )
+        total_power = cpu.p_static_w + cpu.p_dynamic_w * initial_utilization
+        self._heatsink = HeatSink(
+            self._config.heatsink,
+            max_fan_speed_rpm=self._config.fan.max_speed_rpm,
+            initial_temp_c=ambient,
+        )
+        hs_ss = self._heatsink.steady_state_c(speed, ambient, total_power)
+        self._heatsink.reset(hs_ss)
+
+        from repro.config import DieConfig
+
+        core_die_config = DieConfig(
+            time_constant_s=self._config.die.time_constant_s,
+            r_die_k_per_w=self._r_core,
+        )
+        per_core_power = self._core_power_w(initial_utilization)
+        self._cores = []
+        for _ in range(n_cores):
+            die = CpuDie(core_die_config, initial_temp_c=hs_ss)
+            die.reset(die.steady_state_c(hs_ss, per_core_power))
+            self._cores.append(die)
+        self._last_state = self._snapshot(
+            [initial_utilization] * n_cores, speed
+        )
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores."""
+        return self._n
+
+    @property
+    def config(self) -> ServerConfig:
+        """The server configuration."""
+        return self._config
+
+    @property
+    def state(self) -> MultiCoreState:
+        """State snapshot after the most recent step."""
+        return self._last_state
+
+    @property
+    def junctions_c(self) -> tuple[float, ...]:
+        """Current per-core junction temperatures."""
+        return tuple(core.temperature_c for core in self._cores)
+
+    def _core_power_w(self, utilization: float) -> float:
+        return self._static_per_core + self._dyn_per_core * utilization
+
+    def _snapshot(
+        self, utilizations: list[float], fan_speed_rpm: float
+    ) -> MultiCoreState:
+        total_power = sum(self._core_power_w(u) for u in utilizations)
+        return MultiCoreState(
+            time_s=self._time_s,
+            junctions_c=self.junctions_c,
+            heatsink_c=self._heatsink.temperature_c,
+            cpu_power_w=total_power,
+            fan_power_w=self._fan_power.power_w(fan_speed_rpm),
+            fan_speed_rpm=fan_speed_rpm,
+        )
+
+    def step(
+        self, dt_s: float, utilizations: list[float], fan_speed_rpm: float
+    ) -> MultiCoreState:
+        """Advance the plant with per-core utilizations."""
+        check_duration(dt_s, "dt_s")
+        if len(utilizations) != self._n:
+            raise ThermalModelError(
+                f"expected {self._n} per-core utilizations, got "
+                f"{len(utilizations)}"
+            )
+        for util in utilizations:
+            check_utilization(util, "utilization")
+        speed = clamp(
+            fan_speed_rpm,
+            self._config.fan.min_speed_rpm,
+            self._config.fan.max_speed_rpm,
+        )
+        self._time_s += dt_s
+        total_power = sum(self._core_power_w(u) for u in utilizations)
+        hs_temp = self._heatsink.step(
+            dt_s, speed, self._config.ambient_c, total_power
+        )
+        for core, util in zip(self._cores, utilizations):
+            core.step(dt_s, hs_temp, self._core_power_w(util))
+        self._last_state = self._snapshot(list(utilizations), speed)
+        return self._last_state

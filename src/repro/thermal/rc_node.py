@@ -1,0 +1,104 @@
+"""Single lumped RC thermal node with exact exponential integration.
+
+Implements Eqn (2) of the paper::
+
+    T(t + dt) = T_ss + (T(t) - T_ss) * exp(-dt / (R * C))
+
+where ``T_ss = T_ref + R * P`` (Eqn 3), ``T_ref`` being the temperature the
+node relaxes toward with zero injected power (ambient for the heat sink,
+heat-sink temperature for the die).
+
+Because the update uses the exact solution of the first-order ODE for
+inputs held constant over the step, it is unconditionally stable: the stiff
+die node (tau = 0.1 s) can be advanced with any dt without blow-up, which a
+forward-Euler scheme would not allow.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ThermalModelError
+from repro.units import check_duration, check_positive, check_temperature
+
+
+class RCNode:
+    """One thermal RC node.
+
+    Parameters
+    ----------
+    resistance_k_per_w:
+        Thermal resistance to the reference node, in K/W.  May be changed
+        between steps (the heat sink's resistance varies with fan speed).
+    capacitance_j_per_k:
+        Thermal capacitance in J/K.  Fixed for the node's lifetime.
+    initial_temp_c:
+        Starting temperature in Celsius.
+    """
+
+    def __init__(
+        self,
+        resistance_k_per_w: float,
+        capacitance_j_per_k: float,
+        initial_temp_c: float,
+    ) -> None:
+        self._resistance = check_positive(resistance_k_per_w, "resistance_k_per_w")
+        self._capacitance = check_positive(capacitance_j_per_k, "capacitance_j_per_k")
+        self._temp_c = check_temperature(initial_temp_c, "initial_temp_c")
+
+    @property
+    def temperature_c(self) -> float:
+        """Current node temperature in Celsius."""
+        return self._temp_c
+
+    @property
+    def resistance_k_per_w(self) -> float:
+        """Current thermal resistance in K/W."""
+        return self._resistance
+
+    @resistance_k_per_w.setter
+    def resistance_k_per_w(self, value: float) -> None:
+        self._resistance = check_positive(value, "resistance_k_per_w")
+
+    @property
+    def capacitance_j_per_k(self) -> float:
+        """Thermal capacitance in J/K."""
+        return self._capacitance
+
+    @property
+    def time_constant_s(self) -> float:
+        """Current time constant ``R * C`` in seconds."""
+        return self._resistance * self._capacitance
+
+    def steady_state_c(self, reference_temp_c: float, power_w: float) -> float:
+        """Steady-state temperature for the given boundary conditions.
+
+        Eqn (3): ``T_ss = T_ref + R * P``.
+        """
+        return reference_temp_c + self._resistance * power_w
+
+    def step(self, dt_s: float, reference_temp_c: float, power_w: float) -> float:
+        """Advance the node by ``dt_s`` seconds and return the new temperature.
+
+        ``reference_temp_c`` and ``power_w`` are held constant over the step,
+        which makes the exponential update exact (Eqn 2).
+        """
+        dt = check_duration(dt_s, "dt_s")
+        t_ss = self.steady_state_c(reference_temp_c, power_w)
+        decay = math.exp(-dt / self.time_constant_s)
+        self._temp_c = t_ss + (self._temp_c - t_ss) * decay
+        if not math.isfinite(self._temp_c):
+            raise ThermalModelError(
+                f"RC node temperature diverged (T_ss={t_ss}, decay={decay})"
+            )
+        return self._temp_c
+
+    def reset(self, temp_c: float) -> None:
+        """Force the node temperature (used when (re)initializing a plant)."""
+        self._temp_c = check_temperature(temp_c, "temp_c")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RCNode(R={self._resistance:.4f} K/W, C={self._capacitance:.1f} J/K, "
+            f"T={self._temp_c:.2f} degC)"
+        )

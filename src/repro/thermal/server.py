@@ -1,0 +1,229 @@
+"""The server plant: CPU die on a fan-cooled heat sink (Section III-B).
+
+:class:`ServerThermalModel` is the plant every controller in this library
+acts on.  Per simulation step it takes the *applied* CPU utilization and
+fan speed, computes powers (Eqn 1 and the cubic fan law), advances the heat
+sink (Eqn 2-3) and then the die (fast node, heat sink held constant), and
+exposes the true junction temperature - which the sensing pipeline then
+degrades before any controller sees it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ServerConfig
+from repro.power.cpu import CpuPowerModel
+from repro.power.fan import FanPowerModel
+from repro.thermal.ambient import AmbientProfile, ConstantAmbient
+from repro.thermal.die import CpuDie
+from repro.thermal.heatsink import HeatSink
+from repro.thermal.steady_state import SteadyStateServerModel
+from repro.units import check_duration, check_utilization, clamp
+
+
+@dataclass(frozen=True)
+class ServerState:
+    """Snapshot of the plant after one step."""
+
+    time_s: float
+    junction_c: float
+    heatsink_c: float
+    ambient_c: float
+    cpu_power_w: float
+    fan_power_w: float
+    utilization: float
+    fan_speed_rpm: float
+
+    @property
+    def total_power_w(self) -> float:
+        """``P_tot = P_cpu + P_fan`` (Section III-B)."""
+        return self.cpu_power_w + self.fan_power_w
+
+
+class ServerThermalModel:
+    """Single-socket (or N balanced sockets) server plant.
+
+    Parameters
+    ----------
+    config:
+        Full server description (Table I defaults).
+    ambient:
+        Ambient profile; defaults to a constant at ``config.ambient_c``.
+    initial_utilization, initial_fan_speed_rpm:
+        Operating point used to set the initial temperatures to their
+        steady state, so simulations start thermally settled.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        ambient: AmbientProfile | None = None,
+        initial_utilization: float = 0.1,
+        initial_fan_speed_rpm: float | None = None,
+    ) -> None:
+        self._config = config or ServerConfig()
+        self._ambient = ambient or ConstantAmbient(self._config.ambient_c)
+        self._cpu_power = CpuPowerModel(self._config.cpu)
+        self._fan_power = FanPowerModel(self._config.fan)
+        self._steady = SteadyStateServerModel(self._config)
+
+        check_utilization(initial_utilization, "initial_utilization")
+        if initial_fan_speed_rpm is None:
+            initial_fan_speed_rpm = 0.5 * (
+                self._config.fan.min_speed_rpm + self._config.fan.max_speed_rpm
+            )
+        self._time_s = 0.0
+        ambient_now = self._ambient.temperature_c(0.0)
+        power = self._socket_cpu_power(initial_utilization)
+        self._heatsink = HeatSink(
+            self._config.heatsink,
+            max_fan_speed_rpm=self._config.fan.max_speed_rpm,
+            initial_temp_c=ambient_now,
+        )
+        hs_ss = self._heatsink.steady_state_c(
+            initial_fan_speed_rpm, ambient_now, power
+        )
+        self._heatsink.reset(hs_ss)
+        self._die = CpuDie(self._config.die, initial_temp_c=hs_ss)
+        die_ss = self._die.steady_state_c(hs_ss, power)
+        self._die.reset(die_ss)
+        self._last_state = ServerState(
+            time_s=0.0,
+            junction_c=die_ss,
+            heatsink_c=hs_ss,
+            ambient_c=ambient_now,
+            cpu_power_w=power * self._config.n_sockets,
+            fan_power_w=self._fan_power.power_w(initial_fan_speed_rpm)
+            * self._config.n_sockets,
+            utilization=initial_utilization,
+            fan_speed_rpm=initial_fan_speed_rpm,
+        )
+
+    @property
+    def config(self) -> ServerConfig:
+        """The server configuration in force."""
+        return self._config
+
+    @property
+    def heatsink(self) -> HeatSink:
+        """The heat sink submodel (exposes the Rhs(V) law)."""
+        return self._heatsink
+
+    @property
+    def die(self) -> CpuDie:
+        """The die submodel."""
+        return self._die
+
+    @property
+    def time_s(self) -> float:
+        """Current simulation time of the plant."""
+        return self._time_s
+
+    @property
+    def state(self) -> ServerState:
+        """State snapshot after the most recent step."""
+        return self._last_state
+
+    @property
+    def junction_c(self) -> float:
+        """True junction temperature (pre-sensing-pipeline)."""
+        return self._die.temperature_c
+
+    def clamp_fan_speed(self, speed_rpm: float) -> float:
+        """Clamp a commanded fan speed into the fan's physical range."""
+        fan = self._config.fan
+        return clamp(speed_rpm, fan.min_speed_rpm, fan.max_speed_rpm)
+
+    @property
+    def steady_state(self) -> SteadyStateServerModel:
+        """The algebraic steady-state model sharing this plant's config."""
+        return self._steady
+
+    def steady_state_junction_c(
+        self, utilization: float, fan_speed_rpm: float, ambient_c: float | None = None
+    ) -> float:
+        """Junction steady state at a fixed operating point.
+
+        Used by tuning, linearization, and the E-coord baseline's internal
+        model.  Delegates to :class:`SteadyStateServerModel`, evaluating
+        the ambient at the plant's current time when not given.
+        """
+        if ambient_c is None:
+            ambient_c = self._ambient.temperature_c(self._time_s)
+        return self._steady.junction_c(utilization, fan_speed_rpm, ambient_c)
+
+    def required_fan_speed_rpm(
+        self,
+        utilization: float,
+        target_junction_c: float,
+        ambient_c: float | None = None,
+    ) -> float:
+        """Lowest fan speed holding the junction at ``target_junction_c``.
+
+        Inverts the steady-state model analytically; the result is clamped
+        to the fan's physical range.  Used by the single-step scaling
+        scheme when stepping back down from maximum speed (Section V-C).
+        """
+        if ambient_c is None:
+            ambient_c = self._ambient.temperature_c(self._time_s)
+        return self._steady.required_fan_speed_rpm(
+            utilization, target_junction_c, ambient_c
+        )
+
+    def step(self, dt_s: float, utilization: float, fan_speed_rpm: float) -> ServerState:
+        """Advance the plant by ``dt_s`` with the applied knob settings.
+
+        The commanded fan speed is clamped to the physical range; the
+        returned :class:`ServerState` records the clamped value actually
+        applied.
+        """
+        dt = check_duration(dt_s, "dt_s")
+        util = check_utilization(utilization, "utilization")
+        speed = self.clamp_fan_speed(fan_speed_rpm)
+        self._time_s += dt
+        ambient_now = self._ambient.temperature_c(self._time_s)
+        power = self._socket_cpu_power(util)
+        hs_temp = self._heatsink.step(dt, speed, ambient_now, power)
+        junction = self._die.step(dt, hs_temp, power)
+        self._last_state = ServerState(
+            time_s=self._time_s,
+            junction_c=junction,
+            heatsink_c=hs_temp,
+            ambient_c=ambient_now,
+            cpu_power_w=power * self._config.n_sockets,
+            fan_power_w=self._fan_power.power_w(speed) * self._config.n_sockets,
+            utilization=util,
+            fan_speed_rpm=speed,
+        )
+        return self._last_state
+
+    def settle(self, utilization: float, fan_speed_rpm: float) -> ServerState:
+        """Jump the plant directly to the steady state of an operating point.
+
+        Convenient for starting experiments from equilibrium without
+        simulating the long heat sink transient.
+        """
+        util = check_utilization(utilization, "utilization")
+        speed = self.clamp_fan_speed(fan_speed_rpm)
+        ambient_now = self._ambient.temperature_c(self._time_s)
+        power = self._socket_cpu_power(util)
+        hs_ss = self._heatsink.steady_state_c(speed, ambient_now, power)
+        self._heatsink.reset(hs_ss)
+        die_ss = self._die.steady_state_c(hs_ss, power)
+        self._die.reset(die_ss)
+        self._last_state = ServerState(
+            time_s=self._time_s,
+            junction_c=die_ss,
+            heatsink_c=hs_ss,
+            ambient_c=ambient_now,
+            cpu_power_w=power * self._config.n_sockets,
+            fan_power_w=self._fan_power.power_w(speed) * self._config.n_sockets,
+            utilization=util,
+            fan_speed_rpm=speed,
+        )
+        return self._last_state
+
+    def _socket_cpu_power(self, utilization: float) -> float:
+        """Per-socket CPU power (Eqn 1); sockets are balanced by assumption."""
+        return self._cpu_power.power_w(utilization)

@@ -1,0 +1,137 @@
+"""Closed-form steady-state server model (Eqns 1-3 combined).
+
+Several components need algebraic (not simulated) answers about the plant:
+
+* the Ziegler-Nichols tuner picks operating points,
+* E-coord [6] ranks actions by marginal temperature per marginal watt,
+* single-step fan scaling (Section V-C) computes "the lowest possible fan
+  speed which enables to run required CPU utilization without any
+  temperature violation".
+
+All of that is steady-state math on the published Table I model, collected
+here so the dynamic plant (:class:`~repro.thermal.server.ServerThermalModel`)
+and the controllers share one implementation.
+"""
+
+from __future__ import annotations
+
+from repro.config import ServerConfig
+from repro.power.cpu import CpuPowerModel
+from repro.power.fan import FanPowerModel
+from repro.units import check_temperature, check_utilization, clamp
+
+
+class SteadyStateServerModel:
+    """Algebraic steady-state relations of the Table I server."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self._config = config or ServerConfig()
+        self._cpu_power = CpuPowerModel(self._config.cpu)
+        self._fan_power = FanPowerModel(self._config.fan)
+
+    @property
+    def config(self) -> ServerConfig:
+        """The server configuration."""
+        return self._config
+
+    def cpu_power_w(self, utilization: float) -> float:
+        """Per-socket CPU power (Eqn 1)."""
+        return self._cpu_power.power_w(utilization)
+
+    def fan_power_w(self, fan_speed_rpm: float) -> float:
+        """Per-socket fan power (cubic law)."""
+        return self._fan_power.power_w(fan_speed_rpm)
+
+    def clamp_fan_speed(self, speed_rpm: float) -> float:
+        """Clamp a speed into the fan's physical range."""
+        fan = self._config.fan
+        return clamp(speed_rpm, fan.min_speed_rpm, fan.max_speed_rpm)
+
+    def heatsink_resistance(self, fan_speed_rpm: float) -> float:
+        """``Rhs(V)`` from Table I."""
+        cfg = self._config.heatsink
+        return cfg.r_base_k_per_w + cfg.r_coeff / fan_speed_rpm**cfg.r_exponent
+
+    def heatsink_resistance_slope(self, fan_speed_rpm: float) -> float:
+        """``dRhs/dV`` (negative: faster fan, lower resistance)."""
+        cfg = self._config.heatsink
+        return (
+            -cfg.r_coeff * cfg.r_exponent / fan_speed_rpm ** (cfg.r_exponent + 1.0)
+        )
+
+    def junction_c(
+        self,
+        utilization: float,
+        fan_speed_rpm: float,
+        ambient_c: float | None = None,
+    ) -> float:
+        """Steady-state junction temperature at an operating point."""
+        util = check_utilization(utilization, "utilization")
+        speed = self.clamp_fan_speed(fan_speed_rpm)
+        if ambient_c is None:
+            ambient_c = self._config.ambient_c
+        power = self._cpu_power.power_w(util)
+        r_total = self.heatsink_resistance(speed) + self._config.die.r_die_k_per_w
+        return ambient_c + r_total * power
+
+    def junction_slope_per_rpm(
+        self,
+        utilization: float,
+        fan_speed_rpm: float,
+    ) -> float:
+        """``dTj/dV`` at an operating point (negative).
+
+        This is the plant sensitivity that varies ~8x between 2000 and
+        6000 rpm and motivates the adaptive gain schedule (Section IV-B).
+        """
+        util = check_utilization(utilization, "utilization")
+        speed = self.clamp_fan_speed(fan_speed_rpm)
+        power = self._cpu_power.power_w(util)
+        return power * self.heatsink_resistance_slope(speed)
+
+    def junction_slope_per_util(self, utilization: float, fan_speed_rpm: float) -> float:
+        """``dTj/du`` at an operating point (positive)."""
+        check_utilization(utilization, "utilization")
+        speed = self.clamp_fan_speed(fan_speed_rpm)
+        r_total = self.heatsink_resistance(speed) + self._config.die.r_die_k_per_w
+        return r_total * self._config.cpu.p_dynamic_w
+
+    def required_fan_speed_rpm(
+        self,
+        utilization: float,
+        target_junction_c: float,
+        ambient_c: float | None = None,
+    ) -> float:
+        """Lowest fan speed keeping the junction at ``target_junction_c``.
+
+        Analytic inversion of the steady-state model, clamped to the fan's
+        physical range (``max`` when even full airflow cannot reach the
+        target, ``min`` when any airflow suffices).
+        """
+        util = check_utilization(utilization, "utilization")
+        check_temperature(target_junction_c, "target_junction_c")
+        if ambient_c is None:
+            ambient_c = self._config.ambient_c
+        power = self._cpu_power.power_w(util)
+        fan = self._config.fan
+        if power <= 0.0:
+            return fan.min_speed_rpm
+        hs_cfg = self._config.heatsink
+        r_hs = (
+            target_junction_c - ambient_c
+        ) / power - self._config.die.r_die_k_per_w
+        r_variable = r_hs - hs_cfg.r_base_k_per_w
+        if r_variable <= 0.0:
+            return fan.max_speed_rpm
+        speed = (hs_cfg.r_coeff / r_variable) ** (1.0 / hs_cfg.r_exponent)
+        return self.clamp_fan_speed(speed)
+
+    def marginal_fan_power_w_per_rpm(self, fan_speed_rpm: float) -> float:
+        """``dPfan/dV`` - the steep marginal cost E-coord weighs."""
+        return self._fan_power.marginal_power_w_per_rpm(
+            self.clamp_fan_speed(fan_speed_rpm)
+        )
+
+    def marginal_cpu_power_w_per_util(self) -> float:
+        """``dPcpu/du = P_dyn``."""
+        return self._cpu_power.marginal_power_per_utilization_w()

@@ -1,0 +1,134 @@
+"""Unit helpers and validation for physical quantities.
+
+The library uses plain floats in fixed units throughout:
+
+========================  =======================
+quantity                  unit
+========================  =======================
+temperature               degrees Celsius
+fan speed                 revolutions per minute
+power                     watts
+energy                    joules
+time                      seconds
+thermal resistance        kelvin per watt
+thermal capacitance       joules per kelvin
+CPU utilization           dimensionless, [0, 1]
+========================  =======================
+
+The ``check_*`` functions below validate a value and return it, so they can
+be used inline at construction time::
+
+    self.speed_rpm = check_fan_speed(speed_rpm)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import UnitsError
+
+#: Absolute zero in Celsius; no simulated temperature may fall below this.
+ABSOLUTE_ZERO_C = -273.15
+
+#: Celsius-to-Kelvin offset.
+KELVIN_OFFSET = 273.15
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a Celsius temperature to Kelvin."""
+    return temp_c + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a Kelvin temperature to Celsius."""
+    return temp_k - KELVIN_OFFSET
+
+
+def rpm_to_rps(speed_rpm: float) -> float:
+    """Convert revolutions per minute to revolutions per second."""
+    return speed_rpm / 60.0
+
+
+def rps_to_rpm(speed_rps: float) -> float:
+    """Convert revolutions per second to revolutions per minute."""
+    return speed_rps * 60.0
+
+
+def _require_finite(value: float, name: str) -> float:
+    if not math.isfinite(value):
+        raise UnitsError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def check_temperature(temp_c: float, name: str = "temperature") -> float:
+    """Validate a Celsius temperature (finite, above absolute zero)."""
+    value = _require_finite(temp_c, name)
+    if value < ABSOLUTE_ZERO_C:
+        raise UnitsError(
+            f"{name} must be above absolute zero ({ABSOLUTE_ZERO_C} degC), "
+            f"got {value}"
+        )
+    return value
+
+
+def check_fan_speed(speed_rpm: float, name: str = "fan speed") -> float:
+    """Validate a fan speed in rpm (finite, non-negative)."""
+    value = _require_finite(speed_rpm, name)
+    if value < 0.0:
+        raise UnitsError(f"{name} must be non-negative rpm, got {value}")
+    return value
+
+
+def check_power(power_w: float, name: str = "power") -> float:
+    """Validate a power in watts (finite, non-negative)."""
+    value = _require_finite(power_w, name)
+    if value < 0.0:
+        raise UnitsError(f"{name} must be non-negative watts, got {value}")
+    return value
+
+
+def check_duration(seconds: float, name: str = "duration") -> float:
+    """Validate a strictly positive duration in seconds."""
+    value = _require_finite(seconds, name)
+    if value <= 0.0:
+        raise UnitsError(f"{name} must be positive seconds, got {value}")
+    return value
+
+
+def check_nonnegative(value: float, name: str = "value") -> float:
+    """Validate a finite, non-negative quantity."""
+    checked = _require_finite(value, name)
+    if checked < 0.0:
+        raise UnitsError(f"{name} must be non-negative, got {checked}")
+    return checked
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate a finite, strictly positive quantity."""
+    checked = _require_finite(value, name)
+    if checked <= 0.0:
+        raise UnitsError(f"{name} must be positive, got {checked}")
+    return checked
+
+
+def check_utilization(util: float, name: str = "utilization") -> float:
+    """Validate a CPU utilization in [0, 1]."""
+    value = _require_finite(util, name)
+    if not 0.0 <= value <= 1.0:
+        raise UnitsError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str = "fraction") -> float:
+    """Validate a dimensionless fraction in [0, 1]."""
+    return check_utilization(value, name)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``.
+
+    Raises :class:`UnitsError` if the interval is empty (``low > high``).
+    """
+    if low > high:
+        raise UnitsError(f"clamp interval is empty: [{low}, {high}]")
+    return min(max(value, low), high)

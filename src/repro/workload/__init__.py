@@ -1,0 +1,41 @@
+"""Workload substrate: utilization demand generators and performance model.
+
+Section VI-A: the paper drives its evaluation with synthetic traces
+alternating between 0.1 and 0.7 utilization plus Gaussian noise
+(sigma = 0.04 in Fig. 5), and motivates the single-step fan scaling with
+abrupt load spikes [20].  This package provides those generators, trace
+replay, the moving-average predictor used by the adaptive set-point
+(Section V-B, ref [19]), and the deadline-violation performance model that
+Table III reports.
+"""
+
+from repro.workload.base import Workload
+from repro.workload.filters import EwmaFilter, MovingAverageFilter
+from repro.workload.performance import DeadlineTracker, PerformanceSummary
+from repro.workload.spikes import SpikeProcess, SpikeTrain
+from repro.workload.synthetic import (
+    CompositeWorkload,
+    ConstantWorkload,
+    NoisyWorkload,
+    SineWorkload,
+    SquareWaveWorkload,
+    StepWorkload,
+)
+from repro.workload.traces import TraceWorkload
+
+__all__ = [
+    "CompositeWorkload",
+    "ConstantWorkload",
+    "DeadlineTracker",
+    "EwmaFilter",
+    "MovingAverageFilter",
+    "NoisyWorkload",
+    "PerformanceSummary",
+    "SineWorkload",
+    "SpikeProcess",
+    "SpikeTrain",
+    "SquareWaveWorkload",
+    "StepWorkload",
+    "TraceWorkload",
+    "Workload",
+]

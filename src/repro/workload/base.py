@@ -1,0 +1,22 @@
+"""Workload protocol: demanded CPU utilization as a function of time."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class Workload(ABC):
+    """Demanded (not applied) CPU utilization over time.
+
+    The demand is what arriving work *requires*; the applied utilization is
+    ``min(demand, cpu_cap)`` - the gap between them is the performance
+    degradation the paper's coordinator minimizes.
+    """
+
+    @abstractmethod
+    def demand(self, t_s: float) -> float:
+        """Demanded utilization in [0, 1] at simulation time ``t_s``."""
+
+    def demands(self, times_s) -> list[float]:
+        """Vectorized convenience: demands at each time in ``times_s``."""
+        return [self.demand(float(t)) for t in times_s]

@@ -1,0 +1,94 @@
+"""Prediction filters for CPU utilization (Section V-B, ref [19]).
+
+The adaptive set-point scheme scales the fan reference temperature with the
+*predicted* CPU utilization, filtered through a moving average "to filter
+out the noise term" (Coskun et al. [19]).  Both a windowed moving average
+and an exponentially-weighted variant are provided.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import WorkloadError
+from repro.units import check_fraction
+
+
+class MovingAverageFilter:
+    """Fixed-window moving average over the most recent samples.
+
+    Before the window fills, the average runs over however many samples
+    exist (so the filter is usable from the first sample).
+    """
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 1:
+            raise WorkloadError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._samples: deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    @property
+    def window(self) -> int:
+        """Configured window length."""
+        return self._window
+
+    @property
+    def count(self) -> int:
+        """Number of samples currently in the window."""
+        return len(self._samples)
+
+    def update(self, sample: float) -> float:
+        """Add a sample and return the updated average."""
+        if len(self._samples) == self._window:
+            self._sum -= self._samples[0]
+        self._samples.append(float(sample))
+        self._sum += float(sample)
+        return self.value
+
+    @property
+    def value(self) -> float:
+        """Current average (0 before any sample)."""
+        if not self._samples:
+            return 0.0
+        return self._sum / len(self._samples)
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._samples.clear()
+        self._sum = 0.0
+
+
+class EwmaFilter:
+    """Exponentially weighted moving average: ``y += alpha * (x - y)``.
+
+    ``alpha`` in (0, 1]; 1 reproduces the raw signal.
+    """
+
+    def __init__(self, alpha: float = 0.2, initial: float | None = None) -> None:
+        check_fraction(alpha, "alpha")
+        if alpha == 0.0:
+            raise WorkloadError("alpha must be > 0 (0 would never update)")
+        self._alpha = alpha
+        self._value = initial
+    @property
+    def alpha(self) -> float:
+        """Smoothing factor."""
+        return self._alpha
+
+    def update(self, sample: float) -> float:
+        """Add a sample and return the updated average."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self._alpha * (float(sample) - self._value)
+        return self._value
+
+    @property
+    def value(self) -> float:
+        """Current filtered value (0 before any sample)."""
+        return 0.0 if self._value is None else self._value
+
+    def reset(self) -> None:
+        """Forget the current state."""
+        self._value = None

@@ -1,0 +1,116 @@
+"""Performance model: deadline violations from CPU capping.
+
+Table III's second column reports "the fraction of the deadline violations
+caused by the thermal emergency".  We interpret each CPU control period
+(1 s) as a batch of work with a deadline: if the demanded utilization
+exceeds the applied cap, the surplus work misses its deadline and the
+period counts as violated.  :class:`DeadlineTracker` also accumulates the
+*degradation magnitude* (lost utilization), which the single-step fan
+scaling scheme monitors (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.units import check_nonnegative, check_utilization
+
+
+@dataclass(frozen=True)
+class PerformanceSummary:
+    """Aggregate performance statistics over a run."""
+
+    periods: int
+    violations: int
+    lost_utilization: float
+    demanded_utilization: float
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of control periods that missed their deadline."""
+        if self.periods == 0:
+            return 0.0
+        return self.violations / self.periods
+
+    @property
+    def violation_percent(self) -> float:
+        """Violation fraction in percent (Table III units)."""
+        return 100.0 * self.violation_fraction
+
+    @property
+    def degradation_fraction(self) -> float:
+        """Total lost work as a fraction of total demanded work."""
+        if self.demanded_utilization == 0.0:
+            return 0.0
+        return self.lost_utilization / self.demanded_utilization
+
+
+class DeadlineTracker:
+    """Online tracker of throttling-induced deadline violations.
+
+    Parameters
+    ----------
+    tolerance:
+        A period counts as violated when ``demand - applied > tolerance``
+        (default 1% utilization, filtering numerical dust).
+    window:
+        Length (in periods) of the sliding window used for the *recent*
+        degradation estimate consumed by single-step fan scaling.
+    """
+
+    def __init__(self, tolerance: float = 0.01, window: int = 10) -> None:
+        check_nonnegative(tolerance, "tolerance")
+        if window < 1:
+            raise WorkloadError(f"window must be >= 1, got {window}")
+        self._tolerance = tolerance
+        self._window = window
+        self._recent: list[float] = []
+        self._periods = 0
+        self._violations = 0
+        self._lost = 0.0
+        self._demanded = 0.0
+
+    def record(self, demanded: float, applied: float) -> bool:
+        """Record one control period; returns True if it violated."""
+        check_utilization(demanded, "demanded")
+        check_utilization(applied, "applied")
+        gap = max(0.0, demanded - applied)
+        violated = gap > self._tolerance
+        self._periods += 1
+        self._violations += int(violated)
+        self._lost += gap
+        self._demanded += demanded
+        self._recent.append(gap)
+        if len(self._recent) > self._window:
+            self._recent.pop(0)
+        return violated
+
+    @property
+    def recent_degradation(self) -> float:
+        """Mean utilization gap over the sliding window.
+
+        This is the "measured performance degradation" input of the
+        single-step fan scaling scheme.
+        """
+        if not self._recent:
+            return 0.0
+        return sum(self._recent) / len(self._recent)
+
+    @property
+    def summary(self) -> PerformanceSummary:
+        """Aggregate statistics so far."""
+        return PerformanceSummary(
+            periods=self._periods,
+            violations=self._violations,
+            lost_utilization=self._lost,
+            demanded_utilization=self._demanded,
+        )
+
+    def reset(self) -> None:
+        """Clear all statistics."""
+        self._recent.clear()
+        self._periods = 0
+        self._violations = 0
+        self._lost = 0.0
+        self._demanded = 0.0

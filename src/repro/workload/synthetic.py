@@ -1,0 +1,149 @@
+"""Synthetic utilization generators (Section VI-A workloads).
+
+The paper's evaluation workload "alternates between 0.1 and 0.7 while
+imposing a random Gaussian noise" - that is
+``NoisyWorkload(SquareWaveWorkload(low=0.1, high=0.7, ...), std=0.04)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import check_duration, check_nonnegative, check_utilization, clamp
+from repro.workload.base import Workload
+
+
+class ConstantWorkload(Workload):
+    """Fixed demand (Fig. 4 uses a stable workload)."""
+
+    def __init__(self, level: float) -> None:
+        self._level = check_utilization(level, "level")
+
+    def demand(self, t_s: float) -> float:
+        return self._level
+
+
+class StepWorkload(Workload):
+    """Demand stepping from ``before`` to ``after`` at ``step_time_s``.
+
+    Fig. 1 uses a single utilization step to expose the sensing lag.
+    """
+
+    def __init__(self, before: float, after: float, step_time_s: float) -> None:
+        self._before = check_utilization(before, "before")
+        self._after = check_utilization(after, "after")
+        self._step_time_s = check_nonnegative(step_time_s, "step_time_s")
+
+    def demand(self, t_s: float) -> float:
+        return self._after if t_s >= self._step_time_s else self._before
+
+
+class SquareWaveWorkload(Workload):
+    """Demand alternating between ``low`` and ``high``.
+
+    Starts at ``low`` and switches every ``half_period_s`` seconds (so a
+    full cycle takes ``2 * half_period_s``), optionally shifted by
+    ``phase_s``.
+    """
+
+    def __init__(
+        self,
+        low: float = 0.1,
+        high: float = 0.7,
+        half_period_s: float = 200.0,
+        phase_s: float = 0.0,
+    ) -> None:
+        self._low = check_utilization(low, "low")
+        self._high = check_utilization(high, "high")
+        if self._low > self._high:
+            raise WorkloadError(f"low ({low}) must not exceed high ({high})")
+        self._half_period_s = check_duration(half_period_s, "half_period_s")
+        if not math.isfinite(phase_s):
+            raise WorkloadError(f"phase_s must be finite, got {phase_s!r}")
+        self._phase_s = float(phase_s)
+
+    def demand(self, t_s: float) -> float:
+        cycles = (t_s - self._phase_s) / self._half_period_s
+        return self._high if int(math.floor(cycles)) % 2 == 1 else self._low
+
+
+class SineWorkload(Workload):
+    """Smooth sinusoidal demand (for frequency-response style studies)."""
+
+    def __init__(
+        self, mean: float = 0.4, amplitude: float = 0.3, period_s: float = 400.0
+    ) -> None:
+        self._mean = check_utilization(mean, "mean")
+        self._amplitude = check_nonnegative(amplitude, "amplitude")
+        self._period_s = check_duration(period_s, "period_s")
+        if self._mean - self._amplitude < 0.0 or self._mean + self._amplitude > 1.0:
+            raise WorkloadError(
+                f"sine with mean {mean} and amplitude {amplitude} leaves [0, 1]"
+            )
+
+    def demand(self, t_s: float) -> float:
+        return self._mean + self._amplitude * math.sin(
+            2.0 * math.pi * t_s / self._period_s
+        )
+
+
+class NoisyWorkload(Workload):
+    """Wrap a workload with additive Gaussian noise, clamped to [0, 1].
+
+    Noise is drawn once per ``resolution_s`` interval (default 1 s, the CPU
+    control period) and held within it, so repeated queries inside one
+    control period see a consistent demand.
+    """
+
+    def __init__(
+        self,
+        inner: Workload,
+        std: float = 0.04,
+        seed: int | None = None,
+        resolution_s: float = 1.0,
+    ) -> None:
+        self._inner = inner
+        self._std = check_nonnegative(std, "std")
+        self._resolution_s = check_duration(resolution_s, "resolution_s")
+        self._rng = np.random.default_rng(seed)
+        self._noise_cache: dict[int, float] = {}
+
+    @property
+    def std(self) -> float:
+        """Gaussian noise standard deviation."""
+        return self._std
+
+    def demand(self, t_s: float) -> float:
+        base = self._inner.demand(t_s)
+        if self._std == 0.0:
+            return base
+        slot = int(math.floor(t_s / self._resolution_s))
+        noise = self._noise_cache.get(slot)
+        if noise is None:
+            noise = float(self._rng.normal(0.0, self._std))
+            # Bound the cache: keep only a recent window of slots.
+            if len(self._noise_cache) > 100_000:
+                self._noise_cache.clear()
+            self._noise_cache[slot] = noise
+        return clamp(base + noise, 0.0, 1.0)
+
+
+class CompositeWorkload(Workload):
+    """Sum of component demands, clamped to [0, 1].
+
+    Useful for layering a spike train on a base pattern::
+
+        CompositeWorkload([SquareWaveWorkload(...), SpikeTrain(...)])
+    """
+
+    def __init__(self, components: list[Workload]) -> None:
+        if not components:
+            raise WorkloadError("composite workload needs at least one component")
+        self._components = list(components)
+
+    def demand(self, t_s: float) -> float:
+        total = sum(component.demand(t_s) for component in self._components)
+        return clamp(total, 0.0, 1.0)

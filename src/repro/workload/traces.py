@@ -1,0 +1,80 @@
+"""Trace replay: drive the simulator from recorded utilization arrays.
+
+Production traces are proprietary (the paper's Fig. 1 data came from a
+private industrial partner), so this class is the hook where a user with
+real telemetry plugs it in; the tests and experiments feed it synthetic
+arrays.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import check_duration
+from repro.workload.base import Workload
+
+
+class TraceWorkload(Workload):
+    """Replay a sampled utilization trace with zero-order hold.
+
+    Parameters
+    ----------
+    samples:
+        Utilization samples in [0, 1].
+    sample_interval_s:
+        Spacing between samples; sample ``i`` covers
+        ``[i * interval, (i+1) * interval)``.
+    wrap:
+        If true, the trace repeats cyclically; otherwise times beyond the
+        end hold the last sample.
+    """
+
+    def __init__(
+        self,
+        samples,
+        sample_interval_s: float = 1.0,
+        wrap: bool = False,
+    ) -> None:
+        array = np.asarray(samples, dtype=float)
+        if array.ndim != 1 or array.size == 0:
+            raise WorkloadError("trace must be a non-empty 1-D array")
+        if np.any(~np.isfinite(array)) or np.any(array < 0.0) or np.any(array > 1.0):
+            raise WorkloadError("trace samples must be finite and within [0, 1]")
+        self._samples = array
+        self._interval = check_duration(sample_interval_s, "sample_interval_s")
+        self._wrap = wrap
+
+    @property
+    def duration_s(self) -> float:
+        """Time covered by one pass of the trace."""
+        return self._samples.size * self._interval
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The raw sample array (copy)."""
+        return self._samples.copy()
+
+    def demand(self, t_s: float) -> float:
+        if t_s < 0.0:
+            raise WorkloadError(f"trace time must be >= 0, got {t_s}")
+        index = int(t_s / self._interval)
+        if self._wrap:
+            index %= self._samples.size
+        else:
+            index = min(index, self._samples.size - 1)
+        return float(self._samples[index])
+
+    @classmethod
+    def from_csv(
+        cls, path: str | Path, sample_interval_s: float = 1.0, wrap: bool = False
+    ) -> "TraceWorkload":
+        """Load a single-column CSV of utilization samples."""
+        array = np.loadtxt(Path(path), delimiter=",", dtype=float)
+        return cls(np.atleast_1d(array), sample_interval_s, wrap)
+
+    def to_csv(self, path: str | Path) -> None:
+        """Save the trace as a single-column CSV."""
+        np.savetxt(Path(path), self._samples, delimiter=",", fmt="%.6f")

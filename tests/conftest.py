@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+``fast_schedule`` is a hand-built two-region gain schedule numerically
+close to what the Ziegler-Nichols pipeline produces for the Table I
+server; it keeps unit tests fast.  ``tuned_schedule`` runs the real tuner
+once per session for the tests that exercise the full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ServerConfig
+from repro.core.gain_schedule import GainRegion, GainSchedule
+from repro.core.pid import PIDGains
+from repro.core.tuning import default_gain_schedule
+from repro.thermal.server import ServerThermalModel
+from repro.thermal.steady_state import SteadyStateServerModel
+
+
+@pytest.fixture()
+def config() -> ServerConfig:
+    """The Table I server configuration."""
+    return ServerConfig()
+
+
+@pytest.fixture()
+def steady(config: ServerConfig) -> SteadyStateServerModel:
+    """Closed-form steady-state model."""
+    return SteadyStateServerModel(config)
+
+
+@pytest.fixture()
+def plant(config: ServerConfig) -> ServerThermalModel:
+    """A fresh dynamic plant."""
+    return ServerThermalModel(config)
+
+
+@pytest.fixture(scope="session")
+def fast_schedule() -> GainSchedule:
+    """Two-region schedule matching the tuner's output closely (no tuner)."""
+    return GainSchedule(
+        [
+            GainRegion(2000.0, PIDGains(kp=294.0, ki=6.5, kd=8826.0)),
+            GainRegion(6000.0, PIDGains(kp=2389.0, ki=45.0, kd=84302.0)),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def tuned_schedule() -> GainSchedule:
+    """The real Ziegler-Nichols pipeline output (cached per session)."""
+    return default_gain_schedule(ServerConfig())

@@ -1,0 +1,172 @@
+"""Analysis utilities: stability metrics, Table III metrics, linearization,
+and plain-text reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.linearize import (
+    linearization_error,
+    linearize_plant,
+    suggest_regions,
+)
+from repro.analysis.metrics import compare_schemes, scheme_row
+from repro.analysis.report import format_table, sparkline
+from repro.analysis.stability import (
+    analyze_stability,
+    is_oscillatory,
+    oscillation_amplitude,
+    overshoot_percent,
+    settling_time_s,
+)
+from repro.errors import AnalysisError
+
+
+def sine(period_s=100.0, amplitude=1.0, duration_s=1000.0, n=2000):
+    times = np.linspace(0.0, duration_s, n)
+    return times, amplitude * np.sin(2 * np.pi * times / period_s)
+
+
+class TestStability:
+    def test_flat_signal_not_oscillatory(self):
+        times = np.linspace(0, 100, 500)
+        values = np.full(500, 42.0)
+        assert not is_oscillatory(times, values, min_amplitude=1.0)
+
+    def test_sine_is_oscillatory(self):
+        times, values = sine(amplitude=5.0)
+        assert is_oscillatory(times, values, min_amplitude=5.0)
+
+    def test_small_oscillation_below_threshold(self):
+        times, values = sine(amplitude=0.1)
+        assert not is_oscillatory(times, values, min_amplitude=1.0)
+
+    def test_amplitude(self):
+        times, values = sine(amplitude=3.0)
+        assert oscillation_amplitude(values) == pytest.approx(6.0, rel=0.01)
+
+    def test_analyze_reports_period(self):
+        times, values = sine(period_s=80.0, amplitude=4.0)
+        report = analyze_stability(times, values, min_amplitude=2.0)
+        assert report.oscillatory
+        assert report.period_s == pytest.approx(80.0, rel=0.05)
+
+    def test_decaying_signal_settles(self):
+        times = np.linspace(0, 200, 1000)
+        values = 10.0 * np.exp(-times / 20.0)
+        settle = settling_time_s(times, values, final_value=0.0, tolerance=0.05)
+        # 5% of the 10-unit peak: t = 20 * ln(20) ~ 60 s.
+        assert settle == pytest.approx(60.0, abs=5.0)
+
+    def test_never_settling_returns_inf(self):
+        times, values = sine(amplitude=5.0)
+        assert settling_time_s(times, values, final_value=0.0) == float("inf")
+
+    def test_overshoot(self):
+        values = np.array([0.0, 5.0, 12.0, 9.0, 10.0, 10.0])
+        assert overshoot_percent(values, 0.0, 10.0) == pytest.approx(20.0)
+
+    def test_no_overshoot(self):
+        values = np.array([0.0, 5.0, 9.0, 10.0])
+        assert overshoot_percent(values, 0.0, 10.0) == 0.0
+
+    def test_downward_overshoot(self):
+        values = np.array([10.0, 4.0, -2.0, 0.0])
+        assert overshoot_percent(values, 10.0, 0.0) == pytest.approx(20.0)
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(AnalysisError):
+            overshoot_percent(np.array([1.0]), 5.0, 5.0)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_stability([1, 2, 3], [1, 2])
+
+
+class TestMetrics:
+    def make_result(self, label, fan_j):
+        from repro.config import ServerConfig
+        from repro.power.energy import EnergyBreakdown
+        from repro.sim.result import SimulationResult
+        from repro.workload.performance import PerformanceSummary
+
+        return SimulationResult(
+            channels={"time": np.array([1.0]), "junction": np.array([70.0])},
+            performance=PerformanceSummary(100, 10, 1.0, 50.0),
+            energy=EnergyBreakdown(cpu_j=1000.0, fan_j=fan_j),
+            config=ServerConfig(),
+            dt_s=0.1,
+            label=label,
+        )
+
+    def test_scheme_row_normalizes(self):
+        base = self.make_result("base", 100.0)
+        other = self.make_result("other", 70.0)
+        row = scheme_row(other, base)
+        assert row.normalized_fan_energy == pytest.approx(0.7)
+        assert row.violation_percent == pytest.approx(10.0)
+
+    def test_compare_schemes_order_preserved(self):
+        results = {
+            "uncoordinated": self.make_result("uncoordinated", 100.0),
+            "ecoord": self.make_result("ecoord", 70.0),
+        }
+        rows = compare_schemes(results)
+        assert [r.label for r in rows] == ["uncoordinated", "ecoord"]
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(AnalysisError):
+            compare_schemes({"ecoord": self.make_result("e", 1.0)})
+
+
+class TestLinearize:
+    def test_paper_knots_meet_five_percent(self, steady):
+        """Section IV-B: two regions (2000/6000) linearize within 5%."""
+        error = linearization_error(steady, (2000.0, 6000.0))
+        assert error <= 0.05
+
+    def test_single_segment_is_worse(self, steady):
+        single = linearization_error(steady, ())
+        two = linearization_error(steady, (2000.0, 6000.0))
+        assert single > two
+
+    def test_fit_interpolates_exactly_at_knots(self, steady):
+        fit = linearize_plant(steady, knots_rpm=(1000.0, 4000.0, 8500.0))
+        assert fit.evaluate(4000.0) == pytest.approx(
+            steady.junction_c(0.4, 4000.0)
+        )
+
+    def test_suggest_regions_meets_target(self, steady):
+        fit = suggest_regions(steady, target_error=0.05)
+        assert fit.max_relative_error <= 0.05
+        assert fit.n_regions <= 4
+
+    def test_out_of_range_knots_rejected(self, steady):
+        with pytest.raises(AnalysisError):
+            linearize_plant(steady, knots_rpm=(500.0, 9000.0))
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bbbb"], [["x", 1.5], ["yy", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_sparkline_length(self):
+        assert len(sparkline(np.arange(1000), width=40)) == 40
+
+    def test_sparkline_short_signal(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_sparkline_constant(self):
+        assert set(sparkline([5.0] * 10)) == {"▁"}
+
+    def test_sparkline_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            sparkline([])

@@ -1,0 +1,70 @@
+"""Public API surface and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj in (
+                    errors.ReproError,
+                )
+
+    def test_value_error_compatibility(self):
+        """Config/units errors also behave as ValueError for callers."""
+        assert issubclass(errors.ConfigError, ValueError)
+        assert issubclass(errors.UnitsError, ValueError)
+        assert issubclass(errors.WorkloadError, ValueError)
+
+    def test_tuning_error_is_control_error(self):
+        assert issubclass(errors.TuningError, errors.ControlError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SensorError("boom")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_scheme_names_exported(self):
+        assert "rcoord_atref_ssfan" in repro.SCHEME_NAMES
+
+    def test_key_classes_importable_from_top_level(self):
+        assert repro.ServerConfig
+        assert repro.AdaptivePIDFanController
+        assert repro.GlobalController
+        assert repro.Simulator
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.power
+        import repro.sensing
+        import repro.sim
+        import repro.thermal
+        import repro.workload
+
+        for module in (
+            repro.analysis,
+            repro.core,
+            repro.power,
+            repro.sensing,
+            repro.sim,
+            repro.thermal,
+            repro.workload,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,147 @@
+"""Configuration dataclasses: Table I defaults, validation, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ControlConfig,
+    CpuPowerConfig,
+    DieConfig,
+    FanConfig,
+    HeatSinkConfig,
+    SensingConfig,
+    ServerConfig,
+    default_server_config,
+    ideal_sensing_config,
+)
+from repro.errors import ConfigError, UnitsError
+
+
+class TestTableIDefaults:
+    """The defaults must match Table I of the paper."""
+
+    def test_cpu_power_range(self):
+        cpu = CpuPowerConfig()
+        assert cpu.p_max_w == 160.0
+        assert cpu.p_idle_w == 96.0
+        assert cpu.p_dynamic_w == 64.0
+        assert cpu.p_static_w == 96.0
+
+    def test_fan_parameters(self):
+        fan = FanConfig()
+        assert fan.power_per_socket_w == 29.4
+        assert fan.max_speed_rpm == 8500.0
+        assert fan.sample_interval_s == 1.0
+
+    def test_heatsink_resistance_law(self):
+        hs = HeatSinkConfig()
+        assert hs.r_base_k_per_w == 0.141
+        assert hs.r_coeff == 132.51
+        assert hs.r_exponent == 0.923
+        assert hs.tau_at_max_airflow_s == 60.0
+
+    def test_die_time_constant(self):
+        assert DieConfig().time_constant_s == 0.1
+
+    def test_sensing_nonidealities(self):
+        sensing = SensingConfig()
+        assert sensing.lag_s == 10.0
+        assert sensing.quantization_step_c == 1.0
+        assert sensing.adc_bits == 8
+
+    def test_control_intervals(self):
+        control = ControlConfig()
+        assert control.cpu_interval_s == 1.0
+        assert control.fan_interval_s == 30.0
+        assert control.t_ref_fan_c == 75.0
+
+    def test_adc_full_scale(self):
+        sensing = SensingConfig()
+        assert sensing.adc_max_c == 255.0
+
+
+class TestValidation:
+    def test_cpu_max_below_idle_rejected(self):
+        with pytest.raises(ConfigError):
+            CpuPowerConfig(p_max_w=50.0, p_idle_w=96.0)
+
+    def test_fan_min_above_max_rejected(self):
+        with pytest.raises(ConfigError):
+            FanConfig(min_speed_rpm=9000.0)
+
+    def test_negative_fan_power_rejected(self):
+        with pytest.raises(UnitsError):
+            FanConfig(power_per_socket_w=-1.0)
+
+    def test_adc_bits_out_of_range(self):
+        with pytest.raises(ConfigError):
+            SensingConfig(adc_bits=0)
+        with pytest.raises(ConfigError):
+            SensingConfig(adc_bits=64)
+
+    def test_control_deadzone_order(self):
+        with pytest.raises(ConfigError):
+            ControlConfig(t_low_c=85.0, t_high_c=80.0)
+
+    def test_cap_step_bounds(self):
+        with pytest.raises(ConfigError):
+            ControlConfig(cap_step=0.0)
+        with pytest.raises(ConfigError):
+            ControlConfig(cap_step=1.5)
+
+    def test_n_sockets_positive(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(n_sockets=0)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(UnitsError):
+            SensingConfig(lag_s=-1.0)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        config = ServerConfig()
+        rebuilt = ServerConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_roundtrip_with_overrides(self):
+        config = ServerConfig(ambient_c=30.0, n_sockets=2)
+        rebuilt = ServerConfig.from_dict(config.to_dict())
+        assert rebuilt.ambient_c == 30.0
+        assert rebuilt.n_sockets == 2
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            ServerConfig.from_dict({"definitely_not_a_key": 1})
+
+    def test_section_must_be_mapping(self):
+        with pytest.raises(ConfigError):
+            ServerConfig.from_dict({"cpu": 42})
+
+
+class TestHelpers:
+    def test_with_sensing_returns_modified_copy(self):
+        config = ServerConfig()
+        modified = config.with_sensing(lag_s=0.0)
+        assert modified.sensing.lag_s == 0.0
+        assert config.sensing.lag_s == 10.0  # original untouched
+
+    def test_with_control_returns_modified_copy(self):
+        config = ServerConfig()
+        modified = config.with_control(fan_interval_s=10.0)
+        assert modified.control.fan_interval_s == 10.0
+        assert config.control.fan_interval_s == 30.0
+
+    def test_default_server_config(self):
+        assert default_server_config() == ServerConfig()
+
+    def test_ideal_sensing_has_no_nonidealities(self):
+        ideal = ideal_sensing_config()
+        assert ideal.lag_s == 0.0
+        assert ideal.quantization_step_c == 0.0
+        assert ideal.noise_std_c == 0.0
+
+    def test_config_is_hashable(self):
+        # The tuner's lru_cache requires hashable configs.
+        assert hash(ServerConfig()) == hash(ServerConfig())

@@ -1,0 +1,286 @@
+"""Coordinators: Table II rules, uncoordinated baseline, E-coord, capper,
+setpoint adaptation, and single-step fan scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ServerConfig
+from repro.core.base import ControlInputs, ControlState
+from repro.core.cpu_capper import DeadzoneCpuCapper
+from repro.core.ecoord import EnergyAwareCoordinator
+from repro.core.rules import (
+    CoordinationAction,
+    RuleBasedCoordinator,
+    classify,
+    table_ii_action,
+)
+from repro.core.setpoint import AdaptiveSetpoint
+from repro.core.single_step import SingleStepFanScaling, SingleStepPhase
+from repro.core.uncoordinated import UncoordinatedCoordinator
+from repro.errors import ControlError
+from repro.thermal.steady_state import SteadyStateServerModel
+
+
+def inputs(tmeas=77.0, util=0.5, degradation=0.0, demand=None) -> ControlInputs:
+    return ControlInputs(
+        time_s=100.0,
+        tmeas_c=tmeas,
+        measured_util=util,
+        recent_degradation=degradation,
+        demand_estimate=demand,
+    )
+
+
+STATE = ControlState(fan_speed_rpm=4000.0, cpu_cap=0.6)
+
+
+class TestClassify:
+    def test_signs(self):
+        assert classify(5.0) == 1
+        assert classify(-5.0) == -1
+        assert classify(0.0) == 0
+
+    def test_tolerance(self):
+        assert classify(1e-12) == 0
+
+
+class TestTableII:
+    """All nine cells of Table II."""
+
+    @pytest.mark.parametrize(
+        "ds, du, expected",
+        [
+            (-1, -1, CoordinationAction.FAN_DOWN),
+            (-1, 0, CoordinationAction.FAN_DOWN),
+            (-1, 1, CoordinationAction.CAP_UP),
+            (0, -1, CoordinationAction.CAP_DOWN),
+            (0, 0, CoordinationAction.NONE),
+            (0, 1, CoordinationAction.CAP_UP),
+            (1, -1, CoordinationAction.FAN_UP),
+            (1, 0, CoordinationAction.FAN_UP),
+            (1, 1, CoordinationAction.FAN_UP),
+        ],
+    )
+    def test_cell(self, ds, du, expected):
+        assert table_ii_action(ds, du) is expected
+
+    def test_single_action_invariant(self):
+        """At most one knob moves, whatever the proposals."""
+        coordinator = RuleBasedCoordinator()
+        for ds in (-1, 0, 1):
+            for du in (-1, 0, 1):
+                fan_prop = STATE.fan_speed_rpm + 500.0 * ds
+                cap_prop = STATE.cpu_cap + 0.1 * du
+                result = coordinator.coordinate(STATE, fan_prop, cap_prop, inputs())
+                fan_moved = result.fan_speed_rpm != STATE.fan_speed_rpm
+                cap_moved = result.cpu_cap != STATE.cpu_cap
+                assert not (fan_moved and cap_moved)
+
+    def test_none_proposals_treated_as_no_change(self):
+        coordinator = RuleBasedCoordinator()
+        result = coordinator.coordinate(STATE, None, 0.7, inputs())
+        assert result.cpu_cap == 0.7
+        assert result.fan_speed_rpm == STATE.fan_speed_rpm
+        assert coordinator.last_action is CoordinationAction.CAP_UP
+
+    def test_action_counts(self):
+        coordinator = RuleBasedCoordinator()
+        coordinator.coordinate(STATE, 5000.0, None, inputs())
+        coordinator.coordinate(STATE, 5000.0, None, inputs())
+        assert coordinator.action_counts[CoordinationAction.FAN_UP] == 2
+
+
+class TestUncoordinated:
+    def test_applies_both(self):
+        coordinator = UncoordinatedCoordinator()
+        result = coordinator.coordinate(STATE, 5000.0, 0.8, inputs())
+        assert result.fan_speed_rpm == 5000.0
+        assert result.cpu_cap == 0.8
+
+    def test_none_proposals_keep_state(self):
+        coordinator = UncoordinatedCoordinator()
+        assert coordinator.coordinate(STATE, None, None, inputs()) == STATE
+
+
+class TestEnergyAware:
+    @pytest.fixture()
+    def coordinator(self, steady) -> EnergyAwareCoordinator:
+        return EnergyAwareCoordinator(
+            steady, t_emergency_c=80.0, t_comfort_c=76.0
+        )
+
+    def test_emergency_prefers_capping(self, coordinator):
+        result = coordinator.coordinate(STATE, 5000.0, 0.5, inputs(tmeas=81.0))
+        assert coordinator.last_action is CoordinationAction.CAP_DOWN
+        assert result.cpu_cap == 0.5
+        assert result.fan_speed_rpm == STATE.fan_speed_rpm
+
+    def test_emergency_fan_up_when_cap_exhausted(self, coordinator):
+        result = coordinator.coordinate(STATE, 5000.0, None, inputs(tmeas=81.0))
+        assert coordinator.last_action is CoordinationAction.FAN_UP
+        assert result.fan_speed_rpm == 5000.0
+
+    def test_fan_up_rejected_below_admission_band(self, coordinator):
+        # At 77 degC a fan boost buys nothing [6] values: rejected.
+        result = coordinator.coordinate(STATE, 5000.0, None, inputs(tmeas=77.0))
+        assert result == STATE
+        assert coordinator.last_action is CoordinationAction.NONE
+
+    def test_fan_up_admitted_in_preemergency_band(self, coordinator):
+        result = coordinator.coordinate(STATE, 5000.0, None, inputs(tmeas=79.5))
+        assert result.fan_speed_rpm == 5000.0
+
+    def test_relaxation_prefers_fan_down(self, coordinator):
+        result = coordinator.coordinate(STATE, 3000.0, 0.7, inputs(tmeas=73.0))
+        assert coordinator.last_action is CoordinationAction.FAN_DOWN
+        assert result.fan_speed_rpm == 3000.0
+        assert result.cpu_cap == STATE.cpu_cap
+
+    def test_cap_recovery_between_fan_decisions(self, coordinator):
+        result = coordinator.coordinate(STATE, None, 0.7, inputs(tmeas=73.0))
+        assert result.cpu_cap == 0.7
+
+    def test_threshold_order_validated(self, steady):
+        with pytest.raises(ControlError):
+            EnergyAwareCoordinator(steady, t_emergency_c=70.0, t_comfort_c=76.0)
+
+
+class TestDeadzoneCapper:
+    def make(self) -> DeadzoneCpuCapper:
+        return DeadzoneCpuCapper(t_low_c=76.0, t_high_c=80.0, step=0.02,
+                                 cap_min=0.1)
+
+    def test_cuts_above_high(self):
+        capper = self.make()
+        assert capper.propose(0.0, 81.0, 0.5) == pytest.approx(0.48)
+
+    def test_raises_below_low(self):
+        capper = self.make()
+        assert capper.propose(0.0, 75.0, 0.5) == pytest.approx(0.52)
+
+    def test_holds_inside_zone(self):
+        capper = self.make()
+        assert capper.propose(0.0, 78.0, 0.5) == 0.5
+
+    def test_clamps_at_min(self):
+        capper = self.make()
+        assert capper.propose(0.0, 90.0, 0.1) == 0.1
+
+    def test_clamps_at_max(self):
+        capper = self.make()
+        assert capper.propose(0.0, 70.0, 1.0) == 1.0
+
+    def test_threshold_order_validated(self):
+        with pytest.raises(ControlError):
+            DeadzoneCpuCapper(t_low_c=82.0, t_high_c=80.0)
+
+    def test_step_validated(self):
+        with pytest.raises(ControlError):
+            DeadzoneCpuCapper(76.0, 80.0, step=0.0)
+
+
+class TestAdaptiveSetpoint:
+    def test_linear_mapping(self):
+        setpoint = AdaptiveSetpoint(t_min_c=70.0, t_max_c=80.0)
+        assert setpoint.reference_for(0.0) == 70.0
+        assert setpoint.reference_for(1.0) == 80.0
+        assert setpoint.reference_for(0.5) == 75.0
+
+    def test_low_load_attenuates(self):
+        setpoint = AdaptiveSetpoint()
+        assert setpoint.reference_for(0.1) < setpoint.reference_for(0.7)
+
+    def test_update_uses_moving_average(self):
+        setpoint = AdaptiveSetpoint(window=2)
+        setpoint.update(0.0)
+        t_ref = setpoint.update(1.0)  # average 0.5
+        assert t_ref == pytest.approx(75.0)
+        assert setpoint.predicted_util == pytest.approx(0.5)
+
+    def test_custom_util_range_clamps(self):
+        setpoint = AdaptiveSetpoint(util_low=0.2, util_high=0.8)
+        assert setpoint.reference_for(0.1) == 70.0
+        assert setpoint.reference_for(0.9) == 80.0
+
+    def test_range_order_validated(self):
+        with pytest.raises(ControlError):
+            AdaptiveSetpoint(t_min_c=80.0, t_max_c=70.0)
+        with pytest.raises(ControlError):
+            AdaptiveSetpoint(util_low=0.8, util_high=0.2)
+
+
+class TestSingleStep:
+    @pytest.fixture()
+    def scaler(self, steady) -> SingleStepFanScaling:
+        return SingleStepFanScaling(
+            steady,
+            degradation_threshold=0.08,
+            max_boost_periods=3,
+            refractory_periods=5,
+        )
+
+    def test_inactive_without_degradation(self, scaler):
+        result = scaler.apply(STATE, inputs(degradation=0.0), 75.0, 0.5)
+        assert result == STATE
+        assert scaler.phase is SingleStepPhase.INACTIVE
+
+    def test_boost_on_degradation(self, scaler):
+        result = scaler.apply(STATE, inputs(degradation=0.2), 75.0, 0.5)
+        assert result.fan_speed_rpm == 8500.0
+        assert scaler.phase is SingleStepPhase.BOOSTED
+        assert scaler.boost_count == 1
+
+    def test_boost_releases_to_safe_landing(self, scaler, steady):
+        scaler.apply(STATE, inputs(degradation=0.2), 75.0, 0.5)
+        result = scaler.apply(
+            STATE, inputs(degradation=0.0, demand=0.8), 75.0, 0.5
+        )
+        expected = steady.required_fan_speed_rpm(0.85, 78.0)
+        assert result.fan_speed_rpm == pytest.approx(expected)
+        assert scaler.phase is SingleStepPhase.REFRACTORY
+
+    def test_boost_bounded_by_max_periods(self, scaler):
+        scaler.apply(STATE, inputs(degradation=0.5), 75.0, 0.5)
+        for _ in range(2):
+            result = scaler.apply(STATE, inputs(degradation=0.5), 75.0, 0.5)
+            assert result.fan_speed_rpm == 8500.0
+        # Third post-trigger period: forced landing despite degradation.
+        result = scaler.apply(STATE, inputs(degradation=0.5), 75.0, 0.5)
+        assert result.fan_speed_rpm < 8500.0
+
+    def test_refractory_blocks_retrigger(self, scaler):
+        scaler.apply(STATE, inputs(degradation=0.5), 75.0, 0.5)
+        scaler.apply(STATE, inputs(degradation=0.0), 75.0, 0.5)  # land
+        result = scaler.apply(STATE, inputs(degradation=0.5), 75.0, 0.5)
+        assert scaler.phase is SingleStepPhase.REFRACTORY
+        assert scaler.boost_count == 1
+        assert result.fan_speed_rpm < 8500.0
+
+    def test_refractory_expires(self, scaler):
+        scaler.apply(STATE, inputs(degradation=0.5), 75.0, 0.5)
+        scaler.apply(STATE, inputs(degradation=0.0), 75.0, 0.5)
+        for _ in range(5):
+            scaler.apply(STATE, inputs(degradation=0.0), 75.0, 0.5)
+        assert scaler.phase is SingleStepPhase.INACTIVE
+
+    def test_zero_threshold_disables(self, steady):
+        scaler = SingleStepFanScaling(steady, degradation_threshold=0.0)
+        result = scaler.apply(STATE, inputs(degradation=0.9), 75.0, 0.5)
+        assert result == STATE
+
+    def test_landing_tracks_demand_decay(self, scaler, steady):
+        scaler.apply(STATE, inputs(degradation=0.5), 75.0, 0.5)
+        scaler.apply(STATE, inputs(degradation=0.0, demand=0.9), 75.0, 0.5)
+        # During refractory the landing follows the (falling) demand.
+        result = scaler.apply(
+            STATE, inputs(degradation=0.0, demand=0.3), 75.0, 0.3
+        )
+        expected = steady.required_fan_speed_rpm(0.35, 78.0)
+        assert result.fan_speed_rpm == pytest.approx(expected)
+
+    def test_parameter_validation(self, steady):
+        with pytest.raises(ControlError):
+            SingleStepFanScaling(steady, max_boost_periods=0)
+        with pytest.raises(ControlError):
+            SingleStepFanScaling(steady, refractory_periods=-1)

@@ -1,0 +1,112 @@
+"""Experiment registry and the fast experiments end-to-end.
+
+The heavy experiments (fig3, fig5, table3) run in reduced form here; the
+benchmarks run them at full length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.fig1_sensor_lag import contention_lag_table
+from repro.experiments.registry import get_experiment, run_experiment
+from repro.experiments.table2_rules import EXPECTED
+from repro.experiments.table3_coordination import PAPER_TABLE_III
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        get_experiment("table2")  # triggers load
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "table2",
+            "table3",
+        }
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+
+class TestFig1:
+    def test_checks_pass(self):
+        result = run_experiment("fig1")
+        assert result.all_checks_pass, result.checks
+
+    def test_measured_lag_close_to_configured(self):
+        result = run_experiment("fig1")
+        assert result.data["apparent_lag_s"] == pytest.approx(10.0, abs=2.0)
+
+    def test_contention_table_monotone(self):
+        table = contention_lag_table()
+        lags = [lag for _, lag in table]
+        assert lags == sorted(lags)
+
+
+class TestTable2:
+    def test_checks_pass(self):
+        result = run_experiment("table2")
+        assert result.all_checks_pass, result.checks
+
+    def test_covers_all_nine_cells(self):
+        assert len(EXPECTED) == 9
+
+    def test_report_mentions_every_cell(self):
+        result = run_experiment("table2")
+        assert result.report.count("True") == 9
+
+
+class TestTable3Constants:
+    def test_paper_values_recorded(self):
+        assert PAPER_TABLE_III["uncoordinated"] == (26.12, 1.000)
+        assert PAPER_TABLE_III["ecoord"] == (44.44, 0.703)
+        assert PAPER_TABLE_III["rcoord_atref_ssfan"] == (6.92, 0.804)
+
+
+class TestShortTable3:
+    """A single-seed, short-horizon Table III still shows the key contrasts."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table3", duration_s=900.0, seeds=(1,))
+
+    def test_ecoord_has_worst_violations(self, result):
+        measured = result.data["measured"]
+        assert measured["ecoord"][0] == max(v for v, _ in measured.values())
+
+    def test_ecoord_has_lowest_energy(self, result):
+        measured = result.data["measured"]
+        assert measured["ecoord"][1] == min(e for _, e in measured.values())
+
+    def test_full_scheme_beats_baseline(self, result):
+        measured = result.data["measured"]
+        assert (
+            measured["rcoord_atref_ssfan"][0] < measured["uncoordinated"][0]
+        )
+
+
+class TestShortFig4:
+    def test_deadzone_oscillates_and_adaptive_does_not(self):
+        # 1500 s: enough for >= 3 full deadzone cycles (period ~165 s)
+        # inside the trailing analysis window.
+        result = run_experiment("fig4", duration_s=1500.0)
+        stability = result.data["stability"]
+        assert stability["deadzone"]["oscillatory"]
+        assert not stability["adaptive"]["oscillatory"]
+        assert not stability["deadzone_ideal"]["oscillatory"]
+
+
+class TestCli:
+    def test_main_runs_fast_experiments(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["table2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Table II" in captured.out

@@ -1,0 +1,191 @@
+"""Fan controllers: the adaptive PID and the threshold/deadzone baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fan_baselines import (
+    DeadzoneFanController,
+    SingleThresholdFanController,
+    StaticFanController,
+)
+from repro.core.fan_controller import AdaptivePIDFanController
+from repro.core.gain_schedule import GainRegion, GainSchedule
+from repro.core.pid import PIDGains
+from repro.core.quantization import QuantizationGuard
+from repro.errors import ControlError
+
+LIMITS = (1000.0, 8500.0)
+
+
+def make_adaptive(
+    schedule=None, guard=None, slew=None, initial=3000.0
+) -> AdaptivePIDFanController:
+    if schedule is None:
+        schedule = GainSchedule(
+            [
+                GainRegion(2000.0, PIDGains(kp=300.0, ki=6.0, kd=0.0)),
+                GainRegion(6000.0, PIDGains(kp=2400.0, ki=48.0, kd=0.0)),
+            ]
+        )
+    return AdaptivePIDFanController(
+        schedule=schedule,
+        t_ref_c=75.0,
+        fan_limits_rpm=LIMITS,
+        interval_s=30.0,
+        initial_speed_rpm=initial,
+        quantization_guard=guard,
+        slew_limit_rpm=slew,
+    )
+
+
+class TestAdaptivePID:
+    def test_hot_reading_raises_speed(self):
+        ctrl = make_adaptive()
+        proposal = ctrl.propose(30.0, 78.0)
+        assert proposal > 3000.0
+
+    def test_cold_reading_lowers_speed(self):
+        ctrl = make_adaptive()
+        proposal = ctrl.propose(30.0, 72.0)
+        assert proposal < 3000.0
+
+    def test_guard_holds_inside_deadband(self):
+        ctrl = make_adaptive(guard=QuantizationGuard(1.0))
+        assert ctrl.propose(30.0, 75.5) == 3000.0
+
+    def test_guard_freezes_integral(self):
+        ctrl = make_adaptive(guard=QuantizationGuard(1.0))
+        ctrl.propose(30.0, 75.5)
+        assert ctrl.pid.integral == 0.0
+
+    def test_error_shaping_reduces_response(self):
+        plain = make_adaptive()
+        shaped = make_adaptive(guard=QuantizationGuard(1.0))
+        assert shaped.propose(30.0, 78.0) < plain.propose(30.0, 78.0)
+
+    def test_slew_limit_bounds_change(self):
+        ctrl = make_adaptive(slew=500.0)
+        proposal = ctrl.propose(30.0, 85.0)
+        assert proposal == 3500.0
+
+    def test_direction_guard_blocks_inverted_proposals(self):
+        """A hot reading can never produce a proposal below applied speed."""
+        ctrl = make_adaptive(guard=QuantizationGuard(1.0))
+        # Wind the integral strongly negative with cold readings.
+        for k in range(1, 6):
+            proposal = ctrl.propose(30.0 * k, 70.0)
+            ctrl.notify_applied(proposal)
+        applied = ctrl.applied_speed_rpm
+        hot = ctrl.propose(999.0, 79.0)
+        assert hot >= applied
+
+    def test_notify_applied_anchors_position(self):
+        ctrl = make_adaptive()
+        ctrl.notify_applied(5000.0)
+        assert ctrl.applied_speed_rpm == 5000.0
+
+    def test_notify_applied_clamps(self):
+        ctrl = make_adaptive()
+        ctrl.notify_applied(99999.0)
+        assert ctrl.applied_speed_rpm == 8500.0
+
+    def test_region_change_resets_integral_and_rebases(self):
+        ctrl = make_adaptive(initial=3000.0)
+        # Build up some integral in region 0.
+        ctrl.propose(30.0, 78.0)
+        assert ctrl.pid.integral != 0.0
+        # Move into region 1 and propose again.
+        ctrl.notify_applied(7000.0)
+        ctrl.propose(60.0, 75.0)
+        assert ctrl.region_index == 1
+        assert ctrl.pid.output_offset == 7000.0
+
+    def test_proposal_within_limits(self):
+        ctrl = make_adaptive()
+        assert ctrl.propose(30.0, 120.0) <= 8500.0
+        ctrl2 = make_adaptive()
+        assert ctrl2.propose(30.0, 0.0) >= 1000.0
+
+    def test_set_reference(self):
+        ctrl = make_adaptive()
+        ctrl.set_reference(78.0)
+        assert ctrl.t_ref_c == 78.0
+        # Reading of 78 is now on-target.
+        assert ctrl.propose(30.0, 78.0) == pytest.approx(3000.0)
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ControlError):
+            AdaptivePIDFanController(
+                schedule=GainSchedule.fixed(PIDGains(1.0)),
+                t_ref_c=75.0,
+                fan_limits_rpm=(8500.0, 1000.0),
+            )
+
+    def test_invalid_slew_rejected(self):
+        with pytest.raises(ControlError):
+            make_adaptive(slew=-5.0)
+
+    def test_default_initial_speed_is_midrange(self):
+        ctrl = AdaptivePIDFanController(
+            schedule=GainSchedule.fixed(PIDGains(1.0)),
+            t_ref_c=75.0,
+            fan_limits_rpm=LIMITS,
+        )
+        assert ctrl.applied_speed_rpm == pytest.approx(4750.0)
+
+
+class TestStaticFan:
+    def test_constant(self):
+        ctrl = StaticFanController(4000.0)
+        assert ctrl.propose(0.0, 90.0) == 4000.0
+        assert ctrl.propose(100.0, 40.0) == 4000.0
+
+
+class TestSingleThreshold:
+    def test_switches_at_threshold(self):
+        ctrl = SingleThresholdFanController(80.0, 2000.0, 7000.0)
+        assert ctrl.propose(0.0, 79.9) == 2000.0
+        assert ctrl.propose(1.0, 80.0) == 7000.0
+
+    def test_order_validated(self):
+        with pytest.raises(ControlError):
+            SingleThresholdFanController(80.0, 7000.0, 2000.0)
+
+
+class TestDeadzone:
+    def make(self) -> DeadzoneFanController:
+        return DeadzoneFanController(
+            t_low_c=74.0,
+            t_high_c=76.0,
+            step_rpm=500.0,
+            fan_limits_rpm=LIMITS,
+            initial_speed_rpm=3000.0,
+        )
+
+    def test_holds_inside_zone(self):
+        ctrl = self.make()
+        assert ctrl.propose(0.0, 75.0) == 3000.0
+
+    def test_steps_up_above_zone(self):
+        ctrl = self.make()
+        assert ctrl.propose(0.0, 77.0) == 3500.0
+
+    def test_steps_down_below_zone(self):
+        ctrl = self.make()
+        assert ctrl.propose(0.0, 73.0) == 2500.0
+
+    def test_saturates_at_limits(self):
+        ctrl = self.make()
+        for _ in range(50):
+            ctrl.propose(0.0, 90.0)
+        assert ctrl.speed_rpm == 8500.0
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ControlError):
+            DeadzoneFanController(80.0, 70.0, 500.0, LIMITS)
+
+    def test_notify_applied(self):
+        ctrl = self.make()
+        ctrl.notify_applied(4200.0)
+        assert ctrl.speed_rpm == 4200.0

@@ -1,0 +1,132 @@
+"""Gain schedule: Eqns 8-9 interpolation and region segmentation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gain_schedule import GainRegion, GainSchedule
+from repro.core.pid import PIDGains
+from repro.errors import ControlError
+
+
+@pytest.fixture()
+def schedule() -> GainSchedule:
+    return GainSchedule(
+        [
+            GainRegion(2000.0, PIDGains(kp=100.0, ki=10.0, kd=1.0)),
+            GainRegion(6000.0, PIDGains(kp=900.0, ki=90.0, kd=9.0)),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ControlError):
+            GainSchedule([])
+
+    def test_duplicate_speeds_rejected(self):
+        region = GainRegion(2000.0, PIDGains(1.0))
+        with pytest.raises(ControlError):
+            GainSchedule([region, GainRegion(2000.0, PIDGains(2.0))])
+
+    def test_regions_sorted(self):
+        sched = GainSchedule(
+            [
+                GainRegion(6000.0, PIDGains(9.0)),
+                GainRegion(2000.0, PIDGains(1.0)),
+            ]
+        )
+        assert [r.ref_speed_rpm for r in sched.regions] == [2000.0, 6000.0]
+
+    def test_len(self, schedule):
+        assert len(schedule) == 2
+
+    def test_fixed_factory(self):
+        sched = GainSchedule.fixed(PIDGains(kp=5.0))
+        assert len(sched) == 1
+        assert sched.gains_at(123456.0).kp == 5.0
+
+
+class TestInterpolation:
+    def test_exact_region_speeds(self, schedule):
+        assert schedule.gains_at(2000.0).kp == 100.0
+        assert schedule.gains_at(6000.0).kp == 900.0
+
+    def test_midpoint_blend(self, schedule):
+        # Eqns 8-9: alpha = (4000 - 2000) / (6000 - 2000) = 0.5
+        gains = schedule.gains_at(4000.0)
+        assert gains.kp == pytest.approx(500.0)
+        assert gains.ki == pytest.approx(50.0)
+        assert gains.kd == pytest.approx(5.0)
+
+    def test_quarter_blend(self, schedule):
+        gains = schedule.gains_at(3000.0)
+        assert gains.kp == pytest.approx(100.0 + 0.25 * 800.0)
+
+    def test_clamped_below(self, schedule):
+        assert schedule.gains_at(1000.0).kp == 100.0
+
+    def test_clamped_above(self, schedule):
+        assert schedule.gains_at(8500.0).kp == 900.0
+
+    def test_bracket_weights(self, schedule):
+        i, j, alpha = schedule.bracket(5000.0)
+        assert (i, j) == (0, 1)
+        assert alpha == pytest.approx(0.75)
+
+    def test_bracket_outside(self, schedule):
+        assert schedule.bracket(500.0) == (0, 0, 0.0)
+        assert schedule.bracket(9000.0) == (1, 1, 0.0)
+
+    @settings(max_examples=50)
+    @given(st.floats(0.0, 10000.0))
+    def test_gains_bounded_by_regions_property(self, speed):
+        schedule = GainSchedule(
+            [
+                GainRegion(2000.0, PIDGains(kp=100.0, ki=10.0, kd=1.0)),
+                GainRegion(6000.0, PIDGains(kp=900.0, ki=90.0, kd=9.0)),
+            ]
+        )
+        gains = schedule.gains_at(speed)
+        assert 100.0 <= gains.kp <= 900.0
+        assert 10.0 <= gains.ki <= 90.0
+
+    @settings(max_examples=25)
+    @given(st.floats(2000.0, 6000.0), st.floats(2000.0, 6000.0))
+    def test_monotone_between_regions_property(self, a, b):
+        schedule = GainSchedule(
+            [
+                GainRegion(2000.0, PIDGains(kp=100.0)),
+                GainRegion(6000.0, PIDGains(kp=900.0)),
+            ]
+        )
+        if a <= b:
+            assert schedule.gains_at(a).kp <= schedule.gains_at(b).kp + 1e-9
+
+
+class TestSegmentation:
+    def test_segment_index(self, schedule):
+        assert schedule.segment_index(1000.0) == 0
+        assert schedule.segment_index(3000.0) == 0
+        assert schedule.segment_index(6000.0) == 1
+        assert schedule.segment_index(8000.0) == 1
+
+    def test_single_region_always_zero(self):
+        sched = GainSchedule.fixed(PIDGains(1.0))
+        assert sched.segment_index(0.0) == 0
+        assert sched.segment_index(99999.0) == 0
+
+    def test_three_regions(self):
+        sched = GainSchedule(
+            [
+                GainRegion(2000.0, PIDGains(1.0)),
+                GainRegion(4000.0, PIDGains(2.0)),
+                GainRegion(6000.0, PIDGains(3.0)),
+            ]
+        )
+        assert sched.segment_index(3000.0) == 0
+        assert sched.segment_index(5000.0) == 1
+        assert sched.segment_index(7000.0) == 2
+        assert sched.gains_at(5000.0).kp == pytest.approx(2.5)

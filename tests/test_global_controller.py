@@ -1,0 +1,159 @@
+"""GlobalController: decision timing, coordination wiring, A-Tref, SSfan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ControlConfig
+from repro.core.base import ControlInputs, ControlState
+from repro.core.cpu_capper import DeadzoneCpuCapper
+from repro.core.fan_controller import AdaptivePIDFanController
+from repro.core.gain_schedule import GainSchedule
+from repro.core.global_controller import GlobalController
+from repro.core.pid import PIDGains
+from repro.core.rules import RuleBasedCoordinator
+from repro.core.setpoint import AdaptiveSetpoint
+from repro.core.single_step import SingleStepFanScaling
+from repro.thermal.steady_state import SteadyStateServerModel
+
+
+def make_fan(initial=3000.0) -> AdaptivePIDFanController:
+    return AdaptivePIDFanController(
+        schedule=GainSchedule.fixed(PIDGains(kp=300.0, ki=6.0)),
+        t_ref_c=75.0,
+        fan_limits_rpm=(1000.0, 8500.0),
+        interval_s=30.0,
+        initial_speed_rpm=initial,
+    )
+
+
+def make_controller(**kwargs) -> GlobalController:
+    defaults = dict(
+        control=ControlConfig(),
+        fan_controller=make_fan(),
+        coordinator=RuleBasedCoordinator(),
+        cpu_capper=DeadzoneCpuCapper(76.0, 80.0, step=0.02),
+        initial_state=ControlState(fan_speed_rpm=3000.0, cpu_cap=1.0),
+    )
+    defaults.update(kwargs)
+    return GlobalController(**defaults)
+
+
+def inputs(t, tmeas=77.0, util=0.5, degradation=0.0) -> ControlInputs:
+    return ControlInputs(
+        time_s=t, tmeas_c=tmeas, measured_util=util,
+        recent_degradation=degradation,
+    )
+
+
+class TestDecisionTiming:
+    def test_cap_decided_every_step(self):
+        controller = make_controller()
+        controller.step(inputs(1.0, tmeas=81.0))
+        assert controller.state.cpu_cap == pytest.approx(0.98)
+        controller.step(inputs(2.0, tmeas=81.0))
+        assert controller.state.cpu_cap == pytest.approx(0.96)
+
+    def test_fan_not_due_before_interval(self):
+        controller = make_controller()
+        controller.step(inputs(1.0, tmeas=81.0))
+        fan_prop, cap_prop = controller.last_proposals
+        assert fan_prop is None
+        assert cap_prop is not None
+
+    def test_fan_due_at_interval(self):
+        controller = make_controller()
+        for t in range(1, 31):
+            controller.step(inputs(float(t), tmeas=81.0))
+        fan_prop, _ = controller.last_proposals
+        assert fan_prop is not None
+
+    def test_fan_interval_respected_after_decision(self):
+        controller = make_controller()
+        for t in range(1, 32):
+            controller.step(inputs(float(t), tmeas=81.0))
+        fan_prop, _ = controller.last_proposals
+        assert fan_prop is None  # t = 31: next decision at 60
+
+
+class TestCoordinationWiring:
+    def test_emergency_moves_exactly_one_knob(self):
+        controller = make_controller()
+        before = controller.state
+        for t in range(1, 31):
+            controller.step(inputs(float(t), tmeas=82.0))
+        after = controller.state
+        # Cap fell (many cap decisions) and fan rose at t=30 via Table II
+        # (fan-up wins at the collision instant, so the cap skipped one cut).
+        assert after.cpu_cap < before.cpu_cap
+        assert after.fan_speed_rpm > before.fan_speed_rpm
+
+    def test_state_applied_back_to_fan_controller(self):
+        fan = make_fan()
+        controller = make_controller(fan_controller=fan)
+        for t in range(1, 31):
+            controller.step(inputs(float(t), tmeas=82.0))
+        assert fan.applied_speed_rpm == controller.state.fan_speed_rpm
+
+    def test_default_coordinator_is_uncoordinated(self):
+        controller = GlobalController(
+            control=ControlConfig(),
+            fan_controller=make_fan(),
+        )
+        from repro.core.uncoordinated import UncoordinatedCoordinator
+
+        assert isinstance(controller.coordinator, UncoordinatedCoordinator)
+
+    def test_fan_only_configuration(self):
+        controller = GlobalController(
+            control=ControlConfig(),
+            fan_controller=make_fan(),
+            cpu_capper=None,
+        )
+        for t in range(1, 31):
+            controller.step(inputs(float(t), tmeas=82.0))
+        assert controller.state.cpu_cap == 1.0  # untouched without a capper
+
+
+class TestAdaptiveSetpointIntegration:
+    def test_t_ref_follows_predicted_util(self):
+        controller = make_controller(
+            setpoint=AdaptiveSetpoint(t_min_c=70.0, t_max_c=80.0, window=5)
+        )
+        for t in range(1, 6):
+            controller.step(inputs(float(t), util=0.9))
+        assert controller.t_ref_c == pytest.approx(79.0)
+
+    def test_fan_reference_updated(self):
+        fan = make_fan()
+        controller = make_controller(
+            fan_controller=fan,
+            setpoint=AdaptiveSetpoint(t_min_c=70.0, t_max_c=80.0, window=1),
+        )
+        controller.step(inputs(1.0, util=0.0))
+        assert fan.t_ref_c == pytest.approx(70.0)
+
+
+class TestSingleStepIntegration:
+    def test_boost_overrides_fan(self, steady):
+        controller = make_controller(
+            single_step=SingleStepFanScaling(steady, degradation_threshold=0.05)
+        )
+        state = controller.step(inputs(1.0, degradation=0.2))
+        assert state.fan_speed_rpm == 8500.0
+
+    def test_boost_propagates_to_fan_controller(self, steady):
+        fan = make_fan()
+        controller = make_controller(
+            fan_controller=fan,
+            single_step=SingleStepFanScaling(steady, degradation_threshold=0.05),
+        )
+        controller.step(inputs(1.0, degradation=0.2))
+        assert fan.applied_speed_rpm == 8500.0
+
+    def test_no_boost_without_degradation(self, steady):
+        controller = make_controller(
+            single_step=SingleStepFanScaling(steady, degradation_threshold=0.05)
+        )
+        state = controller.step(inputs(1.0, degradation=0.0))
+        assert state.fan_speed_rpm == 3000.0

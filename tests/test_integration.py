@@ -1,0 +1,134 @@
+"""Cross-module integration tests: full closed-loop properties.
+
+These exercise the whole stack (workload -> plant -> sensing -> DTM) and
+assert system-level invariants the paper's design is supposed to provide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import analyze_stability
+from repro.config import ServerConfig
+from repro.sim.engine import Simulator
+from repro.sim.scenarios import (
+    build_global_controller,
+    build_plant,
+    build_sensor,
+    paper_workload,
+)
+from repro.workload.synthetic import ConstantWorkload, SquareWaveWorkload
+
+
+def run_closed_loop(
+    scheme, fast_schedule, workload=None, duration=900.0, seed=3, config=None
+):
+    cfg = config or ServerConfig()
+    controller = build_global_controller(scheme, cfg, fast_schedule)
+    plant = build_plant(cfg)
+    sensor = build_sensor(cfg, seed=seed)
+    if workload is None:
+        workload = paper_workload(duration, seed=seed)
+    sim = Simulator(plant, sensor, workload, controller, dt_s=0.2,
+                    record_decimation=5)
+    return sim.run(duration, label=scheme)
+
+
+class TestThermalSafety:
+    """No scheme may let the junction run away."""
+
+    @pytest.mark.parametrize(
+        "scheme", ["uncoordinated", "rcoord", "rcoord_atref", "rcoord_atref_ssfan"]
+    )
+    def test_junction_bounded(self, scheme, fast_schedule):
+        result = run_closed_loop(scheme, fast_schedule)
+        assert result.max_junction_c < 90.0
+
+    def test_ecoord_junction_bounded(self, fast_schedule):
+        # E-coord sacrifices performance, not safety.
+        result = run_closed_loop("ecoord", fast_schedule)
+        assert result.max_junction_c < 90.0
+
+
+class TestStateValidity:
+    def test_knobs_always_within_physical_range(self, fast_schedule):
+        result = run_closed_loop("rcoord_atref_ssfan", fast_schedule)
+        assert result.fan_speed_rpm.min() >= 1000.0
+        assert result.fan_speed_rpm.max() <= 8500.0
+        assert result.cpu_cap.min() >= 0.1
+        assert result.cpu_cap.max() <= 1.0
+
+    def test_applied_never_exceeds_demand_or_cap(self, fast_schedule):
+        result = run_closed_loop("rcoord", fast_schedule)
+        assert np.all(result.applied_util <= result.demand + 1e-9)
+        assert np.all(result.applied_util <= result.cpu_cap + 1e-9)
+
+
+class TestSteadyTracking:
+    def test_constant_load_converges_to_t_ref(self, fast_schedule):
+        result = run_closed_loop(
+            "rcoord", fast_schedule, workload=ConstantWorkload(0.5),
+            duration=1500.0,
+        )
+        tail = result.junction_c[result.times > 900.0]
+        # Settles within the quantization deadband around T_ref = 75.
+        assert abs(tail.mean() - 75.0) < 2.0
+        assert tail.max() - tail.min() < 3.0
+
+    def test_constant_load_fan_does_not_limit_cycle(self, fast_schedule):
+        result = run_closed_loop(
+            "rcoord", fast_schedule, workload=ConstantWorkload(0.5),
+            duration=1500.0,
+        )
+        report = analyze_stability(
+            result.times, result.fan_speed_rpm, min_amplitude=500.0
+        )
+        assert not report.oscillatory
+
+
+class TestCoordinationContrast:
+    def test_ecoord_throttles_hardest(self, fast_schedule):
+        workload = SquareWaveWorkload(low=0.1, high=0.7, half_period_s=300.0)
+        ecoord = run_closed_loop("ecoord", fast_schedule, workload=workload)
+        rcoord = run_closed_loop("rcoord", fast_schedule, workload=workload)
+        assert ecoord.violation_percent > rcoord.violation_percent
+
+    def test_ecoord_spends_least_fan_energy(self, fast_schedule):
+        workload = SquareWaveWorkload(low=0.1, high=0.7, half_period_s=300.0)
+        ecoord = run_closed_loop("ecoord", fast_schedule, workload=workload)
+        rcoord = run_closed_loop("rcoord", fast_schedule, workload=workload)
+        assert ecoord.fan_energy_j < rcoord.fan_energy_j
+
+    def test_ssfan_reduces_violations_on_spiky_load(self, fast_schedule):
+        atref = run_closed_loop("rcoord_atref", fast_schedule, seed=11)
+        ssfan = run_closed_loop("rcoord_atref_ssfan", fast_schedule, seed=11)
+        assert ssfan.violation_percent <= atref.violation_percent + 1.0
+
+
+class TestSensingImpactOnControl:
+    def test_larger_lag_degrades_tracking(self, fast_schedule):
+        """More transport delay -> larger junction excursions (the core
+        premise of the paper)."""
+        workload = SquareWaveWorkload(low=0.1, high=0.7, half_period_s=300.0)
+        excursions = {}
+        for lag in (0.0, 20.0):
+            cfg = ServerConfig().with_sensing(lag_s=lag)
+            result = run_closed_loop(
+                "rcoord", fast_schedule, workload=workload, config=cfg
+            )
+            excursions[lag] = result.max_junction_c
+        assert excursions[20.0] >= excursions[0.0] - 0.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, fast_schedule):
+        a = run_closed_loop("rcoord_atref", fast_schedule, seed=5, duration=300.0)
+        b = run_closed_loop("rcoord_atref", fast_schedule, seed=5, duration=300.0)
+        assert np.array_equal(a.junction_c, b.junction_c)
+        assert a.violation_percent == b.violation_percent
+
+    def test_different_seed_different_noise(self, fast_schedule):
+        a = run_closed_loop("rcoord", fast_schedule, seed=5, duration=300.0)
+        b = run_closed_loop("rcoord", fast_schedule, seed=6, duration=300.0)
+        assert not np.array_equal(a.demand, b.demand)

@@ -1,0 +1,152 @@
+"""Multi-core plant and per-core sensor array (Section I scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SensingConfig, ServerConfig
+from repro.errors import SensorError, ThermalModelError
+from repro.sensing.sensor_array import SensorArray
+from repro.thermal.multicore import MultiCoreServerModel
+from repro.thermal.server import ServerThermalModel
+
+
+class TestMultiCorePlant:
+    def test_balanced_load_matches_single_node_model(self):
+        """With equal per-core load the multi-core model reduces exactly
+        to the paper's single-junction plant."""
+        cfg = ServerConfig()
+        multi = MultiCoreServerModel(cfg, n_cores=4, initial_utilization=0.3,
+                                     initial_fan_speed_rpm=3000.0)
+        single = ServerThermalModel(cfg, initial_utilization=0.3,
+                                    initial_fan_speed_rpm=3000.0)
+        for _ in range(200):
+            multi.step(0.5, [0.6] * 4, 3500.0)
+            single.step(0.5, 0.6, 3500.0)
+        assert multi.state.hottest_c == pytest.approx(single.junction_c,
+                                                      abs=1e-6)
+        assert multi.state.spread_c == pytest.approx(0.0, abs=1e-9)
+
+    def test_imbalanced_load_creates_spread(self):
+        multi = MultiCoreServerModel(ServerConfig(), n_cores=4)
+        for _ in range(100):
+            multi.step(0.5, [1.0, 0.1, 0.1, 0.1], 4000.0)
+        state = multi.state
+        assert state.spread_c > 5.0
+        assert state.junctions_c[0] == state.hottest_c
+
+    def test_hot_core_hotter_than_balanced_average(self):
+        """Concentrating the same total load on one core raises the peak
+        junction - why per-core sensing matters."""
+        cfg = ServerConfig()
+        hot = MultiCoreServerModel(cfg, n_cores=4)
+        balanced = MultiCoreServerModel(cfg, n_cores=4)
+        for _ in range(200):
+            hot.step(0.5, [0.8, 0.0, 0.0, 0.0], 4000.0)
+            balanced.step(0.5, [0.2] * 4, 4000.0)
+        assert hot.state.hottest_c > balanced.state.hottest_c + 3.0
+
+    def test_total_power_matches_eqn1(self):
+        multi = MultiCoreServerModel(ServerConfig(), n_cores=4)
+        state = multi.step(0.5, [0.5] * 4, 4000.0)
+        assert state.cpu_power_w == pytest.approx(96.0 + 64.0 * 0.5)
+
+    def test_wrong_utilization_count_rejected(self):
+        multi = MultiCoreServerModel(ServerConfig(), n_cores=4)
+        with pytest.raises(ThermalModelError):
+            multi.step(0.5, [0.5, 0.5], 4000.0)
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ThermalModelError):
+            MultiCoreServerModel(ServerConfig(), n_cores=0)
+
+
+class TestSensorArray:
+    def test_contention_lag_scales_with_sensor_count(self):
+        small = SensorArray(2, transaction_time_s=0.5)
+        large = SensorArray(16, transaction_time_s=0.5)
+        assert large.worst_case_lag_s() > small.worst_case_lag_s()
+
+    def test_sixteen_sensors_reach_paper_scale_lag(self):
+        """16 sensors at 0.5 s/transaction + 0.5 s firmware latency put
+        the worst-case staleness at the paper's ~10 s figure."""
+        array = SensorArray(16, transaction_time_s=0.55, base_latency_s=0.5)
+        assert array.worst_case_lag_s() == pytest.approx(9.85, abs=0.5)
+
+    def test_read_hottest_tracks_hot_core(self):
+        array = SensorArray(4, transaction_time_s=0.25)
+        for t in range(1, 10):
+            array.observe(float(t), [70.0, 85.0, 72.0, 71.0])
+        assert array.read_hottest(9.0) == 85.0
+
+    def test_readings_are_quantized(self):
+        array = SensorArray(2, SensingConfig(), transaction_time_s=0.25)
+        for t in range(1, 6):
+            array.observe(float(t), [70.4, 71.6])
+        readings = array.read_all(5.0)
+        assert readings["core0"] == 70.0
+        assert readings["core1"] == 72.0
+
+    def test_read_before_delivery_raises(self):
+        array = SensorArray(2)
+        with pytest.raises(SensorError):
+            array.read_hottest(0.0)
+
+    def test_wrong_temperature_count_rejected(self):
+        array = SensorArray(3)
+        with pytest.raises(SensorError):
+            array.observe(1.0, [70.0])
+
+    def test_staleness_visible_on_fast_change(self):
+        """A jump on one core reaches the firmware only after the bus
+        cycles back to that sensor."""
+        array = SensorArray(8, transaction_time_s=1.0, base_latency_s=0.0)
+        # Feed stable temps long enough for all sensors to deliver once.
+        for t in range(1, 10):
+            array.observe(float(t), [70.0] * 8)
+        assert array.read_hottest(9.0) == 70.0
+        # core7 jumps; its next transaction is several seconds away.
+        for t in range(10, 20):
+            array.observe(float(t), [70.0] * 7 + [90.0])
+        assert array.read_hottest(10.5) == 70.0  # not yet delivered
+        assert array.read_hottest(19.0) == 90.0  # eventually visible
+
+
+class TestClosedLoopWithArray:
+    def test_dtm_on_hottest_reading_keeps_all_cores_safe(self, fast_schedule):
+        """Drive the multi-core plant with the adaptive PID acting on the
+        sensor array's hottest reading: every core stays below critical
+        even under imbalanced load."""
+        from repro.core.fan_controller import AdaptivePIDFanController
+        from repro.core.quantization import QuantizationGuard
+
+        cfg = ServerConfig()
+        plant = MultiCoreServerModel(cfg, n_cores=4, initial_utilization=0.2,
+                                     initial_fan_speed_rpm=3000.0)
+        array = SensorArray(4, cfg.sensing, transaction_time_s=0.5)
+        controller = AdaptivePIDFanController(
+            schedule=fast_schedule,
+            t_ref_c=75.0,
+            fan_limits_rpm=(cfg.fan.min_speed_rpm, cfg.fan.max_speed_rpm),
+            interval_s=cfg.control.fan_interval_s,
+            initial_speed_rpm=3000.0,
+            quantization_guard=QuantizationGuard(1.0),
+            slew_limit_rpm=1500.0,
+        )
+        speed = 3000.0
+        hottest_seen = 0.0
+        next_decision = cfg.control.fan_interval_s
+        for k in range(1, 1200):
+            t = k * 0.5
+            utils = [0.9, 0.3, 0.3, 0.3]  # persistent imbalance
+            state = plant.step(0.5, utils, speed)
+            array.observe(t, list(state.junctions_c))
+            hottest_seen = max(hottest_seen, state.hottest_c)
+            if t >= next_decision:
+                proposal = controller.propose(t, array.read_hottest(t))
+                controller.notify_applied(proposal)
+                speed = proposal
+                next_decision += cfg.control.fan_interval_s
+        assert hottest_seen < 90.0
+        # The loop converged near the reference for the hottest core.
+        assert plant.state.hottest_c == pytest.approx(75.0, abs=3.0)

@@ -1,0 +1,153 @@
+"""PID controller: Eqn 4 law, anti-windup, limits, gain blending."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pid import PIDController, PIDGains
+from repro.errors import ControlError
+from repro.units import UnitsError
+
+
+class TestPIDGains:
+    def test_negative_gain_rejected(self):
+        with pytest.raises(UnitsError):
+            PIDGains(kp=-1.0)
+
+    def test_scaled(self):
+        scaled = PIDGains(2.0, 4.0, 8.0).scaled(0.5)
+        assert (scaled.kp, scaled.ki, scaled.kd) == (1.0, 2.0, 4.0)
+
+    def test_blend_endpoints(self):
+        a, b = PIDGains(1.0, 1.0, 1.0), PIDGains(3.0, 5.0, 7.0)
+        assert a.blend(b, 0.0) == a
+        assert a.blend(b, 1.0) == b
+
+    def test_blend_midpoint(self):
+        a, b = PIDGains(1.0, 1.0, 1.0), PIDGains(3.0, 5.0, 7.0)
+        mid = a.blend(b, 0.5)
+        assert (mid.kp, mid.ki, mid.kd) == (2.0, 3.0, 4.0)
+
+    def test_blend_weight_validated(self):
+        with pytest.raises(ControlError):
+            PIDGains(1.0).blend(PIDGains(2.0), 1.5)
+
+    @settings(max_examples=25)
+    @given(st.floats(0.0, 1.0))
+    def test_blend_bounded_property(self, alpha):
+        a, b = PIDGains(1.0, 2.0, 3.0), PIDGains(9.0, 8.0, 7.0)
+        mid = a.blend(b, alpha)
+        assert min(a.kp, b.kp) <= mid.kp <= max(a.kp, b.kp)
+        assert min(a.ki, b.ki) <= mid.ki <= max(a.ki, b.ki)
+
+
+class TestPIDController:
+    def make(self, **kwargs) -> PIDController:
+        defaults = dict(
+            gains=PIDGains(kp=2.0, ki=0.1, kd=0.5),
+            setpoint=75.0,
+            sample_time_s=30.0,
+            output_offset=3000.0,
+        )
+        defaults.update(kwargs)
+        return PIDController(**defaults)
+
+    def test_proportional_action(self):
+        pid = self.make(gains=PIDGains(kp=2.0))
+        # error = 77 - 75 = +2 -> output = offset + 2 * 2
+        assert pid.update(77.0) == pytest.approx(3004.0)
+
+    def test_integral_accumulates(self):
+        pid = self.make(gains=PIDGains(kp=0.0, ki=0.1))
+        pid.update(76.0)  # I = 1 * 30
+        out = pid.update(76.0)  # I = 2 * 30
+        assert out == pytest.approx(3000.0 + 0.1 * 60.0)
+
+    def test_derivative_on_error_change(self):
+        pid = self.make(gains=PIDGains(kp=0.0, kd=30.0))
+        pid.update(76.0)  # first call: derivative 0
+        out = pid.update(78.0)  # de = 2 over 30 s
+        assert out == pytest.approx(3000.0 + 30.0 * (2.0 / 30.0))
+
+    def test_first_derivative_is_zero(self):
+        pid = self.make(gains=PIDGains(kp=0.0, kd=100.0))
+        assert pid.update(80.0) == pytest.approx(3000.0)
+
+    def test_eqn4_combined(self):
+        pid = self.make(gains=PIDGains(kp=2.0, ki=0.1, kd=30.0))
+        pid.update(76.0)
+        out = pid.update(77.0)
+        expected = 3000.0 + 2.0 * 2.0 + 0.1 * (1.0 + 2.0) * 30.0 + 30.0 * (1.0 / 30.0)
+        assert out == pytest.approx(expected)
+
+    def test_output_clamped(self):
+        pid = self.make(
+            gains=PIDGains(kp=1000.0), output_limits=(1000.0, 8500.0)
+        )
+        assert pid.update(90.0) == 8500.0
+        assert pid.update(10.0) == 1000.0
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ControlError):
+            self.make(output_limits=(5000.0, 1000.0))
+
+    def test_anti_windup_backcalculation(self):
+        """After saturation, a sign flip reacts immediately."""
+        pid = self.make(
+            gains=PIDGains(kp=10.0, ki=1.0), output_limits=(1000.0, 8500.0)
+        )
+        for _ in range(50):
+            pid.update(90.0)  # long saturation high
+        out = pid.update(70.0)  # error flips to -5
+        assert out < 8500.0  # must unstick immediately
+
+    def test_reset_integral(self):
+        pid = self.make(gains=PIDGains(kp=0.0, ki=1.0))
+        pid.update(80.0)
+        pid.reset_integral()
+        assert pid.integral == 0.0
+
+    def test_full_reset(self):
+        pid = self.make()
+        pid.update(80.0)
+        pid.reset()
+        assert pid.integral == 0.0
+        assert pid.last_output is None
+
+    def test_setpoint_change(self):
+        pid = self.make(gains=PIDGains(kp=1.0))
+        pid.setpoint = 70.0
+        assert pid.update(71.0) == pytest.approx(3001.0)
+
+    def test_offset_mutable(self):
+        pid = self.make(gains=PIDGains(kp=1.0))
+        pid.output_offset = 5000.0
+        assert pid.update(75.0) == pytest.approx(5000.0)
+
+    def test_zero_error_holds_offset(self):
+        pid = self.make()
+        assert pid.update(75.0) == pytest.approx(3000.0)
+
+    def test_regulation_converges_on_reverse_acting_plant(self):
+        """Closed loop on a cooling-style plant converges to the setpoint.
+
+        The plant mimics the fan loop's sign convention: a larger control
+        output *lowers* the measured value (u cools against a constant
+        disturbance d), and a measurement above the setpoint produces a
+        positive error that increases the output.
+        """
+        pid = PIDController(
+            gains=PIDGains(kp=0.5, ki=0.05),
+            setpoint=10.0,
+            sample_time_s=1.0,
+            output_offset=0.0,
+            output_limits=(-100.0, 100.0),
+        )
+        disturbance = 20.0
+        y = 0.0
+        for _ in range(400):
+            u = pid.update(y)
+            y += 0.2 * (disturbance - u - y)
+        assert y == pytest.approx(10.0, abs=0.2)

@@ -1,0 +1,146 @@
+"""Power models: Eqn 1 CPU power, cubic fan law, energy accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CpuPowerConfig, FanConfig
+from repro.errors import AnalysisError, UnitsError
+from repro.power.cpu import CpuPowerModel
+from repro.power.energy import EnergyAccountant
+from repro.power.fan import FanCurve, FanPowerModel
+
+
+class TestCpuPower:
+    def test_idle_and_max(self):
+        model = CpuPowerModel()
+        assert model.power_w(0.0) == 96.0
+        assert model.power_w(1.0) == 160.0
+
+    def test_linear_midpoint(self):
+        model = CpuPowerModel()
+        assert model.power_w(0.5) == pytest.approx(128.0)
+
+    def test_inversion_roundtrip(self):
+        model = CpuPowerModel()
+        assert model.utilization_for_power(model.power_w(0.37)) == pytest.approx(0.37)
+
+    def test_inversion_out_of_range(self):
+        model = CpuPowerModel()
+        with pytest.raises(UnitsError):
+            model.utilization_for_power(50.0)
+        with pytest.raises(UnitsError):
+            model.utilization_for_power(200.0)
+
+    def test_zero_dynamic_power_inversion(self):
+        model = CpuPowerModel(CpuPowerConfig(p_max_w=96.0, p_idle_w=96.0))
+        assert model.utilization_for_power(96.0) == 0.0
+
+    def test_marginal_power(self):
+        assert CpuPowerModel().marginal_power_per_utilization_w() == 64.0
+
+    @given(st.floats(0.0, 1.0))
+    def test_power_within_range_property(self, util):
+        power = CpuPowerModel().power_w(util)
+        assert 96.0 <= power <= 160.0
+
+
+class TestFanPower:
+    def test_anchor_point(self):
+        model = FanPowerModel()
+        assert model.power_w(8500.0) == pytest.approx(29.4)
+
+    def test_cubic_scaling(self):
+        model = FanPowerModel()
+        assert model.power_w(4250.0) == pytest.approx(29.4 / 8.0)
+
+    def test_zero_speed_zero_power(self):
+        assert FanPowerModel().power_w(0.0) == 0.0
+
+    def test_marginal_power_matches_derivative(self):
+        model = FanPowerModel()
+        eps = 0.5
+        numeric = (model.power_w(5000.0 + eps) - model.power_w(5000.0 - eps)) / (
+            2 * eps
+        )
+        assert model.marginal_power_w_per_rpm(5000.0) == pytest.approx(
+            numeric, rel=1e-6
+        )
+
+    def test_speed_for_power_roundtrip(self):
+        model = FanPowerModel()
+        assert model.speed_for_power_rpm(model.power_w(3210.0)) == pytest.approx(
+            3210.0
+        )
+
+    @settings(max_examples=25)
+    @given(st.floats(0.0, 8500.0), st.floats(0.0, 8500.0))
+    def test_monotone_property(self, a, b):
+        model = FanPowerModel()
+        if a <= b:
+            assert model.power_w(a) <= model.power_w(b) + 1e-12
+
+
+class TestFanCurve:
+    def test_reduces_to_cubic_law(self):
+        curve = FanCurve(29.4, 8500.0, exponent=3.0)
+        model = FanPowerModel()
+        for speed in (1000.0, 4000.0, 8500.0):
+            assert curve.power_w(speed) == pytest.approx(model.power_w(speed))
+
+    def test_offset(self):
+        curve = FanCurve(20.0, 8000.0, exponent=3.0, offset_w=2.0)
+        assert curve.power_w(0.0) == 2.0
+        assert curve.power_w(8000.0) == pytest.approx(22.0)
+
+    def test_exponent_sensitivity(self):
+        square = FanCurve(29.4, 8500.0, exponent=2.0)
+        cubic = FanCurve(29.4, 8500.0, exponent=3.0)
+        # Below the anchor a lower exponent draws more power.
+        assert square.power_w(4000.0) > cubic.power_w(4000.0)
+
+
+class TestEnergyAccountant:
+    def test_trapezoidal_integration(self):
+        acct = EnergyAccountant()
+        acct.record(0.0, 100.0, 10.0)
+        acct.record(10.0, 100.0, 10.0)
+        assert acct.breakdown.cpu_j == pytest.approx(1000.0)
+        assert acct.breakdown.fan_j == pytest.approx(100.0)
+
+    def test_ramp_integration(self):
+        acct = EnergyAccountant()
+        acct.record(0.0, 0.0, 0.0)
+        acct.record(10.0, 100.0, 0.0)
+        assert acct.breakdown.cpu_j == pytest.approx(500.0)
+
+    def test_non_monotonic_time_rejected(self):
+        acct = EnergyAccountant()
+        acct.record(10.0, 1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            acct.record(5.0, 1.0, 1.0)
+
+    def test_negative_power_rejected(self):
+        acct = EnergyAccountant()
+        with pytest.raises(UnitsError):
+            acct.record(0.0, -1.0, 0.0)
+
+    def test_reset(self):
+        acct = EnergyAccountant()
+        acct.record(0.0, 100.0, 10.0)
+        acct.record(10.0, 100.0, 10.0)
+        acct.reset()
+        assert acct.breakdown.total_j == 0.0
+
+    def test_breakdown_properties(self):
+        acct = EnergyAccountant()
+        acct.record(0.0, 30.0, 10.0)
+        acct.record(1.0, 30.0, 10.0)
+        breakdown = acct.breakdown
+        assert breakdown.total_j == pytest.approx(40.0)
+        assert breakdown.fan_fraction == pytest.approx(0.25)
+
+    def test_empty_breakdown_fraction(self):
+        assert EnergyAccountant().breakdown.fan_fraction == 0.0

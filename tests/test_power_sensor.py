@@ -1,0 +1,61 @@
+"""Power-sensor telemetry pipeline (the Fig. 1 signal)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CpuPowerConfig
+from repro.errors import SensorError
+from repro.sensing.power_sensor import PowerSensor
+
+
+class TestPowerSensor:
+    def test_reads_eqn1_power(self):
+        sensor = PowerSensor(lag_s=0.0)
+        sensor.observe_utilization(0.0, 0.5)
+        reading = sensor.read(0.0)
+        # 96 + 64 * 0.5 = 128 W, quantized with LSB 160/255.
+        assert reading.power_w == pytest.approx(128.0, abs=sensor.lsb_w)
+
+    def test_lag_end_to_end(self):
+        sensor = PowerSensor(lag_s=10.0)
+        for t in range(0, 25):
+            sensor.observe_utilization(float(t), 0.1 if t < 12 else 0.9)
+        low_power = 96.0 + 64.0 * 0.1
+        assert sensor.read(21.0).power_w == pytest.approx(
+            low_power, abs=sensor.lsb_w
+        )
+        high_power = 96.0 + 64.0 * 0.9
+        assert sensor.read(22.0).power_w == pytest.approx(
+            high_power, abs=sensor.lsb_w
+        )
+
+    def test_lsb_scales_with_range(self):
+        sensor = PowerSensor(CpuPowerConfig(p_max_w=160.0, p_idle_w=96.0))
+        assert sensor.lsb_w == pytest.approx(160.0 / 255.0)
+
+    def test_read_before_observe_raises(self):
+        with pytest.raises(SensorError):
+            PowerSensor().read(0.0)
+
+    def test_observe_power_directly(self):
+        sensor = PowerSensor(lag_s=0.0)
+        sensor.observe_power(0.0, 100.0)
+        assert sensor.read(0.0).power_w == pytest.approx(100.0, abs=sensor.lsb_w)
+
+    def test_sampling_cadence(self):
+        sensor = PowerSensor(lag_s=0.0, sample_interval_s=1.0)
+        sensor.observe_power(0.0, 100.0)
+        sensor.observe_power(0.5, 150.0)  # ignored: sub-interval
+        assert sensor.read(0.5).power_w == pytest.approx(100.0, abs=sensor.lsb_w)
+
+    def test_noise_seeded(self):
+        a = PowerSensor(lag_s=0.0, noise_std_w=2.0, seed=1)
+        b = PowerSensor(lag_s=0.0, noise_std_w=2.0, seed=1)
+        a.observe_power(0.0, 120.0)
+        b.observe_power(0.0, 120.0)
+        assert a.read(0.0).power_w == b.read(0.0).power_w
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(Exception):
+            PowerSensor().observe_utilization(0.0, 1.5)

@@ -1,0 +1,157 @@
+"""Hypothesis property tests on system-level invariants.
+
+These complement the per-module property tests with randomized
+closed-loop invariants: whatever the (bounded) workload, the DTM must
+keep the plant in a valid state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ServerConfig
+from repro.core.base import ControlInputs, ControlState
+from repro.core.cpu_capper import DeadzoneCpuCapper
+from repro.core.rules import RuleBasedCoordinator
+from repro.core.uncoordinated import UncoordinatedCoordinator
+from repro.sensing.adc import AdcQuantizer
+from repro.sensing.delay import DelayLine
+from repro.thermal.server import ServerThermalModel
+
+
+class TestPlantProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 1.0), st.floats(1000.0, 8500.0)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_junction_bounded_by_extremes(self, steps):
+        """The junction always stays between the coldest and hottest
+        steady states reachable with the commanded inputs."""
+        plant = ServerThermalModel(ServerConfig())
+        coldest = plant.steady_state_junction_c(0.0, 8500.0)
+        hottest = plant.steady_state_junction_c(1.0, 1000.0)
+        lo = min(coldest, plant.junction_c)
+        hi = max(hottest, plant.junction_c)
+        for util, speed in steps:
+            plant.step(1.0, util, speed)
+            assert lo - 1e-6 <= plant.junction_c <= hi + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.0, 1.0), st.floats(1000.0, 8500.0))
+    def test_settle_matches_long_simulation(self, util, speed):
+        a = ServerThermalModel(ServerConfig())
+        a.settle(util, speed)
+        b = ServerThermalModel(ServerConfig())
+        for _ in range(400):
+            b.step(5.0, util, speed)
+        assert a.junction_c == pytest.approx(b.junction_c, abs=0.05)
+
+
+class TestCoordinatorProperties:
+    @settings(max_examples=50)
+    @given(
+        st.floats(1000.0, 8500.0),
+        st.floats(0.1, 1.0),
+        st.one_of(st.none(), st.floats(1000.0, 8500.0)),
+        st.one_of(st.none(), st.floats(0.1, 1.0)),
+        st.floats(60.0, 95.0),
+    )
+    def test_rule_based_moves_at_most_one_knob(
+        self, fan, cap, fan_prop, cap_prop, tmeas
+    ):
+        current = ControlState(fan_speed_rpm=fan, cpu_cap=cap)
+        inputs = ControlInputs(time_s=1.0, tmeas_c=tmeas, measured_util=0.5)
+        result = RuleBasedCoordinator().coordinate(
+            current, fan_prop, cap_prop, inputs
+        )
+        moved = (result.fan_speed_rpm != fan) + (result.cpu_cap != cap)
+        assert moved <= 1
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(1000.0, 8500.0),
+        st.floats(0.1, 1.0),
+        st.one_of(st.none(), st.floats(1000.0, 8500.0)),
+        st.one_of(st.none(), st.floats(0.1, 1.0)),
+    )
+    def test_uncoordinated_applies_exactly_the_proposals(
+        self, fan, cap, fan_prop, cap_prop
+    ):
+        current = ControlState(fan_speed_rpm=fan, cpu_cap=cap)
+        inputs = ControlInputs(time_s=1.0, tmeas_c=75.0, measured_util=0.5)
+        result = UncoordinatedCoordinator().coordinate(
+            current, fan_prop, cap_prop, inputs
+        )
+        assert result.fan_speed_rpm == (fan if fan_prop is None else fan_prop)
+        assert result.cpu_cap == (cap if cap_prop is None else cap_prop)
+
+
+class TestCapperProperties:
+    @settings(max_examples=50)
+    @given(
+        st.floats(60.0, 95.0),
+        st.floats(0.1, 1.0),
+    )
+    def test_cap_stays_in_range(self, tmeas, cap):
+        capper = DeadzoneCpuCapper(76.0, 80.0, step=0.02, cap_min=0.1)
+        proposal = capper.propose(0.0, tmeas, cap)
+        assert 0.1 <= proposal <= 1.0
+        # One decision moves the cap by at most one step.
+        assert abs(proposal - cap) <= 0.02 + 1e-12
+
+
+class TestSensingChainProperties:
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(st.floats(20.0, 120.0), min_size=5, max_size=60),
+        st.integers(0, 15),
+    )
+    def test_quantize_then_delay_commutes(self, values, delay_steps):
+        """Quantizing before or after the (noise-free) delay line yields
+        the same firmware-visible sequence."""
+        adc = AdcQuantizer(step=1.0, bits=8)
+        line_a = DelayLine(float(delay_steps), initial_value=0.0)
+        line_b = DelayLine(float(delay_steps), initial_value=0.0)
+        out_a = []
+        out_b = []
+        for i, value in enumerate(values):
+            t = float(i)
+            line_a.push(t, adc.quantize(value))
+            line_b.push(t, value)
+            out_a.append(line_a.read(t))
+            out_b.append(adc.quantize(line_b.read(t)))
+        assert out_a == out_b
+
+
+class TestEngineConservation:
+    def test_cpu_energy_matches_applied_utilization(self, fast_schedule):
+        """CPU energy integrates Eqn 1 of the applied utilization."""
+        from repro.sim.engine import Simulator
+        from repro.sim.scenarios import (
+            build_global_controller,
+            build_plant,
+            build_sensor,
+        )
+        from repro.workload.synthetic import ConstantWorkload
+
+        cfg = ServerConfig()
+        controller = build_global_controller("rcoord", cfg, fast_schedule)
+        sim = Simulator(
+            build_plant(cfg),
+            build_sensor(cfg),
+            ConstantWorkload(0.5),
+            controller,
+            dt_s=0.5,
+        )
+        result = sim.run(200.0)
+        expected = np.trapezoid(
+            96.0 + 64.0 * result.applied_util, result.times
+        )
+        assert result.cpu_energy_j == pytest.approx(expected, rel=0.02)

@@ -1,0 +1,75 @@
+"""Quantization guard: Eqn 10 hold and deadband error shaping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantization import QuantizationGuard
+
+
+class TestHold:
+    def test_holds_inside_deadband(self):
+        guard = QuantizationGuard(1.0)
+        assert guard.should_hold(75.0, 75.0)
+        assert guard.should_hold(75.0, 75.5)
+        assert guard.should_hold(75.0, 74.5)
+
+    def test_acts_at_full_step(self):
+        # Eqn 10 uses a strict inequality: |e| == |T_Q| acts.
+        guard = QuantizationGuard(1.0)
+        assert not guard.should_hold(75.0, 76.0)
+        assert not guard.should_hold(75.0, 74.0)
+
+    def test_disabled_with_zero_step(self):
+        guard = QuantizationGuard(0.0)
+        assert not guard.should_hold(75.0, 75.0)
+
+    def test_margin_widens_deadband(self):
+        guard = QuantizationGuard(1.0, margin=1.5)
+        assert guard.should_hold(75.0, 76.0)
+        assert not guard.should_hold(75.0, 76.5)
+
+    def test_hold_count(self):
+        guard = QuantizationGuard(1.0)
+        guard.should_hold(75.0, 75.0)
+        guard.should_hold(75.0, 80.0)
+        guard.should_hold(75.0, 75.2)
+        assert guard.hold_count == 2
+
+    def test_threshold_property(self):
+        assert QuantizationGuard(1.0, margin=2.0).threshold_c == 2.0
+
+
+class TestErrorShaping:
+    def test_inside_deadband_maps_to_zero(self):
+        guard = QuantizationGuard(1.0)
+        assert guard.shape_error(0.5) == 0.0
+        assert guard.shape_error(-0.99) == 0.0
+        assert guard.shape_error(1.0) == 0.0
+
+    def test_subtracts_step(self):
+        guard = QuantizationGuard(1.0)
+        assert guard.shape_error(2.0) == 1.0
+        assert guard.shape_error(-3.0) == -2.0
+
+    def test_zero_step_passthrough(self):
+        guard = QuantizationGuard(0.0)
+        assert guard.shape_error(2.345) == 2.345
+
+    @settings(max_examples=50)
+    @given(st.floats(-20.0, 20.0))
+    def test_shaping_shrinks_magnitude_property(self, error):
+        guard = QuantizationGuard(1.0)
+        shaped = guard.shape_error(error)
+        assert abs(shaped) <= abs(error)
+        # Sign is preserved (or zeroed).
+        assert shaped == 0.0 or (shaped > 0) == (error > 0)
+
+    @settings(max_examples=50)
+    @given(st.floats(-20.0, 20.0), st.floats(-20.0, 20.0))
+    def test_shaping_monotone_property(self, a, b):
+        guard = QuantizationGuard(1.0)
+        if a <= b:
+            assert guard.shape_error(a) <= guard.shape_error(b)

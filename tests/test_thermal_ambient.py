@@ -1,0 +1,41 @@
+"""Ambient profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.thermal.ambient import ConstantAmbient, DiurnalAmbient, StepAmbient
+
+
+class TestConstantAmbient:
+    def test_value(self):
+        assert ConstantAmbient(28.0).temperature_c(12345.0) == 28.0
+
+
+class TestStepAmbient:
+    def test_before_and_after(self):
+        profile = StepAmbient(25.0, 35.0, step_time_s=100.0)
+        assert profile.temperature_c(99.9) == 25.0
+        assert profile.temperature_c(100.0) == 35.0
+        assert profile.temperature_c(500.0) == 35.0
+
+
+class TestDiurnalAmbient:
+    def test_mean_at_phase_zero(self):
+        profile = DiurnalAmbient(mean_c=25.0, amplitude_c=3.0, period_s=86400.0)
+        assert profile.temperature_c(0.0) == pytest.approx(25.0)
+
+    def test_peak_at_quarter_period(self):
+        profile = DiurnalAmbient(mean_c=25.0, amplitude_c=3.0, period_s=86400.0)
+        assert profile.temperature_c(86400.0 / 4.0) == pytest.approx(28.0)
+
+    def test_periodicity(self):
+        profile = DiurnalAmbient(mean_c=25.0, amplitude_c=3.0, period_s=1000.0)
+        assert profile.temperature_c(123.0) == pytest.approx(
+            profile.temperature_c(1123.0)
+        )
+
+    def test_bounded_by_amplitude(self):
+        profile = DiurnalAmbient(mean_c=25.0, amplitude_c=3.0, period_s=500.0)
+        for t in range(0, 500, 25):
+            assert 22.0 - 1e-9 <= profile.temperature_c(float(t)) <= 28.0 + 1e-9

@@ -1,0 +1,152 @@
+"""General thermal RC network: construction, dynamics, and validation
+against the two-node closed forms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.network import ThermalNetwork, ThermalNode
+
+
+def two_node_network() -> ThermalNetwork:
+    """Die + heat sink as a network (fixed conductances)."""
+    die = ThermalNode(
+        name="die",
+        capacitance_j_per_k=0.1 / 0.15,
+        neighbors={"hs": 1.0 / 0.15},
+        initial_temp_c=28.0,
+    )
+    hs = ThermalNode(
+        name="hs",
+        capacitance_j_per_k=300.0,
+        conductance_to_ambient_w_per_k=1.0 / 0.25,
+        initial_temp_c=28.0,
+    )
+    return ThermalNetwork([die, hs], ambient_c=28.0)
+
+
+class TestConstruction:
+    def test_empty_network_rejected(self):
+        with pytest.raises(ThermalModelError):
+            ThermalNetwork([])
+
+    def test_duplicate_names_rejected(self):
+        node = ThermalNode("a", 1.0, 1.0)
+        with pytest.raises(ThermalModelError):
+            ThermalNetwork([node, ThermalNode("a", 1.0, 1.0)])
+
+    def test_unknown_neighbor_rejected(self):
+        node = ThermalNode("a", 1.0, 1.0, neighbors={"ghost": 1.0})
+        with pytest.raises(ThermalModelError):
+            ThermalNetwork([node])
+
+    def test_isolated_network_rejected(self):
+        # No path to ambient anywhere: temperatures would diverge.
+        a = ThermalNode("a", 1.0, 0.0, neighbors={"b": 1.0})
+        b = ThermalNode("b", 1.0, 0.0)
+        with pytest.raises(ThermalModelError):
+            ThermalNetwork([a, b])
+
+    def test_self_edge_rejected(self):
+        node = ThermalNode("a", 1.0, 1.0, neighbors={"a": 1.0})
+        with pytest.raises(ThermalModelError):
+            ThermalNetwork([node])
+
+    def test_node_validation(self):
+        with pytest.raises(Exception):
+            ThermalNode("bad", capacitance_j_per_k=-1.0)
+
+
+class TestDynamics:
+    def test_steady_state_single_node(self):
+        node = ThermalNode("n", 100.0, conductance_to_ambient_w_per_k=2.0)
+        net = ThermalNetwork([node], ambient_c=25.0)
+        ss = net.steady_state_c({"n": 50.0})
+        # T = T_amb + P/G = 25 + 25
+        assert ss["n"] == pytest.approx(50.0)
+
+    def test_step_matches_single_node_exponential(self):
+        node = ThermalNode("n", 100.0, conductance_to_ambient_w_per_k=2.0,
+                           initial_temp_c=25.0)
+        net = ThermalNetwork([node], ambient_c=25.0)
+        net.step(10.0, {"n": 50.0})
+        tau = 100.0 / 2.0
+        expected = 50.0 + (25.0 - 50.0) * math.exp(-10.0 / tau)
+        assert net.temperature_c("n") == pytest.approx(expected, rel=1e-9)
+
+    def test_two_node_steady_state_matches_series_resistance(self):
+        net = two_node_network()
+        ss = net.steady_state_c({"die": 100.0})
+        # Heat flows die -> hs -> ambient through 0.15 + 0.25 K/W.
+        assert ss["die"] == pytest.approx(28.0 + 100.0 * 0.40)
+        assert ss["hs"] == pytest.approx(28.0 + 100.0 * 0.25)
+
+    def test_long_integration_reaches_steady_state(self):
+        net = two_node_network()
+        for _ in range(500):
+            net.step(10.0, {"die": 100.0})
+        ss = net.steady_state_c({"die": 100.0})
+        assert net.temperature_c("die") == pytest.approx(ss["die"], abs=1e-6)
+        assert net.temperature_c("hs") == pytest.approx(ss["hs"], abs=1e-6)
+
+    def test_negative_power_rejected(self):
+        net = two_node_network()
+        with pytest.raises(ThermalModelError):
+            net.step(1.0, {"die": -5.0})
+
+    def test_unknown_power_node_rejected(self):
+        net = two_node_network()
+        with pytest.raises(ThermalModelError):
+            net.step(1.0, {"nope": 5.0})
+
+    def test_set_ambient_shifts_steady_state(self):
+        net = two_node_network()
+        ss_cold = net.steady_state_c({"die": 100.0})
+        net.set_ambient(38.0)
+        ss_hot = net.steady_state_c({"die": 100.0})
+        assert ss_hot["die"] - ss_cold["die"] == pytest.approx(10.0)
+
+    def test_edge_conductance_update(self):
+        net = two_node_network()
+        # Doubling the die-hs conductance halves that resistance.
+        net.set_edge_conductance("die", "hs", 2.0 / 0.15)
+        ss = net.steady_state_c({"die": 100.0})
+        assert ss["die"] == pytest.approx(28.0 + 100.0 * (0.075 + 0.25))
+
+    def test_ambient_conductance_update(self):
+        net = two_node_network()
+        net.set_ambient_conductance("hs", 1.0 / 0.125)
+        ss = net.steady_state_c({"die": 100.0})
+        assert ss["die"] == pytest.approx(28.0 + 100.0 * (0.15 + 0.125))
+
+    def test_reset(self):
+        net = two_node_network()
+        net.reset({"die": 60.0})
+        assert net.temperature_c("die") == 60.0
+        assert net.temperature_c("hs") == 28.0
+
+
+class TestAgainstTwoNodePlant:
+    def test_network_matches_server_model_steady_state(self, config, steady):
+        """The general solver agrees with the dedicated plant at a fixed
+        operating point (fan speed folded into the conductances)."""
+        speed = 4000.0
+        util = 0.5
+        power = 96.0 + 64.0 * util
+        r_hs = steady.heatsink_resistance(speed)
+        r_die = config.die.r_die_k_per_w
+        die = ThermalNode(
+            "die", config.die.time_constant_s / r_die, neighbors={"hs": 1.0 / r_die}
+        )
+        hs = ThermalNode(
+            "hs",
+            config.heatsink.tau_at_max_airflow_s
+            / steady.heatsink_resistance(config.fan.max_speed_rpm),
+            conductance_to_ambient_w_per_k=1.0 / r_hs,
+        )
+        net = ThermalNetwork([die, hs], ambient_c=config.ambient_c)
+        ss = net.steady_state_c({"die": power})
+        assert ss["die"] == pytest.approx(steady.junction_c(util, speed), abs=1e-9)

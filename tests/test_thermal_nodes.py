@@ -1,0 +1,158 @@
+"""RC node, heat sink, and die models (Eqns 2-3 and Table I laws)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DieConfig, HeatSinkConfig
+from repro.errors import ThermalModelError, UnitsError
+from repro.thermal.die import CpuDie
+from repro.thermal.heatsink import HeatSink
+from repro.thermal.rc_node import RCNode
+
+
+class TestRCNode:
+    def test_steady_state_formula(self):
+        node = RCNode(0.2, 100.0, 25.0)
+        # Eqn (3): T_ss = T_ref + R * P
+        assert node.steady_state_c(25.0, 100.0) == pytest.approx(45.0)
+
+    def test_step_toward_steady_state(self):
+        node = RCNode(0.2, 100.0, 25.0)
+        before = abs(node.temperature_c - node.steady_state_c(25.0, 100.0))
+        node.step(5.0, 25.0, 100.0)
+        after = abs(node.temperature_c - node.steady_state_c(25.0, 100.0))
+        assert after < before
+
+    def test_exact_exponential_update(self):
+        node = RCNode(0.2, 100.0, 25.0)
+        node.step(10.0, 25.0, 100.0)
+        tau = 0.2 * 100.0
+        expected = 45.0 + (25.0 - 45.0) * math.exp(-10.0 / tau)
+        assert node.temperature_c == pytest.approx(expected)
+
+    def test_large_step_reaches_steady_state(self):
+        node = RCNode(0.2, 100.0, 25.0)
+        node.step(1e6, 25.0, 100.0)
+        assert node.temperature_c == pytest.approx(45.0, abs=1e-6)
+
+    def test_unconditional_stability_with_tiny_time_constant(self):
+        # The exact integrator cannot blow up even with dt >> tau.
+        node = RCNode(0.001, 1.0, 25.0)  # tau = 1 ms
+        node.step(100.0, 25.0, 50.0)
+        assert node.temperature_c == pytest.approx(25.05, abs=1e-6)
+
+    def test_time_constant_property(self):
+        node = RCNode(0.5, 60.0, 25.0)
+        assert node.time_constant_s == pytest.approx(30.0)
+
+    def test_resistance_setter_validates(self):
+        node = RCNode(0.5, 60.0, 25.0)
+        with pytest.raises(UnitsError):
+            node.resistance_k_per_w = -1.0
+
+    def test_reset(self):
+        node = RCNode(0.5, 60.0, 25.0)
+        node.reset(70.0)
+        assert node.temperature_c == 70.0
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(0.05, 1.0),
+        st.floats(10.0, 500.0),
+        st.floats(0.0, 200.0),
+        st.floats(0.1, 100.0),
+    )
+    def test_monotone_approach_property(self, r, c, power, dt):
+        """Each step moves the temperature strictly toward steady state."""
+        node = RCNode(r, c, 25.0)
+        t_ss = node.steady_state_c(25.0, power)
+        gap_before = node.temperature_c - t_ss
+        node.step(dt, 25.0, power)
+        gap_after = node.temperature_c - t_ss
+        assert abs(gap_after) <= abs(gap_before) + 1e-9
+        # No overshoot: the sign of the gap never flips.
+        if gap_before != 0.0:
+            assert gap_after * gap_before >= 0.0
+
+
+class TestHeatSink:
+    def make(self) -> HeatSink:
+        return HeatSink(HeatSinkConfig(), max_fan_speed_rpm=8500.0,
+                        initial_temp_c=28.0)
+
+    def test_resistance_matches_table_i_formula(self):
+        hs = self.make()
+        expected = 0.141 + 132.51 / 2000.0**0.923
+        assert hs.resistance_at(2000.0) == pytest.approx(expected)
+
+    def test_resistance_decreases_with_speed(self):
+        hs = self.make()
+        assert hs.resistance_at(8000.0) < hs.resistance_at(2000.0)
+
+    def test_capacitance_from_tau_at_max_airflow(self):
+        hs = self.make()
+        # tau = R(8500) * C must equal 60 s (Table I).
+        assert hs.time_constant_at(8500.0) == pytest.approx(60.0)
+
+    def test_time_constant_grows_at_low_speed(self):
+        hs = self.make()
+        assert hs.time_constant_at(2000.0) > hs.time_constant_at(6000.0)
+
+    def test_resistance_slope_negative(self):
+        hs = self.make()
+        assert hs.resistance_slope_at(3000.0) < 0.0
+
+    def test_resistance_slope_matches_finite_difference(self):
+        hs = self.make()
+        eps = 0.1
+        numeric = (hs.resistance_at(3000.0 + eps) - hs.resistance_at(3000.0 - eps)) / (
+            2.0 * eps
+        )
+        assert hs.resistance_slope_at(3000.0) == pytest.approx(numeric, rel=1e-5)
+
+    def test_zero_speed_rejected(self):
+        hs = self.make()
+        with pytest.raises(ThermalModelError):
+            hs.resistance_at(0.0)
+
+    def test_step_converges_to_steady_state(self):
+        hs = self.make()
+        for _ in range(2000):
+            hs.step(1.0, 3000.0, 28.0, 120.0)
+        assert hs.temperature_c == pytest.approx(
+            hs.steady_state_c(3000.0, 28.0, 120.0), abs=1e-3
+        )
+
+    def test_faster_fan_cools_steady_state(self):
+        hs = self.make()
+        assert hs.steady_state_c(8000.0, 28.0, 120.0) < hs.steady_state_c(
+            2000.0, 28.0, 120.0
+        )
+
+
+class TestCpuDie:
+    def test_capacitance_derived_from_tau(self):
+        die = CpuDie(DieConfig(), initial_temp_c=50.0)
+        assert die.time_constant_s == pytest.approx(0.1)
+
+    def test_steady_state(self):
+        die = CpuDie(DieConfig(r_die_k_per_w=0.15), initial_temp_c=50.0)
+        assert die.steady_state_c(60.0, 100.0) == pytest.approx(75.0)
+
+    def test_fast_settling(self):
+        # tau = 0.1 s: after 1 s the die is settled to within exp(-10).
+        die = CpuDie(DieConfig(), initial_temp_c=50.0)
+        die.step(1.0, 60.0, 100.0)
+        assert die.temperature_c == pytest.approx(
+            die.steady_state_c(60.0, 100.0), abs=5e-3
+        )
+
+    def test_reset(self):
+        die = CpuDie(DieConfig(), initial_temp_c=50.0)
+        die.reset(80.0)
+        assert die.temperature_c == 80.0

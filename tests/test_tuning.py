@@ -1,0 +1,129 @@
+"""Ziegler-Nichols tuning pipeline (Eqns 5-7 and the Ku/Pu search)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ServerConfig
+from repro.core.tuning import (
+    DEFAULT_REGION_SPEEDS_RPM,
+    ZieglerNicholsRule,
+    default_gain_schedule,
+    measure_oscillation,
+    simulate_p_only_loop,
+    ziegler_nichols_gains,
+)
+from repro.errors import TuningError, UnitsError
+
+
+class TestZieglerNicholsRules:
+    def test_classic_pid_matches_eqns_5_to_7(self):
+        gains = ziegler_nichols_gains(1000.0, 90.0, ZieglerNicholsRule.CLASSIC_PID)
+        assert gains.kp == pytest.approx(600.0)  # 0.6 Ku
+        assert gains.ki == pytest.approx(600.0 * 2.0 / 90.0)  # KP * 2 / Pu
+        assert gains.kd == pytest.approx(600.0 * 90.0 / 8.0)  # KP * Pu / 8
+
+    def test_p_only_has_no_integral(self):
+        gains = ziegler_nichols_gains(1000.0, 90.0, ZieglerNicholsRule.P_ONLY)
+        assert gains.kp == 500.0
+        assert gains.ki == 0.0
+        assert gains.kd == 0.0
+
+    def test_pi_has_no_derivative(self):
+        gains = ziegler_nichols_gains(1000.0, 90.0, ZieglerNicholsRule.CLASSIC_PI)
+        assert gains.kd == 0.0
+        assert gains.ki > 0.0
+
+    def test_no_overshoot_is_gentlest(self):
+        classic = ziegler_nichols_gains(1000.0, 90.0, ZieglerNicholsRule.CLASSIC_PID)
+        gentle = ziegler_nichols_gains(1000.0, 90.0, ZieglerNicholsRule.NO_OVERSHOOT)
+        assert gentle.kp < classic.kp
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(UnitsError):
+            ziegler_nichols_gains(0.0, 90.0)
+        with pytest.raises(UnitsError):
+            ziegler_nichols_gains(100.0, 0.0)
+
+
+class TestPOnlyLoop:
+    def test_error_decays_at_low_gain(self, config):
+        times, errors = simulate_p_only_loop(
+            config, kp=50.0, fan_speed_rpm=3000.0, duration_s=1200.0,
+            quantized=False,
+        )
+        # Tail error well below the 2 degC perturbation.
+        assert abs(errors[-100:]).max() < 0.5
+
+    def test_high_gain_sustains_oscillation(self, config):
+        times, errors = simulate_p_only_loop(
+            config, kp=2500.0, fan_speed_rpm=2000.0, duration_s=1800.0,
+            quantized=False,
+        )
+        measurement = measure_oscillation(times, errors)
+        assert measurement.decay_ratio > 0.9
+        assert measurement.period_s > 0.0
+
+    def test_quantized_loop_limit_cycles_earlier(self, config):
+        """On the quantized loop, a moderate gain already limit-cycles."""
+        _, errors_q = simulate_p_only_loop(
+            config, kp=800.0, fan_speed_rpm=2000.0, duration_s=1800.0,
+            quantized=True,
+        )
+        _, errors_i = simulate_p_only_loop(
+            config, kp=800.0, fan_speed_rpm=2000.0, duration_s=1800.0,
+            quantized=False,
+        )
+        assert abs(errors_q[-300:]).max() > abs(errors_i[-300:]).max()
+
+
+class TestMeasureOscillation:
+    def test_overdamped_signal(self):
+        times = np.linspace(0.0, 100.0, 500)
+        errors = 2.0 * np.exp(-times / 10.0)
+        result = measure_oscillation(times, errors)
+        assert result.decay_ratio == 0.0
+
+    def test_sustained_sine(self):
+        times = np.linspace(0.0, 1000.0, 5000)
+        errors = np.sin(2 * np.pi * times / 90.0)
+        result = measure_oscillation(times, errors)
+        assert result.decay_ratio == pytest.approx(1.0, abs=0.02)
+        assert result.period_s == pytest.approx(90.0, rel=0.02)
+
+    def test_decaying_sine(self):
+        times = np.linspace(0.0, 1000.0, 5000)
+        errors = np.exp(-times / 300.0) * np.sin(2 * np.pi * times / 90.0)
+        result = measure_oscillation(times, errors)
+        assert result.decay_ratio < 0.95
+
+    def test_growing_sine(self):
+        times = np.linspace(0.0, 600.0, 3000)
+        errors = np.exp(times / 300.0) * np.sin(2 * np.pi * times / 90.0)
+        result = measure_oscillation(times, errors)
+        assert result.decay_ratio > 1.0
+
+
+class TestDefaultSchedule:
+    def test_two_regions_at_paper_speeds(self, tuned_schedule):
+        speeds = [r.ref_speed_rpm for r in tuned_schedule.regions]
+        assert speeds == list(DEFAULT_REGION_SPEEDS_RPM)
+
+    def test_high_region_hotter(self, tuned_schedule):
+        """Section IV-B: the low-speed region is ~8x more sensitive, so
+        its gains must be correspondingly smaller."""
+        low, high = tuned_schedule.regions
+        ratio = high.gains.kp / low.gains.kp
+        assert 4.0 < ratio < 14.0
+
+    def test_all_gains_positive(self, tuned_schedule):
+        for region in tuned_schedule.regions:
+            assert region.gains.kp > 0.0
+            assert region.gains.ki > 0.0
+            assert region.gains.kd > 0.0
+
+    def test_cached(self):
+        a = default_gain_schedule(ServerConfig())
+        b = default_gain_schedule(ServerConfig())
+        assert a is b

@@ -1,0 +1,114 @@
+"""Unit helpers: conversions, validation, clamping."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import UnitsError
+
+
+class TestConversions:
+    def test_celsius_kelvin_roundtrip(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert units.kelvin_to_celsius(273.15) == pytest.approx(0.0)
+
+    def test_rpm_rps_roundtrip(self):
+        assert units.rpm_to_rps(8500.0) == pytest.approx(141.6667, rel=1e-4)
+        assert units.rps_to_rpm(units.rpm_to_rps(1234.5)) == pytest.approx(1234.5)
+
+    @given(st.floats(-200.0, 200.0))
+    def test_kelvin_roundtrip_property(self, temp_c):
+        back = units.kelvin_to_celsius(units.celsius_to_kelvin(temp_c))
+        assert back == pytest.approx(temp_c, abs=1e-9)
+
+
+class TestChecks:
+    def test_temperature_accepts_ambient(self):
+        assert units.check_temperature(25.0) == 25.0
+
+    def test_temperature_rejects_below_absolute_zero(self):
+        with pytest.raises(UnitsError):
+            units.check_temperature(-300.0)
+
+    def test_temperature_rejects_nan(self):
+        with pytest.raises(UnitsError):
+            units.check_temperature(float("nan"))
+
+    def test_temperature_rejects_inf(self):
+        with pytest.raises(UnitsError):
+            units.check_temperature(float("inf"))
+
+    def test_fan_speed_rejects_negative(self):
+        with pytest.raises(UnitsError):
+            units.check_fan_speed(-1.0)
+
+    def test_fan_speed_accepts_zero(self):
+        assert units.check_fan_speed(0.0) == 0.0
+
+    def test_power_rejects_negative(self):
+        with pytest.raises(UnitsError):
+            units.check_power(-0.1)
+
+    def test_duration_rejects_zero(self):
+        with pytest.raises(UnitsError):
+            units.check_duration(0.0)
+
+    def test_duration_accepts_small(self):
+        assert units.check_duration(1e-6) == 1e-6
+
+    def test_utilization_bounds(self):
+        assert units.check_utilization(0.0) == 0.0
+        assert units.check_utilization(1.0) == 1.0
+        with pytest.raises(UnitsError):
+            units.check_utilization(1.0001)
+        with pytest.raises(UnitsError):
+            units.check_utilization(-0.0001)
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(UnitsError):
+            units.check_positive(0.0)
+
+    def test_nonnegative_accepts_zero(self):
+        assert units.check_nonnegative(0.0) == 0.0
+
+    def test_error_message_includes_name(self):
+        with pytest.raises(UnitsError, match="my_quantity"):
+            units.check_positive(-1.0, "my_quantity")
+
+
+class TestClamp:
+    def test_clamp_inside(self):
+        assert units.clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_clamp_low(self):
+        assert units.clamp(-5.0, 0.0, 10.0) == 0.0
+
+    def test_clamp_high(self):
+        assert units.clamp(50.0, 0.0, 10.0) == 10.0
+
+    def test_clamp_empty_interval_raises(self):
+        with pytest.raises(UnitsError):
+            units.clamp(1.0, 10.0, 0.0)
+
+    @given(
+        st.floats(-1e6, 1e6),
+        st.floats(-1e3, 1e3),
+        st.floats(0.0, 1e3),
+    )
+    def test_clamp_always_within_bounds(self, value, low, width):
+        high = low + width
+        result = units.clamp(value, low, high)
+        assert low <= result <= high
+
+    @given(st.floats(-1e6, 1e6))
+    def test_clamp_identity_inside(self, value):
+        assert units.clamp(value, -1e7, 1e7) == value
+
+    def test_finite_check_message(self):
+        with pytest.raises(UnitsError, match="finite"):
+            units.check_nonnegative(math.inf)
