@@ -1,0 +1,71 @@
+"""Fleet simulation throughput: servers x steps/sec, serial vs parallel.
+
+The rack simulator's cost is ~N single-server loops plus the coupling
+update; the campaign runner amortizes whole racks across processes.
+``extra_info`` records servers*steps/sec so regressions in the shared
+:class:`~repro.sim.engine.ServerStepper` primitive show up here too.
+"""
+
+from __future__ import annotations
+
+from repro.config import FleetConfig
+from repro.fleet import (
+    CampaignRunner,
+    CampaignTask,
+    FleetSimulator,
+    homogeneous_rack,
+)
+
+_N_SERVERS = 4
+_DURATION_S = 30.0
+_DT_S = 0.5
+
+
+def _run_rack() -> None:
+    rack = homogeneous_rack(
+        n_servers=_N_SERVERS,
+        duration_s=_DURATION_S,
+        seed=1,
+        fleet=FleetConfig(n_servers=_N_SERVERS, recirc_fraction=0.25),
+    )
+    FleetSimulator(rack, dt_s=_DT_S, record_decimation=10).run(_DURATION_S)
+
+
+def _campaign_tasks() -> list[CampaignTask]:
+    return [
+        CampaignTask(
+            scenario="homogeneous",
+            n_servers=_N_SERVERS,
+            seed=seed,
+            duration_s=_DURATION_S,
+            dt_s=_DT_S,
+            record_decimation=10,
+        )
+        for seed in (0, 1)
+    ]
+
+
+def test_fleet_simulator_throughput(benchmark):
+    """One coupled 4-server rack run (the lockstep loop itself)."""
+    benchmark.pedantic(_run_rack, rounds=3, iterations=1)
+    server_steps = _N_SERVERS * int(_DURATION_S / _DT_S)
+    benchmark.extra_info["server_steps_per_run"] = server_steps
+    benchmark.extra_info["server_steps_per_sec"] = (
+        server_steps / benchmark.stats.stats.mean
+    )
+
+
+def test_campaign_serial_throughput(benchmark):
+    """Two rack tasks through the serial campaign path."""
+    runner = CampaignRunner(workers=None)
+    benchmark.pedantic(lambda: runner.run(_campaign_tasks()), rounds=3, iterations=1)
+
+
+def test_campaign_parallel_throughput(benchmark):
+    """The same two rack tasks across a 2-process pool.
+
+    On multi-core hosts this approaches half the serial time; the pool
+    spawn overhead dominates for campaigns this small on 1 core.
+    """
+    runner = CampaignRunner(workers=2)
+    benchmark.pedantic(lambda: runner.run(_campaign_tasks()), rounds=3, iterations=1)

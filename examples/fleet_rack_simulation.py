@@ -1,0 +1,120 @@
+"""Rack-scale simulation: coupled servers plus a parallel campaign.
+
+Simulates a heterogeneous-sensor rack where each server's inlet is the
+room ambient plus recirculated exhaust from upstream servers, prints the
+per-server picture (inlet, junction, fan, energy), then sweeps the
+recirculation fraction through a small :class:`CampaignRunner` campaign
+to show how rack coupling inflates worst-case junction temperature and
+fan energy.
+
+Usage::
+
+    python examples/fleet_rack_simulation.py [n_servers] [duration_seconds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CampaignRunner, FleetConfig, FleetSimulator, campaign_grid
+from repro.analysis.report import format_table, sparkline
+from repro.fleet import heterogeneous_sensor_rack
+
+
+def main() -> None:
+    n_servers = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    duration_s = float(sys.argv[2]) if len(sys.argv) > 2 else 600.0
+
+    print(
+        f"Simulating a {n_servers}-server heterogeneous-sensor rack "
+        f"for {duration_s:.0f} s (recirculation fraction 0.25)..."
+    )
+    rack = heterogeneous_sensor_rack(
+        n_servers=n_servers,
+        duration_s=duration_s,
+        seed=1,
+        fleet=FleetConfig(n_servers=n_servers, recirc_fraction=0.25),
+    )
+    result = FleetSimulator(rack, dt_s=0.5, record_decimation=10).run(duration_s)
+
+    print()
+    rows = []
+    for i, (slot, server) in enumerate(zip(rack, result.server_results)):
+        rows.append(
+            [
+                slot.name,
+                slot.sensor.config.lag_s,
+                result.mean_inlet_c[i],
+                server.max_junction_c,
+                float(server.fan_speed_rpm.mean()),
+                server.fan_energy_j,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "server",
+                "lag [s]",
+                "mean inlet [degC]",
+                "max Tj [degC]",
+                "mean fan [rpm]",
+                "fan E [J]",
+            ],
+            rows,
+            float_format="{:.1f}",
+        )
+    )
+
+    print()
+    print("  junction spread across the rack over time:")
+    junctions = result.junction_matrix()
+    print("   ", sparkline(junctions.max(axis=0) - junctions.min(axis=0), 70))
+    print()
+    summary = result.metrics
+    print(
+        f"  fleet: worst Tj {summary.worst_max_junction_c:.1f} degC, "
+        f"total energy {summary.total_energy_j / 1e3:.1f} kJ, "
+        f"violations {summary.violation_percent:.2f} %, "
+        f"peak spread {summary.peak_junction_spread_c:.1f} degC"
+    )
+
+    print()
+    print("Campaign: recirculation fraction sweep (2 seeds each, workers=2)...")
+    tasks = campaign_grid(
+        ["hetero_sensors"],
+        seeds=[1, 2],
+        recirc_fractions=[0.0, 0.15, 0.3],
+        n_servers=n_servers,
+        duration_s=min(duration_s, 300.0),
+        dt_s=0.5,
+        record_decimation=10,
+    )
+    results = CampaignRunner(workers=2).run(tasks)
+
+    rows = []
+    for task, res in zip(tasks, results):
+        metrics = res.metrics
+        rows.append(
+            [
+                task.label,
+                metrics.worst_max_junction_c,
+                metrics.fan_energy_j,
+                metrics.peak_junction_spread_c,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["task", "worst Tj [degC]", "fan E [J]", "peak spread [degC]"],
+            rows,
+            float_format="{:.1f}",
+        )
+    )
+    print()
+    print("Recirculation couples the rack: downstream inlets run hotter, so")
+    print("fans spend more energy and the worst-case junction climbs even")
+    print("though every server runs the same DTM stack.")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ from repro.config import (
     CpuPowerConfig,
     DieConfig,
     FanConfig,
+    FleetConfig,
     HeatSinkConfig,
     SensingConfig,
     ServerConfig,
@@ -55,15 +56,28 @@ from repro.core import (
     ziegler_nichols_gains,
 )
 from repro.errors import ReproError
+from repro.fleet import (
+    CampaignRunner,
+    CampaignTask,
+    FleetResult,
+    FleetSimulator,
+    Rack,
+    RecirculationMatrix,
+    ServerSlot,
+    build_fleet_scenario,
+    campaign_grid,
+)
 from repro.sensing import TemperatureSensor
 from repro.sim import (
     SCHEME_NAMES,
+    ServerStepper,
     SimulationResult,
     Simulator,
     build_global_controller,
     build_plant,
     build_sensor,
     paper_workload,
+    parallel_map,
     run_fan_only,
     run_scheme,
 )
@@ -74,6 +88,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptivePIDFanController",
     "AdaptiveSetpoint",
+    "CampaignRunner",
+    "CampaignTask",
     "ControlConfig",
     "ControlInputs",
     "ControlState",
@@ -83,6 +99,9 @@ __all__ = [
     "DieConfig",
     "EnergyAwareCoordinator",
     "FanConfig",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSimulator",
     "GainRegion",
     "GainSchedule",
     "GlobalController",
@@ -90,11 +109,15 @@ __all__ = [
     "PIDController",
     "PIDGains",
     "QuantizationGuard",
+    "Rack",
+    "RecirculationMatrix",
     "ReproError",
     "RuleBasedCoordinator",
     "SCHEME_NAMES",
     "SensingConfig",
     "ServerConfig",
+    "ServerSlot",
+    "ServerStepper",
     "ServerThermalModel",
     "SimulationResult",
     "Simulator",
@@ -105,13 +128,16 @@ __all__ = [
     "TemperatureSensor",
     "UncoordinatedCoordinator",
     "ZieglerNicholsRule",
+    "build_fleet_scenario",
     "build_global_controller",
     "build_plant",
     "build_sensor",
+    "campaign_grid",
     "default_server_config",
     "find_ultimate_gain",
     "ideal_sensing_config",
     "paper_workload",
+    "parallel_map",
     "run_fan_only",
     "run_scheme",
     "tune_region",

@@ -16,7 +16,13 @@ from repro.analysis.linearize import (
     linearize_plant,
     suggest_regions,
 )
-from repro.analysis.metrics import SchemeComparison, compare_schemes, scheme_row
+from repro.analysis.metrics import (
+    FleetSummary,
+    SchemeComparison,
+    compare_schemes,
+    fleet_summary,
+    scheme_row,
+)
 from repro.analysis.stability import (
     StabilityReport,
     analyze_stability,
@@ -28,11 +34,13 @@ from repro.analysis.stability import (
 from repro.analysis.report import format_table, sparkline
 
 __all__ = [
+    "FleetSummary",
     "LinearizationFit",
     "SchemeComparison",
     "StabilityReport",
     "analyze_stability",
     "compare_schemes",
+    "fleet_summary",
     "format_table",
     "is_oscillatory",
     "linearization_error",

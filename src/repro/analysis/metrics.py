@@ -1,8 +1,18 @@
-"""Table III metrics: deadline violations and normalized fan energy."""
+"""Table III metrics plus rack/fleet-level aggregates.
+
+Single-server scoring (:func:`scheme_row`, :func:`compare_schemes`)
+reproduces Table III; :func:`fleet_summary` rolls a set of lockstep
+per-server runs up into the fleet-level figures the rack simulation
+reports (total energy, worst-case junction, violation counts,
+inter-server temperature spread).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import AnalysisError
 from repro.sim.result import SimulationResult
@@ -49,3 +59,74 @@ def compare_schemes(
         scheme_row(result, baseline, label=name)
         for name, result in results.items()
     ]
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Fleet-level aggregates over one rack run.
+
+    The spread figures quantify how unevenly the rack heats: at every
+    recorded instant the junction spread is ``max - min`` across
+    servers, and we report its time mean and peak.  Recirculation drives
+    the spread up; a perfectly decoupled homogeneous rack keeps it near
+    zero.
+    """
+
+    n_servers: int
+    total_energy_j: float
+    fan_energy_j: float
+    cpu_energy_j: float
+    worst_max_junction_c: float
+    total_violations: int
+    total_periods: int
+    mean_junction_spread_c: float
+    peak_junction_spread_c: float
+
+    @property
+    def violation_percent(self) -> float:
+        """Fleet-wide deadline violation percentage."""
+        if self.total_periods == 0:
+            return 0.0
+        return 100.0 * self.total_violations / self.total_periods
+
+    def as_dict(self) -> dict[str, float]:
+        """Headline figures as a flat dict (for tables and campaigns)."""
+        return {
+            "n_servers": float(self.n_servers),
+            "total_energy_j": self.total_energy_j,
+            "fan_energy_j": self.fan_energy_j,
+            "cpu_energy_j": self.cpu_energy_j,
+            "worst_max_junction_c": self.worst_max_junction_c,
+            "violation_percent": self.violation_percent,
+            "mean_junction_spread_c": self.mean_junction_spread_c,
+            "peak_junction_spread_c": self.peak_junction_spread_c,
+        }
+
+
+def fleet_summary(results: Sequence[SimulationResult]) -> FleetSummary:
+    """Aggregate lockstep per-server runs into fleet-level metrics.
+
+    All results must share the same telemetry length (the fleet
+    simulator steps servers in lockstep, so they do by construction).
+    """
+    if not results:
+        raise AnalysisError("fleet summary needs at least one server result")
+    lengths = {r.times.size for r in results}
+    if len(lengths) != 1:
+        raise AnalysisError(
+            f"server telemetry lengths differ ({sorted(lengths)}); "
+            "fleet metrics need lockstep runs"
+        )
+    junctions = np.stack([r.junction_c for r in results])
+    spread = junctions.max(axis=0) - junctions.min(axis=0)
+    return FleetSummary(
+        n_servers=len(results),
+        total_energy_j=sum(r.energy.total_j for r in results),
+        fan_energy_j=sum(r.fan_energy_j for r in results),
+        cpu_energy_j=sum(r.cpu_energy_j for r in results),
+        worst_max_junction_c=max(r.max_junction_c for r in results),
+        total_violations=sum(r.performance.violations for r in results),
+        total_periods=sum(r.performance.periods for r in results),
+        mean_junction_spread_c=float(spread.mean()) if spread.size else 0.0,
+        peak_junction_spread_c=float(spread.max()) if spread.size else 0.0,
+    )

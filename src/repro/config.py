@@ -191,6 +191,52 @@ class ControlConfig:
 
 
 @dataclass(frozen=True)
+class FleetConfig:
+    """Rack-level coupling parameters for fleet simulations.
+
+    The paper evaluates a single server; at rack scale each server's
+    inlet is the room ambient plus recirculated exhaust from upstream
+    servers (cf. thermal-aware data-center control, Van Damme et al.).
+
+    * ``n_servers`` - servers in the rack, ordered along the airflow path.
+    * ``recirc_fraction`` - fraction of the immediate upstream neighbour's
+      exhaust rise reaching a server's inlet; attenuates geometrically
+      with distance along the chain.  0 decouples the rack entirely.
+    * ``exhaust_conductance_w_per_k`` - airflow heat conductance
+      ``G = P_exhaust / dT`` at maximum fan speed; the exhaust rise is
+      ``P_total / G(V)`` with ``G`` scaling linearly with fan speed.
+    * ``min_conductance_fraction`` - floor on ``G(V)/G(V_max)`` so the
+      exhaust rise stays bounded as fans spin down.
+    * ``room_c`` - room (cold-aisle) ambient supplied to every inlet.
+    """
+
+    n_servers: int = 4
+    recirc_fraction: float = 0.25
+    exhaust_conductance_w_per_k: float = 50.0
+    min_conductance_fraction: float = 0.15
+    #: Matches ServerConfig.ambient_c so a decoupled rack reproduces the
+    #: default single-server setup exactly.
+    room_c: float = 28.0
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ConfigError(f"n_servers must be >= 1, got {self.n_servers}")
+        if not 0.0 <= self.recirc_fraction < 1.0:
+            raise ConfigError(
+                f"recirc_fraction must be in [0, 1), got {self.recirc_fraction}"
+            )
+        check_positive(
+            self.exhaust_conductance_w_per_k, "exhaust_conductance_w_per_k"
+        )
+        if not 0.0 < self.min_conductance_fraction <= 1.0:
+            raise ConfigError(
+                "min_conductance_fraction must be in (0, 1], got "
+                f"{self.min_conductance_fraction}"
+            )
+        check_temperature(self.room_c, "room_c")
+
+
+@dataclass(frozen=True)
 class ServerConfig:
     """Complete description of the simulated enterprise server.
 

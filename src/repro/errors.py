@@ -44,6 +44,10 @@ class SimulationError(ReproError):
     """The simulation engine detected an invalid schedule or state."""
 
 
+class FleetError(SimulationError):
+    """A rack/fleet simulation was misconfigured or inconsistently sized."""
+
+
 class WorkloadError(ReproError, ValueError):
     """A workload generator was configured with invalid parameters."""
 

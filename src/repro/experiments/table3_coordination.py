@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.metrics import compare_schemes
 from repro.analysis.report import format_table
 from repro.config import ServerConfig
 from repro.experiments.registry import ExperimentResult

@@ -1,0 +1,123 @@
+"""Parallel campaign runner: fan fleet scenarios out over processes.
+
+A campaign is a list of :class:`CampaignTask`\\ s - picklable, fully
+self-describing (scenario name, fleet size, seed, duration, coupling
+strength) - each of which a worker turns into a rack, simulates, and
+returns as a :class:`~repro.fleet.result.FleetResult`.  Because every
+task carries its own seed and the builders derive all per-server RNG
+streams from it deterministically, results are identical whichever
+worker (or the parent process, for the serial path) executes the task;
+:class:`CampaignRunner` only chooses *where* tasks run, via the same
+:func:`~repro.sim.parallel.parallel_map` machinery parameter sweeps use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.config import FleetConfig
+from repro.errors import FleetError
+from repro.fleet.result import FleetResult
+from repro.fleet.scenarios import FLEET_SCENARIOS, build_fleet_scenario
+from repro.fleet.simulator import FleetSimulator
+from repro.sim.parallel import parallel_map
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One fleet run: everything a worker needs to reproduce it exactly."""
+
+    scenario: str
+    n_servers: int = 4
+    seed: int = 0
+    duration_s: float = 600.0
+    dt_s: float = 0.1
+    record_decimation: int = 10
+    recirc_fraction: float = 0.25
+    scheme: str = "rcoord"
+
+    def __post_init__(self) -> None:
+        if self.scenario not in FLEET_SCENARIOS:
+            raise FleetError(
+                f"unknown fleet scenario {self.scenario!r}; choose from "
+                f"{sorted(FLEET_SCENARIOS)}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Stable identifier for reports and result lookup."""
+        return (
+            f"{self.scenario}/n{self.n_servers}"
+            f"/f{self.recirc_fraction:g}/s{self.seed}"
+        )
+
+
+def run_campaign_task(task: CampaignTask) -> FleetResult:
+    """Build and simulate one task's rack (module-level: pool-picklable)."""
+    rack = build_fleet_scenario(
+        task.scenario,
+        n_servers=task.n_servers,
+        duration_s=task.duration_s,
+        seed=task.seed,
+        fleet=FleetConfig(
+            n_servers=task.n_servers, recirc_fraction=task.recirc_fraction
+        ),
+        scheme=task.scheme,
+    )
+    sim = FleetSimulator(
+        rack, dt_s=task.dt_s, record_decimation=task.record_decimation
+    )
+    result = sim.run(task.duration_s, label=task.label)
+    return replace(result, extras={"task": task})
+
+
+def campaign_grid(
+    scenarios: Sequence[str],
+    seeds: Sequence[int],
+    recirc_fractions: Sequence[float] = (0.25,),
+    **task_kwargs,
+) -> list[CampaignTask]:
+    """The full cross product scenario x recirc_fraction x seed, in order."""
+    return [
+        CampaignTask(
+            scenario=scenario,
+            seed=seed,
+            recirc_fraction=fraction,
+            **task_kwargs,
+        )
+        for scenario in scenarios
+        for fraction in recirc_fractions
+        for seed in seeds
+    ]
+
+
+class CampaignRunner:
+    """Execute campaign tasks serially or across a process pool.
+
+    ``workers`` of ``None``/``0``/``1`` runs in-process; larger values
+    use a :class:`~concurrent.futures.ProcessPoolExecutor`.  Either way
+    results come back in task order and are value-identical, so the
+    parallel path is a pure throughput knob.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self._workers = workers
+
+    @property
+    def workers(self) -> int | None:
+        """Configured pool size (None = serial)."""
+        return self._workers
+
+    def run(self, tasks: Iterable[CampaignTask]) -> list[FleetResult]:
+        """Run every task and return results in task order."""
+        task_list = list(tasks)
+        if not task_list:
+            raise FleetError("campaign needs at least one task")
+        return parallel_map(run_campaign_task, task_list, workers=self._workers)
+
+    def run_summaries(
+        self, tasks: Iterable[CampaignTask]
+    ) -> list[dict[str, float]]:
+        """Run tasks and reduce each result to its flat fleet summary."""
+        return [result.summary() for result in self.run(tasks)]

@@ -1,0 +1,157 @@
+"""Inter-server thermal coupling: exhaust rise and recirculation mixing.
+
+A rack couples its servers through the air: every server dumps its total
+power into its airstream (exhaust temperature rise above inlet), and a
+fraction of that hot exhaust recirculates into downstream intakes
+instead of returning to the CRAC.  This module provides the two halves:
+
+* :class:`ExhaustModel` - ``dT = P / G(V)`` with the airflow heat
+  conductance ``G`` scaling linearly with fan speed (mass flow ~ rpm),
+  floored so the rise stays bounded at low speeds.
+* :class:`RecirculationMatrix` - a nonnegative mixing matrix ``M`` with
+  zero diagonal mapping per-server exhaust rises to per-server inlet
+  offsets: ``offset = M @ rise``.  :meth:`RecirculationMatrix.chain`
+  builds the standard front-to-back rack topology where server ``i``
+  receives ``f**(i-j)`` of server ``j``'s rise for every upstream ``j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import FleetConfig
+from repro.errors import FleetError
+from repro.thermal.server import ServerState
+from repro.units import check_positive
+
+
+class ExhaustModel:
+    """Exhaust-air temperature rise of one server above its inlet.
+
+    Parameters
+    ----------
+    conductance_at_max_w_per_k:
+        Airflow heat conductance ``G = m_dot * c_p`` at maximum fan
+        speed.  50 W/K gives a ~4 K rise for a 200 W server at full
+        airflow, typical of 1U enterprise machines.
+    max_speed_rpm:
+        Fan speed at which the full conductance is reached.
+    min_conductance_fraction:
+        Floor on ``G(V)/G(V_max)``; real chassis keep some airflow even
+        at minimum fan speed, and the floor keeps the rise finite.
+    """
+
+    def __init__(
+        self,
+        conductance_at_max_w_per_k: float = 50.0,
+        max_speed_rpm: float = 8500.0,
+        min_conductance_fraction: float = 0.15,
+    ) -> None:
+        self._g_max = check_positive(
+            conductance_at_max_w_per_k, "conductance_at_max_w_per_k"
+        )
+        self._v_max = check_positive(max_speed_rpm, "max_speed_rpm")
+        if not 0.0 < min_conductance_fraction <= 1.0:
+            raise FleetError(
+                "min_conductance_fraction must be in (0, 1], got "
+                f"{min_conductance_fraction}"
+            )
+        self._g_floor = self._g_max * min_conductance_fraction
+
+    @classmethod
+    def from_config(cls, fleet: FleetConfig, max_speed_rpm: float) -> "ExhaustModel":
+        """Build from rack-level config plus the fan's top speed."""
+        return cls(
+            conductance_at_max_w_per_k=fleet.exhaust_conductance_w_per_k,
+            max_speed_rpm=max_speed_rpm,
+            min_conductance_fraction=fleet.min_conductance_fraction,
+        )
+
+    def conductance_w_per_k(self, fan_speed_rpm: float) -> float:
+        """Airflow heat conductance at the given fan speed."""
+        if fan_speed_rpm < 0.0:
+            raise FleetError(f"fan_speed_rpm must be >= 0, got {fan_speed_rpm}")
+        return max(self._g_floor, self._g_max * fan_speed_rpm / self._v_max)
+
+    def rise_c(self, total_power_w: float, fan_speed_rpm: float) -> float:
+        """Exhaust temperature rise above inlet for one server."""
+        if total_power_w < 0.0:
+            raise FleetError(f"total_power_w must be >= 0, got {total_power_w}")
+        return total_power_w / self.conductance_w_per_k(fan_speed_rpm)
+
+    def rise_from_state(self, state: ServerState) -> float:
+        """Exhaust rise implied by a plant state snapshot."""
+        return self.rise_c(state.total_power_w, state.fan_speed_rpm)
+
+
+class RecirculationMatrix:
+    """Mixing matrix mapping exhaust rises to inlet offsets.
+
+    ``offsets = M @ rises`` where ``M[i, j]`` is the fraction of server
+    ``j``'s exhaust rise appearing at server ``i``'s inlet.  The matrix
+    must be square and nonnegative with a zero diagonal (a server does
+    not re-ingest its own exhaust in this model; front-to-back airflow
+    carries it downstream).
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        m = np.asarray(matrix, dtype=float)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise FleetError(f"coupling matrix must be square, got shape {m.shape}")
+        if not np.all(np.isfinite(m)):
+            raise FleetError("coupling matrix must be finite")
+        if np.any(m < 0.0):
+            raise FleetError("coupling matrix must be nonnegative")
+        if np.any(np.diag(m) != 0.0):
+            raise FleetError("coupling matrix must have a zero diagonal")
+        self._m = m
+
+    @classmethod
+    def chain(cls, n_servers: int, fraction: float) -> "RecirculationMatrix":
+        """Front-to-back chain: ``M[i, j] = fraction**(i - j)`` for ``j < i``.
+
+        The immediate upstream neighbour contributes ``fraction`` of its
+        rise, the one before that ``fraction**2``, and so on - the
+        geometric attenuation of recirculated air mixing back into the
+        cold aisle at each slot.  ``fraction = 0`` yields the zero
+        matrix (fully decoupled rack).
+        """
+        if n_servers < 1:
+            raise FleetError(f"n_servers must be >= 1, got {n_servers}")
+        if not 0.0 <= fraction < 1.0:
+            raise FleetError(f"fraction must be in [0, 1), got {fraction}")
+        m = np.zeros((n_servers, n_servers))
+        if fraction > 0.0:
+            for i in range(n_servers):
+                for j in range(i):
+                    m[i, j] = fraction ** (i - j)
+        return cls(m)
+
+    @classmethod
+    def decoupled(cls, n_servers: int) -> "RecirculationMatrix":
+        """All-zero matrix: every server breathes pure room air."""
+        return cls.chain(n_servers, 0.0)
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers the matrix couples."""
+        return self._m.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """A copy of the mixing matrix."""
+        return self._m.copy()
+
+    @property
+    def is_decoupled(self) -> bool:
+        """True when the matrix is identically zero."""
+        return not np.any(self._m)
+
+    def inlet_offsets_c(self, rises_c: np.ndarray) -> np.ndarray:
+        """Per-server inlet offsets from per-server exhaust rises."""
+        rises = np.asarray(rises_c, dtype=float)
+        if rises.shape != (self.n_servers,):
+            raise FleetError(
+                f"expected {self.n_servers} rises, got shape {rises.shape}"
+            )
+        return self._m @ rises

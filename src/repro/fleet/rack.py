@@ -1,0 +1,140 @@
+"""The rack: N server stacks coupled through a shared inlet-air model.
+
+A :class:`ServerSlot` bundles one full per-server stack (plant, sensing
+pipeline, workload, DTM controller) together with the
+:class:`~repro.thermal.ambient.CoupledInlet` its plant breathes from.
+A :class:`Rack` owns the ordered slots plus the coupling physics
+(:class:`~repro.fleet.coupling.ExhaustModel` and
+:class:`~repro.fleet.coupling.RecirculationMatrix`) and, once per
+simulation step, turns the previous step's plant states into fresh inlet
+offsets.  Using the *previous* states keeps the coupling causal: hot
+exhaust produced at step ``k`` reaches downstream inlets at step
+``k + 1``, and a zero matrix reproduces independent servers exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.global_controller import GlobalController
+from repro.errors import FleetError
+from repro.fleet.coupling import ExhaustModel, RecirculationMatrix
+from repro.sensing.sensor import TemperatureSensor
+from repro.thermal.ambient import CoupledInlet
+from repro.thermal.server import ServerThermalModel
+from repro.workload.base import Workload
+
+
+@dataclass(frozen=True)
+class ServerSlot:
+    """One rack position: a complete server stack plus its coupled inlet."""
+
+    name: str
+    plant: ServerThermalModel
+    sensor: TemperatureSensor
+    workload: Workload
+    controller: GlobalController
+    inlet: CoupledInlet
+
+
+class Rack:
+    """Ordered server slots coupled by exhaust recirculation.
+
+    Parameters
+    ----------
+    slots:
+        Server stacks in airflow order (slot 0 is most upstream).
+    coupling:
+        Mixing matrix sized to the slot count; defaults to the
+        front-to-back chain with ``recirc_fraction``.
+    exhaust:
+        Exhaust-rise model; defaults to :class:`ExhaustModel` scaled to
+        the first slot's fan range.
+    recirc_fraction:
+        Convenience used only when ``coupling`` is omitted.
+    """
+
+    def __init__(
+        self,
+        slots: Sequence[ServerSlot],
+        coupling: RecirculationMatrix | None = None,
+        exhaust: ExhaustModel | None = None,
+        recirc_fraction: float = 0.25,
+    ) -> None:
+        if not slots:
+            raise FleetError("rack needs at least one server slot")
+        self._slots = tuple(slots)
+        n = len(self._slots)
+        if coupling is None:
+            coupling = RecirculationMatrix.chain(n, recirc_fraction)
+        if coupling.n_servers != n:
+            raise FleetError(
+                f"coupling matrix is for {coupling.n_servers} servers, "
+                f"rack has {n}"
+            )
+        if exhaust is None:
+            exhaust = ExhaustModel(
+                max_speed_rpm=self._slots[0].plant.config.fan.max_speed_rpm
+            )
+        self._coupling = coupling
+        self._exhaust = exhaust
+
+    @property
+    def slots(self) -> tuple[ServerSlot, ...]:
+        """The server slots in airflow order."""
+        return self._slots
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers in the rack."""
+        return len(self._slots)
+
+    @property
+    def coupling(self) -> RecirculationMatrix:
+        """The recirculation mixing matrix."""
+        return self._coupling
+
+    @property
+    def exhaust(self) -> ExhaustModel:
+        """The exhaust-rise model."""
+        return self._exhaust
+
+    def __iter__(self) -> Iterator[ServerSlot]:
+        return iter(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def exhaust_rises_c(self) -> np.ndarray:
+        """Per-server exhaust rises implied by the current plant states."""
+        return np.array(
+            [self._exhaust.rise_from_state(slot.plant.state) for slot in self._slots]
+        )
+
+    def inlet_temperatures_c(self) -> np.ndarray:
+        """Per-server inlet temperatures currently in force."""
+        return np.array(
+            [
+                slot.inlet.temperature_c(slot.plant.time_s)
+                for slot in self._slots
+            ]
+        )
+
+    def update_inlets(self) -> np.ndarray:
+        """Propagate current exhaust states into every slot's inlet offset.
+
+        Returns the offsets applied, one per slot.  A decoupled matrix
+        short-circuits to zero offsets without touching the exhaust
+        model, so an uncoupled rack stays bit-for-bit identical to
+        independent single-server runs.
+        """
+        if self._coupling.is_decoupled:
+            offsets = np.zeros(self.n_servers)
+        else:
+            offsets = self._coupling.inlet_offsets_c(self.exhaust_rises_c())
+        for slot, offset in zip(self._slots, offsets):
+            slot.inlet.set_offset_c(float(offset))
+        return offsets

@@ -1,0 +1,66 @@
+"""Fleet run results: per-server telemetry plus rack-level metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.metrics import FleetSummary, fleet_summary
+from repro.errors import AnalysisError
+from repro.sim.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything one rack/fleet run produced.
+
+    Holds the per-server :class:`~repro.sim.result.SimulationResult`\\ s
+    (lockstep, so their time axes are identical) plus the mean inlet
+    temperature each server saw, and derives the fleet-level metrics via
+    :func:`~repro.analysis.metrics.fleet_summary`.  The whole structure
+    is picklable, so campaign workers can return it across a process
+    pool.
+    """
+
+    server_results: tuple[SimulationResult, ...]
+    mean_inlet_c: tuple[float, ...]
+    label: str = "fleet"
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.server_results:
+            raise AnalysisError("fleet result needs at least one server run")
+        if len(self.mean_inlet_c) != len(self.server_results):
+            raise AnalysisError(
+                f"{len(self.mean_inlet_c)} inlet means for "
+                f"{len(self.server_results)} servers"
+            )
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers in the fleet run."""
+        return len(self.server_results)
+
+    @property
+    def times(self) -> np.ndarray:
+        """The shared time axis (all servers step in lockstep)."""
+        return self.server_results[0].times
+
+    def server(self, index: int) -> SimulationResult:
+        """One server's run by rack position."""
+        return self.server_results[index]
+
+    @property
+    def metrics(self) -> FleetSummary:
+        """Fleet-level aggregates (energy, worst junction, spread)."""
+        return fleet_summary(self.server_results)
+
+    def junction_matrix(self) -> np.ndarray:
+        """(n_servers, n_records) array of true junction temperatures."""
+        return np.stack([r.junction_c for r in self.server_results])
+
+    def summary(self) -> dict[str, float]:
+        """Headline fleet metrics as a flat dict."""
+        return self.metrics.as_dict()

@@ -1,0 +1,286 @@
+"""Canned rack builders for fleet experiments, in `sim/scenarios.py` style.
+
+Each builder assembles a full :class:`~repro.fleet.rack.Rack` - per-slot
+plant, sensing pipeline, DTM controller, workload, and the coupling
+physics - from a scenario name, server count, seed, and duration.  The
+registry (:data:`FLEET_SCENARIOS`) maps names to builders so campaign
+workers can reconstruct a rack from a picklable task description.
+
+===================  =====================================================
+name                 rack composition
+===================  =====================================================
+``homogeneous``      identical servers on the paper workload, per-server
+                     seed offsets
+``hetero_sensors``   identical plants, sensing quality varying per slot
+                     (lag 0-20 s, LSB 0.5-2 degC)
+``staggered_waves``  square-wave workloads phase-shifted along the rack
+                     (rolling load waves)
+``hot_spot``         one server pinned near full load, the rest near
+                     idle - the recirculation stress case
+===================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.config import FleetConfig, ServerConfig
+from repro.errors import ExperimentError, FleetError
+from repro.fleet.coupling import ExhaustModel, RecirculationMatrix
+from repro.fleet.rack import Rack, ServerSlot
+from repro.sim.scenarios import build_global_controller, paper_workload
+from repro.sensing.sensor import TemperatureSensor
+from repro.thermal.ambient import ConstantAmbient, CoupledInlet
+from repro.thermal.server import ServerThermalModel
+from repro.thermal.steady_state import SteadyStateServerModel
+from repro.workload.base import Workload
+from repro.workload.synthetic import (
+    ConstantWorkload,
+    NoisyWorkload,
+    SquareWaveWorkload,
+)
+
+#: Seed stride between servers so per-slot RNG streams never collide.
+_SEED_STRIDE = 1009
+
+#: Sensing-quality ladder cycled across slots by ``hetero_sensors``:
+#: (lag_s, quantization_step_c).  Slot 0 gets the paper's nominal sensor.
+HETERO_SENSOR_LADDER = (
+    (10.0, 1.0),
+    (0.0, 0.5),
+    (5.0, 1.0),
+    (20.0, 2.0),
+)
+
+
+def build_server_slot(
+    name: str,
+    config: ServerConfig | None = None,
+    scheme: str = "rcoord",
+    seed: int = 0,
+    workload: Workload | None = None,
+    room_c: float | None = None,
+    initial_utilization: float = 0.1,
+    workload_duration_s: float = 3600.0,
+) -> ServerSlot:
+    """One rack slot wired exactly like the single-server scenarios.
+
+    Mirrors :func:`repro.sim.scenarios.build_plant` /
+    :func:`~repro.sim.scenarios.build_sensor` /
+    :func:`~repro.sim.scenarios.build_global_controller`, except the
+    plant breathes from a :class:`~repro.thermal.ambient.CoupledInlet`
+    so the rack coupling can drive its inlet.  With the offset left at
+    zero the slot behaves bit-for-bit like the standalone wiring.
+    """
+    cfg = config or ServerConfig()
+    if room_c is not None and room_c != cfg.ambient_c:
+        cfg = replace(cfg, ambient_c=room_c)
+    inlet = CoupledInlet(ConstantAmbient(cfg.ambient_c))
+    steady = SteadyStateServerModel(cfg)
+    speed = steady.required_fan_speed_rpm(
+        initial_utilization, cfg.control.t_ref_fan_c
+    )
+    plant = ServerThermalModel(
+        cfg,
+        ambient=inlet,
+        initial_utilization=initial_utilization,
+        initial_fan_speed_rpm=speed,
+    )
+    if workload is None:
+        workload = paper_workload(workload_duration_s, seed=seed)
+    return ServerSlot(
+        name=name,
+        plant=plant,
+        sensor=TemperatureSensor(cfg.sensing, seed=seed),
+        workload=workload,
+        controller=build_global_controller(
+            scheme, cfg, initial_utilization=initial_utilization
+        ),
+        inlet=inlet,
+    )
+
+
+def _assemble_rack(slots: list[ServerSlot], fleet: FleetConfig) -> Rack:
+    """Couple finished slots with the chain topology from the config."""
+    if fleet.n_servers != len(slots):
+        raise FleetError(
+            f"fleet config says {fleet.n_servers} servers but the scenario "
+            f"built {len(slots)}; pass matching n_servers"
+        )
+    return Rack(
+        slots,
+        coupling=RecirculationMatrix.chain(len(slots), fleet.recirc_fraction),
+        exhaust=ExhaustModel.from_config(
+            fleet, max_speed_rpm=slots[0].plant.config.fan.max_speed_rpm
+        ),
+    )
+
+
+def homogeneous_rack(
+    n_servers: int = 4,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    fleet: FleetConfig | None = None,
+    config: ServerConfig | None = None,
+    scheme: str = "rcoord",
+) -> Rack:
+    """Identical servers on the paper workload (per-server seed offsets)."""
+    fleet = fleet or FleetConfig(n_servers=n_servers)
+    slots = [
+        build_server_slot(
+            f"srv{i:02d}",
+            config=config,
+            scheme=scheme,
+            seed=seed + _SEED_STRIDE * i,
+            room_c=fleet.room_c,
+            workload_duration_s=duration_s,
+        )
+        for i in range(n_servers)
+    ]
+    return _assemble_rack(slots, fleet)
+
+
+def heterogeneous_sensor_rack(
+    n_servers: int = 4,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    fleet: FleetConfig | None = None,
+    config: ServerConfig | None = None,
+    scheme: str = "rcoord",
+) -> Rack:
+    """Sensing quality varies along the rack; plants stay identical.
+
+    Slot ``i`` takes entry ``i % len(HETERO_SENSOR_LADDER)`` of the
+    ladder, so a 16-server rack cycles through ideal-ish, nominal, and
+    badly lagged/coarse sensors - the paper's non-ideality sweep, but
+    mixed within one rack.
+    """
+    fleet = fleet or FleetConfig(n_servers=n_servers)
+    base_cfg = config or ServerConfig()
+    slots = []
+    for i in range(n_servers):
+        lag_s, lsb_c = HETERO_SENSOR_LADDER[i % len(HETERO_SENSOR_LADDER)]
+        cfg = base_cfg.with_sensing(lag_s=lag_s, quantization_step_c=lsb_c)
+        slots.append(
+            build_server_slot(
+                f"srv{i:02d}",
+                config=cfg,
+                scheme=scheme,
+                seed=seed + _SEED_STRIDE * i,
+                room_c=fleet.room_c,
+                workload_duration_s=duration_s,
+            )
+        )
+    return _assemble_rack(slots, fleet)
+
+
+def staggered_waves_rack(
+    n_servers: int = 4,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    fleet: FleetConfig | None = None,
+    config: ServerConfig | None = None,
+    scheme: str = "rcoord",
+    half_period_s: float = 300.0,
+) -> Rack:
+    """Square-wave load rolling down the rack, one phase slice per slot.
+
+    Models wave-style load balancing: every server sees the same
+    low/high alternation but shifted, so at any instant part of the rack
+    is hot while the rest idles - exercising the coupling asymmetry.
+    """
+    fleet = fleet or FleetConfig(n_servers=n_servers)
+    slots = []
+    for i in range(n_servers):
+        wave = SquareWaveWorkload(
+            low=0.1,
+            high=0.7,
+            half_period_s=half_period_s,
+            phase_s=(2.0 * half_period_s) * i / max(1, n_servers),
+        )
+        workload = NoisyWorkload(wave, std=0.04, seed=seed + _SEED_STRIDE * i)
+        slots.append(
+            build_server_slot(
+                f"srv{i:02d}",
+                config=config,
+                scheme=scheme,
+                seed=seed + _SEED_STRIDE * i,
+                workload=workload,
+                room_c=fleet.room_c,
+            )
+        )
+    return _assemble_rack(slots, fleet)
+
+
+def hot_spot_rack(
+    n_servers: int = 4,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    fleet: FleetConfig | None = None,
+    config: ServerConfig | None = None,
+    scheme: str = "rcoord",
+    hot_index: int = 0,
+    hot_level: float = 0.9,
+    idle_level: float = 0.15,
+) -> Rack:
+    """One server pinned near full load, the rest near idle.
+
+    The recirculation stress case: with the hot server upstream
+    (``hot_index = 0``, the default) its exhaust pre-heats every
+    downstream inlet, raising their fan speeds despite their idle CPUs.
+    """
+    fleet = fleet or FleetConfig(n_servers=n_servers)
+    if not 0 <= hot_index < n_servers:
+        raise ExperimentError(
+            f"hot_index must be in [0, {n_servers}), got {hot_index}"
+        )
+    slots = [
+        build_server_slot(
+            f"srv{i:02d}",
+            config=config,
+            scheme=scheme,
+            seed=seed + _SEED_STRIDE * i,
+            workload=ConstantWorkload(hot_level if i == hot_index else idle_level),
+            room_c=fleet.room_c,
+            initial_utilization=idle_level,
+        )
+        for i in range(n_servers)
+    ]
+    return _assemble_rack(slots, fleet)
+
+
+#: Scenario-name registry used by campaign tasks.
+FLEET_SCENARIOS: dict[str, Callable[..., Rack]] = {
+    "homogeneous": homogeneous_rack,
+    "hetero_sensors": heterogeneous_sensor_rack,
+    "staggered_waves": staggered_waves_rack,
+    "hot_spot": hot_spot_rack,
+}
+
+
+def build_fleet_scenario(
+    name: str,
+    n_servers: int = 4,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    fleet: FleetConfig | None = None,
+    config: ServerConfig | None = None,
+    scheme: str = "rcoord",
+    **kwargs,
+) -> Rack:
+    """Build a registered fleet scenario by name."""
+    if name not in FLEET_SCENARIOS:
+        raise ExperimentError(
+            f"unknown fleet scenario {name!r}; choose from "
+            f"{sorted(FLEET_SCENARIOS)}"
+        )
+    return FLEET_SCENARIOS[name](
+        n_servers=n_servers,
+        duration_s=duration_s,
+        seed=seed,
+        fleet=fleet,
+        config=config,
+        scheme=scheme,
+        **kwargs,
+    )

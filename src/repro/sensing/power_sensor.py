@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import CpuPowerConfig, SensingConfig
+from repro.config import CpuPowerConfig
 from repro.errors import SensorError
 from repro.power.cpu import CpuPowerModel
 from repro.sensing.adc import AdcQuantizer

@@ -2,13 +2,17 @@
 
 * :class:`~repro.sim.engine.Simulator` - the time loop wiring workload,
   plant, sensing pipeline, and DTM controller together.
+* :class:`~repro.sim.engine.ServerStepper` - the single-step loop
+  primitive shared with the fleet simulator.
 * :class:`~repro.sim.result.SimulationResult` - telemetry + metrics.
 * :mod:`repro.sim.scenarios` - canned builders for every paper experiment
   (the five Table III schemes, the Fig. 3/4 fan-only setups, workloads).
-* :class:`~repro.sim.sweep.ParameterSweep` - small sweep harness.
+* :class:`~repro.sim.sweep.ParameterSweep` - sweep harness (optionally
+  parallel via :func:`~repro.sim.parallel.parallel_map`).
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import ServerStepper, Simulator
+from repro.sim.parallel import parallel_map
 from repro.sim.result import SimulationResult
 from repro.sim.scenarios import (
     SCHEME_NAMES,
@@ -24,6 +28,7 @@ from repro.sim.sweep import ParameterSweep, SweepPoint
 __all__ = [
     "ParameterSweep",
     "SCHEME_NAMES",
+    "ServerStepper",
     "SimulationResult",
     "Simulator",
     "SweepPoint",
@@ -31,6 +36,7 @@ __all__ = [
     "build_plant",
     "build_sensor",
     "paper_workload",
+    "parallel_map",
     "run_fan_only",
     "run_scheme",
 ]

@@ -13,6 +13,13 @@ Loop order per step of ``dt_s``: demand is sampled, capped, applied to
 the plant; the sensor observes the new junction temperature; at each CPU
 control period boundary the deadline tracker scores the period and the
 DTM takes its decision from the *measured* temperature.
+
+The loop body lives in :class:`ServerStepper`, a single-step primitive
+that owns the per-run state (applied knob settings, control schedule,
+energy accounting, telemetry buffers).  :class:`Simulator` drives one
+stepper to completion; :class:`~repro.fleet.simulator.FleetSimulator`
+interleaves many steppers in lockstep so coupled servers advance
+together.
 """
 
 from __future__ import annotations
@@ -25,10 +32,191 @@ from repro.errors import SimulationError
 from repro.power.energy import EnergyAccountant
 from repro.sensing.sensor import TemperatureSensor
 from repro.sim.result import SimulationResult
-from repro.thermal.server import ServerThermalModel
+from repro.thermal.server import ServerState, ServerThermalModel
 from repro.units import check_duration
 from repro.workload.base import Workload
 from repro.workload.performance import DeadlineTracker
+
+#: Telemetry channels recorded by every run, in recording order.
+TELEMETRY_CHANNELS = (
+    "time",
+    "junction",
+    "heatsink",
+    "tmeas",
+    "fan_speed",
+    "cpu_cap",
+    "demand",
+    "applied",
+    "t_ref",
+)
+
+
+def _validate_timing(
+    dt_s: float, cpu_interval_s: float, record_decimation: int
+) -> float:
+    """Shared constructor validation for Simulator and ServerStepper."""
+    dt = check_duration(dt_s, "dt_s")
+    if cpu_interval_s + 1e-12 < dt:
+        raise SimulationError(
+            f"dt_s ({dt_s}) must not exceed the CPU control interval "
+            f"({cpu_interval_s})"
+        )
+    if record_decimation < 1:
+        raise SimulationError(
+            f"record_decimation must be >= 1, got {record_decimation}"
+        )
+    return dt
+
+
+class ServerStepper:
+    """Single-step primitive of the closed loop: one server, one ``dt`` per call.
+
+    Construction primes the loop from the plant's and controller's current
+    state (the sensor sees the starting junction temperature, the energy
+    accountant records the starting powers) and allocates telemetry buffers
+    for ``n_steps`` steps.  Each :meth:`step` then advances the full
+    workload -> plant -> sensing -> DTM chain by one ``dt`` and returns the
+    new plant state, so a fleet driver can read exhaust conditions between
+    steps.  :meth:`finish` packages the telemetry into a
+    :class:`~repro.sim.result.SimulationResult`.
+    """
+
+    def __init__(
+        self,
+        plant: ServerThermalModel,
+        sensor: TemperatureSensor,
+        workload: Workload,
+        controller: GlobalController,
+        n_steps: int,
+        dt_s: float = 0.1,
+        record_decimation: int = 1,
+        tracker: DeadlineTracker | None = None,
+    ) -> None:
+        self._plant = plant
+        self._sensor = sensor
+        self._workload = workload
+        self._controller = controller
+        self._dt = _validate_timing(
+            dt_s, controller.control.cpu_interval_s, record_decimation
+        )
+        if n_steps < 1:
+            raise SimulationError(f"n_steps must be >= 1, got {n_steps}")
+        self._n_steps = n_steps
+        self._decimation = record_decimation
+        self._tracker = tracker or DeadlineTracker()
+        self._cpu_interval = controller.control.cpu_interval_s
+
+        state = controller.state
+        self._fan_speed = state.fan_speed_rpm
+        self._cap = state.cpu_cap
+        self._energy = EnergyAccountant()
+        self._start_time = plant.time_s
+        self._sensor.observe(self._start_time, plant.junction_c)
+        self._energy.record(
+            self._start_time,
+            plant.state.cpu_power_w,
+            plant.state.fan_power_w,
+        )
+        self._next_control = self._start_time + self._cpu_interval
+
+        n_records = (n_steps + record_decimation - 1) // record_decimation
+        self._channels = {
+            name: np.empty(n_records) for name in TELEMETRY_CHANNELS
+        }
+        self._record_idx = 0
+        self._k = 0
+
+    @property
+    def plant(self) -> ServerThermalModel:
+        """The thermal plant being stepped."""
+        return self._plant
+
+    @property
+    def controller(self) -> GlobalController:
+        """The DTM taking decisions for this server."""
+        return self._controller
+
+    @property
+    def tracker(self) -> DeadlineTracker:
+        """The deadline/performance tracker."""
+        return self._tracker
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of :meth:`step` calls so far."""
+        return self._k
+
+    @property
+    def done(self) -> bool:
+        """True once all ``n_steps`` steps have been taken."""
+        return self._k >= self._n_steps
+
+    def step(self) -> ServerState:
+        """Advance the closed loop by one ``dt`` and return the plant state."""
+        if self.done:
+            raise SimulationError(
+                f"stepper already completed its {self._n_steps} steps"
+            )
+        k = self._k
+        t = self._start_time + (k + 1) * self._dt
+        demand = self._workload.demand(t)
+        applied = min(demand, self._cap)
+        plant_state = self._plant.step(self._dt, applied, self._fan_speed)
+        self._sensor.observe(t, plant_state.junction_c)
+        self._energy.record(t, plant_state.cpu_power_w, plant_state.fan_power_w)
+
+        # One sensor read per step, shared by the controller and telemetry,
+        # so both consumers see the same value and sensing work isn't done
+        # twice on recorded control steps.
+        reading = None
+        if t + 1e-9 >= self._next_control:
+            self._tracker.record(demand, self._cap)
+            reading = self._sensor.read(t)
+            inputs = ControlInputs(
+                time_s=t,
+                tmeas_c=reading.value_c,
+                measured_util=applied,
+                recent_degradation=self._tracker.recent_degradation,
+                demand_estimate=demand,
+            )
+            new_state = self._controller.step(inputs)
+            self._fan_speed = new_state.fan_speed_rpm
+            self._cap = new_state.cpu_cap
+            while self._next_control <= t + 1e-9:
+                self._next_control += self._cpu_interval
+
+        if k % self._decimation == 0:
+            if reading is None:
+                reading = self._sensor.read(t)
+            idx = self._record_idx
+            channels = self._channels
+            channels["time"][idx] = t
+            channels["junction"][idx] = plant_state.junction_c
+            channels["heatsink"][idx] = plant_state.heatsink_c
+            channels["tmeas"][idx] = reading.value_c
+            channels["fan_speed"][idx] = self._fan_speed
+            channels["cpu_cap"][idx] = self._cap
+            channels["demand"][idx] = demand
+            channels["applied"][idx] = applied
+            channels["t_ref"][idx] = self._controller.t_ref_c
+            self._record_idx = idx + 1
+
+        self._k = k + 1
+        return plant_state
+
+    def finish(self, label: str = "run") -> SimulationResult:
+        """Package the telemetry recorded so far into a result."""
+        trimmed = {
+            name: arr[: self._record_idx] for name, arr in self._channels.items()
+        }
+        return SimulationResult(
+            channels=trimmed,
+            performance=self._tracker.summary,
+            energy=self._energy.breakdown,
+            config=self._plant.config,
+            dt_s=self._dt,
+            label=label,
+        )
 
 
 class Simulator:
@@ -64,17 +252,9 @@ class Simulator:
         self._sensor = sensor
         self._workload = workload
         self._controller = controller
-        self._dt = check_duration(dt_s, "dt_s")
-        cpu_interval = controller.control.cpu_interval_s
-        if cpu_interval + 1e-12 < self._dt:
-            raise SimulationError(
-                f"dt_s ({dt_s}) must not exceed the CPU control interval "
-                f"({cpu_interval})"
-            )
-        if record_decimation < 1:
-            raise SimulationError(
-                f"record_decimation must be >= 1, got {record_decimation}"
-            )
+        self._dt = _validate_timing(
+            dt_s, controller.control.cpu_interval_s, record_decimation
+        )
         self._decimation = record_decimation
         self._tracker = DeadlineTracker(
             tolerance=violation_tolerance, window=degradation_window
@@ -101,82 +281,16 @@ class Simulator:
         n_steps = int(round(duration_s / self._dt))
         if n_steps < 1:
             raise SimulationError(f"duration {duration_s} shorter than one step")
-
-        cpu_interval = self._controller.control.cpu_interval_s
-        state = self._controller.state
-        fan_speed = state.fan_speed_rpm
-        cap = state.cpu_cap
-
-        energy = EnergyAccountant()
-        start_time = self._plant.time_s
-        self._sensor.observe(start_time, self._plant.junction_c)
-        energy.record(
-            start_time,
-            self._plant.state.cpu_power_w,
-            self._plant.state.fan_power_w,
-        )
-        next_control = start_time + cpu_interval
-
-        n_records = (n_steps + self._decimation - 1) // self._decimation
-        channels = {
-            name: np.empty(n_records)
-            for name in (
-                "time",
-                "junction",
-                "heatsink",
-                "tmeas",
-                "fan_speed",
-                "cpu_cap",
-                "demand",
-                "applied",
-                "t_ref",
-            )
-        }
-        record_idx = 0
-
-        for k in range(n_steps):
-            t = start_time + (k + 1) * self._dt
-            demand = self._workload.demand(t)
-            applied = min(demand, cap)
-            plant_state = self._plant.step(self._dt, applied, fan_speed)
-            self._sensor.observe(t, plant_state.junction_c)
-            energy.record(t, plant_state.cpu_power_w, plant_state.fan_power_w)
-
-            if t + 1e-9 >= next_control:
-                self._tracker.record(demand, cap)
-                reading = self._sensor.read(t)
-                inputs = ControlInputs(
-                    time_s=t,
-                    tmeas_c=reading.value_c,
-                    measured_util=applied,
-                    recent_degradation=self._tracker.recent_degradation,
-                    demand_estimate=demand,
-                )
-                new_state = self._controller.step(inputs)
-                fan_speed = new_state.fan_speed_rpm
-                cap = new_state.cpu_cap
-                while next_control <= t + 1e-9:
-                    next_control += cpu_interval
-
-            if k % self._decimation == 0:
-                reading = self._sensor.read(t)
-                channels["time"][record_idx] = t
-                channels["junction"][record_idx] = plant_state.junction_c
-                channels["heatsink"][record_idx] = plant_state.heatsink_c
-                channels["tmeas"][record_idx] = reading.value_c
-                channels["fan_speed"][record_idx] = fan_speed
-                channels["cpu_cap"][record_idx] = cap
-                channels["demand"][record_idx] = demand
-                channels["applied"][record_idx] = applied
-                channels["t_ref"][record_idx] = self._controller.t_ref_c
-                record_idx += 1
-
-        trimmed = {name: arr[:record_idx] for name, arr in channels.items()}
-        return SimulationResult(
-            channels=trimmed,
-            performance=self._tracker.summary,
-            energy=energy.breakdown,
-            config=self._plant.config,
+        stepper = ServerStepper(
+            self._plant,
+            self._sensor,
+            self._workload,
+            self._controller,
+            n_steps=n_steps,
             dt_s=self._dt,
-            label=label,
+            record_decimation=self._decimation,
+            tracker=self._tracker,
         )
+        while not stepper.done:
+            stepper.step()
+        return stepper.finish(label)

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.sim.parallel import parallel_map
 from repro.sim.result import SimulationResult
 
 
@@ -38,13 +39,20 @@ class ParameterSweep:
         self._runner = runner
         self._metric_fns = metric_fns or {}
 
-    def run(self, values: list[Any]) -> list[SweepPoint]:
-        """Execute the sweep in order; raises on an empty value list."""
+    def run(self, values: list[Any], workers: int | None = None) -> list[SweepPoint]:
+        """Execute the sweep; raises on an empty value list.
+
+        ``workers`` > 1 runs the sweep points across a process pool (the
+        runner must then be picklable, e.g. a module-level function);
+        the default remains sequential.  Point order always matches
+        ``values``, and metric extractors run in the parent process so
+        they may be lambdas either way.
+        """
         if not values:
             raise SimulationError("sweep needs at least one parameter value")
+        results = parallel_map(self._runner, values, workers=workers)
         points = []
-        for value in values:
-            result = self._runner(value)
+        for value, result in zip(values, results):
             metrics = {
                 name: fn(result) for name, fn in self._metric_fns.items()
             }

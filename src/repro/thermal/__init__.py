@@ -19,6 +19,7 @@ riding on top of it.  This package provides:
 from repro.thermal.ambient import (
     AmbientProfile,
     ConstantAmbient,
+    CoupledInlet,
     DiurnalAmbient,
     StepAmbient,
 )
@@ -33,6 +34,7 @@ from repro.thermal.steady_state import SteadyStateServerModel
 __all__ = [
     "AmbientProfile",
     "ConstantAmbient",
+    "CoupledInlet",
     "CpuDie",
     "DiurnalAmbient",
     "HeatSink",

@@ -32,6 +32,45 @@ class ConstantAmbient(AmbientProfile):
         return self._temp_c
 
 
+class CoupledInlet(AmbientProfile):
+    """Inlet profile driven externally by a rack-level coupling model.
+
+    A server in a rack does not breathe room air: its inlet is the room
+    ambient plus whatever fraction of upstream servers' exhaust
+    recirculates into its intake.  The fleet coupling layer computes that
+    recirculation offset each simulation step and pushes it in via
+    :meth:`set_offset_c`; the wrapped base profile supplies the room
+    ambient.  With the offset left at zero this reduces exactly to the
+    base profile, so an uncoupled server behaves bit-for-bit like a
+    standalone one.
+    """
+
+    def __init__(self, base: AmbientProfile | None = None, room_c: float = 25.0) -> None:
+        self._base = base or ConstantAmbient(room_c)
+        self._offset_c = 0.0
+
+    @property
+    def base(self) -> AmbientProfile:
+        """The room-ambient profile underneath the recirculation offset."""
+        return self._base
+
+    @property
+    def offset_c(self) -> float:
+        """Recirculation temperature rise currently applied."""
+        return self._offset_c
+
+    def set_offset_c(self, offset_c: float) -> None:
+        """Set the recirculation rise added on top of the room ambient."""
+        if not math.isfinite(offset_c):
+            raise ConfigError(f"offset_c must be finite, got {offset_c!r}")
+        if offset_c < 0.0:
+            raise ConfigError(f"offset_c must be >= 0, got {offset_c!r}")
+        self._offset_c = float(offset_c)
+
+    def temperature_c(self, t_s: float) -> float:
+        return self._base.temperature_c(t_s) + self._offset_c
+
+
 class StepAmbient(AmbientProfile):
     """Ambient that steps from ``before_c`` to ``after_c`` at ``step_time_s``.
 

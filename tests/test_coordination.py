@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import ServerConfig
 from repro.core.base import ControlInputs, ControlState
 from repro.core.cpu_capper import DeadzoneCpuCapper
 from repro.core.ecoord import EnergyAwareCoordinator
@@ -19,7 +18,6 @@ from repro.core.setpoint import AdaptiveSetpoint
 from repro.core.single_step import SingleStepFanScaling, SingleStepPhase
 from repro.core.uncoordinated import UncoordinatedCoordinator
 from repro.errors import ControlError
-from repro.thermal.steady_state import SteadyStateServerModel
 
 
 def inputs(tmeas=77.0, util=0.5, degradation=0.0, demand=None) -> ControlInputs:

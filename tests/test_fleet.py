@@ -1,0 +1,286 @@
+"""Fleet subsystem: coupling physics, rack model, lockstep simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FleetConfig, ServerConfig
+from repro.errors import AnalysisError, ConfigError, FleetError
+from repro.fleet import (
+    ExhaustModel,
+    FleetSimulator,
+    Rack,
+    RecirculationMatrix,
+    build_server_slot,
+    heterogeneous_sensor_rack,
+    homogeneous_rack,
+    hot_spot_rack,
+    staggered_waves_rack,
+)
+from repro.fleet.scenarios import _SEED_STRIDE
+from repro.analysis.metrics import fleet_summary
+from repro.sim import Simulator
+from repro.sim.scenarios import (
+    build_global_controller,
+    build_plant,
+    build_sensor,
+    paper_workload,
+)
+from repro.thermal.ambient import ConstantAmbient, CoupledInlet
+from repro.workload.synthetic import ConstantWorkload
+
+
+class TestExhaustModel:
+    def test_rise_scales_inversely_with_fan_speed(self):
+        model = ExhaustModel(conductance_at_max_w_per_k=50.0, max_speed_rpm=8500.0)
+        assert model.rise_c(200.0, 8500.0) == pytest.approx(4.0)
+        assert model.rise_c(200.0, 4250.0) == pytest.approx(8.0)
+
+    def test_conductance_floor(self):
+        model = ExhaustModel(
+            conductance_at_max_w_per_k=50.0,
+            max_speed_rpm=8500.0,
+            min_conductance_fraction=0.2,
+        )
+        assert model.conductance_w_per_k(0.0) == pytest.approx(10.0)
+        assert model.rise_c(100.0, 100.0) == pytest.approx(10.0)
+
+    def test_invalid_inputs_rejected(self):
+        model = ExhaustModel()
+        with pytest.raises(FleetError):
+            model.rise_c(-1.0, 4000.0)
+        with pytest.raises(FleetError):
+            model.conductance_w_per_k(-1.0)
+        with pytest.raises(FleetError):
+            ExhaustModel(min_conductance_fraction=0.0)
+
+
+class TestRecirculationMatrix:
+    def test_chain_structure(self):
+        m = RecirculationMatrix.chain(3, 0.5).matrix
+        assert m[0, 0] == 0.0
+        assert m[1, 0] == pytest.approx(0.5)
+        assert m[2, 0] == pytest.approx(0.25)
+        assert m[2, 1] == pytest.approx(0.5)
+        assert np.all(np.triu(m) == 0.0)
+
+    def test_decoupled_is_zero(self):
+        coupling = RecirculationMatrix.decoupled(4)
+        assert coupling.is_decoupled
+        assert np.all(coupling.inlet_offsets_c(np.ones(4)) == 0.0)
+
+    def test_offsets_are_matrix_product(self):
+        coupling = RecirculationMatrix.chain(3, 0.5)
+        offsets = coupling.inlet_offsets_c(np.array([4.0, 2.0, 1.0]))
+        assert offsets[0] == pytest.approx(0.0)
+        assert offsets[1] == pytest.approx(2.0)
+        assert offsets[2] == pytest.approx(2.0)  # 0.25*4 + 0.5*2
+
+    def test_validation(self):
+        with pytest.raises(FleetError):
+            RecirculationMatrix(np.ones((2, 3)))
+        with pytest.raises(FleetError):
+            RecirculationMatrix(np.array([[0.0, -0.1], [0.0, 0.0]]))
+        with pytest.raises(FleetError):
+            RecirculationMatrix(np.array([[0.1, 0.0], [0.0, 0.0]]))
+        with pytest.raises(FleetError):
+            RecirculationMatrix.chain(3, 1.0)
+        with pytest.raises(FleetError):
+            coupling = RecirculationMatrix.chain(3, 0.5)
+            coupling.inlet_offsets_c(np.ones(2))
+
+
+class TestCoupledInlet:
+    def test_reduces_to_base_without_offset(self):
+        inlet = CoupledInlet(ConstantAmbient(28.0))
+        assert inlet.temperature_c(0.0) == 28.0
+        assert inlet.temperature_c(1e6) == 28.0
+
+    def test_offset_adds_to_base(self):
+        inlet = CoupledInlet(room_c=25.0)
+        inlet.set_offset_c(3.5)
+        assert inlet.temperature_c(10.0) == pytest.approx(28.5)
+        assert inlet.offset_c == pytest.approx(3.5)
+
+    def test_offset_validation(self):
+        inlet = CoupledInlet()
+        with pytest.raises(ConfigError):
+            inlet.set_offset_c(float("nan"))
+        with pytest.raises(ConfigError):
+            inlet.set_offset_c(-1.0)
+
+
+class TestFleetConfig:
+    def test_defaults_valid(self):
+        fleet = FleetConfig()
+        assert fleet.room_c == ServerConfig().ambient_c
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(n_servers=0)
+        with pytest.raises(ConfigError):
+            FleetConfig(recirc_fraction=1.0)
+        with pytest.raises(ConfigError):
+            FleetConfig(min_conductance_fraction=0.0)
+
+
+def constant_load_rack(n_servers, fraction, level=0.5):
+    """Identical servers under identical constant load (noise-free)."""
+    slots = [
+        build_server_slot(
+            f"srv{i:02d}", workload=ConstantWorkload(level), seed=0
+        )
+        for i in range(n_servers)
+    ]
+    return Rack(slots, coupling=RecirculationMatrix.chain(n_servers, fraction))
+
+
+class TestRack:
+    def test_empty_rack_rejected(self):
+        with pytest.raises(FleetError):
+            Rack([])
+
+    def test_coupling_size_mismatch_rejected(self):
+        slots = [
+            build_server_slot("a", workload=ConstantWorkload(0.3)),
+            build_server_slot("b", workload=ConstantWorkload(0.3)),
+        ]
+        with pytest.raises(FleetError):
+            Rack(slots, coupling=RecirculationMatrix.chain(3, 0.2))
+
+    def test_update_inlets_decoupled_is_zero(self):
+        rack = constant_load_rack(3, 0.0)
+        offsets = rack.update_inlets()
+        assert np.all(offsets == 0.0)
+
+    def test_update_inlets_coupled_offsets_downstream_only(self):
+        rack = constant_load_rack(3, 0.4)
+        offsets = rack.update_inlets()
+        assert offsets[0] == 0.0
+        assert offsets[1] > 0.0
+        assert offsets[2] > 0.0
+
+
+class TestFleetSimulator:
+    def test_zero_recirculation_matches_single_server_bit_for_bit(self):
+        """The coupling acceptance test: a decoupled rack must reproduce N
+        independent single-server Simulator runs exactly."""
+        n, dur, dt, dec, seed = 3, 90.0, 0.5, 2, 7
+        rack = homogeneous_rack(
+            n_servers=n,
+            duration_s=dur,
+            seed=seed,
+            fleet=FleetConfig(n_servers=n, recirc_fraction=0.0),
+        )
+        fleet_res = FleetSimulator(rack, dt_s=dt, record_decimation=dec).run(dur)
+
+        cfg = ServerConfig()
+        for i in range(n):
+            s = seed + _SEED_STRIDE * i
+            single = Simulator(
+                build_plant(cfg),
+                build_sensor(cfg, seed=s),
+                paper_workload(dur, seed=s),
+                build_global_controller("rcoord", cfg),
+                dt_s=dt,
+                record_decimation=dec,
+            ).run(dur)
+            for name, channel in single.channels.items():
+                assert np.array_equal(
+                    channel, fleet_res.server(i).channels[name]
+                ), f"server {i} channel {name} diverged"
+            assert single.energy == fleet_res.server(i).energy
+            assert single.performance == fleet_res.server(i).performance
+
+    def test_recirculation_strictly_heats_downstream_inlets(self):
+        """With recirculation > 0, inlet temperatures must strictly
+        increase along the airflow path."""
+        rack = constant_load_rack(4, 0.5)
+        result = FleetSimulator(rack, dt_s=0.5, record_decimation=5).run(120.0)
+        inlets = np.array(result.mean_inlet_c)
+        assert np.all(np.diff(inlets) > 0.0)
+        # The final instantaneous inlets are ordered too.
+        assert np.all(np.diff(rack.inlet_temperatures_c()) > 0.0)
+
+    def test_recirculation_raises_junction_temperatures(self):
+        cold = FleetSimulator(
+            constant_load_rack(3, 0.0), dt_s=0.5, record_decimation=5
+        ).run(120.0)
+        hot = FleetSimulator(
+            constant_load_rack(3, 0.5), dt_s=0.5, record_decimation=5
+        ).run(120.0)
+        assert (
+            hot.metrics.worst_max_junction_c > cold.metrics.worst_max_junction_c
+        )
+        assert hot.metrics.peak_junction_spread_c > 0.1
+        assert cold.metrics.peak_junction_spread_c < 0.5
+
+    def test_result_shape_and_lockstep(self):
+        rack = constant_load_rack(3, 0.3)
+        result = FleetSimulator(rack, dt_s=0.5, record_decimation=2).run(30.0)
+        assert result.n_servers == 3
+        matrix = result.junction_matrix()
+        assert matrix.shape == (3, result.times.size)
+        assert {r.times.size for r in result.server_results} == {
+            result.times.size
+        }
+
+
+class TestFleetScenarios:
+    def test_all_builders_produce_racks(self):
+        for builder in (
+            homogeneous_rack,
+            heterogeneous_sensor_rack,
+            staggered_waves_rack,
+            hot_spot_rack,
+        ):
+            rack = builder(n_servers=3, duration_s=60.0, seed=1)
+            assert rack.n_servers == 3
+            assert [slot.name for slot in rack] == ["srv00", "srv01", "srv02"]
+
+    def test_hetero_sensor_rack_varies_sensing(self):
+        rack = heterogeneous_sensor_rack(n_servers=4, duration_s=60.0)
+        lags = {slot.sensor.config.lag_s for slot in rack}
+        assert len(lags) > 1
+
+    def test_hot_spot_validates_index(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            hot_spot_rack(n_servers=3, hot_index=5)
+
+    def test_unknown_scenario_rejected(self):
+        from repro.errors import ExperimentError
+        from repro.fleet import build_fleet_scenario
+
+        with pytest.raises(ExperimentError):
+            build_fleet_scenario("not-a-scenario")
+
+    def test_fleet_config_size_mismatch_rejected(self):
+        with pytest.raises(FleetError):
+            homogeneous_rack(
+                n_servers=3, duration_s=30.0, fleet=FleetConfig(n_servers=2)
+            )
+
+
+class TestFleetSummary:
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            fleet_summary([])
+
+    def test_mismatched_lengths_rejected(self):
+        rack = constant_load_rack(2, 0.0)
+        a = FleetSimulator(rack, dt_s=0.5).run(10.0)
+        short = FleetSimulator(constant_load_rack(1, 0.0), dt_s=0.5).run(5.0)
+        with pytest.raises(AnalysisError):
+            fleet_summary([a.server(0), short.server(0)])
+
+    def test_totals_sum_servers(self):
+        rack = constant_load_rack(2, 0.0)
+        result = FleetSimulator(rack, dt_s=0.5).run(30.0)
+        summary = result.metrics
+        assert summary.total_energy_j == pytest.approx(
+            sum(r.energy.total_j for r in result.server_results)
+        )
+        assert summary.violation_percent == 0.0

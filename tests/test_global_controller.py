@@ -14,7 +14,6 @@ from repro.core.pid import PIDGains
 from repro.core.rules import RuleBasedCoordinator
 from repro.core.setpoint import AdaptiveSetpoint
 from repro.core.single_step import SingleStepFanScaling
-from repro.thermal.steady_state import SteadyStateServerModel
 
 
 def make_fan(initial=3000.0) -> AdaptivePIDFanController:

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import CpuPowerConfig, FanConfig
+from repro.config import CpuPowerConfig
 from repro.errors import AnalysisError, UnitsError
 from repro.power.cpu import CpuPowerModel
 from repro.power.energy import EnergyAccountant

@@ -11,7 +11,6 @@ from repro.core.fan_baselines import StaticFanController
 from repro.core.global_controller import GlobalController
 from repro.errors import AnalysisError, ExperimentError, SimulationError
 from repro.sim.engine import Simulator
-from repro.sim.result import SimulationResult
 from repro.sim.scenarios import (
     SCHEME_NAMES,
     build_fan_controller,

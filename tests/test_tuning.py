@@ -14,7 +14,7 @@ from repro.core.tuning import (
     simulate_p_only_loop,
     ziegler_nichols_gains,
 )
-from repro.errors import TuningError, UnitsError
+from repro.errors import UnitsError
 
 
 class TestZieglerNicholsRules:
