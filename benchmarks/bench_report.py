@@ -1,0 +1,61 @@
+"""Machine-readable perf records for the benchmark suite.
+
+Benchmarks call :func:`bench_record` with their headline numbers
+(steps/sec, servers x steps/sec, backend speedups); the benchmarks
+conftest writes the collected records to ``BENCH_core.json`` and
+``BENCH_fleet.json`` in the repo root at session end, so the perf
+trajectory is tracked across PRs by diffing two files instead of
+scraping pytest output.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SMOKE=1`` - short durations and no speedup assertions;
+  CI uses this to catch import/regression breakage without timing
+  flakiness.
+* ``REPRO_BENCH_DIR`` - where to write the JSON files (default: repo
+  root).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: file key -> {benchmark name -> fields}
+_RECORDS: dict[str, dict[str, dict]] = {}
+
+
+def smoke_mode() -> bool:
+    """True when the suite should run short and skip timing assertions."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def bench_record(file_key: str, name: str, **fields) -> None:
+    """Collect one benchmark's headline numbers.
+
+    ``file_key`` is ``"core"`` or ``"fleet"`` (-> ``BENCH_<key>.json``);
+    ``name`` identifies the benchmark within the file.
+    """
+    _RECORDS.setdefault(file_key, {})[name] = fields
+
+
+def write_records() -> None:
+    """Write one ``BENCH_<key>.json`` per populated file key."""
+    if not _RECORDS:
+        return
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", _REPO_ROOT))
+    meta = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": smoke_mode(),
+        "unix_time": int(time.time()),
+    }
+    for file_key, benchmarks in _RECORDS.items():
+        payload = {"meta": meta, "benchmarks": benchmarks}
+        path = out_dir / f"BENCH_{file_key}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

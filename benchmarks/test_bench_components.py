@@ -6,10 +6,15 @@ long the Table III sweeps take.
 
 from __future__ import annotations
 
+import time
+
+from bench_report import bench_record, smoke_mode
+
 from repro.config import ServerConfig
 from repro.core.gain_schedule import GainRegion, GainSchedule
 from repro.core.pid import PIDController, PIDGains
 from repro.sensing.sensor import TemperatureSensor
+from repro.sim.batch import BatchRunSpec, run_batch
 from repro.sim.scenarios import (
     build_global_controller,
     build_plant,
@@ -82,3 +87,53 @@ def test_closed_loop_simulated_minute(benchmark):
         return sim.run(60.0)
 
     benchmark.pedantic(run_minute, rounds=3, iterations=1)
+    steps_per_sec = 600 / benchmark.stats.stats.mean
+    benchmark.extra_info["steps_per_sec"] = steps_per_sec
+    bench_record(
+        "core",
+        "closed_loop_scalar",
+        dt_s=0.1,
+        steps_per_sec=round(steps_per_sec, 1),
+    )
+
+
+def test_closed_loop_batch_grid():
+    """The same closed loop, 16 independent servers on the batch backend.
+
+    This is the core batch primitive parameter sweeps ride on; the
+    per-server steps/sec should sit well above the scalar number above.
+    """
+    width = 16
+    duration_s = 20.0 if smoke_mode() else 60.0
+    rounds = 1 if smoke_mode() else 3
+    n_steps = int(round(duration_s / 0.1))
+
+    def build_specs():
+        cfg = ServerConfig()
+        return [
+            BatchRunSpec(
+                plant=build_plant(cfg),
+                sensor=build_sensor(cfg, seed=seed),
+                workload=paper_workload(duration_s, seed=seed),
+                controller=build_global_controller("rcoord", cfg),
+                duration_s=duration_s,
+                record_decimation=10,
+                label=f"seed={seed}",
+            )
+            for seed in range(width)
+        ]
+
+    best = float("inf")
+    for _ in range(rounds):
+        specs = build_specs()
+        start = time.perf_counter()
+        run_batch(specs)
+        best = min(best, time.perf_counter() - start)
+    per_sec = width * n_steps / best
+    bench_record(
+        "core",
+        "closed_loop_batch16",
+        dt_s=0.1,
+        width=width,
+        server_steps_per_sec=round(per_sec, 1),
+    )

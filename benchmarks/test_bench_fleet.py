@@ -1,12 +1,18 @@
-"""Fleet simulation throughput: servers x steps/sec, serial vs parallel.
+"""Fleet simulation throughput: servers x steps/sec across backends.
 
-The rack simulator's cost is ~N single-server loops plus the coupling
-update; the campaign runner amortizes whole racks across processes.
-``extra_info`` records servers*steps/sec so regressions in the shared
-:class:`~repro.sim.engine.ServerStepper` primitive show up here too.
+The headline benchmark races the scalar and vectorized
+:class:`~repro.fleet.simulator.FleetSimulator` backends on the same
+16-server rack and records both throughputs (plus the speedup) to
+``BENCH_fleet.json`` via the conftest collector, so the perf trajectory
+is tracked across PRs.  The campaign benchmarks time the process-pool
+fan-out path on top of the per-rack loop.
 """
 
 from __future__ import annotations
+
+import time
+
+from bench_report import bench_record, smoke_mode
 
 from repro.config import FleetConfig
 from repro.fleet import (
@@ -19,6 +25,13 @@ from repro.fleet import (
 _N_SERVERS = 4
 _DURATION_S = 30.0
 _DT_S = 0.5
+
+# Backend shoot-out configuration: the paper's dt (0.1 s) on a 16-server
+# rack, long enough that per-step costs dominate construction.
+_BACKEND_N = 16
+_BACKEND_DT = 0.1
+_BACKEND_DURATION_S = 20.0 if smoke_mode() else 120.0
+_BACKEND_ROUNDS = 1 if smoke_mode() else 3
 
 
 def _run_rack() -> None:
@@ -45,13 +58,65 @@ def _campaign_tasks() -> list[CampaignTask]:
     ]
 
 
+def _backend_throughput(backend: str) -> float:
+    """Best-of-N server-steps/sec for one backend on the 16-server rack."""
+    n_steps = int(round(_BACKEND_DURATION_S / _BACKEND_DT))
+    best = float("inf")
+    for _ in range(_BACKEND_ROUNDS):
+        rack = homogeneous_rack(
+            n_servers=_BACKEND_N,
+            duration_s=_BACKEND_DURATION_S,
+            seed=1,
+            fleet=FleetConfig(n_servers=_BACKEND_N, recirc_fraction=0.25),
+        )
+        sim = FleetSimulator(
+            rack,
+            dt_s=_BACKEND_DT,
+            record_decimation=10,
+            backend=backend,
+        )
+        start = time.perf_counter()
+        result = sim.run(_BACKEND_DURATION_S)
+        best = min(best, time.perf_counter() - start)
+        assert result.extras["backend"] == backend
+    return _BACKEND_N * n_steps / best
+
+
+def test_backend_throughput_scalar_vs_vectorized():
+    """The tentpole number: vectorized vs scalar on a 16-server rack."""
+    scalar = _backend_throughput("scalar")
+    vectorized = _backend_throughput("vectorized")
+    speedup = vectorized / scalar
+    bench_record(
+        "fleet",
+        "rack16_backend_throughput",
+        n_servers=_BACKEND_N,
+        n_steps=int(round(_BACKEND_DURATION_S / _BACKEND_DT)),
+        dt_s=_BACKEND_DT,
+        scalar_server_steps_per_sec=round(scalar, 1),
+        vectorized_server_steps_per_sec=round(vectorized, 1),
+        vectorized_speedup=round(speedup, 2),
+    )
+    if not smoke_mode():
+        # Regression guard with headroom below the measured ~3.8x so CI
+        # noise does not flake the suite; BENCH_fleet.json records the
+        # actual ratio.
+        assert speedup >= 2.0, f"vectorized speedup degraded to {speedup:.2f}x"
+
+
 def test_fleet_simulator_throughput(benchmark):
     """One coupled 4-server rack run (the lockstep loop itself)."""
     benchmark.pedantic(_run_rack, rounds=3, iterations=1)
     server_steps = _N_SERVERS * int(_DURATION_S / _DT_S)
     benchmark.extra_info["server_steps_per_run"] = server_steps
-    benchmark.extra_info["server_steps_per_sec"] = (
-        server_steps / benchmark.stats.stats.mean
+    per_sec = server_steps / benchmark.stats.stats.mean
+    benchmark.extra_info["server_steps_per_sec"] = per_sec
+    bench_record(
+        "fleet",
+        "rack4_lockstep_auto",
+        n_servers=_N_SERVERS,
+        dt_s=_DT_S,
+        server_steps_per_sec=round(per_sec, 1),
     )
 
 

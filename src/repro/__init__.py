@@ -70,6 +70,8 @@ from repro.fleet import (
 from repro.sensing import TemperatureSensor
 from repro.sim import (
     SCHEME_NAMES,
+    BatchRunSpec,
+    ParameterSweep,
     ServerStepper,
     SimulationResult,
     Simulator,
@@ -78,6 +80,7 @@ from repro.sim import (
     build_sensor,
     paper_workload,
     parallel_map,
+    run_batch,
     run_fan_only,
     run_scheme,
 )
@@ -88,6 +91,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptivePIDFanController",
     "AdaptiveSetpoint",
+    "BatchRunSpec",
     "CampaignRunner",
     "CampaignTask",
     "ControlConfig",
@@ -107,6 +111,7 @@ __all__ = [
     "GlobalController",
     "HeatSinkConfig",
     "PIDController",
+    "ParameterSweep",
     "PIDGains",
     "QuantizationGuard",
     "Rack",
@@ -138,6 +143,7 @@ __all__ = [
     "ideal_sensing_config",
     "paper_workload",
     "parallel_map",
+    "run_batch",
     "run_fan_only",
     "run_scheme",
     "tune_region",

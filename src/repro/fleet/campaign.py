@@ -36,6 +36,8 @@ class CampaignTask:
     record_decimation: int = 10
     recirc_fraction: float = 0.25
     scheme: str = "rcoord"
+    #: Execution backend ("auto" = vectorized whenever the rack batches).
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.scenario not in FLEET_SCENARIOS:
@@ -66,10 +68,13 @@ def run_campaign_task(task: CampaignTask) -> FleetResult:
         scheme=task.scheme,
     )
     sim = FleetSimulator(
-        rack, dt_s=task.dt_s, record_decimation=task.record_decimation
+        rack,
+        dt_s=task.dt_s,
+        record_decimation=task.record_decimation,
+        backend=task.backend,
     )
     result = sim.run(task.duration_s, label=task.label)
-    return replace(result, extras={"task": task})
+    return replace(result, extras={**result.extras, "task": task})
 
 
 def campaign_grid(

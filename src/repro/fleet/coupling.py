@@ -67,6 +67,21 @@ class ExhaustModel:
             min_conductance_fraction=fleet.min_conductance_fraction,
         )
 
+    @property
+    def conductance_at_max_w_per_k(self) -> float:
+        """Airflow heat conductance at maximum fan speed."""
+        return self._g_max
+
+    @property
+    def max_speed_rpm(self) -> float:
+        """Fan speed at which the full conductance is reached."""
+        return self._v_max
+
+    @property
+    def conductance_floor_w_per_k(self) -> float:
+        """Lower bound on the conductance (airflow at minimum fan speed)."""
+        return self._g_floor
+
     def conductance_w_per_k(self, fan_speed_rpm: float) -> float:
         """Airflow heat conductance at the given fan speed."""
         if fan_speed_rpm < 0.0:

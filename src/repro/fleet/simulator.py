@@ -1,12 +1,25 @@
 """Lockstep fleet simulation driver.
 
 :class:`FleetSimulator` advances every server in a
-:class:`~repro.fleet.rack.Rack` through the same time grid using one
-:class:`~repro.sim.engine.ServerStepper` per slot - the exact loop body
-single-server runs use, not a reimplementation.  Once per step the rack
-coupling turns the previous step's exhaust states into fresh inlet
-offsets, then all steppers advance by ``dt``.  With a decoupled rack
-this reduces to N independent single-server simulations bit-for-bit.
+:class:`~repro.fleet.rack.Rack` through the same time grid, with two
+interchangeable execution backends:
+
+* ``"scalar"`` - one :class:`~repro.sim.engine.ServerStepper` per slot,
+  the exact loop body single-server runs use, not a reimplementation.
+  Once per step the rack coupling turns the previous step's exhaust
+  states into fresh inlet offsets, then all steppers advance by ``dt``.
+* ``"vectorized"`` - the :class:`~repro.sim.batch.BatchStepper` array
+  backend: all servers advance as ``(B,)`` NumPy operations per ``dt``,
+  with only the per-CPU-period control decisions going through the
+  scalar controller objects.  Results are bit-for-bit identical to the
+  scalar backend for every rack built from the stock library classes;
+  racks the batch backend cannot represent (time-varying ambients,
+  custom plant/sensor subclasses, pre-used sensors) fall back to the
+  scalar path automatically.
+
+``backend="auto"`` (the default) picks vectorized whenever the rack
+supports it.  With a decoupled rack either backend reduces to N
+independent single-server simulations bit-for-bit.
 """
 
 from __future__ import annotations
@@ -16,8 +29,12 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.fleet.rack import Rack
 from repro.fleet.result import FleetResult
+from repro.sim.batch import BatchStepper, batch_unsupported_reason
 from repro.sim.engine import ServerStepper
 from repro.units import check_duration
+
+#: Valid execution backends.
+BACKENDS = ("auto", "scalar", "vectorized")
 
 
 class FleetSimulator:
@@ -36,6 +53,10 @@ class FleetSimulator:
         Per-server :class:`~repro.workload.performance.DeadlineTracker`
         parameters (same meaning as in
         :class:`~repro.sim.engine.Simulator`).
+    backend:
+        ``"auto"`` (vectorized when the rack supports it), ``"scalar"``,
+        or ``"vectorized"`` (falls back to scalar - recorded in the
+        result's ``extras`` - when the rack cannot batch).
     """
 
     def __init__(
@@ -45,27 +66,90 @@ class FleetSimulator:
         record_decimation: int = 1,
         violation_tolerance: float = 0.01,
         degradation_window: int = 10,
+        backend: str = "auto",
     ) -> None:
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
         self._rack = rack
         self._dt = check_duration(dt_s, "dt_s")
         self._decimation = record_decimation
         self._violation_tolerance = violation_tolerance
         self._degradation_window = degradation_window
+        self._backend = backend
 
     @property
     def rack(self) -> Rack:
         """The rack being simulated."""
         return self._rack
 
-    def run(self, duration_s: float, label: str = "fleet") -> FleetResult:
-        """Simulate the whole rack for ``duration_s`` seconds."""
+    @property
+    def backend(self) -> str:
+        """The configured execution backend."""
+        return self._backend
+
+    def _trackers(self, n: int) -> list:
         from repro.workload.performance import DeadlineTracker
 
+        return [
+            DeadlineTracker(
+                tolerance=self._violation_tolerance,
+                window=self._degradation_window,
+            )
+            for _ in range(n)
+        ]
+
+    def run(self, duration_s: float, label: str = "fleet") -> FleetResult:
+        """Simulate the whole rack for ``duration_s`` seconds."""
         check_duration(duration_s, "duration_s")
         n_steps = int(round(duration_s / self._dt))
         if n_steps < 1:
             raise SimulationError(f"duration {duration_s} shorter than one step")
 
+        fallback_reason = None
+        if self._backend in ("auto", "vectorized"):
+            fallback_reason = batch_unsupported_reason(
+                [slot.plant for slot in self._rack],
+                [slot.sensor for slot in self._rack],
+                coupled=True,
+            )
+            if fallback_reason is None:
+                return self._run_vectorized(n_steps, label)
+        extras = {"backend": "scalar"}
+        if self._backend == "vectorized":
+            extras["fallback_reason"] = fallback_reason
+        return self._run_scalar(n_steps, label, extras)
+
+    def _run_vectorized(self, n_steps: int, label: str) -> FleetResult:
+        rack = self._rack
+        stepper = BatchStepper(
+            plants=[slot.plant for slot in rack],
+            sensors=[slot.sensor for slot in rack],
+            workloads=[slot.workload for slot in rack],
+            controllers=[slot.controller for slot in rack],
+            n_steps=n_steps,
+            dt_s=self._dt,
+            record_decimation=self._decimation,
+            trackers=self._trackers(rack.n_servers),
+            coupling=rack.coupling,
+            exhaust=rack.exhaust,
+        )
+        stepper.run()
+        results = stepper.finish(
+            [f"{label}/{slot.name}" for slot in rack]
+        )
+        return FleetResult(
+            server_results=tuple(results),
+            mean_inlet_c=stepper.mean_inlet_c(),
+            label=label,
+            extras={"backend": "vectorized"},
+        )
+
+    def _run_scalar(
+        self, n_steps: int, label: str, extras: dict
+    ) -> FleetResult:
+        trackers = self._trackers(self._rack.n_servers)
         steppers = [
             ServerStepper(
                 slot.plant,
@@ -75,12 +159,9 @@ class FleetSimulator:
                 n_steps=n_steps,
                 dt_s=self._dt,
                 record_decimation=self._decimation,
-                tracker=DeadlineTracker(
-                    tolerance=self._violation_tolerance,
-                    window=self._degradation_window,
-                ),
+                tracker=tracker,
             )
-            for slot in self._rack
+            for slot, tracker in zip(self._rack, trackers)
         ]
 
         inlet_sums = np.zeros(self._rack.n_servers)
@@ -99,4 +180,5 @@ class FleetSimulator:
             server_results=results,
             mean_inlet_c=tuple(float(s) for s in inlet_sums / n_steps),
             label=label,
+            extras=extras,
         )

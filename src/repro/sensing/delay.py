@@ -33,6 +33,25 @@ class DelayLine:
         self._current: float | None = initial_value
         self._last_push_time: float | None = None
 
+    @classmethod
+    def from_state(
+        cls,
+        delay_s: float,
+        current: float,
+        arrivals: list[tuple[float, float]],
+    ) -> "DelayLine":
+        """Rebuild a line from a current value and in-flight samples.
+
+        ``arrivals`` holds ``(arrival_time, value)`` pairs in arrival
+        order - already including the transport delay, so they are
+        enqueued verbatim.  Used by the batch backend to hand its FIFO
+        state back to a scalar sensor object.
+        """
+        line = cls(delay_s, initial_value=current)
+        for arrival_time, value in arrivals:
+            line._queue.append((arrival_time, value))
+        return line
+
     @property
     def delay_s(self) -> float:
         """The configured transport delay in seconds."""

@@ -82,6 +82,16 @@ class TemperatureSensor:
         return self._adc
 
     @property
+    def noise(self) -> NoiseModel:
+        """The additive-noise stage (the batch backend reuses its stream)."""
+        return self._noise
+
+    @property
+    def is_primed(self) -> bool:
+        """True once :meth:`observe` has been called at least once."""
+        return self._primed
+
+    @property
     def lag_s(self) -> float:
         """Transport delay of the pipeline."""
         return self._delay.delay_s
@@ -128,3 +138,24 @@ class TemperatureSensor:
     def last_reading(self) -> SensorReading | None:
         """Most recent reading returned by :meth:`read`."""
         return self._last_reading
+
+    def restore_pipeline(
+        self,
+        current_value_c: float,
+        pending: list[tuple[float, float]],
+        next_sample_time_s: float,
+    ) -> None:
+        """Overwrite the pipeline state from a batch run.
+
+        The batch backend advances sensing as array state; at the end of
+        a run it hands each sensor its firmware-visible value, the
+        in-flight ``(arrival_time, value)`` samples, and the next sample
+        instant, so scalar reads/observes afterwards continue exactly
+        where the batch left off.
+        """
+        self._delay = DelayLine.from_state(
+            self._config.lag_s, current_value_c, pending
+        )
+        self._next_sample_time = next_sample_time_s
+        self._primed = True
+        self._last_reading = None

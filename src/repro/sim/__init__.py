@@ -9,8 +9,18 @@
   (the five Table III schemes, the Fig. 3/4 fan-only setups, workloads).
 * :class:`~repro.sim.sweep.ParameterSweep` - sweep harness (optionally
   parallel via :func:`~repro.sim.parallel.parallel_map`).
+* :mod:`repro.sim.batch` - the vectorized batch backend
+  (:class:`~repro.sim.batch.BatchStepper`,
+  :func:`~repro.sim.batch.run_batch`): whole racks and sweep grids as
+  ``(B,)`` array ops per ``dt``, bit-for-bit with the scalar engine.
 """
 
+from repro.sim.batch import (
+    BatchRunSpec,
+    BatchStepper,
+    batch_unsupported_reason,
+    run_batch,
+)
 from repro.sim.engine import ServerStepper, Simulator
 from repro.sim.parallel import parallel_map
 from repro.sim.result import SimulationResult
@@ -26,17 +36,21 @@ from repro.sim.scenarios import (
 from repro.sim.sweep import ParameterSweep, SweepPoint
 
 __all__ = [
+    "BatchRunSpec",
+    "BatchStepper",
     "ParameterSweep",
     "SCHEME_NAMES",
     "ServerStepper",
     "SimulationResult",
     "Simulator",
     "SweepPoint",
+    "batch_unsupported_reason",
     "build_global_controller",
     "build_plant",
     "build_sensor",
     "paper_workload",
     "parallel_map",
+    "run_batch",
     "run_fan_only",
     "run_scheme",
 ]

@@ -1,0 +1,751 @@
+"""Vectorized batch execution backend: B servers per ``dt`` as array ops.
+
+The scalar engine advances one server per Python call chain
+(:class:`~repro.sim.engine.ServerStepper` -> plant -> two RC nodes ->
+sensing -> controller).  That is the right shape for one server, but a
+rack or a sweep grid pays the whole interpreter overhead B times per
+``dt``.  This module advances all B servers at once:
+
+* :class:`BatchThermalPlant` - die/heat-sink temperatures, powers, and
+  fan-curve coefficients as ``(B,)`` arrays with vectorized
+  exact-exponential updates.  Decay coefficients and fan-law resistances
+  depend only on ``(dt, fan speed)``; the controller toggles among a few
+  discrete fan levels, so they are computed once per level with *scalar*
+  ``math`` calls (bit-identical to the scalar plant) and cached.
+* :class:`BatchSensorBank` - the noise -> ADC -> transport-delay pipeline
+  over arrays, with noise drawn from each server's own seeded generator
+  in the same order as the scalar path, so runs stay reproducible.
+* :class:`BatchStepper` - the lockstep loop: demand traces are evaluated
+  up front (:meth:`~repro.workload.base.Workload.demand_array`), the
+  per-``dt`` plant/sensing/energy/telemetry work is array math, and only
+  the control decisions - which fire once per CPU period, not per ``dt``
+  - go through the real scalar controller objects.  Equivalence with the
+  scalar engine is therefore structural, not approximate: the same
+  floating-point operations run in the same order, just element-wise.
+
+Heterogeneous *parameters* (per-server sensing quality, workloads,
+power envelopes) batch fine; heterogeneous *structure* (time-varying
+ambient profiles, custom plant or sensor subclasses, pre-used sensors)
+does not, and :func:`batch_unsupported_reason` reports why so callers
+can fall back to the scalar path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.base import ControlInputs
+from repro.errors import SimulationError, ThermalModelError
+from repro.power.energy import EnergyBreakdown
+from repro.sensing.noise import GaussianNoise, NoNoise, UniformNoise
+from repro.sensing.sensor import TemperatureSensor
+from repro.sim.engine import TELEMETRY_CHANNELS, _validate_timing
+from repro.sim.result import SimulationResult
+from repro.thermal.ambient import ConstantAmbient, CoupledInlet
+from repro.thermal.server import ServerState, ServerThermalModel
+from repro.workload.base import Workload
+from repro.workload.performance import DeadlineTracker
+
+#: Demand traces are evaluated this many steps at a time, bounding the
+#: precompute buffer at ``B * _CHUNK_STEPS`` floats for long horizons.
+_CHUNK_STEPS = 4096
+
+
+def batch_unsupported_reason(
+    plants: Sequence[Any], sensors: Sequence[Any], coupled: bool = False
+) -> str | None:
+    """Why these servers cannot run on the batch backend (None = they can).
+
+    The batch backend reimplements the plant and sensing hot paths with
+    array math, so it only accepts the exact library classes whose
+    behaviour it mirrors; subclasses, time-varying ambient profiles, and
+    sensors that already hold state fall back to the scalar engine.
+    ``coupled`` additionally requires every plant to breathe from a
+    :class:`~repro.thermal.ambient.CoupledInlet` (rack recirculation
+    drives inlet offsets through it).
+    """
+    if not plants:
+        return "no servers"
+    for i, plant in enumerate(plants):
+        if type(plant) is not ServerThermalModel:
+            return (
+                f"server {i}: plant {type(plant).__name__} is not the "
+                "stock ServerThermalModel"
+            )
+        ambient = plant.ambient
+        if type(ambient) is CoupledInlet:
+            if type(ambient.base) is not ConstantAmbient:
+                return (
+                    f"server {i}: coupled inlet wraps a time-varying "
+                    f"{type(ambient.base).__name__} profile"
+                )
+        elif coupled:
+            return (
+                f"server {i}: coupled run needs a CoupledInlet ambient, "
+                f"got {type(ambient).__name__}"
+            )
+        elif type(ambient) is not ConstantAmbient:
+            return (
+                f"server {i}: ambient {type(ambient).__name__} is not "
+                "constant"
+            )
+    start = plants[0].time_s
+    if any(plant.time_s != start for plant in plants):
+        return "servers start at different simulation times"
+    for i, sensor in enumerate(sensors):
+        if type(sensor) is not TemperatureSensor:
+            return (
+                f"server {i}: sensor {type(sensor).__name__} is not the "
+                "stock TemperatureSensor"
+            )
+        if sensor.is_primed:
+            return f"server {i}: sensor already primed by a previous run"
+    return None
+
+
+class BatchSensorBank:
+    """The sensing pipeline of B servers as array state.
+
+    Mirrors :class:`~repro.sensing.sensor.TemperatureSensor` exactly:
+    per-server sampling cadence, additive noise (drawn from each
+    sensor's own model so the RNG streams match the scalar path),
+    mid-tread ADC quantization, and a transport-delay FIFO implemented
+    as per-server ring buffers.
+    """
+
+    def __init__(self, sensors: Sequence[TemperatureSensor]) -> None:
+        n = len(sensors)
+        configs = [sensor.config for sensor in sensors]
+        self._n = n
+        self._rows = np.arange(n)
+        self._lag = np.array([cfg.lag_s for cfg in configs])
+        self._interval = np.array([cfg.sample_interval_s for cfg in configs])
+        self._q_step = np.array([s.adc.step for s in sensors])
+        self._q_min = np.array([s.adc.minimum for s in sensors])
+        self._max_code = np.array(
+            [float(2**s.adc.bits - 1) for s in sensors]
+        )
+        # Divisor-safe copy of the LSB (0 = pass-through is handled by a
+        # where() on the real step array).
+        self._q_div = np.where(self._q_step == 0.0, 1.0, self._q_step)
+        self._noise = [sensor.noise for sensor in sensors]
+        self._noisy_rows = [
+            i
+            for i, model in enumerate(self._noise)
+            if not (
+                isinstance(model, NoNoise)
+                or (isinstance(model, GaussianNoise) and model.std == 0.0)
+                or (
+                    isinstance(model, UniformNoise) and model.half_width == 0.0
+                )
+            )
+        ]
+        self._next_sample = np.zeros(n)
+        self._current = np.zeros(n)
+        # Transport-delay FIFOs: ring buffers sized to the worst-case
+        # number of in-flight samples (lag / sample interval), grown on
+        # demand if a pathological cadence ever overflows them.
+        in_flight = [
+            int(math.ceil(cfg.lag_s / cfg.sample_interval_s)) for cfg in configs
+        ]
+        self._capacity = max(4, max(in_flight) + 4)
+        self._fifo_t = np.full((n, self._capacity), np.inf)
+        self._fifo_v = np.zeros((n, self._capacity))
+        self._head = np.zeros(n, dtype=np.int64)
+        self._count = np.zeros(n, dtype=np.int64)
+
+    @property
+    def current(self) -> np.ndarray:
+        """Firmware-visible reading per server (after :meth:`pop_until`)."""
+        return self._current
+
+    def _sample_noise(self, measured: np.ndarray, idx: np.ndarray) -> None:
+        """Add one noise draw per sampled server, in server order."""
+        if not self._noisy_rows:
+            return
+        positions = {int(i): j for j, i in enumerate(idx)}
+        for i in self._noisy_rows:
+            j = positions.get(i)
+            if j is not None:
+                measured[j] += self._noise[i].sample()
+
+    def _quantize(self, measured: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        step = self._q_step[idx]
+        minimum = self._q_min[idx]
+        code = np.clip(
+            np.rint((measured - minimum) / self._q_div[idx]),
+            0.0,
+            self._max_code[idx],
+        )
+        return np.where(step == 0.0, measured, minimum + code * step)
+
+    def _push(self, idx: np.ndarray, time_s: float, values: np.ndarray) -> None:
+        if np.any(self._count[idx] >= self._capacity):
+            self._grow()
+        tail = (self._head[idx] + self._count[idx]) % self._capacity
+        self._fifo_t[idx, tail] = time_s + self._lag[idx]
+        self._fifo_v[idx, tail] = values
+        self._count[idx] += 1
+
+    def _grow(self) -> None:
+        old = self._capacity
+        self._capacity = old * 2
+        fifo_t = np.full((self._n, self._capacity), np.inf)
+        fifo_v = np.zeros((self._n, self._capacity))
+        for i in range(self._n):
+            count = int(self._count[i])
+            if count:
+                slots = (int(self._head[i]) + np.arange(count)) % old
+                fifo_t[i, :count] = self._fifo_t[i, slots]
+                fifo_v[i, :count] = self._fifo_v[i, slots]
+        self._fifo_t = fifo_t
+        self._fifo_v = fifo_v
+        self._head[:] = 0
+
+    def prime(self, time_s: float, true_temps: np.ndarray) -> None:
+        """First observation: sets the power-on reading for every server."""
+        measured = true_temps.copy()
+        self._sample_noise(measured, self._rows)
+        quantized = self._quantize(measured, self._rows)
+        self._current = quantized.copy()
+        self._push(self._rows, time_s, quantized)
+        self._next_sample = time_s + self._interval
+
+    def observe(
+        self, time_s: float, time_plus: float, true_temps: np.ndarray
+    ) -> None:
+        """Feed the physical temperatures; samples at each server's cadence."""
+        due = self._next_sample <= time_plus
+        if not due.any():
+            return
+        idx = np.nonzero(due)[0]
+        measured = true_temps[idx].copy()
+        self._sample_noise(measured, idx)
+        quantized = self._quantize(measured, idx)
+        self._push(idx, time_s, quantized)
+        next_sample = self._next_sample[idx]
+        interval = self._interval[idx]
+        while True:
+            late = next_sample <= time_plus
+            if not late.any():
+                break
+            next_sample = np.where(late, next_sample + interval, next_sample)
+        self._next_sample[idx] = next_sample
+
+    def state_of(self, i: int) -> tuple[float, list[tuple[float, float]], float]:
+        """One server's pipeline state: (current, in-flight, next sample).
+
+        In-flight samples are ``(arrival_time, value)`` pairs in arrival
+        order, ready for
+        :meth:`~repro.sensing.sensor.TemperatureSensor.restore_pipeline`.
+        """
+        count = int(self._count[i])
+        slots = (int(self._head[i]) + np.arange(count)) % self._capacity
+        pending = [
+            (float(self._fifo_t[i, s]), float(self._fifo_v[i, s]))
+            for s in slots
+        ]
+        return float(self._current[i]), pending, float(self._next_sample[i])
+
+    def pop_until(self, time_s: float) -> None:
+        """Promote every sample whose arrival time has passed (ZOH read)."""
+        while True:
+            arrivals = self._fifo_t[self._rows, self._head]
+            ready = (self._count > 0) & (arrivals <= time_s)
+            if not ready.any():
+                return
+            idx = np.nonzero(ready)[0]
+            self._current[idx] = self._fifo_v[idx, self._head[idx]]
+            self._head[idx] = (self._head[idx] + 1) % self._capacity
+            self._count[idx] -= 1
+
+
+class BatchThermalPlant:
+    """Die + heat sink of B servers as ``(B,)`` arrays.
+
+    Per-level coefficients (heat-sink resistance, exponential decay
+    factor, fan power) are computed with scalar ``math`` calls - the
+    same expressions the scalar :class:`~repro.thermal.heatsink.HeatSink`
+    and :class:`~repro.power.fan.FanPowerModel` evaluate - and cached
+    per ``(server, fan speed)``, so the array update is bit-identical to
+    B scalar plants while paying the transcendental cost only when a
+    controller actually changes a fan level.
+    """
+
+    def __init__(self, plants: Sequence[ServerThermalModel], dt_s: float) -> None:
+        self._dt = dt_s
+        n = len(plants)
+        self.hs_temp = np.array([p.heatsink.temperature_c for p in plants])
+        self.die_temp = np.array([p.die.temperature_c for p in plants])
+        configs = [p.config for p in plants]
+        self.p_static = np.array([c.cpu.p_static_w for c in configs])
+        self.p_dynamic = np.array([c.cpu.p_dynamic_w for c in configs])
+        self.n_sockets = np.array([float(c.n_sockets) for c in configs])
+        self.r_die = np.array([c.die.r_die_k_per_w for c in configs])
+        # Die decay: reproduce CpuDie's derived capacitance (tau / R) so
+        # R*C matches the scalar node to the last ulp.
+        self.die_decay = np.array(
+            [
+                math.exp(
+                    -dt_s
+                    / (
+                        c.die.r_die_k_per_w
+                        * (c.die.time_constant_s / c.die.r_die_k_per_w)
+                    )
+                )
+                for c in configs
+            ]
+        )
+        self._n_sockets_f = [float(c.n_sockets) for c in configs]
+        self._hs_capacitance = [
+            float(p.heatsink.capacitance_j_per_k) for p in plants
+        ]
+        self._r_base = [c.heatsink.r_base_k_per_w for c in configs]
+        self._r_coeff = [c.heatsink.r_coeff for c in configs]
+        self._r_exp = [c.heatsink.r_exponent for c in configs]
+        self._fan_p = [c.fan.power_per_socket_w for c in configs]
+        self._v_min = [c.fan.min_speed_rpm for c in configs]
+        self._v_max = [c.fan.max_speed_rpm for c in configs]
+        self._level_cache: list[dict[float, tuple[float, float, float]]] = [
+            {} for _ in range(n)
+        ]
+        self.r_hs = np.zeros(n)
+        self.hs_decay = np.zeros(n)
+        self.fan_w = np.zeros(n)
+        self.clamped_speed = np.zeros(n)
+
+    def apply_fan_speed(self, i: int, speed_rpm: float) -> None:
+        """Clamp and apply one server's commanded fan speed.
+
+        Resolves the fan-level coefficients through the per-server cache;
+        scalar ``math`` keeps the values bit-identical to
+        ``HeatSink.resistance_at`` / ``RCNode.advance`` /
+        ``FanPowerModel.power_w``.
+        """
+        speed = float(speed_rpm)
+        clamped = min(max(speed, self._v_min[i]), self._v_max[i])
+        entry = self._level_cache[i].get(clamped)
+        if entry is None:
+            if clamped <= 0.0:
+                raise ThermalModelError(
+                    "heat sink resistance is undefined at zero fan speed"
+                )
+            resistance = self._r_base[i] + self._r_coeff[i] / clamped ** self._r_exp[i]
+            decay = math.exp(-self._dt / (resistance * self._hs_capacitance[i]))
+            fan_power = self._fan_p[i] * (clamped / self._v_max[i]) ** 3
+            entry = (resistance, decay, fan_power)
+            self._level_cache[i][clamped] = entry
+        self.r_hs[i] = entry[0]
+        self.hs_decay[i] = entry[1]
+        self.fan_w[i] = entry[2] * self._n_sockets_f[i]
+        self.clamped_speed[i] = clamped
+
+    def advance(
+        self, ambient_c: np.ndarray, applied_util: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One exact-exponential step for all servers.
+
+        Returns ``(junction, heatsink, cpu_power)`` arrays; fan power is
+        exposed as :attr:`fan_w` (it only changes with the fan level).
+        """
+        socket_power = self.p_static + self.p_dynamic * applied_util
+        hs_ss = ambient_c + self.r_hs * socket_power
+        hs = hs_ss + (self.hs_temp - hs_ss) * self.hs_decay
+        die_ss = hs + self.r_die * socket_power
+        die = die_ss + (self.die_temp - die_ss) * self.die_decay
+        # sum() is non-finite iff any element is (NaN propagates, inf
+        # saturates or cancels to NaN) - one cheap reduction per step.
+        if not math.isfinite(float(die.sum())):
+            raise ThermalModelError("batch thermal state diverged")
+        self.hs_temp = hs
+        self.die_temp = die
+        return die, hs, socket_power * self.n_sockets
+
+
+class BatchStepper:
+    """Lockstep closed-loop driver for B servers on the batch backend.
+
+    Parameters mirror B parallel :class:`~repro.sim.engine.ServerStepper`
+    instances; ``coupling``/``exhaust`` (duck-typed to avoid importing
+    the fleet package) switch on rack recirculation, in which case every
+    plant must breathe from a
+    :class:`~repro.thermal.ambient.CoupledInlet`.
+    """
+
+    def __init__(
+        self,
+        plants: Sequence[ServerThermalModel],
+        sensors: Sequence[TemperatureSensor],
+        workloads: Sequence[Workload],
+        controllers: Sequence[Any],
+        n_steps: int,
+        dt_s: float = 0.1,
+        record_decimation: int = 1,
+        trackers: Sequence[DeadlineTracker] | None = None,
+        coupling: Any | None = None,
+        exhaust: Any | None = None,
+    ) -> None:
+        n = len(plants)
+        if not (n == len(sensors) == len(workloads) == len(controllers)):
+            raise SimulationError("batch inputs must have one entry per server")
+        reason = batch_unsupported_reason(
+            plants, sensors, coupled=coupling is not None
+        )
+        if reason is not None:
+            raise SimulationError(f"batch backend unsupported: {reason}")
+        if n_steps < 1:
+            raise SimulationError(f"n_steps must be >= 1, got {n_steps}")
+        for controller in controllers:
+            dt_s = _validate_timing(
+                dt_s, controller.control.cpu_interval_s, record_decimation
+            )
+        self._n = n
+        self._plants = list(plants)
+        self._sensors = list(sensors)
+        self._workloads = list(workloads)
+        self._controllers = list(controllers)
+        self._trackers = (
+            list(trackers)
+            if trackers is not None
+            else [DeadlineTracker() for _ in range(n)]
+        )
+        if len(self._trackers) != n:
+            raise SimulationError("need one tracker per server")
+        self._dt = dt_s
+        self._n_steps = n_steps
+        self._decimation = record_decimation
+        self._k = 0
+        self._start = plants[0].time_s
+
+        self._coupled = coupling is not None
+        if self._coupled:
+            if exhaust is None:
+                raise SimulationError("coupled batch run needs an exhaust model")
+            inlets = []
+            for plant in plants:
+                if type(plant.ambient) is not CoupledInlet:
+                    raise SimulationError(
+                        "coupled batch run needs CoupledInlet ambients"
+                    )
+                inlets.append(plant.ambient)
+            self._inlets = inlets
+            self._room = np.array(
+                [inlet.base.temperature_c(self._start) for inlet in inlets]
+            )
+            self._coupling = coupling
+            self._decoupled = bool(coupling.is_decoupled)
+            self._g_max = float(exhaust.conductance_at_max_w_per_k)
+            self._g_floor = float(exhaust.conductance_floor_w_per_k)
+            self._v_max_exh = float(exhaust.max_speed_rpm)
+            self._inlet_sums = np.zeros(n)
+            self._zero_offsets = np.zeros(n)
+            self._last_offsets = self._zero_offsets
+        else:
+            self._ambient_const = np.array(
+                [plant.ambient.temperature_c(self._start) for plant in plants]
+            )
+
+        self._plant = BatchThermalPlant(plants, dt_s)
+        # Applied knob state from the controllers (what the scalar
+        # ServerStepper carries in _fan_speed/_cap).
+        self._fan_cmd = np.zeros(n)
+        self._cap = np.zeros(n)
+        self._t_ref = np.zeros(n)
+        self._cpu_interval = [
+            float(c.control.cpu_interval_s) for c in controllers
+        ]
+        self._next_control = np.array(
+            [self._start + interval for interval in self._cpu_interval]
+        )
+        for i, controller in enumerate(controllers):
+            state = controller.state
+            self._fan_cmd[i] = state.fan_speed_rpm
+            self._cap[i] = state.cpu_cap
+            self._t_ref[i] = controller.t_ref_c
+            self._plant.apply_fan_speed(i, state.fan_speed_rpm)
+
+        # Plant-state mirrors used by the coupling (exhaust of step k
+        # feeds inlets at step k+1, so these lag the knob arrays).
+        self._state_fan_speed = np.array(
+            [p.state.fan_speed_rpm for p in plants]
+        )
+        self._state_cpu_w = np.array([p.state.cpu_power_w for p in plants])
+        self._state_fan_w = np.array([p.state.fan_power_w for p in plants])
+        self._last_applied = np.array([p.state.utilization for p in plants])
+        self._last_ambient = np.array([p.state.ambient_c for p in plants])
+
+        # Energy accounting (trapezoidal, same recurrence as
+        # EnergyAccountant but element-wise).
+        self._cpu_j = np.zeros(n)
+        self._fan_j = np.zeros(n)
+        self._energy_last_cpu = self._state_cpu_w
+        self._energy_last_fan = self._state_fan_w
+        self._energy_last_t = self._start
+
+        self._sensing = BatchSensorBank(sensors)
+        self._sensing.prime(self._start, self._plant.die_temp)
+
+        n_records = (n_steps + record_decimation - 1) // record_decimation
+        self._channels = {
+            name: np.empty((n, n_records)) for name in TELEMETRY_CHANNELS
+        }
+        self._record_idx = 0
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of completed steps."""
+        return self._k
+
+    @property
+    def done(self) -> bool:
+        """True once all steps have been taken."""
+        return self._k >= self._n_steps
+
+    @property
+    def n_servers(self) -> int:
+        """Batch width B."""
+        return self._n
+
+    def run(self) -> None:
+        """Advance all servers to the end of the horizon."""
+        while self._k < self._n_steps:
+            self._run_chunk(min(_CHUNK_STEPS, self._n_steps - self._k))
+
+    def _run_chunk(self, m: int) -> None:
+        start, dt, k0 = self._start, self._dt, self._k
+        times = [start + (k + 1) * dt for k in range(k0, k0 + m)]
+        times_arr = np.array(times)
+        demands = np.empty((self._n, m))
+        for i, workload in enumerate(self._workloads):
+            demands[i] = workload.demand_array(times_arr)
+
+        plant = self._plant
+        sensing = self._sensing
+        decimation = self._decimation
+        channels = self._channels
+        for j in range(m):
+            t = times[j]
+            t_plus = t + 1e-9
+
+            if self._coupled:
+                if self._decoupled:
+                    offsets = self._zero_offsets
+                else:
+                    conductance = np.maximum(
+                        self._g_floor,
+                        self._g_max * self._state_fan_speed / self._v_max_exh,
+                    )
+                    rises = (self._state_cpu_w + self._state_fan_w) / conductance
+                    offsets = self._coupling.inlet_offsets_c(rises)
+                self._last_offsets = offsets
+                ambient = self._room + offsets
+            else:
+                ambient = self._ambient_const
+
+            demand = demands[:, j]
+            applied = np.minimum(demand, self._cap)
+            die, hs, cpu_w = plant.advance(ambient, applied)
+            fan_w = plant.fan_w.copy()
+            self._state_fan_speed = plant.clamped_speed.copy()
+            self._state_cpu_w = cpu_w
+            self._state_fan_w = fan_w
+            self._last_applied = applied
+            self._last_ambient = ambient
+
+            dt_energy = t - self._energy_last_t
+            self._cpu_j += 0.5 * (self._energy_last_cpu + cpu_w) * dt_energy
+            self._fan_j += 0.5 * (self._energy_last_fan + fan_w) * dt_energy
+            self._energy_last_cpu = cpu_w
+            self._energy_last_fan = fan_w
+            self._energy_last_t = t
+
+            sensing.observe(t, t_plus, die)
+            sensing.pop_until(t)
+
+            if self._coupled:
+                self._inlet_sums += ambient
+
+            due = self._next_control <= t_plus
+            if due.any():
+                self._control_step(np.nonzero(due)[0], t, t_plus, demand, applied)
+
+            k = k0 + j
+            if k % decimation == 0:
+                r = self._record_idx
+                channels["time"][:, r] = t
+                channels["junction"][:, r] = die
+                channels["heatsink"][:, r] = hs
+                channels["tmeas"][:, r] = sensing.current
+                channels["fan_speed"][:, r] = self._fan_cmd
+                channels["cpu_cap"][:, r] = self._cap
+                channels["demand"][:, r] = demand
+                channels["applied"][:, r] = applied
+                channels["t_ref"][:, r] = self._t_ref
+                self._record_idx = r + 1
+        self._k = k0 + m
+
+    def _control_step(
+        self,
+        due_idx: np.ndarray,
+        t: float,
+        t_plus: float,
+        demand: np.ndarray,
+        applied: np.ndarray,
+    ) -> None:
+        """Run the scalar DTM decision for every server whose period is due.
+
+        Values cross the array/scalar boundary as python floats so the
+        controllers see exactly the types (and therefore the arithmetic)
+        of the scalar engine.
+        """
+        current = self._sensing.current
+        for i in due_idx:
+            i = int(i)
+            tracker = self._trackers[i]
+            demand_i = float(demand[i])
+            tracker.record(demand_i, float(self._cap[i]))
+            inputs = ControlInputs(
+                time_s=t,
+                tmeas_c=float(current[i]),
+                measured_util=float(applied[i]),
+                recent_degradation=tracker.recent_degradation,
+                demand_estimate=demand_i,
+            )
+            state = self._controllers[i].step(inputs)
+            fan = float(state.fan_speed_rpm)
+            if fan != self._fan_cmd[i]:
+                self._plant.apply_fan_speed(i, fan)
+            self._fan_cmd[i] = fan
+            self._cap[i] = float(state.cpu_cap)
+            self._t_ref[i] = self._controllers[i].t_ref_c
+            next_control = float(self._next_control[i])
+            interval = self._cpu_interval[i]
+            while next_control <= t_plus:
+                next_control += interval
+            self._next_control[i] = next_control
+
+    def mean_inlet_c(self) -> tuple[float, ...]:
+        """Per-server mean inlet temperature over the steps taken so far."""
+        if not self._coupled:
+            raise SimulationError("mean inlets are only tracked for coupled runs")
+        steps = max(1, self._k)
+        return tuple(float(v) for v in self._inlet_sums / steps)
+
+    def finish(self, labels: Sequence[str]) -> list[SimulationResult]:
+        """Package per-server results and sync state back to the objects.
+
+        Plants, sensors, and (for coupled runs) inlet offsets are
+        restored to the final batch state so mixed scalar/batch
+        workflows keep working on the same objects; controllers and
+        trackers advanced in place.
+        """
+        if len(labels) != self._n:
+            raise SimulationError("need one label per server")
+        # The scalar plant clock accumulates `+= dt` once per step; replay
+        # that exact float accumulation so restored plants match it.
+        t_final = self._start
+        for _ in range(self._k):
+            t_final += self._dt
+        plant = self._plant
+        results = []
+        for i, server_plant in enumerate(self._plants):
+            state = ServerState(
+                time_s=t_final,
+                junction_c=float(plant.die_temp[i]),
+                heatsink_c=float(plant.hs_temp[i]),
+                ambient_c=float(self._last_ambient[i]),
+                cpu_power_w=float(self._state_cpu_w[i]),
+                fan_power_w=float(self._state_fan_w[i]),
+                utilization=float(self._last_applied[i]),
+                fan_speed_rpm=float(self._state_fan_speed[i]),
+            )
+            server_plant.restore(state)
+            self._sensors[i].restore_pipeline(*self._sensing.state_of(i))
+            if self._coupled:
+                self._inlets[i].set_offset_c(float(self._last_offsets[i]))
+            results.append(
+                SimulationResult(
+                    channels={
+                        name: array[i, : self._record_idx].copy()
+                        for name, array in self._channels.items()
+                    },
+                    performance=self._trackers[i].summary,
+                    energy=EnergyBreakdown(
+                        cpu_j=float(self._cpu_j[i]),
+                        fan_j=float(self._fan_j[i]),
+                    ),
+                    config=server_plant.config,
+                    dt_s=self._dt,
+                    label=labels[i],
+                )
+            )
+        return results
+
+
+@dataclass(frozen=True)
+class BatchRunSpec:
+    """One independent closed-loop run for :func:`run_batch`.
+
+    Field defaults match :class:`~repro.sim.engine.Simulator`, so a spec
+    and a Simulator built from the same pieces produce identical results.
+    """
+
+    plant: ServerThermalModel
+    sensor: TemperatureSensor
+    workload: Workload
+    controller: Any
+    duration_s: float
+    dt_s: float = 0.1
+    record_decimation: int = 1
+    violation_tolerance: float = 0.01
+    degradation_window: int = 10
+    label: str = "run"
+
+
+def run_batch(specs: Sequence[BatchRunSpec]) -> list[SimulationResult]:
+    """Run independent (uncoupled) closed loops as one batch.
+
+    All specs must share ``duration_s``, ``dt_s``, and
+    ``record_decimation`` (one time grid).  Raises
+    :class:`~repro.errors.SimulationError` when the servers cannot batch;
+    callers wanting a silent fallback should check
+    :func:`batch_unsupported_reason` first or catch the error.
+    """
+    if not specs:
+        raise SimulationError("run_batch needs at least one spec")
+    first = specs[0]
+    for spec in specs:
+        if (
+            spec.duration_s != first.duration_s
+            or spec.dt_s != first.dt_s
+            or spec.record_decimation != first.record_decimation
+        ):
+            raise SimulationError(
+                "batch specs must share duration_s, dt_s, and record_decimation"
+            )
+    n_steps = int(round(first.duration_s / first.dt_s))
+    if n_steps < 1:
+        raise SimulationError(
+            f"duration {first.duration_s} shorter than one step"
+        )
+    stepper = BatchStepper(
+        plants=[spec.plant for spec in specs],
+        sensors=[spec.sensor for spec in specs],
+        workloads=[spec.workload for spec in specs],
+        controllers=[spec.controller for spec in specs],
+        n_steps=n_steps,
+        dt_s=first.dt_s,
+        record_decimation=first.record_decimation,
+        trackers=[
+            DeadlineTracker(
+                tolerance=spec.violation_tolerance, window=spec.degradation_window
+            )
+            for spec in specs
+        ],
+    )
+    stepper.run()
+    return stepper.finish([spec.label for spec in specs])

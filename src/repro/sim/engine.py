@@ -105,6 +105,13 @@ class ServerStepper:
         self._decimation = record_decimation
         self._tracker = tracker or DeadlineTracker()
         self._cpu_interval = controller.control.cpu_interval_s
+        # dt is validated once here, so the stock plant can skip per-step
+        # re-validation; subclasses keep their step() override in charge.
+        self._plant_step = (
+            plant.step_fast
+            if type(plant) is ServerThermalModel
+            else plant.step
+        )
 
         state = controller.state
         self._fan_speed = state.fan_speed_rpm
@@ -161,7 +168,7 @@ class ServerStepper:
         t = self._start_time + (k + 1) * self._dt
         demand = self._workload.demand(t)
         applied = min(demand, self._cap)
-        plant_state = self._plant.step(self._dt, applied, self._fan_speed)
+        plant_state = self._plant_step(self._dt, applied, self._fan_speed)
         self._sensor.observe(t, plant_state.junction_c)
         self._energy.record(t, plant_state.cpu_power_w, plant_state.fan_power_w)
 

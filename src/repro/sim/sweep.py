@@ -1,4 +1,17 @@
-"""Small parameter-sweep harness used by the ablation benchmarks."""
+"""Parameter-sweep harness used by the ablation benchmarks.
+
+Two execution paths:
+
+* the original **runner** path - a callable maps each parameter value to
+  a finished :class:`~repro.sim.result.SimulationResult` (optionally
+  across a process pool), and
+* a **spec** path - a ``spec_builder`` maps each value to a
+  :class:`~repro.sim.batch.BatchRunSpec`, letting the whole grid run on
+  the vectorized batch backend as one ``(B,)`` array simulation
+  (``backend="vectorized"``), or serially through
+  :class:`~repro.sim.engine.Simulator` (``backend="scalar"``), with
+  identical results either way.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.sim.batch import BatchRunSpec, run_batch
 from repro.sim.parallel import parallel_map
 from repro.sim.result import SimulationResult
 
@@ -26,31 +40,61 @@ class ParameterSweep:
     ----------
     runner:
         Callable mapping one parameter value to a
-        :class:`~repro.sim.result.SimulationResult`.
+        :class:`~repro.sim.result.SimulationResult`.  Required for the
+        default (``backend="scalar"``) runner path.
     metric_fns:
         Optional named metric extractors evaluated on each result.
+    spec_builder:
+        Callable mapping one parameter value to a
+        :class:`~repro.sim.batch.BatchRunSpec`; enables
+        ``backend="vectorized"``.
     """
 
     def __init__(
         self,
-        runner: Callable[[Any], SimulationResult],
+        runner: Callable[[Any], SimulationResult] | None = None,
         metric_fns: dict[str, Callable[[SimulationResult], float]] | None = None,
+        spec_builder: Callable[[Any], BatchRunSpec] | None = None,
     ) -> None:
+        if runner is None and spec_builder is None:
+            raise SimulationError(
+                "ParameterSweep needs a runner, a spec_builder, or both"
+            )
         self._runner = runner
         self._metric_fns = metric_fns or {}
+        self._spec_builder = spec_builder
 
-    def run(self, values: list[Any], workers: int | None = None) -> list[SweepPoint]:
+    def run(
+        self,
+        values: list[Any],
+        workers: int | None = None,
+        backend: str = "scalar",
+    ) -> list[SweepPoint]:
         """Execute the sweep; raises on an empty value list.
 
-        ``workers`` > 1 runs the sweep points across a process pool (the
-        runner must then be picklable, e.g. a module-level function);
-        the default remains sequential.  Point order always matches
-        ``values``, and metric extractors run in the parent process so
-        they may be lambdas either way.
+        ``backend="scalar"`` (default) uses the runner path; ``workers``
+        > 1 then runs the sweep points across a process pool (the runner
+        must be picklable, e.g. a module-level function).
+        ``backend="vectorized"`` builds every point's spec and runs the
+        whole grid through the batch backend in-process (``workers`` is
+        ignored); grids the batch backend cannot represent fall back to
+        per-spec scalar simulation with identical results.  Point order
+        always matches ``values``, and metric extractors run in the
+        parent process so they may be lambdas either way.
         """
         if not values:
             raise SimulationError("sweep needs at least one parameter value")
-        results = parallel_map(self._runner, values, workers=workers)
+        if backend == "vectorized":
+            results = self._run_specs(values)
+        elif backend == "scalar":
+            if self._runner is not None:
+                results = parallel_map(self._runner, values, workers=workers)
+            else:
+                results = self._run_specs(values, force_scalar=True)
+        else:
+            raise SimulationError(
+                f"unknown backend {backend!r}; choose 'scalar' or 'vectorized'"
+            )
         points = []
         for value, result in zip(values, results):
             metrics = {
@@ -58,6 +102,40 @@ class ParameterSweep:
             }
             points.append(SweepPoint(value=value, result=result, metrics=metrics))
         return points
+
+    def _run_specs(
+        self, values: list[Any], force_scalar: bool = False
+    ) -> list[SimulationResult]:
+        if self._spec_builder is None:
+            raise SimulationError(
+                "backend='vectorized' needs a spec_builder mapping each "
+                "value to a BatchRunSpec"
+            )
+        specs = [self._spec_builder(value) for value in values]
+        if not force_scalar:
+            try:
+                return run_batch(specs)
+            except SimulationError:
+                # Heterogeneous-structure grid: fall back to the scalar
+                # engine, which accepts anything the specs describe.
+                pass
+        return [self._run_spec_scalar(spec) for spec in specs]
+
+    @staticmethod
+    def _run_spec_scalar(spec: BatchRunSpec) -> SimulationResult:
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(
+            spec.plant,
+            spec.sensor,
+            spec.workload,
+            spec.controller,
+            dt_s=spec.dt_s,
+            record_decimation=spec.record_decimation,
+            violation_tolerance=spec.violation_tolerance,
+            degradation_window=spec.degradation_window,
+        )
+        return sim.run(spec.duration_s, label=spec.label)
 
     @staticmethod
     def table(points: list[SweepPoint], metric: str) -> list[tuple[Any, float]]:

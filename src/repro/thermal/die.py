@@ -55,6 +55,10 @@ class CpuDie:
         """Advance the junction by ``dt_s`` seconds and return it."""
         return self._node.step(dt_s, heatsink_temp_c, power_w)
 
+    def advance(self, dt_s: float, heatsink_temp_c: float, power_w: float) -> float:
+        """Hot-loop variant of :meth:`step`: ``dt_s`` validated by the caller."""
+        return self._node.advance(dt_s, heatsink_temp_c, power_w)
+
     def reset(self, temp_c: float) -> None:
         """Force the junction temperature."""
         self._node.reset(temp_c)

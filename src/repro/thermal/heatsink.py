@@ -112,6 +112,17 @@ class HeatSink:
         self._node.resistance_k_per_w = self.resistance_at(fan_speed_rpm)
         return self._node.step(dt_s, ambient_c, power_w)
 
+    def advance(
+        self, dt_s: float, fan_speed_rpm: float, ambient_c: float, power_w: float
+    ) -> float:
+        """Hot-loop variant of :meth:`step`: ``dt_s`` validated by the caller.
+
+        The fan-speed checks stay (zero speed makes the resistance law
+        diverge regardless of where ``dt`` was validated).
+        """
+        self._node.resistance_k_per_w = self.resistance_at(fan_speed_rpm)
+        return self._node.advance(dt_s, ambient_c, power_w)
+
     def reset(self, temp_c: float) -> None:
         """Force the heat sink temperature."""
         self._node.reset(temp_c)

@@ -19,6 +19,7 @@ scipy, with inputs held constant over the step:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +27,11 @@ from scipy.linalg import expm
 
 from repro.errors import ThermalModelError
 from repro.units import check_duration, check_positive, check_temperature
+
+#: Propagator-cache capacity.  Fan control toggles among a handful of
+#: discrete conductance levels, so a small LRU holds every working-set
+#: propagator while bounding memory for conductance-sweep workloads.
+_PROPAGATOR_CACHE_MAX = 32
 
 
 @dataclass
@@ -108,8 +114,14 @@ class ThermalNetwork:
             [node.conductance_to_ambient_w_per_k for node in nodes]
         )
         self._temps = np.array([node.initial_temp_c for node in nodes], dtype=float)
-        self._propagator_cache: dict[float, np.ndarray] = {}
-        self._dirty = False
+        # Keyed by (dt, conductance fingerprint) so conductance changes do
+        # not invalidate propagators for *other* conductance states: a
+        # controller toggling among discrete fan levels reuses the expm of
+        # every level it has visited.
+        self._propagator_cache: OrderedDict[tuple[float, bytes], np.ndarray] = (
+            OrderedDict()
+        )
+        self._conductance_key: bytes | None = None
 
     @property
     def node_names(self) -> list[str]:
@@ -142,7 +154,7 @@ class ThermalNetwork:
         self._conductance[j, j] += delta
         self._conductance[i, j] -= delta
         self._conductance[j, i] -= delta
-        self._propagator_cache.clear()
+        self._conductance_key = None
 
     def set_ambient_conductance(self, name: str, conductance_w_per_k: float) -> None:
         """Update a node's conductance to ambient.  Invalidates caches."""
@@ -152,7 +164,7 @@ class ThermalNetwork:
         delta = conductance_w_per_k - self._ambient_coupling[i]
         self._ambient_coupling[i] += delta
         self._conductance[i, i] += delta
-        self._propagator_cache.clear()
+        self._conductance_key = None
 
     def temperature_c(self, name: str) -> float:
         """Current temperature of one node."""
@@ -204,9 +216,16 @@ class ThermalNetwork:
         return p
 
     def _propagator(self, dt_s: float) -> np.ndarray:
-        cached = self._propagator_cache.get(dt_s)
+        if self._conductance_key is None:
+            self._conductance_key = self._conductance.tobytes()
+        key = (dt_s, self._conductance_key)
+        cached = self._propagator_cache.get(key)
         if cached is None:
             a = -self._conductance / self._capacitance[:, None]
             cached = expm(a * dt_s)
-            self._propagator_cache[dt_s] = cached
+            self._propagator_cache[key] = cached
+            if len(self._propagator_cache) > _PROPAGATOR_CACHE_MAX:
+                self._propagator_cache.popitem(last=False)
+        else:
+            self._propagator_cache.move_to_end(key)
         return cached

@@ -83,9 +83,18 @@ class RCNode:
         ``reference_temp_c`` and ``power_w`` are held constant over the step,
         which makes the exponential update exact (Eqn 2).
         """
-        dt = check_duration(dt_s, "dt_s")
+        return self.advance(check_duration(dt_s, "dt_s"), reference_temp_c, power_w)
+
+    def advance(self, dt_s: float, reference_temp_c: float, power_w: float) -> float:
+        """Exponential update without input validation.
+
+        Hot-loop variant of :meth:`step` for callers that fix ``dt_s`` once
+        (e.g. :class:`~repro.sim.engine.ServerStepper`) and validate it at
+        the boundary.  The divergence guard stays: it protects against bad
+        *state*, which per-step input checks cannot rule out.
+        """
         t_ss = self.steady_state_c(reference_temp_c, power_w)
-        decay = math.exp(-dt / self.time_constant_s)
+        decay = math.exp(-dt_s / (self._resistance * self._capacitance))
         self._temp_c = t_ss + (self._temp_c - t_ss) * decay
         if not math.isfinite(self._temp_c):
             raise ThermalModelError(

@@ -106,6 +106,11 @@ class ServerThermalModel:
         return self._config
 
     @property
+    def ambient(self) -> AmbientProfile:
+        """The inlet/ambient profile the plant breathes from."""
+        return self._ambient
+
+    @property
     def heatsink(self) -> HeatSink:
         """The heat sink submodel (exposes the Rhs(V) law)."""
         return self._heatsink
@@ -180,12 +185,28 @@ class ServerThermalModel:
         """
         dt = check_duration(dt_s, "dt_s")
         util = check_utilization(utilization, "utilization")
+        return self.step_fast(dt, util, fan_speed_rpm)
+
+    def step_fast(
+        self, dt_s: float, utilization: float, fan_speed_rpm: float
+    ) -> ServerState:
+        """Hot-loop variant of :meth:`step`: ``dt_s`` validated by the caller.
+
+        :class:`~repro.sim.engine.ServerStepper` fixes ``dt`` at
+        construction, so re-validating it (and re-checking utilization
+        through the full helper) every step is pure overhead.  The inline
+        range test below still rejects out-of-range *and* NaN utilization
+        (NaN fails both comparisons) and defers to
+        :func:`~repro.units.check_utilization` for the error message.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            check_utilization(utilization, "utilization")
         speed = self.clamp_fan_speed(fan_speed_rpm)
-        self._time_s += dt
+        self._time_s += dt_s
         ambient_now = self._ambient.temperature_c(self._time_s)
-        power = self._socket_cpu_power(util)
-        hs_temp = self._heatsink.step(dt, speed, ambient_now, power)
-        junction = self._die.step(dt, hs_temp, power)
+        power = self._socket_cpu_power(utilization)
+        hs_temp = self._heatsink.advance(dt_s, speed, ambient_now, power)
+        junction = self._die.advance(dt_s, hs_temp, power)
         self._last_state = ServerState(
             time_s=self._time_s,
             junction_c=junction,
@@ -193,10 +214,22 @@ class ServerThermalModel:
             ambient_c=ambient_now,
             cpu_power_w=power * self._config.n_sockets,
             fan_power_w=self._fan_power.power_w(speed) * self._config.n_sockets,
-            utilization=util,
+            utilization=utilization,
             fan_speed_rpm=speed,
         )
         return self._last_state
+
+    def restore(self, state: ServerState) -> None:
+        """Overwrite the plant's dynamic state from a snapshot.
+
+        Used by the vectorized batch backend to sync a plant object to the
+        final state of an array-run, so mixed scalar/batch workflows see
+        one consistent plant afterwards.
+        """
+        self._time_s = state.time_s
+        self._heatsink.reset(state.heatsink_c)
+        self._die.reset(state.junction_c)
+        self._last_state = state
 
     def settle(self, utilization: float, fan_speed_rpm: float) -> ServerState:
         """Jump the plant directly to the steady state of an operating point.

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 
 class Workload(ABC):
     """Demanded (not applied) CPU utilization over time.
@@ -20,3 +22,16 @@ class Workload(ABC):
     def demands(self, times_s) -> list[float]:
         """Vectorized convenience: demands at each time in ``times_s``."""
         return [self.demand(float(t)) for t in times_s]
+
+    def demand_array(self, times_s: np.ndarray) -> np.ndarray:
+        """Demands at each time in ``times_s`` as a float array.
+
+        The batch simulation backend evaluates whole demand traces up
+        front through this hook.  The base implementation simply loops
+        over :meth:`demand`, so any workload is batch-compatible;
+        subclasses override it with array math *only* where the result is
+        bit-for-bit identical to the scalar loop (times must be visited in
+        ascending order for stateful workloads, which is how both the
+        scalar and batch engines call it).
+        """
+        return np.array([self.demand(float(t)) for t in times_s], dtype=float)

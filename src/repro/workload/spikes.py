@@ -54,6 +54,9 @@ class SpikeTrain(Workload):
     def __init__(self, spikes: list[Spike]) -> None:
         self._spikes = sorted(spikes, key=lambda s: s.start_s)
         self._starts = [s.start_s for s in self._spikes]
+        self._max_duration_s = max(
+            (s.duration_s for s in self._spikes), default=0.0
+        )
 
     @property
     def spikes(self) -> list[Spike]:
@@ -71,6 +74,21 @@ class SpikeTrain(Workload):
             elif t_s - spike.start_s > 3600.0:
                 break  # far older spikes cannot still be active in practice
         return height
+
+    def demand_array(self, times_s: np.ndarray) -> np.ndarray:
+        # demand()'s backward scan stops at the first inactive spike older
+        # than 3600 s, which can shadow a still-active even-older spike -
+        # but only when some spike outlives 3600 s.  Below that bound the
+        # masked passes here are exactly the scalar result; above it,
+        # defer to the scalar loop to keep the backends bit-identical.
+        if self._max_duration_s > 3600.0:
+            return super().demand_array(times_s)
+        times = np.asarray(times_s, dtype=float)
+        heights = np.zeros(times.shape)
+        for spike in self._spikes:
+            active = (times >= spike.start_s) & (times < spike.end_s)
+            np.maximum(heights, spike.height, out=heights, where=active)
+        return heights
 
 
 class SpikeProcess(SpikeTrain):

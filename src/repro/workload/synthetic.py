@@ -25,6 +25,9 @@ class ConstantWorkload(Workload):
     def demand(self, t_s: float) -> float:
         return self._level
 
+    def demand_array(self, times_s: np.ndarray) -> np.ndarray:
+        return np.full(len(times_s), self._level)
+
 
 class StepWorkload(Workload):
     """Demand stepping from ``before`` to ``after`` at ``step_time_s``.
@@ -39,6 +42,10 @@ class StepWorkload(Workload):
 
     def demand(self, t_s: float) -> float:
         return self._after if t_s >= self._step_time_s else self._before
+
+    def demand_array(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        return np.where(times >= self._step_time_s, self._after, self._before)
 
 
 class SquareWaveWorkload(Workload):
@@ -68,6 +75,14 @@ class SquareWaveWorkload(Workload):
     def demand(self, t_s: float) -> float:
         cycles = (t_s - self._phase_s) / self._half_period_s
         return self._high if int(math.floor(cycles)) % 2 == 1 else self._low
+
+    def demand_array(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        cycles = (times - self._phase_s) / self._half_period_s
+        # floor + int cast + % 2 matches the scalar path exactly: the
+        # division result is identical, and floor of a float is exact.
+        odd = np.floor(cycles).astype(np.int64) % 2 == 1
+        return np.where(odd, self._high, self._low)
 
 
 class SineWorkload(Workload):
@@ -121,6 +136,25 @@ class NoisyWorkload(Workload):
         if self._std == 0.0:
             return base
         slot = int(math.floor(t_s / self._resolution_s))
+        return clamp(base + self._noise_for_slot(slot), 0.0, 1.0)
+
+    def demand_array(self, times_s: np.ndarray) -> np.ndarray:
+        base = self._inner.demand_array(times_s)
+        if self._std == 0.0:
+            return base
+        # Slot arithmetic matches the scalar path exactly (same division,
+        # same floor); drawing once per slot *run* in time order keeps the
+        # RNG stream position identical to per-step scalar calls.
+        times = np.asarray(times_s, dtype=float)
+        slots = np.floor(times / self._resolution_s).astype(np.int64)
+        starts = np.concatenate(([0], np.nonzero(np.diff(slots))[0] + 1))
+        lengths = np.diff(np.concatenate((starts, [len(slots)])))
+        noise = np.repeat(
+            [self._noise_for_slot(int(slots[i])) for i in starts], lengths
+        )
+        return np.clip(base + noise, 0.0, 1.0)
+
+    def _noise_for_slot(self, slot: int) -> float:
         noise = self._noise_cache.get(slot)
         if noise is None:
             noise = float(self._rng.normal(0.0, self._std))
@@ -128,7 +162,7 @@ class NoisyWorkload(Workload):
             if len(self._noise_cache) > 100_000:
                 self._noise_cache.clear()
             self._noise_cache[slot] = noise
-        return clamp(base + noise, 0.0, 1.0)
+        return noise
 
 
 class CompositeWorkload(Workload):
@@ -147,3 +181,9 @@ class CompositeWorkload(Workload):
     def demand(self, t_s: float) -> float:
         total = sum(component.demand(t_s) for component in self._components)
         return clamp(total, 0.0, 1.0)
+
+    def demand_array(self, times_s: np.ndarray) -> np.ndarray:
+        total = np.zeros(len(times_s))
+        for component in self._components:
+            total += component.demand_array(times_s)
+        return np.clip(total, 0.0, 1.0)

@@ -1,0 +1,401 @@
+"""Vectorized batch backend: equivalence with the scalar engine.
+
+The batch backend's contract is *bit-for-bit* agreement with the scalar
+path for every stock configuration: it runs the same floating-point
+operations in the same order, element-wise.  These tests pin that
+contract across all four rack scenario builders, a seeded parameter
+sweep, a decoupled rack against independent single-server runs, and the
+heterogeneous-structure fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FleetConfig, ServerConfig
+from repro.errors import SimulationError
+from repro.fleet import (
+    FleetSimulator,
+    Rack,
+    RecirculationMatrix,
+    build_fleet_scenario,
+    build_server_slot,
+)
+from repro.fleet.rack import ServerSlot
+from repro.fleet.scenarios import _SEED_STRIDE
+from repro.sim import (
+    BatchRunSpec,
+    ParameterSweep,
+    Simulator,
+    batch_unsupported_reason,
+    build_global_controller,
+    build_plant,
+    build_sensor,
+    paper_workload,
+    run_batch,
+)
+from repro.sim.batch import BatchStepper
+from repro.thermal.ambient import StepAmbient
+from repro.thermal.server import ServerThermalModel
+from repro.workload.spikes import SpikeProcess
+from repro.workload.synthetic import (
+    CompositeWorkload,
+    ConstantWorkload,
+    NoisyWorkload,
+    SquareWaveWorkload,
+    StepWorkload,
+)
+
+_N = 4
+_DUR = 60.0
+_DT = 0.1
+_DEC = 3
+
+
+def _scenario_rack(name: str, recirc: float = 0.3, seed: int = 11):
+    return build_fleet_scenario(
+        name,
+        n_servers=_N,
+        duration_s=_DUR,
+        seed=seed,
+        fleet=FleetConfig(n_servers=_N, recirc_fraction=recirc),
+    )
+
+
+def _assert_results_identical(a, b):
+    """Two FleetResults must agree bit-for-bit."""
+    assert a.n_servers == b.n_servers
+    for i in range(a.n_servers):
+        ra, rb = a.server(i), b.server(i)
+        for name, channel in ra.channels.items():
+            assert np.array_equal(channel, rb.channels[name]), (
+                f"server {i} channel {name} diverged"
+            )
+        assert ra.performance == rb.performance, f"server {i} performance"
+        assert ra.energy == rb.energy, f"server {i} energy"
+    assert a.mean_inlet_c == b.mean_inlet_c
+
+
+class TestRackEquivalence:
+    @pytest.mark.parametrize(
+        "scenario",
+        ["homogeneous", "hetero_sensors", "staggered_waves", "hot_spot"],
+    )
+    def test_vectorized_matches_scalar_bit_for_bit(self, scenario):
+        scalar = FleetSimulator(
+            _scenario_rack(scenario), dt_s=_DT, record_decimation=_DEC,
+            backend="scalar",
+        ).run(_DUR)
+        vectorized = FleetSimulator(
+            _scenario_rack(scenario), dt_s=_DT, record_decimation=_DEC,
+            backend="vectorized",
+        ).run(_DUR)
+        assert vectorized.extras["backend"] == "vectorized"
+        assert scalar.extras["backend"] == "scalar"
+        _assert_results_identical(scalar, vectorized)
+
+    @pytest.mark.parametrize(
+        "scenario",
+        ["homogeneous", "hetero_sensors", "staggered_waves", "hot_spot"],
+    )
+    def test_plant_and_inlet_state_synced_back(self, scenario):
+        """After a batch run the rack objects hold the same final state a
+        scalar run leaves behind (mixed workflows stay consistent)."""
+        rack_scalar = _scenario_rack(scenario)
+        rack_vec = _scenario_rack(scenario)
+        FleetSimulator(rack_scalar, dt_s=_DT, backend="scalar").run(_DUR)
+        FleetSimulator(rack_vec, dt_s=_DT, backend="vectorized").run(_DUR)
+        for slot_s, slot_v in zip(rack_scalar, rack_vec):
+            assert slot_s.plant.state == slot_v.plant.state
+            assert slot_s.plant.time_s == slot_v.plant.time_s
+            assert slot_s.inlet.offset_c == slot_v.inlet.offset_c
+
+    def test_auto_backend_picks_vectorized_when_supported(self):
+        result = FleetSimulator(
+            _scenario_rack("homogeneous"), dt_s=_DT, backend="auto"
+        ).run(_DUR)
+        assert result.extras["backend"] == "vectorized"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            FleetSimulator(_scenario_rack("homogeneous"), backend="gpu")
+
+
+class TestDecoupledRack:
+    def test_vectorized_decoupled_matches_independent_runs_exactly(self):
+        """A decoupled rack on the batch backend must reproduce N
+        independent single-server scalar Simulator runs bit-for-bit."""
+        seed = 7
+        rack = build_fleet_scenario(
+            "homogeneous",
+            n_servers=3,
+            duration_s=_DUR,
+            seed=seed,
+            fleet=FleetConfig(n_servers=3, recirc_fraction=0.0),
+        )
+        fleet_res = FleetSimulator(
+            rack, dt_s=_DT, record_decimation=_DEC, backend="vectorized"
+        ).run(_DUR)
+        assert fleet_res.extras["backend"] == "vectorized"
+
+        cfg = ServerConfig()
+        for i in range(3):
+            s = seed + _SEED_STRIDE * i
+            single = Simulator(
+                build_plant(cfg),
+                build_sensor(cfg, seed=s),
+                paper_workload(_DUR, seed=s),
+                build_global_controller("rcoord", cfg),
+                dt_s=_DT,
+                record_decimation=_DEC,
+            ).run(_DUR)
+            for name, channel in single.channels.items():
+                assert np.array_equal(
+                    channel, fleet_res.server(i).channels[name]
+                ), f"server {i} channel {name} diverged"
+            assert single.energy == fleet_res.server(i).energy
+            assert single.performance == fleet_res.server(i).performance
+
+
+def _sweep_pieces(lag_s: float):
+    cfg = ServerConfig().with_sensing(lag_s=lag_s)
+    return (
+        build_plant(cfg),
+        build_sensor(cfg, seed=5),
+        paper_workload(_DUR, seed=5),
+        build_global_controller("rcoord", cfg),
+    )
+
+
+def _sweep_runner(lag_s: float):
+    plant, sensor, workload, controller = _sweep_pieces(lag_s)
+    return Simulator(
+        plant, sensor, workload, controller, dt_s=_DT, record_decimation=_DEC
+    ).run(_DUR, label=f"lag={lag_s}")
+
+
+def _sweep_spec(lag_s: float) -> BatchRunSpec:
+    plant, sensor, workload, controller = _sweep_pieces(lag_s)
+    return BatchRunSpec(
+        plant=plant,
+        sensor=sensor,
+        workload=workload,
+        controller=controller,
+        duration_s=_DUR,
+        dt_s=_DT,
+        record_decimation=_DEC,
+        label=f"lag={lag_s}",
+    )
+
+
+class TestSweepEquivalence:
+    def test_vectorized_sweep_matches_scalar_runner(self):
+        values = [0.0, 5.0, 10.0, 20.0]
+        metric_fns = {"fan_j": lambda r: r.fan_energy_j}
+        scalar = ParameterSweep(_sweep_runner, metric_fns).run(values)
+        vectorized = ParameterSweep(
+            _sweep_runner, metric_fns, spec_builder=_sweep_spec
+        ).run(values, backend="vectorized")
+        for ps, pv in zip(scalar, vectorized):
+            assert ps.value == pv.value
+            assert ps.metrics == pv.metrics
+            for name, channel in ps.result.channels.items():
+                assert np.array_equal(channel, pv.result.channels[name]), (
+                    f"value {ps.value} channel {name} diverged"
+                )
+            assert ps.result.performance == pv.result.performance
+            assert ps.result.energy == pv.result.energy
+
+    def test_spec_only_sweep_scalar_backend(self):
+        points = ParameterSweep(spec_builder=_sweep_spec).run([0.0, 10.0])
+        assert [p.result.label for p in points] == ["lag=0.0", "lag=10.0"]
+
+    def test_vectorized_without_spec_builder_rejected(self):
+        sweep = ParameterSweep(_sweep_runner)
+        with pytest.raises(SimulationError):
+            sweep.run([1.0], backend="vectorized")
+
+    def test_sweep_needs_runner_or_spec_builder(self):
+        with pytest.raises(SimulationError):
+            ParameterSweep()
+
+
+class TestFallback:
+    def _time_varying_rack(self):
+        slot = build_server_slot("srv00", workload=ConstantWorkload(0.4))
+        plant = ServerThermalModel(
+            slot.plant.config,
+            ambient=StepAmbient(25.0, 30.0, step_time_s=10.0),
+        )
+        odd = ServerSlot(
+            name="srv00",
+            plant=plant,
+            sensor=slot.sensor,
+            workload=slot.workload,
+            controller=slot.controller,
+            inlet=slot.inlet,
+        )
+        return Rack([odd], coupling=RecirculationMatrix.decoupled(1))
+
+    def test_vectorized_falls_back_on_time_varying_ambient(self):
+        result = FleetSimulator(
+            self._time_varying_rack(), dt_s=_DT, backend="vectorized"
+        ).run(30.0)
+        assert result.extras["backend"] == "scalar"
+        assert "ambient" in result.extras["fallback_reason"]
+
+    def test_unsupported_reasons(self):
+        plant, sensor, workload, controller = _sweep_pieces(10.0)
+        assert batch_unsupported_reason([plant], [sensor]) is None
+        # A primed sensor carries state the batch backend cannot adopt.
+        sensor.observe(0.0, 70.0)
+        reason = batch_unsupported_reason([plant], [sensor])
+        assert reason is not None and "primed" in reason
+
+        class OddPlant(ServerThermalModel):
+            pass
+
+        odd = OddPlant(ServerConfig())
+        reason = batch_unsupported_reason([odd], [build_sensor(ServerConfig())])
+        assert reason is not None and "OddPlant" in reason
+
+    def test_run_batch_rejects_mismatched_grids(self):
+        with pytest.raises(SimulationError):
+            run_batch([])
+        spec_a = _sweep_spec(0.0)
+        plant, sensor, workload, controller = _sweep_pieces(5.0)
+        spec_b = BatchRunSpec(
+            plant=plant,
+            sensor=sensor,
+            workload=workload,
+            controller=controller,
+            duration_s=2 * _DUR,
+        )
+        with pytest.raises(SimulationError):
+            run_batch([spec_a, spec_b])
+
+    def test_batch_stepper_rejects_unsupported_servers(self):
+        plant, sensor, workload, controller = _sweep_pieces(0.0)
+        sensor.observe(0.0, 70.0)
+        with pytest.raises(SimulationError):
+            BatchStepper(
+                plants=[plant],
+                sensors=[sensor],
+                workloads=[workload],
+                controllers=[controller],
+                n_steps=10,
+                dt_s=_DT,
+            )
+
+
+class TestStateSyncAndFallbackRegressions:
+    def test_scalar_run_after_vectorized_matches_scalar_after_scalar(self):
+        """Sensors (not just plants/inlets) are synced back after a batch
+        run, so a follow-up scalar run continues identically."""
+        rack_a = _scenario_rack("homogeneous")
+        rack_b = _scenario_rack("homogeneous")
+        FleetSimulator(rack_a, dt_s=_DT, backend="scalar").run(30.0)
+        FleetSimulator(rack_b, dt_s=_DT, backend="vectorized").run(30.0)
+        for slot in rack_b:
+            assert slot.sensor.is_primed
+        # The second run falls back to scalar on both racks (sensors now
+        # carry state) and must agree bit-for-bit.
+        res_a = FleetSimulator(rack_a, dt_s=_DT, backend="auto").run(30.0)
+        res_b = FleetSimulator(rack_b, dt_s=_DT, backend="auto").run(30.0)
+        assert res_b.extras["backend"] == "scalar"
+        _assert_results_identical(res_a, res_b)
+
+    def test_auto_falls_back_when_coupled_plant_lacks_coupled_inlet(self):
+        """A rack whose plant ambient is not the slot's CoupledInlet must
+        fall back to scalar, not crash, on backend='auto'."""
+        from repro.thermal.ambient import ConstantAmbient
+
+        slot = build_server_slot("srv00", workload=ConstantWorkload(0.4))
+        plant = ServerThermalModel(
+            slot.plant.config, ambient=ConstantAmbient(28.0)
+        )
+        odd = ServerSlot(
+            name="srv00",
+            plant=plant,
+            sensor=slot.sensor,
+            workload=slot.workload,
+            controller=slot.controller,
+            inlet=slot.inlet,
+        )
+        rack = Rack([odd], coupling=RecirculationMatrix.decoupled(1))
+        result = FleetSimulator(rack, dt_s=_DT, backend="auto").run(30.0)
+        assert result.extras["backend"] == "scalar"
+
+    def test_spike_train_long_spike_matches_scalar_scan(self):
+        """Spikes outliving the scalar scan's 3600 s break heuristic must
+        still agree between demand() and demand_array()."""
+        from repro.workload.spikes import Spike, SpikeTrain
+
+        train = SpikeTrain(
+            [Spike(0.0, 7200.0, 0.5), Spike(100.0, 5.0, 0.3)]
+        )
+        times = np.array([50.0, 102.0, 4000.0, 8000.0])
+        expected = np.array([train.demand(float(t)) for t in times])
+        assert np.array_equal(train.demand_array(times), expected)
+
+    def test_scalar_engine_respects_plant_step_override(self):
+        """ServerStepper's fast path must not bypass a subclass step()."""
+        calls = []
+
+        class TracingPlant(ServerThermalModel):
+            def step(self, dt_s, utilization, fan_speed_rpm):
+                calls.append(dt_s)
+                return super().step(dt_s, utilization, fan_speed_rpm)
+
+        cfg = ServerConfig()
+        sim = Simulator(
+            TracingPlant(cfg),
+            build_sensor(cfg, seed=1),
+            ConstantWorkload(0.4),
+            build_global_controller("rcoord", cfg),
+            dt_s=0.5,
+        )
+        sim.run(5.0)
+        assert len(calls) == 10
+
+
+class TestDemandArrayEquivalence:
+    """demand_array must equal per-step demand() calls, draw for draw."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ConstantWorkload(0.4),
+            lambda: StepWorkload(0.2, 0.8, step_time_s=7.3),
+            lambda: SquareWaveWorkload(low=0.1, high=0.7, half_period_s=13.0),
+            lambda: NoisyWorkload(
+                SquareWaveWorkload(half_period_s=9.0), std=0.05, seed=3
+            ),
+            lambda: SpikeProcess(
+                horizon_s=120.0, rate_per_s=1.0 / 10.0, seed=9
+            ),
+            lambda: CompositeWorkload(
+                [
+                    SquareWaveWorkload(half_period_s=11.0),
+                    SpikeProcess(horizon_s=120.0, rate_per_s=0.2, seed=2),
+                ]
+            ),
+            lambda: paper_workload(120.0, seed=4),
+        ],
+        ids=[
+            "constant",
+            "step",
+            "square",
+            "noisy",
+            "spikes",
+            "composite",
+            "paper",
+        ],
+    )
+    def test_matches_scalar_loop(self, factory):
+        times = np.array([0.0 + (k + 1) * 0.1 for k in range(1200)])
+        scalar_wl = factory()
+        array_wl = factory()
+        expected = np.array([scalar_wl.demand(float(t)) for t in times])
+        assert np.array_equal(array_wl.demand_array(times), expected)
