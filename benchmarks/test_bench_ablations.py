@@ -5,28 +5,30 @@
 * gain-schedule region count (Section IV-B),
 * SSfan trigger threshold (Section V-C).
 
-Each prints a small table of the swept metric.
+Each prints a small table of the swept metric.  The grids run through
+``spec_builder``/:class:`~repro.sim.batch.BatchRunSpec`, so the whole
+ablation executes on the vectorized batch backend as one ``(B,)`` array
+run (identical results to per-point scalar simulation).
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.analysis.report import format_table
 from repro.analysis.stability import oscillation_amplitude
 from repro.config import ServerConfig
 from repro.core.single_step import SingleStepFanScaling
-from repro.core.tuning import default_gain_schedule, tune_region
+from repro.core.tuning import default_gain_schedule
 from repro.core.gain_schedule import GainSchedule
+from repro.sim.batch import BatchRunSpec, run_batch
 from repro.sim.scenarios import (
     build_fan_controller,
     build_global_controller,
     build_plant,
     build_sensor,
+    fan_only_spec,
     paper_workload,
-    run_fan_only,
 )
-from repro.sim.engine import Simulator
+from repro.sim.sweep import ParameterSweep
 from repro.thermal.steady_state import SteadyStateServerModel
 from repro.workload.synthetic import ConstantWorkload
 
@@ -36,21 +38,27 @@ def test_ablation_quantization_guard(benchmark):
     cfg = ServerConfig()
 
     def run_pair():
-        amplitudes = {}
-        for with_guard in (True, False):
-            controller = build_fan_controller(
-                cfg, with_guard=with_guard, initial_speed_rpm=2500.0
-            )
-            result = run_fan_only(
-                controller,
-                ConstantWorkload(0.5),
-                1500.0,
-                config=cfg,
-                initial_utilization=0.5,
-                dt_s=0.5,
-            )
-            amplitudes[with_guard] = oscillation_amplitude(result.fan_speed_rpm)
-        return amplitudes
+        variants = (True, False)
+        results = run_batch(
+            [
+                fan_only_spec(
+                    build_fan_controller(
+                        cfg, with_guard=with_guard, initial_speed_rpm=2500.0
+                    ),
+                    ConstantWorkload(0.5),
+                    1500.0,
+                    config=cfg,
+                    initial_utilization=0.5,
+                    dt_s=0.5,
+                    label=f"guard={with_guard}",
+                )
+                for with_guard in variants
+            ]
+        )
+        return {
+            with_guard: oscillation_amplitude(result.fan_speed_rpm)
+            for with_guard, result in zip(variants, results)
+        }
 
     amplitudes = benchmark.pedantic(run_pair, rounds=1, iterations=1)
     print()
@@ -63,25 +71,38 @@ def test_ablation_quantization_guard(benchmark):
     assert amplitudes[True] <= amplitudes[False]
 
 
+def _lag_spec(lag_s: float) -> BatchRunSpec:
+    cfg = ServerConfig().with_sensing(lag_s=lag_s)
+    return BatchRunSpec(
+        plant=build_plant(cfg),
+        sensor=build_sensor(cfg, seed=4),
+        workload=paper_workload(900.0, seed=4, include_spikes=False),
+        controller=build_global_controller("rcoord", cfg),
+        duration_s=900.0,
+        dt_s=0.2,
+        record_decimation=10,
+        label=f"lag={lag_s:g}",
+    )
+
+
 def test_ablation_lag_sweep(benchmark):
     """Longer transport lag -> larger junction excursions."""
+    sweep_harness = ParameterSweep(
+        spec_builder=_lag_spec,
+        metric_fns={
+            "max_junction_c": lambda r: r.max_junction_c,
+            "violation_percent": lambda r: r.violation_percent,
+        },
+    )
 
     def sweep():
-        rows = []
-        for lag in (0.0, 5.0, 10.0, 20.0):
-            cfg = ServerConfig().with_sensing(lag_s=lag)
-            controller = build_global_controller("rcoord", cfg)
-            sim = Simulator(
-                build_plant(cfg),
-                build_sensor(cfg, seed=4),
-                paper_workload(900.0, seed=4, include_spikes=False),
-                controller,
-                dt_s=0.2,
-                record_decimation=10,
-            )
-            result = sim.run(900.0)
-            rows.append([lag, result.max_junction_c, result.violation_percent])
-        return rows
+        points = sweep_harness.run(
+            [0.0, 5.0, 10.0, 20.0], backend="vectorized"
+        )
+        return [
+            [p.value, p.metrics["max_junction_c"], p.metrics["violation_percent"]]
+            for p in points
+        ]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
@@ -96,27 +117,32 @@ def test_ablation_region_count(benchmark):
     tuned = default_gain_schedule(cfg)
 
     def run_variants():
-        results = {}
         variants = {
             "1 region (@6000)": GainSchedule.fixed(
                 tuned.regions[-1].gains, tuned.regions[-1].ref_speed_rpm
             ),
             "2 regions (paper)": tuned,
         }
-        for name, schedule in variants.items():
-            controller = build_fan_controller(
-                cfg, schedule=schedule, initial_speed_rpm=1500.0
-            )
-            result = run_fan_only(
-                controller,
-                ConstantWorkload(0.3),
-                1500.0,
-                config=cfg,
-                initial_utilization=0.3,
-                dt_s=0.5,
-            )
-            results[name] = oscillation_amplitude(result.fan_speed_rpm)
-        return results
+        results = run_batch(
+            [
+                fan_only_spec(
+                    build_fan_controller(
+                        cfg, schedule=schedule, initial_speed_rpm=1500.0
+                    ),
+                    ConstantWorkload(0.3),
+                    1500.0,
+                    config=cfg,
+                    initial_utilization=0.3,
+                    dt_s=0.5,
+                    label=name,
+                )
+                for name, schedule in variants.items()
+            ]
+        )
+        return {
+            name: oscillation_amplitude(result.fan_speed_rpm)
+            for name, result in zip(variants, results)
+        }
 
     results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
     print()
@@ -169,32 +195,53 @@ def test_ablation_tuning_signal(benchmark):
 
 
 def test_ablation_ssfan_threshold(benchmark):
-    """SSfan trigger threshold: lower thresholds boost more often."""
+    """SSfan trigger threshold: lower thresholds boost more often.
+
+    SSfan controllers cannot vectorize, so inside the batch run each
+    server's DTM steps its scalar objects (per-server fallback) while
+    plant/sensing stay batched - which is what lets ``scaler`` keep its
+    boost count readable after the run.
+    """
     cfg = ServerConfig()
     steady = SteadyStateServerModel(cfg)
+    scalers: dict[float, SingleStepFanScaling] = {}
+
+    def ssfan_spec(threshold: float) -> BatchRunSpec:
+        controller = build_global_controller("rcoord_atref_ssfan", cfg)
+        scaler = SingleStepFanScaling(steady, degradation_threshold=threshold)
+        controller._single_step = scaler
+        scalers[threshold] = scaler
+        return BatchRunSpec(
+            plant=build_plant(cfg),
+            sensor=build_sensor(cfg, seed=2),
+            workload=paper_workload(1200.0, seed=2),
+            controller=controller,
+            duration_s=1200.0,
+            dt_s=0.2,
+            record_decimation=10,
+            label=f"threshold={threshold:g}",
+        )
+
+    sweep_harness = ParameterSweep(
+        spec_builder=ssfan_spec,
+        metric_fns={
+            "violation_percent": lambda r: r.violation_percent,
+            "fan_energy_j": lambda r: r.fan_energy_j,
+        },
+    )
 
     def sweep():
-        rows = []
-        for threshold in (0.04, 0.08, 0.16):
-            controller = build_global_controller("rcoord_atref_ssfan", cfg)
-            scaler = SingleStepFanScaling(
-                steady, degradation_threshold=threshold
-            )
-            controller._single_step = scaler
-            sim = Simulator(
-                build_plant(cfg),
-                build_sensor(cfg, seed=2),
-                paper_workload(1200.0, seed=2),
-                controller,
-                dt_s=0.2,
-                record_decimation=10,
-            )
-            result = sim.run(1200.0)
-            rows.append(
-                [threshold, scaler.boost_count, result.violation_percent,
-                 result.fan_energy_j]
-            )
-        return rows
+        scalers.clear()
+        points = sweep_harness.run([0.04, 0.08, 0.16], backend="vectorized")
+        return [
+            [
+                p.value,
+                scalers[p.value].boost_count,
+                p.metrics["violation_percent"],
+                p.metrics["fan_energy_j"],
+            ]
+            for p in points
+        ]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()

@@ -70,6 +70,7 @@ from repro.fleet import (
 from repro.sensing import TemperatureSensor
 from repro.sim import (
     SCHEME_NAMES,
+    BatchGlobalController,
     BatchRunSpec,
     ParameterSweep,
     ServerStepper,
@@ -91,6 +92,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptivePIDFanController",
     "AdaptiveSetpoint",
+    "BatchGlobalController",
     "BatchRunSpec",
     "CampaignRunner",
     "CampaignTask",

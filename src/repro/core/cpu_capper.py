@@ -65,6 +65,11 @@ class DeadzoneCpuCapper:
         """Cap adjustment per decision."""
         return self._step
 
+    @property
+    def cap_range(self) -> tuple[float, float]:
+        """The ``(cap_min, cap_max)`` clamp range."""
+        return self._cap_min, self._cap_max
+
     def propose(self, time_s: float, tmeas_c: float, current_cap: float) -> float:
         """Proposed cap for the next CPU control period.
 

@@ -117,6 +117,28 @@ class AdaptivePIDFanController(FanController):
         """Per-decision speed-change limit (None = unlimited)."""
         return self._slew_limit
 
+    @property
+    def fan_limits_rpm(self) -> tuple[float, float]:
+        """Physical ``(min, max)`` fan speed."""
+        return self._limits
+
+    @property
+    def quantization_guard(self) -> QuantizationGuard | None:
+        """The Eqn 10 deadband guard (None when disabled)."""
+        return self._guard
+
+    def restore_state(self, applied_speed_rpm: float, region_index: int) -> None:
+        """Overwrite the controller's own mutable state (batch sync-back).
+
+        The embedded PID's state is restored separately through
+        :meth:`~repro.core.pid.PIDController.restore_state` and the public
+        ``gains``/``setpoint``/``output_offset`` setters; this method only
+        covers the fields the fan controller itself owns.
+        """
+        low, high = self._limits
+        self._applied_speed = min(max(float(applied_speed_rpm), low), high)
+        self._region_index = int(region_index)
+
     def set_reference(self, t_ref_c: float) -> None:
         """Change the tracked reference temperature (A-Tref hook)."""
         self._pid.setpoint = check_temperature(t_ref_c, "t_ref_c")

@@ -3,8 +3,26 @@
 ``GlobalController`` hosts the two local controllers (fan speed, CPU cap),
 routes their proposals through a global coordinator, and applies the
 optional Section V enhancements (adaptive set-point, single-step fan
-scaling).  The simulation engine calls :meth:`step` once per CPU control
-period (1 s); fan decisions run on their own slower period (30 s) inside.
+scaling).  The simulation engine calls :meth:`GlobalController.step` once
+per CPU control period (1 s); fan decisions run on their own slower
+period (30 s) inside, scheduled by ``_next_fan_decision_s``.
+
+Decision order within one step (this order is part of the engine
+contract; the vectorized controller backend in
+:mod:`repro.sim.batch_control` replays it element-wise):
+
+1. adaptive set-point update (Section V-B), which may move ``T_ref``;
+2. CPU cap proposal from the capper;
+3. fan proposal from the fan controller, when a fan period is due;
+4. global coordination picks what is applied;
+5. single-step fan scaling may override the fan speed (Section V-C);
+6. the fan controller is notified of the speed actually applied.
+
+All constituent objects are exposed read-only (``fan_controller``,
+``coordinator``, ``cpu_capper``, ``setpoint``, ``single_step``) so
+execution backends can extract coefficients, and
+:meth:`GlobalController.restore_decision_state` writes the scheduling
+state back after a vectorized run.
 """
 
 from __future__ import annotations
@@ -97,6 +115,46 @@ class GlobalController:
     def last_proposals(self) -> tuple[float | None, float | None]:
         """(fan, cap) proposals from the most recent step (None = not due)."""
         return self._last_fan_proposal, self._last_cap_proposal
+
+    @property
+    def cpu_capper(self) -> DeadzoneCpuCapper | None:
+        """The local CPU cap controller (None = fan-only)."""
+        return self._capper
+
+    @property
+    def setpoint(self) -> AdaptiveSetpoint | None:
+        """The A-Tref adapter (None when disabled)."""
+        return self._setpoint
+
+    @property
+    def single_step(self) -> SingleStepFanScaling | None:
+        """The SSfan override (None when disabled)."""
+        return self._single_step
+
+    @property
+    def next_fan_decision_s(self) -> float:
+        """Simulation time of the next scheduled fan decision."""
+        return self._next_fan_decision_s
+
+    def restore_decision_state(
+        self,
+        state: ControlState,
+        t_ref_c: float,
+        next_fan_decision_s: float,
+        last_fan_proposal: float | None,
+        last_cap_proposal: float | None,
+    ) -> None:
+        """Overwrite the scheduling/knob state (batch backend sync-back).
+
+        Unlike :meth:`step` this does not notify the fan controller: the
+        batch backend restores the fan controller's applied speed through
+        its own hook, carrying the exact value forward.
+        """
+        self._state = state
+        self._t_ref_c = float(t_ref_c)
+        self._next_fan_decision_s = float(next_fan_decision_s)
+        self._last_fan_proposal = last_fan_proposal
+        self._last_cap_proposal = last_cap_proposal
 
     def step(self, inputs: ControlInputs) -> ControlState:
         """One CPU control period: gather proposals, coordinate, apply."""

@@ -131,6 +131,30 @@ class PIDController:
         """Most recent output (None before the first update)."""
         return self._last_output
 
+    @property
+    def prev_error(self) -> float | None:
+        """Error of the previous update (None before the first update).
+
+        Exposed so the batch controller backend can lift the derivative
+        memory into arrays and restore it afterwards.
+        """
+        return self._prev_error
+
+    def restore_state(
+        self,
+        integral: float,
+        prev_error: float | None,
+        last_output: float | None,
+    ) -> None:
+        """Overwrite the mutable loop state (batch backend sync-back).
+
+        ``gains``, ``setpoint``, and ``output_offset`` already have public
+        setters; this restores the remaining per-update memory.
+        """
+        self._integral = float(integral)
+        self._prev_error = None if prev_error is None else float(prev_error)
+        self._last_output = None if last_output is None else float(last_output)
+
     def reset_integral(self) -> None:
         """Zero the integral term (paper: on operating-region change)."""
         self._integral = 0.0

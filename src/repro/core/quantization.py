@@ -49,6 +49,10 @@ class QuantizationGuard:
         """How many decisions the guard has suppressed so far."""
         return self._hold_count
 
+    def restore_hold_count(self, count: int) -> None:
+        """Overwrite the hold counter (batch backend sync-back)."""
+        self._hold_count = int(count)
+
     def should_hold(self, t_ref_c: float, tmeas_c: float) -> bool:
         """True when Eqn (10) says to keep the fan speed unchanged."""
         if self._step == 0.0:

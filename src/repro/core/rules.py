@@ -85,6 +85,18 @@ class RuleBasedCoordinator(Coordinator):
         """Histogram of actions chosen so far."""
         return dict(self._action_counts)
 
+    def restore_trace(
+        self,
+        last_action: CoordinationAction,
+        action_counts: dict[CoordinationAction, int],
+    ) -> None:
+        """Overwrite the decision trace (batch backend sync-back)."""
+        self._last_action = last_action
+        self._action_counts = {
+            action: int(action_counts.get(action, 0))
+            for action in CoordinationAction
+        }
+
     def coordinate(
         self,
         current: ControlState,

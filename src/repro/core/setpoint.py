@@ -65,6 +65,16 @@ class AdaptiveSetpoint:
         return self._t_min_c, self._t_max_c
 
     @property
+    def util_range(self) -> tuple[float, float]:
+        """The ``(util_low, util_high)`` mapping range."""
+        return self._util_low, self._util_high
+
+    @property
+    def prediction_filter(self) -> MovingAverageFilter:
+        """The moving-average utilization predictor (batch backend hook)."""
+        return self._filter
+
+    @property
     def predicted_util(self) -> float:
         """Current moving-average utilization prediction."""
         return self._filter.value

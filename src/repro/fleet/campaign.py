@@ -9,6 +9,13 @@ streams from it deterministically, results are identical whichever
 worker (or the parent process, for the serial path) executes the task;
 :class:`CampaignRunner` only chooses *where* tasks run, via the same
 :func:`~repro.sim.parallel.parallel_map` machinery parameter sweeps use.
+
+Process-level parallelism composes with the vectorized backend: each
+task defaults to ``backend="auto"``, so every worker advances its rack
+as ``(B,)`` array ops (plant, sensing, and - for stock DTM compositions
+- control) and the pool fans *racks* out across cores.  Set
+``CampaignTask.backend="scalar"`` to force the reference loop, e.g.
+when profiling or bisecting a backend discrepancy.
 """
 
 from __future__ import annotations

@@ -139,11 +139,23 @@ class FleetSimulator:
         results = stepper.finish(
             [f"{label}/{slot.name}" for slot in rack]
         )
+        extras = {"backend": "vectorized"}
+        fallbacks = stepper.controller_fallbacks
+        if not fallbacks:
+            extras["controller_backend"] = "vectorized"
+        elif stepper.n_vectorized_controllers == 0:
+            extras["controller_backend"] = "scalar"
+        else:
+            extras["controller_backend"] = "mixed"
+        if fallbacks:
+            extras["controller_fallbacks"] = {
+                rack.slots[i].name: reason for i, reason in fallbacks.items()
+            }
         return FleetResult(
             server_results=tuple(results),
             mean_inlet_c=stepper.mean_inlet_c(),
             label=label,
-            extras={"backend": "vectorized"},
+            extras=extras,
         )
 
     def _run_scalar(

@@ -13,6 +13,10 @@
   (:class:`~repro.sim.batch.BatchStepper`,
   :func:`~repro.sim.batch.run_batch`): whole racks and sweep grids as
   ``(B,)`` array ops per ``dt``, bit-for-bit with the scalar engine.
+* :mod:`repro.sim.batch_control` - the vectorized controller backend
+  (:class:`~repro.sim.batch_control.BatchGlobalController`): the common
+  DTM composition advanced for all servers as array ops at CPU-period
+  boundaries, with per-server scalar fallback for the rest.
 """
 
 from repro.sim.batch import (
@@ -20,6 +24,10 @@ from repro.sim.batch import (
     BatchStepper,
     batch_unsupported_reason,
     run_batch,
+)
+from repro.sim.batch_control import (
+    BatchGlobalController,
+    batch_controller_unsupported_reason,
 )
 from repro.sim.engine import ServerStepper, Simulator
 from repro.sim.parallel import parallel_map
@@ -36,6 +44,7 @@ from repro.sim.scenarios import (
 from repro.sim.sweep import ParameterSweep, SweepPoint
 
 __all__ = [
+    "BatchGlobalController",
     "BatchRunSpec",
     "BatchStepper",
     "ParameterSweep",
@@ -44,6 +53,7 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "SweepPoint",
+    "batch_controller_unsupported_reason",
     "batch_unsupported_reason",
     "build_global_controller",
     "build_plant",

@@ -17,17 +17,24 @@ rack or a sweep grid pays the whole interpreter overhead B times per
   in the same order as the scalar path, so runs stay reproducible.
 * :class:`BatchStepper` - the lockstep loop: demand traces are evaluated
   up front (:meth:`~repro.workload.base.Workload.demand_array`), the
-  per-``dt`` plant/sensing/energy/telemetry work is array math, and only
-  the control decisions - which fire once per CPU period, not per ``dt``
-  - go through the real scalar controller objects.  Equivalence with the
-  scalar engine is therefore structural, not approximate: the same
+  per-``dt`` plant/sensing/energy/telemetry work is array math, and the
+  control decisions - which fire once per CPU period, not per ``dt`` -
+  run through the vectorized
+  :class:`~repro.sim.batch_control.BatchGlobalController` for every
+  server whose DTM is the common composition (adaptive-PID fan +
+  deadzone capper + rule-based/uncoordinated coordination + optional
+  A-Tref), with a per-server fallback to the scalar controller objects
+  for anything else (SSfan, E-coord, subclasses).  Equivalence with the
+  scalar engine is structural either way, not approximate: the same
   floating-point operations run in the same order, just element-wise.
 
 Heterogeneous *parameters* (per-server sensing quality, workloads,
 power envelopes) batch fine; heterogeneous *structure* (time-varying
 ambient profiles, custom plant or sensor subclasses, pre-used sensors)
 does not, and :func:`batch_unsupported_reason` reports why so callers
-can fall back to the scalar path.
+can fall back to the scalar path.  Controller compositions are softer:
+an unsupported controller only demotes *its own server's* control step
+to the scalar objects (see :attr:`BatchStepper.controller_fallbacks`).
 """
 
 from __future__ import annotations
@@ -40,6 +47,11 @@ import numpy as np
 
 from repro.core.base import ControlInputs
 from repro.errors import SimulationError, ThermalModelError
+from repro.sim.batch_control import (
+    BatchGlobalController,
+    BatchTrackerBank,
+    batch_controller_unsupported_reason,
+)
 from repro.power.energy import EnergyBreakdown
 from repro.sensing.noise import GaussianNoise, NoNoise, UniformNoise
 from repro.sensing.sensor import TemperatureSensor
@@ -146,6 +158,11 @@ class BatchSensorBank:
         ]
         self._next_sample = np.zeros(n)
         self._current = np.zeros(n)
+        # Scalar lower bounds on the next sample/arrival instants, so the
+        # per-dt observe/pop calls reduce to one float comparison on the
+        # (majority of) steps where nothing is due anywhere in the batch.
+        self._next_due = -np.inf
+        self._next_arrival = np.inf
         # Transport-delay FIFOs: ring buffers sized to the worst-case
         # number of in-flight samples (lag / sample interval), grown on
         # demand if a pathological cadence ever overflows them.
@@ -187,9 +204,11 @@ class BatchSensorBank:
         if np.any(self._count[idx] >= self._capacity):
             self._grow()
         tail = (self._head[idx] + self._count[idx]) % self._capacity
-        self._fifo_t[idx, tail] = time_s + self._lag[idx]
+        arrivals = time_s + self._lag[idx]
+        self._fifo_t[idx, tail] = arrivals
         self._fifo_v[idx, tail] = values
         self._count[idx] += 1
+        self._next_arrival = min(self._next_arrival, float(arrivals.min()))
 
     def _grow(self) -> None:
         old = self._capacity
@@ -214,14 +233,15 @@ class BatchSensorBank:
         self._current = quantized.copy()
         self._push(self._rows, time_s, quantized)
         self._next_sample = time_s + self._interval
+        self._next_due = float(self._next_sample.min())
 
     def observe(
         self, time_s: float, time_plus: float, true_temps: np.ndarray
     ) -> None:
         """Feed the physical temperatures; samples at each server's cadence."""
-        due = self._next_sample <= time_plus
-        if not due.any():
+        if self._next_due > time_plus:
             return
+        due = self._next_sample <= time_plus
         idx = np.nonzero(due)[0]
         measured = true_temps[idx].copy()
         self._sample_noise(measured, idx)
@@ -235,6 +255,7 @@ class BatchSensorBank:
                 break
             next_sample = np.where(late, next_sample + interval, next_sample)
         self._next_sample[idx] = next_sample
+        self._next_due = float(self._next_sample.min())
 
     def state_of(self, i: int) -> tuple[float, list[tuple[float, float]], float]:
         """One server's pipeline state: (current, in-flight, next sample).
@@ -253,15 +274,23 @@ class BatchSensorBank:
 
     def pop_until(self, time_s: float) -> None:
         """Promote every sample whose arrival time has passed (ZOH read)."""
+        if self._next_arrival > time_s:
+            return
         while True:
             arrivals = self._fifo_t[self._rows, self._head]
             ready = (self._count > 0) & (arrivals <= time_s)
             if not ready.any():
-                return
+                break
             idx = np.nonzero(ready)[0]
             self._current[idx] = self._fifo_v[idx, self._head[idx]]
             self._head[idx] = (self._head[idx] + 1) % self._capacity
             self._count[idx] -= 1
+        # Stale slots behind the tail keep old timestamps, so only rows
+        # with samples in flight may contribute to the new bound.
+        arrivals = self._fifo_t[self._rows, self._head]
+        self._next_arrival = float(
+            np.where(self._count > 0, arrivals, np.inf).min()
+        )
 
 
 class BatchThermalPlant:
@@ -344,6 +373,18 @@ class BatchThermalPlant:
         self.fan_w[i] = entry[2] * self._n_sockets_f[i]
         self.clamped_speed[i] = clamped
 
+    def snapshot_fan_state(self) -> None:
+        """Detach the fan-level arrays before a round of speed changes.
+
+        Copy-on-write: the stepper holds references to ``fan_w`` and
+        ``clamped_speed`` for energy/coupling accounting of the *current*
+        step; replacing the arrays (instead of mutating them) keeps those
+        references at their pre-decision values.  Call once per control
+        step before the first :meth:`apply_fan_speed`.
+        """
+        self.fan_w = self.fan_w.copy()
+        self.clamped_speed = self.clamped_speed.copy()
+
     def advance(
         self, ambient_c: np.ndarray, applied_util: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -357,13 +398,20 @@ class BatchThermalPlant:
         hs = hs_ss + (self.hs_temp - hs_ss) * self.hs_decay
         die_ss = hs + self.r_die * socket_power
         die = die_ss + (self.die_temp - die_ss) * self.die_decay
-        # sum() is non-finite iff any element is (NaN propagates, inf
-        # saturates or cancels to NaN) - one cheap reduction per step.
-        if not math.isfinite(float(die.sum())):
-            raise ThermalModelError("batch thermal state diverged")
         self.hs_temp = hs
         self.die_temp = die
         return die, hs, socket_power * self.n_sockets
+
+    def check_finite(self) -> None:
+        """Raise if the thermal state has diverged.
+
+        sum() is non-finite iff any element is (NaN propagates, inf
+        saturates or cancels to NaN) - one cheap reduction.  NaN/inf
+        contamination is permanent once present, so the stepper probes
+        periodically instead of after every ``advance``.
+        """
+        if not math.isfinite(float(self.die_temp.sum())):
+            raise ThermalModelError("batch thermal state diverged")
 
 
 class BatchStepper:
@@ -404,6 +452,7 @@ class BatchStepper:
                 dt_s, controller.control.cpu_interval_s, record_decimation
             )
         self._n = n
+        self._all_idx = np.arange(n)
         self._plants = list(plants)
         self._sensors = list(sensors)
         self._workloads = list(workloads)
@@ -444,6 +493,12 @@ class BatchStepper:
             self._inlet_sums = np.zeros(n)
             self._zero_offsets = np.zeros(n)
             self._last_offsets = self._zero_offsets
+            self._coupling_matrix = coupling.matrix
+            # Exhaust conductance depends only on the fan-speed array,
+            # which is replaced (never mutated) on fan changes, so cache
+            # it keyed on array identity.
+            self._conductance: np.ndarray | None = None
+            self._conductance_for: np.ndarray | None = None
         else:
             self._ambient_const = np.array(
                 [plant.ambient.temperature_c(self._start) for plant in plants]
@@ -455,18 +510,38 @@ class BatchStepper:
         self._fan_cmd = np.zeros(n)
         self._cap = np.zeros(n)
         self._t_ref = np.zeros(n)
-        self._cpu_interval = [
-            float(c.control.cpu_interval_s) for c in controllers
-        ]
-        self._next_control = np.array(
-            [self._start + interval for interval in self._cpu_interval]
+        self._cpu_interval = np.array(
+            [float(c.control.cpu_interval_s) for c in controllers]
         )
+        self._next_control = self._start + self._cpu_interval
+        self._next_control_min = float(self._next_control.min())
         for i, controller in enumerate(controllers):
             state = controller.state
             self._fan_cmd[i] = state.fan_speed_rpm
             self._cap[i] = state.cpu_cap
             self._t_ref[i] = controller.t_ref_c
             self._plant.apply_fan_speed(i, state.fan_speed_rpm)
+
+        # Partition the DTMs: common compositions advance through the
+        # vectorized BatchGlobalController, the rest step their scalar
+        # objects per server (per-server fallback, not per-rack).
+        reasons = [
+            batch_controller_unsupported_reason(c) for c in controllers
+        ]
+        vec = [i for i, reason in enumerate(reasons) if reason is None]
+        self._controller_fallbacks = {
+            i: reason for i, reason in enumerate(reasons) if reason is not None
+        }
+        self._vec_controllers = np.zeros(n, dtype=bool)
+        self._vec_controllers[vec] = True
+        self._vec_pos = np.full(n, -1, dtype=np.int64)
+        self._vec_pos[vec] = np.arange(len(vec))
+        self._batch_ctrl = (
+            BatchGlobalController([controllers[i] for i in vec]) if vec else None
+        )
+        self._batch_trackers = (
+            BatchTrackerBank([self._trackers[i] for i in vec]) if vec else None
+        )
 
         # Plant-state mirrors used by the coupling (exhaust of step k
         # feeds inlets at step k+1, so these lag the knob arrays).
@@ -510,6 +585,20 @@ class BatchStepper:
         """Batch width B."""
         return self._n
 
+    @property
+    def controller_fallbacks(self) -> dict[int, str]:
+        """Servers whose DTM steps scalar objects: index -> reason.
+
+        Empty when every controller runs through the vectorized
+        :class:`~repro.sim.batch_control.BatchGlobalController`.
+        """
+        return dict(self._controller_fallbacks)
+
+    @property
+    def n_vectorized_controllers(self) -> int:
+        """How many servers' controllers advance as array ops."""
+        return self._n - len(self._controller_fallbacks)
+
     def run(self) -> None:
         """Advance all servers to the end of the horizon."""
         while self._k < self._n_steps:
@@ -525,32 +614,52 @@ class BatchStepper:
 
         plant = self._plant
         sensing = self._sensing
+        observe = sensing.observe
+        pop_until = sensing.pop_until
+        advance = plant.advance
         decimation = self._decimation
         channels = self._channels
+        coupled = self._coupled
+        decoupled = coupled and self._decoupled
+        if coupled:
+            coupling_m = None if decoupled else self._coupling_matrix
+            room = self._room
+        else:
+            ambient = self._ambient_const
+        # The divergence guard costs one reduction per call; NaN/inf
+        # contamination persists once it appears, so probing every 32nd
+        # step (plus once at chunk end) detects it all the same.
         for j in range(m):
             t = times[j]
             t_plus = t + 1e-9
 
-            if self._coupled:
-                if self._decoupled:
+            if coupled:
+                if decoupled:
                     offsets = self._zero_offsets
                 else:
-                    conductance = np.maximum(
-                        self._g_floor,
-                        self._g_max * self._state_fan_speed / self._v_max_exh,
-                    )
-                    rises = (self._state_cpu_w + self._state_fan_w) / conductance
-                    offsets = self._coupling.inlet_offsets_c(rises)
+                    speeds = self._state_fan_speed
+                    if self._conductance_for is not speeds:
+                        self._conductance = np.maximum(
+                            self._g_floor,
+                            self._g_max * speeds / self._v_max_exh,
+                        )
+                        self._conductance_for = speeds
+                    rises = (
+                        self._state_cpu_w + self._state_fan_w
+                    ) / self._conductance
+                    offsets = coupling_m @ rises
                 self._last_offsets = offsets
-                ambient = self._room + offsets
-            else:
-                ambient = self._ambient_const
+                ambient = room + offsets
 
             demand = demands[:, j]
             applied = np.minimum(demand, self._cap)
-            die, hs, cpu_w = plant.advance(ambient, applied)
-            fan_w = plant.fan_w.copy()
-            self._state_fan_speed = plant.clamped_speed.copy()
+            die, hs, cpu_w = advance(ambient, applied)
+            if not (j & 31):
+                plant.check_finite()
+            # No copies: apply_fan_speed detaches these arrays before
+            # mutating them (BatchThermalPlant.snapshot_fan_state).
+            fan_w = plant.fan_w
+            self._state_fan_speed = plant.clamped_speed
             self._state_cpu_w = cpu_w
             self._state_fan_w = fan_w
             self._last_applied = applied
@@ -563,15 +672,18 @@ class BatchStepper:
             self._energy_last_fan = fan_w
             self._energy_last_t = t
 
-            sensing.observe(t, t_plus, die)
-            sensing.pop_until(t)
+            observe(t, t_plus, die)
+            pop_until(t)
 
-            if self._coupled:
+            if coupled:
                 self._inlet_sums += ambient
 
-            due = self._next_control <= t_plus
-            if due.any():
-                self._control_step(np.nonzero(due)[0], t, t_plus, demand, applied)
+            if self._next_control_min <= t_plus:
+                due = self._next_control <= t_plus
+                self._control_step(
+                    np.nonzero(due)[0], t, t_plus, demand, applied
+                )
+                self._next_control_min = float(self._next_control.min())
 
             k = k0 + j
             if k % decimation == 0:
@@ -586,6 +698,7 @@ class BatchStepper:
                 channels["applied"][:, r] = applied
                 channels["t_ref"][:, r] = self._t_ref
                 self._record_idx = r + 1
+        plant.check_finite()
         self._k = k0 + m
 
     def _control_step(
@@ -596,13 +709,97 @@ class BatchStepper:
         demand: np.ndarray,
         applied: np.ndarray,
     ) -> None:
-        """Run the scalar DTM decision for every server whose period is due.
+        """Run the DTM decision for every server whose period is due.
 
-        Values cross the array/scalar boundary as python floats so the
-        controllers see exactly the types (and therefore the arithmetic)
-        of the scalar engine.
+        Servers with a common controller composition advance together
+        through the vectorized :class:`BatchGlobalController`; the rest
+        step their scalar controller objects, with values crossing the
+        array/scalar boundary as python floats so those controllers see
+        exactly the types (and therefore the arithmetic) of the scalar
+        engine.
         """
+        if not self._controller_fallbacks:
+            self._vec_control_step(due_idx, t, t_plus, demand, applied)
+            return
+        if self._batch_ctrl is None:
+            self._scalar_control_step(due_idx, t, t_plus, demand, applied)
+            return
+        vec_mask = self._vec_controllers[due_idx]
+        vec_due = due_idx[vec_mask]
+        if vec_due.size:
+            self._vec_control_step(vec_due, t, t_plus, demand, applied)
+        scalar_due = due_idx[~vec_mask]
+        if scalar_due.size:
+            self._scalar_control_step(scalar_due, t, t_plus, demand, applied)
+
+    def _vec_control_step(
+        self,
+        idx: np.ndarray,
+        t: float,
+        t_plus: float,
+        demand: np.ndarray,
+        applied: np.ndarray,
+    ) -> None:
+        """Vectorized-controller servers: one array op chain per period."""
+        ctrl = self._batch_ctrl
+        if idx.size == self._n:
+            # Whole-rack fast lane: no index gathers.  The knob mirrors
+            # are *copied* out of the controller: _step_subset (mixed
+            # CPU periods) mutates the controller arrays in place, and an
+            # aliased _fan_cmd would defeat the changed-fan detection
+            # below on those later subset steps.
+            self._batch_trackers.record_all(demand, self._cap)
+            ctrl.step_due(self._all_idx, t, self._sensing.current, applied)
+            new_fan = ctrl.fan_speed_rpm
+            changed = np.nonzero(new_fan != self._fan_cmd)[0]
+            if changed.size:
+                self._apply_fan_changes(changed, new_fan[changed])
+            self._fan_cmd = new_fan.copy()
+            self._cap = ctrl.cpu_cap.copy()
+            self._t_ref = ctrl.t_ref_c.copy()
+            next_control = self._next_control
+            interval = self._cpu_interval
+        else:
+            local = self._vec_pos[idx]
+            self._batch_trackers.record(local, demand[idx], self._cap[idx])
+            ctrl.step_due(local, t, self._sensing.current[idx], applied[idx])
+            new_fan = ctrl.fan_speed_rpm[local]
+            changed = np.nonzero(new_fan != self._fan_cmd[idx])[0]
+            if changed.size:
+                self._apply_fan_changes(idx[changed], new_fan[changed])
+            self._fan_cmd[idx] = new_fan
+            self._cap[idx] = ctrl.cpu_cap[local]
+            self._t_ref[idx] = ctrl.t_ref_c[local]
+            next_control = self._next_control[idx]
+            interval = self._cpu_interval[idx]
+        while True:
+            late = next_control <= t_plus
+            if not late.any():
+                break
+            next_control = np.where(late, next_control + interval, next_control)
+        if idx.size == self._n:
+            self._next_control = next_control
+        else:
+            self._next_control[idx] = next_control
+
+    def _apply_fan_changes(self, idx: np.ndarray, speeds: np.ndarray) -> None:
+        """Apply new fan commands (copy-on-write on the plant arrays)."""
+        plant = self._plant
+        plant.snapshot_fan_state()
+        for k in range(idx.size):
+            plant.apply_fan_speed(int(idx[k]), float(speeds[k]))
+
+    def _scalar_control_step(
+        self,
+        due_idx: np.ndarray,
+        t: float,
+        t_plus: float,
+        demand: np.ndarray,
+        applied: np.ndarray,
+    ) -> None:
+        """Fallback servers: drive the scalar controller objects."""
         current = self._sensing.current
+        snapshotted = False
         for i in due_idx:
             i = int(i)
             tracker = self._trackers[i]
@@ -618,12 +815,15 @@ class BatchStepper:
             state = self._controllers[i].step(inputs)
             fan = float(state.fan_speed_rpm)
             if fan != self._fan_cmd[i]:
+                if not snapshotted:
+                    self._plant.snapshot_fan_state()
+                    snapshotted = True
                 self._plant.apply_fan_speed(i, fan)
             self._fan_cmd[i] = fan
             self._cap[i] = float(state.cpu_cap)
             self._t_ref[i] = self._controllers[i].t_ref_c
             next_control = float(self._next_control[i])
-            interval = self._cpu_interval[i]
+            interval = float(self._cpu_interval[i])
             while next_control <= t_plus:
                 next_control += interval
             self._next_control[i] = next_control
@@ -638,13 +838,17 @@ class BatchStepper:
     def finish(self, labels: Sequence[str]) -> list[SimulationResult]:
         """Package per-server results and sync state back to the objects.
 
-        Plants, sensors, and (for coupled runs) inlet offsets are
-        restored to the final batch state so mixed scalar/batch
-        workflows keep working on the same objects; controllers and
-        trackers advanced in place.
+        Plants, sensors, controllers, trackers, and (for coupled runs)
+        inlet offsets are restored to the final batch state so mixed
+        scalar/batch workflows keep working on the same objects:
+        scalar-fallback controllers advanced in place, vectorized ones
+        are written back here.
         """
         if len(labels) != self._n:
             raise SimulationError("need one label per server")
+        if self._batch_ctrl is not None:
+            self._batch_ctrl.sync_back()
+            self._batch_trackers.sync_back()
         # The scalar plant clock accumulates `+= dt` once per step; replay
         # that exact float accumulation so restored plants match it.
         t_final = self._start

@@ -1,0 +1,824 @@
+"""Vectorized DTM backend: B controllers advanced as ``(B,)`` array ops.
+
+PR 2 vectorized the plant and sensing layers but left control scalar, so
+at ``dt = 0.1 s`` the per-server :class:`~repro.core.global_controller.
+GlobalController.step` loop dominated vectorized wall time.  This module
+advances the *common* controller composition for all B servers at once:
+
+* :class:`~repro.core.fan_controller.AdaptivePIDFanController` (gain
+  schedule + Eqn 10 quantization guard + slew limit),
+* :class:`~repro.core.cpu_capper.DeadzoneCpuCapper` (or no capper),
+* :class:`~repro.core.rules.RuleBasedCoordinator` (Table II) or the
+  uncoordinated baseline, and
+* the optional :class:`~repro.core.setpoint.AdaptiveSetpoint` (A-Tref).
+
+Equivalence with the scalar objects is *structural*: every branch of the
+scalar decision sequence is replayed element-wise with the same
+floating-point operations in the same order, so results agree
+bit-for-bit.  Table II decisions are carried as int8 action codes
+(:data:`ACTION_CODES`), deadzone/guard hold behaviour as boolean masks,
+and the per-server PID/filter state as ``(B,)`` arrays lifted out of the
+scalar objects at construction and written back by :meth:`
+BatchGlobalController.sync_back`, so a scalar run can resume from a
+vectorized one with identical trajectories.
+
+Compositions the backend cannot represent - SSfan (Section V-C), the
+E-coord baseline, custom controller/fan/coordinator subclasses - are
+reported by :func:`batch_controller_unsupported_reason`; the
+:class:`~repro.sim.batch.BatchStepper` then drives those servers'
+scalar objects individually while the rest of the rack stays vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.base import ControlState
+from repro.core.cpu_capper import DeadzoneCpuCapper
+from repro.core.fan_controller import AdaptivePIDFanController
+from repro.core.gain_schedule import GainSchedule
+from repro.core.global_controller import GlobalController
+from repro.core.pid import PIDController, PIDGains
+from repro.core.quantization import QuantizationGuard
+from repro.core.rules import CoordinationAction, RuleBasedCoordinator
+from repro.core.setpoint import AdaptiveSetpoint
+from repro.core.uncoordinated import UncoordinatedCoordinator
+from repro.errors import SimulationError
+from repro.workload.filters import MovingAverageFilter
+from repro.workload.performance import DeadlineTracker
+
+#: Table II actions as int codes (the order of
+#: :class:`~repro.core.rules.CoordinationAction` members).
+ACTION_CODES: dict[CoordinationAction, int] = {
+    action: code for code, action in enumerate(CoordinationAction)
+}
+
+#: Inverse of :data:`ACTION_CODES`.
+CODE_TO_ACTION: tuple[CoordinationAction, ...] = tuple(CoordinationAction)
+
+_NONE = ACTION_CODES[CoordinationAction.NONE]
+_FAN_UP = ACTION_CODES[CoordinationAction.FAN_UP]
+_FAN_DOWN = ACTION_CODES[CoordinationAction.FAN_DOWN]
+_CAP_UP = ACTION_CODES[CoordinationAction.CAP_UP]
+_CAP_DOWN = ACTION_CODES[CoordinationAction.CAP_DOWN]
+
+#: classify() tolerance (must match repro.core.rules.classify).
+_SIGN_TOL = 1e-9
+
+
+def batch_controller_unsupported_reason(controller: Any) -> str | None:
+    """Why this controller cannot run vectorized (None = it can).
+
+    The batch controller replays the exact scalar decision sequence, so
+    it only accepts the stock library classes whose branches it mirrors.
+    Anything else - SSfan, E-coord, subclasses - falls back to stepping
+    the scalar object (per server, inside an otherwise batched run).
+    """
+    if type(controller) is not GlobalController:
+        return f"controller {type(controller).__name__} is not the stock GlobalController"
+    fan = controller.fan_controller
+    if type(fan) is not AdaptivePIDFanController:
+        return f"fan controller {type(fan).__name__} is not the stock AdaptivePIDFanController"
+    if type(fan.schedule) is not GainSchedule:
+        return f"gain schedule {type(fan.schedule).__name__} is not the stock GainSchedule"
+    if type(fan.pid) is not PIDController:
+        return f"PID {type(fan.pid).__name__} is not the stock PIDController"
+    guard = fan.quantization_guard
+    if guard is not None and type(guard) is not QuantizationGuard:
+        return f"guard {type(guard).__name__} is not the stock QuantizationGuard"
+    capper = controller.cpu_capper
+    if capper is not None and type(capper) is not DeadzoneCpuCapper:
+        return f"capper {type(capper).__name__} is not the stock DeadzoneCpuCapper"
+    coordinator = controller.coordinator
+    if type(coordinator) not in (RuleBasedCoordinator, UncoordinatedCoordinator):
+        return (
+            f"coordinator {type(coordinator).__name__} is not rule-based "
+            "or uncoordinated"
+        )
+    setpoint = controller.setpoint
+    if setpoint is not None:
+        if type(setpoint) is not AdaptiveSetpoint:
+            return f"setpoint {type(setpoint).__name__} is not the stock AdaptiveSetpoint"
+        if type(setpoint.prediction_filter) is not MovingAverageFilter:
+            return (
+                f"setpoint filter {type(setpoint.prediction_filter).__name__} "
+                "is not the stock MovingAverageFilter"
+            )
+    if controller.single_step is not None:
+        return "single-step fan scaling (SSfan) is stateful per spike history"
+    return None
+
+
+class BatchTrackerBank:
+    """Deadline accounting for B servers as array accumulators.
+
+    Mirrors :class:`~repro.workload.performance.DeadlineTracker.record`
+    element-wise (same max/compare/add sequence) and restores the scalar
+    tracker objects afterwards, sliding window included.
+    """
+
+    def __init__(self, trackers: Sequence[DeadlineTracker]) -> None:
+        n = len(trackers)
+        self._trackers = list(trackers)
+        self._rows = np.arange(n)
+        self._tol = np.array([t.tolerance for t in trackers])
+        self._window = np.array([t.window for t in trackers], dtype=np.int64)
+        w_max = int(self._window.max()) if n else 1
+        self._ring = np.zeros((n, w_max))
+        self._head = np.zeros(n, dtype=np.int64)
+        self._count = np.zeros(n, dtype=np.int64)
+        self._periods = np.zeros(n, dtype=np.int64)
+        self._violations = np.zeros(n, dtype=np.int64)
+        self._lost = np.zeros(n)
+        self._demanded = np.zeros(n)
+        for i, tracker in enumerate(trackers):
+            summary = tracker.summary
+            self._periods[i] = summary.periods
+            self._violations[i] = summary.violations
+            self._lost[i] = summary.lost_utilization
+            self._demanded[i] = summary.demanded_utilization
+            gaps = tracker.recent_gaps
+            if gaps:
+                self._ring[i, : len(gaps)] = gaps
+                self._count[i] = len(gaps)
+
+    def record(
+        self, idx: np.ndarray, demanded: np.ndarray, applied: np.ndarray
+    ) -> None:
+        """One control period for the servers in ``idx``."""
+        if idx.size == len(self._trackers):
+            self.record_all(demanded, applied)
+            return
+        gap = np.maximum(0.0, demanded - applied)
+        self._periods[idx] += 1
+        self._violations[idx] += gap > self._tol[idx]
+        self._lost[idx] += gap
+        self._demanded[idx] += demanded
+        window = self._window[idx]
+        count = self._count[idx]
+        head = self._head[idx]
+        full = count == window
+        slot = np.where(full, head, (head + count) % window)
+        self._ring[idx, slot] = gap
+        self._head[idx] = np.where(full, (head + 1) % window, head)
+        self._count[idx] = np.where(full, count, count + 1)
+
+    def record_all(self, demanded: np.ndarray, applied: np.ndarray) -> None:
+        """One control period for every server (gather-free fast lane)."""
+        gap = np.maximum(0.0, demanded - applied)
+        self._periods += 1
+        self._violations += gap > self._tol
+        self._lost += gap
+        self._demanded += demanded
+        window = self._window
+        count = self._count
+        head = self._head
+        full = count == window
+        slot = np.where(full, head, (head + count) % window)
+        self._ring[self._rows, slot] = gap
+        self._head = np.where(full, (head + 1) % window, head)
+        self._count = np.where(full, count, count + 1)
+
+    def sync_back(self) -> None:
+        """Restore every tracker object to the accumulated state."""
+        for i, tracker in enumerate(self._trackers):
+            count = int(self._count[i])
+            order = (int(self._head[i]) + np.arange(count)) % int(self._window[i])
+            tracker.restore(
+                periods=int(self._periods[i]),
+                violations=int(self._violations[i]),
+                lost_utilization=float(self._lost[i]),
+                demanded_utilization=float(self._demanded[i]),
+                recent_gaps=tuple(float(g) for g in self._ring[i, order]),
+            )
+
+
+class BatchGlobalController:
+    """B stock DTM stacks advanced together at CPU-period boundaries.
+
+    Construction lifts coefficients and mutable state out of the scalar
+    objects; :meth:`step_due` advances any due subset;
+    :meth:`sync_back` writes the final state into the objects so mixed
+    vectorized/scalar workflows keep working on the same controllers.
+
+    Every controller must pass
+    :func:`batch_controller_unsupported_reason` - the caller is expected
+    to have partitioned unsupported ones onto the scalar path already.
+    """
+
+    def __init__(self, controllers: Sequence[GlobalController]) -> None:
+        n = len(controllers)
+        if n == 0:
+            raise SimulationError("batch controller needs at least one server")
+        for i, controller in enumerate(controllers):
+            reason = batch_controller_unsupported_reason(controller)
+            if reason is not None:
+                raise SimulationError(
+                    f"server {i}: controller cannot batch: {reason}"
+                )
+        self._n = n
+        self._controllers = list(controllers)
+        fans = [c.fan_controller for c in controllers]
+        pids = [fan.pid for fan in fans]
+
+        # --- applied knob state (GlobalController._state) ---
+        self.fan_speed_rpm = np.array([c.state.fan_speed_rpm for c in controllers])
+        self.cpu_cap = np.array([c.state.cpu_cap for c in controllers])
+        self.t_ref_c = np.array([c.t_ref_c for c in controllers])
+
+        # --- fan decision schedule ---
+        self._next_fan = np.array([c.next_fan_decision_s for c in controllers])
+        self._fan_interval = np.array(
+            [c.control.fan_interval_s for c in controllers]
+        )
+
+        # --- fan controller state/coefficients ---
+        self._applied = np.array([fan.applied_speed_rpm for fan in fans])
+        self._region_index = np.array(
+            [fan.region_index for fan in fans], dtype=np.int64
+        )
+        self._v_min = np.array([fan.fan_limits_rpm[0] for fan in fans])
+        self._v_max = np.array([fan.fan_limits_rpm[1] for fan in fans])
+        self._slew = np.array(
+            [
+                np.inf if fan.slew_limit_rpm is None else fan.slew_limit_rpm
+                for fan in fans
+            ]
+        )
+
+        # Gain schedules, padded to the widest region count (+inf speeds
+        # never win a <= comparison; padded gains are never gathered).
+        n_regions = [len(fan.schedule) for fan in fans]
+        r_max = max(n_regions)
+        self._n_regions = np.array(n_regions, dtype=np.int64)
+        self._region_speeds = np.full((n, r_max), np.inf)
+        self._region_kp = np.zeros((n, r_max))
+        self._region_ki = np.zeros((n, r_max))
+        self._region_kd = np.zeros((n, r_max))
+        for i, fan in enumerate(fans):
+            for r, region in enumerate(fan.schedule.regions):
+                self._region_speeds[i, r] = region.ref_speed_rpm
+                self._region_kp[i, r] = region.gains.kp
+                self._region_ki[i, r] = region.gains.ki
+                self._region_kd[i, r] = region.gains.kd
+
+        # --- quantization guard (Eqn 10) ---
+        guards = [fan.quantization_guard for fan in fans]
+        self._has_guard = np.array([g is not None for g in guards])
+        self._g_step = np.array([0.0 if g is None else g.step_c for g in guards])
+        self._g_threshold = np.array(
+            [0.0 if g is None else g.threshold_c for g in guards]
+        )
+        self._hold_count = np.array(
+            [0 if g is None else g.hold_count for g in guards], dtype=np.int64
+        )
+
+        # --- PID state ---
+        self._pid_dt = np.array([pid.sample_time_s for pid in pids])
+        self._pid_setpoint = np.array([pid.setpoint for pid in pids])
+        self._pid_offset = np.array([pid.output_offset for pid in pids])
+        self._pid_integral = np.array([pid.integral for pid in pids])
+        self._pid_kp = np.array([pid.gains.kp for pid in pids])
+        self._pid_ki = np.array([pid.gains.ki for pid in pids])
+        self._pid_kd = np.array([pid.gains.kd for pid in pids])
+        self._pid_has_prev = np.array([pid.prev_error is not None for pid in pids])
+        self._pid_prev = np.array(
+            [0.0 if pid.prev_error is None else pid.prev_error for pid in pids]
+        )
+        self._pid_has_out = np.array([pid.last_output is not None for pid in pids])
+        self._pid_last_out = np.array(
+            [0.0 if pid.last_output is None else pid.last_output for pid in pids]
+        )
+
+        # --- deadzone capper ---
+        cappers = [c.cpu_capper for c in controllers]
+        self._has_capper = np.array([cap is not None for cap in cappers])
+        self._cap_low = np.array(
+            [-np.inf if cap is None else cap.deadzone_c[0] for cap in cappers]
+        )
+        self._cap_high = np.array(
+            [np.inf if cap is None else cap.deadzone_c[1] for cap in cappers]
+        )
+        self._cap_step = np.array(
+            [0.0 if cap is None else cap.step for cap in cappers]
+        )
+        self._cap_min = np.array(
+            [0.0 if cap is None else cap.cap_range[0] for cap in cappers]
+        )
+        self._cap_max = np.array(
+            [1.0 if cap is None else cap.cap_range[1] for cap in cappers]
+        )
+
+        # --- coordinator (Table II codes / uncoordinated) ---
+        self._is_rule = np.array(
+            [type(c.coordinator) is RuleBasedCoordinator for c in controllers]
+        )
+        self._last_action = np.full(n, _NONE, dtype=np.int8)
+        self._action_counts = np.zeros((n, len(CODE_TO_ACTION)), dtype=np.int64)
+        for i, controller in enumerate(controllers):
+            coordinator = controller.coordinator
+            if type(coordinator) is RuleBasedCoordinator:
+                self._last_action[i] = ACTION_CODES[coordinator.last_action]
+                for action, count in coordinator.action_counts.items():
+                    self._action_counts[i, ACTION_CODES[action]] = count
+
+        # --- adaptive set-point (A-Tref) ---
+        setpoints = [c.setpoint for c in controllers]
+        self._has_sp = np.array([sp is not None for sp in setpoints])
+        self._sp_t_min = np.array(
+            [0.0 if sp is None else sp.range_c[0] for sp in setpoints]
+        )
+        self._sp_t_span = np.array(
+            [0.0 if sp is None else sp.range_c[1] - sp.range_c[0] for sp in setpoints]
+        )
+        self._sp_u_low = np.array(
+            [0.0 if sp is None else sp.util_range[0] for sp in setpoints]
+        )
+        self._sp_u_span = np.array(
+            [
+                1.0
+                if sp is None
+                else sp.util_range[1] - sp.util_range[0]
+                for sp in setpoints
+            ]
+        )
+        windows = [
+            1 if sp is None else sp.prediction_filter.window for sp in setpoints
+        ]
+        w_max = max(windows)
+        self._sp_window = np.array(windows, dtype=np.int64)
+        self._sp_ring = np.zeros((n, w_max))
+        self._sp_head = np.zeros(n, dtype=np.int64)
+        self._sp_count = np.zeros(n, dtype=np.int64)
+        self._sp_sum = np.zeros(n)
+        for i, sp in enumerate(setpoints):
+            if sp is None:
+                continue
+            samples = sp.prediction_filter.samples
+            if samples:
+                self._sp_ring[i, : len(samples)] = samples
+                self._sp_count[i] = len(samples)
+            self._sp_sum[i] = sp.prediction_filter.running_sum
+
+        # --- last proposals (scalar parity for sync-back) ---
+        self._last_fan_prop = np.zeros(n)
+        self._last_fan_none = np.ones(n, dtype=bool)
+        self._last_cap_prop = np.zeros(n)
+        self._last_cap_none = np.ones(n, dtype=bool)
+        for i, controller in enumerate(controllers):
+            fan_prop, cap_prop = controller.last_proposals
+            if fan_prop is not None:
+                self._last_fan_prop[i] = fan_prop
+                self._last_fan_none[i] = False
+            if cap_prop is not None:
+                self._last_cap_prop[i] = cap_prop
+                self._last_cap_none[i] = False
+
+        # --- fast-path precomputes (the full-batch lane skips gathers and
+        # whole op groups based on these) ---
+        self._all_idx = np.arange(n)
+        self._sp_idx = np.nonzero(self._has_sp)[0]
+        self._any_sp = bool(self._has_sp.any())
+        self._all_sp = bool(self._has_sp.all())
+        self._any_capper = bool(self._has_capper.any())
+        self._all_capper = bool(self._has_capper.all())
+        self._rule_idx = np.nonzero(self._is_rule)[0]
+        self._any_rule = bool(self._is_rule.any())
+        self._all_rule = bool(self._is_rule.all())
+        self._zero_sign = np.zeros(n, dtype=np.int64)
+        self._next_fan_min = float(self._next_fan.min())
+
+    @property
+    def n_servers(self) -> int:
+        """Batch width B."""
+        return self._n
+
+    def _update_setpoints(self, idx: np.ndarray, util: np.ndarray) -> None:
+        """A-Tref: moving-average predictor -> linear T_ref schedule."""
+        window = self._sp_window[idx]
+        count = self._sp_count[idx]
+        head = self._sp_head[idx]
+        full = count == window
+        # The scalar filter subtracts the evicted sample before adding the
+        # new one; replay both float ops in that order.
+        total = np.where(
+            full, self._sp_sum[idx] - self._sp_ring[idx, head], self._sp_sum[idx]
+        )
+        slot = np.where(full, head, (head + count) % window)
+        self._sp_ring[idx, slot] = util
+        self._sp_head[idx] = np.where(full, (head + 1) % window, head)
+        count = np.where(full, count, count + 1)
+        self._sp_count[idx] = count
+        total = total + util
+        self._sp_sum[idx] = total
+        predicted = total / count
+        fraction = (predicted - self._sp_u_low[idx]) / self._sp_u_span[idx]
+        fraction = np.minimum(np.maximum(fraction, 0.0), 1.0)
+        t_ref = self._sp_t_min[idx] + fraction * self._sp_t_span[idx]
+        self.t_ref_c[idx] = t_ref
+        self._pid_setpoint[idx] = t_ref
+
+    def _fan_proposals(
+        self, idx: np.ndarray, tmeas: np.ndarray
+    ) -> np.ndarray:
+        """One fan decision per server in ``idx`` (Eqn 4 with Eqns 8-10)."""
+        applied = self._applied[idx]
+        setpoint = self._pid_setpoint[idx]
+        g_step = self._g_step[idx]
+
+        # Eqn 10: inside the quantization deadband, freeze everything.
+        held = (
+            self._has_guard[idx]
+            & (g_step != 0.0)
+            & (np.abs(setpoint - tmeas) < self._g_threshold[idx])
+        )
+        self._hold_count[idx] += held
+        proposals = applied.copy()
+        if held.all():
+            return proposals
+
+        live = idx[~held]
+        applied = applied[~held]
+        setpoint = setpoint[~held]
+        g_step = g_step[~held]
+        tmeas = tmeas[~held]
+
+        # Eqns 8-9: gains follow the *applied* operating speed.
+        speeds = self._region_speeds[live]
+        last = self._n_regions[live] - 1
+        below = (speeds <= applied[:, None]).sum(axis=1)
+        region = np.clip(below - 1, 0, last)
+        changed = region != self._region_index[live]
+        self._region_index[live] = region
+        # Region change: re-base the offset and clear the error sum.
+        offset = np.where(changed, applied, self._pid_offset[live])
+        integral = np.where(changed, 0.0, self._pid_integral[live])
+        self._pid_offset[live] = offset
+
+        rows = np.arange(live.size)
+        low_end = applied <= speeds[rows, 0]
+        high_end = applied >= speeds[rows, last]
+        i = np.where(low_end, 0, np.where(high_end, last, below - 1))
+        j = np.where(low_end | high_end | (last == 0), i, i + 1)
+        s_i = speeds[rows, i]
+        denom = np.where(i == j, 1.0, speeds[rows, j] - s_i)
+        alpha = np.where(i == j, 0.0, (applied - s_i) / denom)
+        one_minus = 1.0 - alpha
+        kp = one_minus * self._region_kp[live, i] + alpha * self._region_kp[live, j]
+        ki = one_minus * self._region_ki[live, i] + alpha * self._region_ki[live, j]
+        kd = one_minus * self._region_kd[live, i] + alpha * self._region_kd[live, j]
+        self._pid_kp[live] = kp
+        self._pid_ki[live] = ki
+        self._pid_kd[live] = kd
+
+        # Deadband error shaping: act only on the part of the error that
+        # exceeds one LSB (guard servers only).
+        error = tmeas - setpoint
+        magnitude = np.abs(error) - g_step
+        shaped = np.where(
+            g_step == 0.0,
+            error,
+            np.where(
+                magnitude <= 0.0, 0.0, np.where(error > 0.0, magnitude, -magnitude)
+            ),
+        )
+        measurement = np.where(self._has_guard[live], setpoint + shaped, tmeas)
+
+        # PID update (position form, back-calculation anti-windup).
+        dt = self._pid_dt[live]
+        err = measurement - setpoint
+        candidate = integral + err * dt
+        prev = self._pid_prev[live]
+        derivative = np.where(
+            self._pid_has_prev[live], (err - prev) / dt, 0.0
+        )
+        output = offset + kp * err + ki * candidate + kd * derivative
+        high = self._v_max[live]
+        low = self._v_min[live]
+        saturated = (output > high) | (output < low)
+        clamped = np.where(output > high, high, low)
+        back_calc = (clamped - offset - kp * err - kd * derivative) / np.where(
+            ki > 0.0, ki, 1.0
+        )
+        integral = np.where(saturated & (ki > 0.0), back_calc, candidate)
+        output = np.where(saturated, clamped, output)
+        self._pid_integral[live] = integral
+        self._pid_prev[live] = err
+        self._pid_has_prev[live] = True
+        self._pid_last_out[live] = output
+        self._pid_has_out[live] = True
+
+        # Direction sanity: a measurably hot reading must never produce a
+        # speed decrease (mirrors AdaptivePIDFanController.propose).
+        proposal = np.where(
+            err > 0.0,
+            np.maximum(output, applied),
+            np.where(err < 0.0, np.minimum(output, applied), output),
+        )
+        slew = self._slew[live]
+        proposal = np.minimum(
+            np.maximum(proposal, applied - slew), applied + slew
+        )
+        proposals[~held] = proposal
+        return proposals
+
+    def step_due(
+        self, idx: np.ndarray, t: float, tmeas: np.ndarray, util: np.ndarray
+    ) -> None:
+        """One CPU control period for the servers in ``idx``.
+
+        ``tmeas`` and ``util`` are aligned with ``idx``.  Updated knob
+        settings land in :attr:`fan_speed_rpm` / :attr:`cpu_cap`.
+        """
+        if idx.size == self._n:
+            self._step_all(t, tmeas, util)
+        else:
+            self._step_subset(idx, t, tmeas, util)
+
+    def _step_all(self, t: float, tmeas: np.ndarray, util: np.ndarray) -> None:
+        """All servers due at once (the common case: shared CPU period).
+
+        Same decision sequence as :meth:`_step_subset`, minus the
+        index gathers, and with whole op groups skipped when no server
+        needs them (no fan period due, no capper, no set-point).
+        """
+        # Section V-B: predictive T_ref adjustment, every CPU period.
+        if self._any_sp:
+            if self._all_sp:
+                self._update_setpoints(self._all_idx, util)
+            else:
+                self._update_setpoints(self._sp_idx, util[self._has_sp])
+
+        # Deadzone cap proposals.
+        cap = self.cpu_cap
+        if self._any_capper:
+            proposed = np.where(
+                tmeas > self._cap_high,
+                cap - self._cap_step,
+                np.where(tmeas < self._cap_low, cap + self._cap_step, cap),
+            )
+            cap_prop = np.minimum(
+                np.maximum(proposed, self._cap_min), self._cap_max
+            )
+            self._last_cap_prop = cap_prop
+            self._last_cap_none = ~self._has_capper
+            d_cap = cap_prop - cap
+            du = np.where(
+                d_cap > _SIGN_TOL, 1, np.where(d_cap < -_SIGN_TOL, -1, 0)
+            )
+            if not self._all_capper:
+                du = np.where(self._has_capper, du, 0)
+        else:
+            cap_prop = cap
+            self._last_cap_none.fill(True)
+            du = self._zero_sign
+
+        # Fan proposals, only when some server's fan period is due.
+        t_plus = t + 1e-9
+        any_fan = self._next_fan_min <= t_plus
+        if any_fan:
+            fan_due = self._next_fan <= t_plus
+            due = np.nonzero(fan_due)[0]
+            if due.size == self._n:
+                fan_prop = self._fan_proposals(self._all_idx, tmeas)
+            else:
+                fan_prop = np.zeros(self._n)
+                fan_prop[fan_due] = self._fan_proposals(due, tmeas[fan_due])
+            nxt = self._next_fan[due]
+            interval = self._fan_interval[due]
+            while True:
+                late = nxt <= t_plus
+                if not late.any():
+                    break
+                nxt = np.where(late, nxt + interval, nxt)
+            self._next_fan[due] = nxt
+            self._next_fan_min = float(self._next_fan.min())
+            self._last_fan_prop = fan_prop
+            self._last_fan_none = ~fan_due
+        else:
+            self._last_fan_none.fill(True)
+
+        # Global coordination (Table II codes / apply-all).
+        cur_fan = self.fan_speed_rpm
+        if any_fan:
+            d_fan = fan_prop - cur_fan
+            ds = np.where(
+                fan_due,
+                np.where(
+                    d_fan > _SIGN_TOL, 1, np.where(d_fan < -_SIGN_TOL, -1, 0)
+                ),
+                0,
+            )
+            action = np.where(
+                ds > 0,
+                _FAN_UP,
+                np.where(
+                    ds < 0,
+                    np.where(du > 0, _CAP_UP, _FAN_DOWN),
+                    np.where(du > 0, _CAP_UP, np.where(du < 0, _CAP_DOWN, _NONE)),
+                ),
+            ).astype(np.int8)
+        else:
+            # ds == 0 everywhere: only the cap column of Table II remains.
+            action = np.where(
+                du > 0, _CAP_UP, np.where(du < 0, _CAP_DOWN, _NONE)
+            ).astype(np.int8)
+
+        if self._all_rule:
+            take_cap = (action == _CAP_UP) | (action == _CAP_DOWN)
+        elif self._any_rule:
+            take_cap = np.where(
+                self._is_rule,
+                (action == _CAP_UP) | (action == _CAP_DOWN),
+                self._has_capper,
+            )
+        else:
+            take_cap = self._has_capper
+        self.cpu_cap = np.where(take_cap, cap_prop, cap)
+
+        if any_fan:
+            if self._all_rule:
+                take_fan = (action == _FAN_UP) | (action == _FAN_DOWN)
+            elif self._any_rule:
+                take_fan = np.where(
+                    self._is_rule,
+                    (action == _FAN_UP) | (action == _FAN_DOWN),
+                    fan_due,
+                )
+            else:
+                take_fan = fan_due
+            new_fan = np.where(take_fan, fan_prop, cur_fan)
+            self.fan_speed_rpm = new_fan
+            # notify_applied: clamp into the physical limits.
+            self._applied = np.minimum(
+                np.maximum(new_fan, self._v_min), self._v_max
+            )
+
+        # Row indices are distinct (one action per server), so the
+        # buffered fancy-index add is exact and cheaper than np.add.at.
+        if self._all_rule:
+            self._last_action = action
+            self._action_counts[self._all_idx, action] += 1
+        elif self._any_rule:
+            rule_idx = self._rule_idx
+            rule_action = action[rule_idx]
+            self._last_action[rule_idx] = rule_action
+            self._action_counts[rule_idx, rule_action] += 1
+
+    def _step_subset(
+        self, idx: np.ndarray, t: float, tmeas: np.ndarray, util: np.ndarray
+    ) -> None:
+        """General path for a strict due subset (mixed CPU periods)."""
+        # Section V-B: predictive T_ref adjustment, every CPU period.
+        has_sp = self._has_sp[idx]
+        if has_sp.any():
+            self._update_setpoints(idx[has_sp], util[has_sp])
+
+        # Deadzone cap proposals (dummy coefficients make the no-capper
+        # rows a no-op; they are masked out of the coordination below).
+        cap = self.cpu_cap[idx]
+        proposed = np.where(
+            tmeas > self._cap_high[idx],
+            cap - self._cap_step[idx],
+            np.where(tmeas < self._cap_low[idx], cap + self._cap_step[idx], cap),
+        )
+        cap_prop = np.minimum(
+            np.maximum(proposed, self._cap_min[idx]), self._cap_max[idx]
+        )
+
+        # Fan proposals for servers whose fan period is due.
+        t_plus = t + 1e-9
+        fan_due = self._next_fan[idx] <= t_plus
+        fan_prop = np.zeros(idx.size)
+        if fan_due.any():
+            due = idx[fan_due]
+            fan_prop[fan_due] = self._fan_proposals(due, tmeas[fan_due])
+            nxt = self._next_fan[due]
+            interval = self._fan_interval[due]
+            while True:
+                late = nxt <= t_plus
+                if not late.any():
+                    break
+                nxt = np.where(late, nxt + interval, nxt)
+            self._next_fan[due] = nxt
+            self._next_fan_min = float(self._next_fan.min())
+
+        self._last_fan_prop[idx] = fan_prop
+        self._last_fan_none[idx] = ~fan_due
+        has_capper = self._has_capper[idx]
+        self._last_cap_prop[idx] = cap_prop
+        self._last_cap_none[idx] = ~has_capper
+
+        # Global coordination: Table II for rule-based servers, apply-all
+        # for the uncoordinated baseline.
+        cur_fan = self.fan_speed_rpm[idx]
+        d_fan = fan_prop - cur_fan
+        ds = np.where(
+            fan_due,
+            np.where(d_fan > _SIGN_TOL, 1, np.where(d_fan < -_SIGN_TOL, -1, 0)),
+            0,
+        )
+        d_cap = cap_prop - cap
+        du = np.where(
+            has_capper,
+            np.where(d_cap > _SIGN_TOL, 1, np.where(d_cap < -_SIGN_TOL, -1, 0)),
+            0,
+        )
+        action = np.where(
+            ds > 0,
+            _FAN_UP,
+            np.where(
+                ds < 0,
+                np.where(du > 0, _CAP_UP, _FAN_DOWN),
+                np.where(du > 0, _CAP_UP, np.where(du < 0, _CAP_DOWN, _NONE)),
+            ),
+        ).astype(np.int8)
+        rule = self._is_rule[idx]
+        take_fan = np.where(
+            rule, (action == _FAN_UP) | (action == _FAN_DOWN), fan_due
+        )
+        take_cap = np.where(
+            rule, (action == _CAP_UP) | (action == _CAP_DOWN), has_capper
+        )
+        new_fan = np.where(take_fan, fan_prop, cur_fan)
+        new_cap = np.where(take_cap, cap_prop, cap)
+        if rule.any():
+            rule_idx = idx[rule]
+            rule_action = action[rule]
+            self._last_action[rule_idx] = rule_action
+            self._action_counts[rule_idx, rule_action] += 1
+
+        self.fan_speed_rpm[idx] = new_fan
+        self.cpu_cap[idx] = new_cap
+        # notify_applied: clamp into the physical limits.
+        self._applied[idx] = np.minimum(
+            np.maximum(new_fan, self._v_min[idx]), self._v_max[idx]
+        )
+
+    def sync_back(self) -> None:
+        """Write the final batch state into the scalar controller objects.
+
+        After this, stepping a controller the scalar way continues the
+        trajectory exactly where the vectorized run left it.
+        """
+        for i, controller in enumerate(self._controllers):
+            fan = controller.fan_controller
+            fan.restore_state(
+                applied_speed_rpm=float(self._applied[i]),
+                region_index=int(self._region_index[i]),
+            )
+            pid = fan.pid
+            pid.gains = PIDGains(
+                kp=float(self._pid_kp[i]),
+                ki=float(self._pid_ki[i]),
+                kd=float(self._pid_kd[i]),
+            )
+            pid.setpoint = float(self._pid_setpoint[i])
+            pid.output_offset = float(self._pid_offset[i])
+            pid.restore_state(
+                integral=float(self._pid_integral[i]),
+                prev_error=(
+                    float(self._pid_prev[i]) if self._pid_has_prev[i] else None
+                ),
+                last_output=(
+                    float(self._pid_last_out[i]) if self._pid_has_out[i] else None
+                ),
+            )
+            guard = fan.quantization_guard
+            if guard is not None:
+                guard.restore_hold_count(int(self._hold_count[i]))
+            coordinator = controller.coordinator
+            if type(coordinator) is RuleBasedCoordinator:
+                coordinator.restore_trace(
+                    last_action=CODE_TO_ACTION[int(self._last_action[i])],
+                    action_counts={
+                        action: int(self._action_counts[i, code])
+                        for code, action in enumerate(CODE_TO_ACTION)
+                    },
+                )
+            setpoint = controller.setpoint
+            if setpoint is not None:
+                count = int(self._sp_count[i])
+                order = (int(self._sp_head[i]) + np.arange(count)) % int(
+                    self._sp_window[i]
+                )
+                setpoint.prediction_filter.restore(
+                    samples=tuple(float(s) for s in self._sp_ring[i, order]),
+                    total=float(self._sp_sum[i]),
+                )
+            controller.restore_decision_state(
+                state=ControlState(
+                    fan_speed_rpm=float(self.fan_speed_rpm[i]),
+                    cpu_cap=float(self.cpu_cap[i]),
+                ),
+                t_ref_c=float(self.t_ref_c[i]),
+                next_fan_decision_s=float(self._next_fan[i]),
+                last_fan_proposal=(
+                    None if self._last_fan_none[i] else float(self._last_fan_prop[i])
+                ),
+                last_cap_proposal=(
+                    None if self._last_cap_none[i] else float(self._last_cap_prop[i])
+                ),
+            )

@@ -39,6 +39,7 @@ from repro.core.tuning import default_gain_schedule
 from repro.core.uncoordinated import UncoordinatedCoordinator
 from repro.errors import ExperimentError
 from repro.sensing.sensor import TemperatureSensor
+from repro.sim.batch import BatchRunSpec
 from repro.sim.engine import Simulator
 from repro.sim.result import SimulationResult
 from repro.thermal.server import ServerThermalModel
@@ -216,6 +217,39 @@ def build_global_controller(
     )
 
 
+def scheme_spec(
+    scheme: str,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    config: ServerConfig | None = None,
+    schedule: GainSchedule | None = None,
+    include_spikes: bool = True,
+    dt_s: float = 0.1,
+    record_decimation: int = 10,
+    label: str | None = None,
+) -> BatchRunSpec:
+    """One Table III scheme run as a batchable spec.
+
+    The spec wires exactly what :func:`run_scheme` wires, so running it
+    through :func:`~repro.sim.batch.run_batch` (alone or inside a grid)
+    or a scalar :class:`~repro.sim.engine.Simulator` gives identical
+    results.
+    """
+    cfg = config or ServerConfig()
+    return BatchRunSpec(
+        plant=build_plant(cfg),
+        sensor=build_sensor(cfg, seed=seed),
+        workload=paper_workload(
+            duration_s, seed=seed, include_spikes=include_spikes
+        ),
+        controller=build_global_controller(scheme, cfg, schedule),
+        duration_s=duration_s,
+        dt_s=dt_s,
+        record_decimation=record_decimation,
+        label=scheme if label is None else label,
+    )
+
+
 def run_scheme(
     scheme: str,
     duration_s: float = 3600.0,
@@ -227,23 +261,28 @@ def run_scheme(
     record_decimation: int = 10,
 ) -> SimulationResult:
     """Run one Table III scheme on the paper workload."""
-    cfg = config or ServerConfig()
-    controller = build_global_controller(scheme, cfg, schedule)
-    plant = build_plant(cfg)
-    sensor = build_sensor(cfg, seed=seed)
-    workload = paper_workload(duration_s, seed=seed, include_spikes=include_spikes)
-    sim = Simulator(
-        plant,
-        sensor,
-        workload,
-        controller,
+    spec = scheme_spec(
+        scheme,
+        duration_s=duration_s,
+        seed=seed,
+        config=config,
+        schedule=schedule,
+        include_spikes=include_spikes,
         dt_s=dt_s,
         record_decimation=record_decimation,
     )
-    return sim.run(duration_s, label=scheme)
+    sim = Simulator(
+        spec.plant,
+        spec.sensor,
+        spec.workload,
+        spec.controller,
+        dt_s=spec.dt_s,
+        record_decimation=spec.record_decimation,
+    )
+    return sim.run(spec.duration_s, label=spec.label)
 
 
-def run_fan_only(
+def fan_only_spec(
     fan_controller,
     workload: Workload,
     duration_s: float,
@@ -253,8 +292,12 @@ def run_fan_only(
     dt_s: float = 0.1,
     record_decimation: int = 10,
     label: str = "fan-only",
-) -> SimulationResult:
-    """Run a bare fan controller (no CPU capper) - Figs 3 and 4 setups."""
+) -> BatchRunSpec:
+    """A bare fan-controller run (no CPU capper) as a batchable spec.
+
+    The Figs 3 and 4 setup of :func:`run_fan_only`, expressed so ablation
+    grids can run on the vectorized backend.
+    """
     cfg = config or ServerConfig()
     controller = GlobalController(
         control=cfg.control,
@@ -270,14 +313,47 @@ def run_fan_only(
             cpu_cap=1.0,
         ),
     )
-    plant = build_plant(cfg, initial_utilization=initial_utilization)
-    sensor = build_sensor(cfg, seed=seed)
-    sim = Simulator(
-        plant,
-        sensor,
-        workload,
-        controller,
+    return BatchRunSpec(
+        plant=build_plant(cfg, initial_utilization=initial_utilization),
+        sensor=build_sensor(cfg, seed=seed),
+        workload=workload,
+        controller=controller,
+        duration_s=duration_s,
         dt_s=dt_s,
         record_decimation=record_decimation,
+        label=label,
     )
-    return sim.run(duration_s, label=label)
+
+
+def run_fan_only(
+    fan_controller,
+    workload: Workload,
+    duration_s: float,
+    config: ServerConfig | None = None,
+    seed: int | None = None,
+    initial_utilization: float = 0.1,
+    dt_s: float = 0.1,
+    record_decimation: int = 10,
+    label: str = "fan-only",
+) -> SimulationResult:
+    """Run a bare fan controller (no CPU capper) - Figs 3 and 4 setups."""
+    spec = fan_only_spec(
+        fan_controller,
+        workload,
+        duration_s,
+        config=config,
+        seed=seed,
+        initial_utilization=initial_utilization,
+        dt_s=dt_s,
+        record_decimation=record_decimation,
+        label=label,
+    )
+    sim = Simulator(
+        spec.plant,
+        spec.sensor,
+        spec.workload,
+        spec.controller,
+        dt_s=spec.dt_s,
+        record_decimation=spec.record_decimation,
+    )
+    return sim.run(spec.duration_s, label=spec.label)

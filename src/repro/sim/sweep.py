@@ -1,16 +1,24 @@
-"""Parameter-sweep harness used by the ablation benchmarks.
+"""Parameter-sweep harness used by the ablation benchmarks and experiments.
 
 Two execution paths:
 
 * the original **runner** path - a callable maps each parameter value to
   a finished :class:`~repro.sim.result.SimulationResult` (optionally
-  across a process pool), and
+  across a process pool via ``workers=``), and
 * a **spec** path - a ``spec_builder`` maps each value to a
   :class:`~repro.sim.batch.BatchRunSpec`, letting the whole grid run on
   the vectorized batch backend as one ``(B,)`` array simulation
   (``backend="vectorized"``), or serially through
   :class:`~repro.sim.engine.Simulator` (``backend="scalar"``), with
   identical results either way.
+
+Prefer the spec path for new sweeps: it gets both the array plant and
+(for common DTM compositions) the array controller backend for free,
+and degrades to exact per-spec scalar simulation when a grid cannot
+batch.  Canned spec builders live in :mod:`repro.sim.scenarios`
+(:func:`~repro.sim.scenarios.scheme_spec`,
+:func:`~repro.sim.scenarios.fan_only_spec`).  Metric extractors run in
+the parent process either way, so they may be lambdas.
 """
 
 from __future__ import annotations

@@ -38,6 +38,35 @@ class MovingAverageFilter:
         """Number of samples currently in the window."""
         return len(self._samples)
 
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """Current window contents, oldest first."""
+        return tuple(self._samples)
+
+    @property
+    def running_sum(self) -> float:
+        """The incrementally maintained window sum.
+
+        Carries the exact add/subtract history of past updates; a fresh
+        ``sum(self.samples)`` would not match it bit-for-bit.
+        """
+        return self._sum
+
+    def restore(self, samples: tuple[float, ...], total: float) -> None:
+        """Overwrite the window and its running sum (batch sync-back).
+
+        ``total`` is restored verbatim rather than recomputed: the running
+        sum carries the exact add/subtract history of the incremental
+        updates, which a fresh summation of ``samples`` would not
+        reproduce bit-for-bit.
+        """
+        if len(samples) > self._window:
+            raise WorkloadError(
+                f"{len(samples)} samples exceed the window ({self._window})"
+            )
+        self._samples = deque(samples, maxlen=self._window)
+        self._sum = float(total)
+
     def update(self, sample: float) -> float:
         """Add a sample and return the updated average."""
         if len(self._samples) == self._window:

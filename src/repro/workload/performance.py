@@ -87,6 +87,41 @@ class DeadlineTracker:
         return violated
 
     @property
+    def tolerance(self) -> float:
+        """Violation threshold on the per-period utilization gap."""
+        return self._tolerance
+
+    @property
+    def window(self) -> int:
+        """Sliding-window length for the recent-degradation estimate."""
+        return self._window
+
+    @property
+    def recent_gaps(self) -> tuple[float, ...]:
+        """The sliding window of utilization gaps, oldest first."""
+        return tuple(self._recent)
+
+    def restore(
+        self,
+        periods: int,
+        violations: int,
+        lost_utilization: float,
+        demanded_utilization: float,
+        recent_gaps: tuple[float, ...],
+    ) -> None:
+        """Overwrite the accumulated statistics (batch backend sync-back)."""
+        if len(recent_gaps) > self._window:
+            raise WorkloadError(
+                f"{len(recent_gaps)} recent gaps exceed the window "
+                f"({self._window})"
+            )
+        self._periods = int(periods)
+        self._violations = int(violations)
+        self._lost = float(lost_utilization)
+        self._demanded = float(demanded_utilization)
+        self._recent = [float(gap) for gap in recent_gaps]
+
+    @property
     def recent_degradation(self) -> float:
         """Mean utilization gap over the sliding window.
 

@@ -1,0 +1,376 @@
+"""Vectorized controller backend: equivalence, sync-back, and fallback.
+
+The :class:`~repro.sim.batch_control.BatchGlobalController` contract is
+bit-for-bit agreement with the scalar controller objects for every stock
+DTM composition, *including* the state it writes back after a run - a
+scalar run resumed from a vectorized run must continue the exact
+trajectory.  Compositions it cannot represent (SSfan, E-coord, custom
+subclasses) must demote only their own server to the scalar objects,
+with the reason recorded in ``result.extras``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from dataclasses import replace
+
+from repro.config import ControlConfig, FleetConfig, ServerConfig
+from repro.core.cpu_capper import DeadzoneCpuCapper
+from repro.core.global_controller import GlobalController
+from repro.core.rules import RuleBasedCoordinator
+from repro.fleet import FleetSimulator, Rack, build_fleet_scenario
+from repro.fleet.rack import ServerSlot
+from repro.sim import (
+    BatchRunSpec,
+    ParameterSweep,
+    Simulator,
+    batch_controller_unsupported_reason,
+    build_global_controller,
+    build_plant,
+    build_sensor,
+    paper_workload,
+    run_batch,
+)
+from repro.workload.synthetic import NoisyWorkload, SquareWaveWorkload
+
+_N = 4
+_DUR = 90.0
+_DT = 0.1
+_DEC = 3
+
+#: Schemes whose controller composition the batch backend vectorizes.
+VECTORIZED_SCHEMES = ("uncoordinated", "rcoord", "rcoord_atref")
+#: Schemes that must fall back to the scalar controller objects.
+FALLBACK_SCHEMES = ("ecoord", "rcoord_atref_ssfan")
+
+
+def _rack(scheme: str, seed: int = 11, n: int = _N):
+    return build_fleet_scenario(
+        "homogeneous",
+        n_servers=n,
+        duration_s=_DUR,
+        seed=seed,
+        fleet=FleetConfig(n_servers=n, recirc_fraction=0.3),
+        scheme=scheme,
+    )
+
+
+def _assert_results_identical(a, b):
+    assert a.n_servers == b.n_servers
+    for i in range(a.n_servers):
+        ra, rb = a.server(i), b.server(i)
+        for name, channel in ra.channels.items():
+            assert np.array_equal(channel, rb.channels[name]), (
+                f"server {i} channel {name} diverged"
+            )
+        assert ra.performance == rb.performance, f"server {i} performance"
+        assert ra.energy == rb.energy, f"server {i} energy"
+    assert a.mean_inlet_c == b.mean_inlet_c
+
+
+class TestSchemeEquivalence:
+    @pytest.mark.parametrize("scheme", VECTORIZED_SCHEMES)
+    def test_vectorized_controller_bit_for_bit(self, scheme):
+        scalar = FleetSimulator(
+            _rack(scheme), dt_s=_DT, record_decimation=_DEC, backend="scalar"
+        ).run(_DUR)
+        vectorized = FleetSimulator(
+            _rack(scheme), dt_s=_DT, record_decimation=_DEC,
+            backend="vectorized",
+        ).run(_DUR)
+        assert vectorized.extras["controller_backend"] == "vectorized"
+        assert "controller_fallbacks" not in vectorized.extras
+        _assert_results_identical(scalar, vectorized)
+
+    @pytest.mark.parametrize("scheme", FALLBACK_SCHEMES)
+    def test_fallback_controllers_bit_for_bit(self, scheme):
+        """Unsupported compositions batch the plant/sensing layers but
+        step the scalar controller objects - still bit-for-bit."""
+        scalar = FleetSimulator(
+            _rack(scheme), dt_s=_DT, record_decimation=_DEC, backend="scalar"
+        ).run(_DUR)
+        vectorized = FleetSimulator(
+            _rack(scheme), dt_s=_DT, record_decimation=_DEC,
+            backend="vectorized",
+        ).run(_DUR)
+        assert vectorized.extras["backend"] == "vectorized"
+        assert vectorized.extras["controller_backend"] == "scalar"
+        assert len(vectorized.extras["controller_fallbacks"]) == _N
+        _assert_results_identical(scalar, vectorized)
+
+
+class TestMixedRack:
+    def _mixed_rack(self, seed: int = 5):
+        """One slot's controller is a custom subclass (cannot batch)."""
+        rack = _rack("rcoord", seed=seed)
+        victim = rack.slots[1]
+
+        class TracingController(GlobalController):
+            pass
+
+        cfg = victim.plant.config
+        odd = TracingController(
+            control=cfg.control,
+            fan_controller=victim.controller.fan_controller,
+            coordinator=victim.controller.coordinator,
+            cpu_capper=victim.controller.cpu_capper,
+            initial_state=victim.controller.state,
+        )
+        slots = list(rack.slots)
+        slots[1] = ServerSlot(
+            name=victim.name,
+            plant=victim.plant,
+            sensor=victim.sensor,
+            workload=victim.workload,
+            controller=odd,
+            inlet=victim.inlet,
+        )
+        return Rack(slots, coupling=rack.coupling, exhaust=rack.exhaust)
+
+    def _mixed_rack_scalar_twin(self, seed: int = 5):
+        """The same composition but with the stock class (for reference)."""
+        return _rack("rcoord", seed=seed)
+
+    def test_per_server_fallback_is_recorded_and_exact(self):
+        vec = FleetSimulator(
+            self._mixed_rack(), dt_s=_DT, record_decimation=_DEC,
+            backend="vectorized",
+        ).run(_DUR)
+        assert vec.extras["backend"] == "vectorized"
+        assert vec.extras["controller_backend"] == "mixed"
+        fallbacks = vec.extras["controller_fallbacks"]
+        assert list(fallbacks) == ["srv01"]
+        assert "TracingController" in fallbacks["srv01"]
+
+        scalar = FleetSimulator(
+            self._mixed_rack(), dt_s=_DT, record_decimation=_DEC,
+            backend="scalar",
+        ).run(_DUR)
+        _assert_results_identical(scalar, vec)
+
+    def test_subclass_behaves_like_stock_here(self):
+        """Sanity for the fixture: the pass-through subclass changes
+        nothing, so the mixed rack matches the all-stock rack too."""
+        vec = FleetSimulator(
+            self._mixed_rack(), dt_s=_DT, record_decimation=_DEC,
+            backend="vectorized",
+        ).run(_DUR)
+        stock = FleetSimulator(
+            self._mixed_rack_scalar_twin(), dt_s=_DT, record_decimation=_DEC,
+            backend="vectorized",
+        ).run(_DUR)
+        assert stock.extras["controller_backend"] == "vectorized"
+        _assert_results_identical(stock, vec)
+
+
+class TestControllerSyncBack:
+    @pytest.mark.parametrize("scheme", VECTORIZED_SCHEMES)
+    def test_controller_state_matches_scalar_twin(self, scheme):
+        """Every piece of observable controller state written back after
+        a vectorized run equals the state a scalar run leaves behind."""
+        rack_s, rack_v = _rack(scheme), _rack(scheme)
+        FleetSimulator(rack_s, dt_s=_DT, backend="scalar").run(_DUR)
+        FleetSimulator(rack_v, dt_s=_DT, backend="vectorized").run(_DUR)
+        for slot_s, slot_v in zip(rack_s, rack_v):
+            cs, cv = slot_s.controller, slot_v.controller
+            assert cs.state == cv.state
+            assert cs.t_ref_c == cv.t_ref_c
+            assert cs.next_fan_decision_s == cv.next_fan_decision_s
+            assert cs.last_proposals == cv.last_proposals
+            fs, fv = cs.fan_controller, cv.fan_controller
+            assert fs.applied_speed_rpm == fv.applied_speed_rpm
+            assert fs.region_index == fv.region_index
+            assert fs.pid.gains == fv.pid.gains
+            assert fs.pid.setpoint == fv.pid.setpoint
+            assert fs.pid.output_offset == fv.pid.output_offset
+            assert fs.pid.integral == fv.pid.integral
+            assert fs.pid.prev_error == fv.pid.prev_error
+            assert fs.pid.last_output == fv.pid.last_output
+            gs, gv = fs.quantization_guard, fv.quantization_guard
+            if gs is not None:
+                assert gs.hold_count == gv.hold_count
+            if isinstance(cs.coordinator, RuleBasedCoordinator):
+                assert cs.coordinator.last_action == cv.coordinator.last_action
+                assert (
+                    cs.coordinator.action_counts == cv.coordinator.action_counts
+                )
+            if cs.setpoint is not None:
+                ps, pv = cs.setpoint.prediction_filter, cv.setpoint.prediction_filter
+                assert ps.samples == pv.samples
+                assert ps.running_sum == pv.running_sum
+
+    def test_tracker_state_synced_back(self):
+        rack_s, rack_v = _rack("rcoord"), _rack("rcoord")
+        sim_s = FleetSimulator(rack_s, dt_s=_DT, backend="scalar")
+        sim_v = FleetSimulator(rack_v, dt_s=_DT, backend="vectorized")
+        res_s = sim_s.run(_DUR)
+        res_v = sim_v.run(_DUR)
+        for i in range(rack_s.n_servers):
+            assert res_s.server(i).performance == res_v.server(i).performance
+
+    @pytest.mark.parametrize("scheme", VECTORIZED_SCHEMES)
+    def test_scalar_resume_after_vectorized_run(self, scheme):
+        """A scalar run resumed from a vectorized run's synced-back state
+        must produce the same trajectory as scalar-after-scalar."""
+        rack_s, rack_v = _rack(scheme), _rack(scheme)
+        FleetSimulator(rack_s, dt_s=_DT, backend="scalar").run(_DUR)
+        FleetSimulator(rack_v, dt_s=_DT, backend="vectorized").run(_DUR)
+        resumed_s = FleetSimulator(
+            rack_s, dt_s=_DT, record_decimation=_DEC, backend="scalar"
+        ).run(_DUR)
+        resumed_v = FleetSimulator(
+            rack_v, dt_s=_DT, record_decimation=_DEC, backend="scalar"
+        ).run(_DUR)
+        _assert_results_identical(resumed_s, resumed_v)
+
+
+def _scheme_sweep_spec(scheme: str) -> BatchRunSpec:
+    cfg = ServerConfig()
+    return BatchRunSpec(
+        plant=build_plant(cfg),
+        sensor=build_sensor(cfg, seed=7),
+        workload=paper_workload(_DUR, seed=7),
+        controller=build_global_controller(scheme, cfg),
+        duration_s=_DUR,
+        dt_s=_DT,
+        record_decimation=_DEC,
+        label=scheme,
+    )
+
+
+class TestSeededSweep:
+    def test_scheme_grid_matches_scalar(self):
+        """A sweep across all five schemes (vectorized and fallback
+        controllers mixed in one batch) equals the scalar runner path."""
+        values = list(VECTORIZED_SCHEMES + FALLBACK_SCHEMES)
+        vectorized = ParameterSweep(spec_builder=_scheme_sweep_spec).run(
+            values, backend="vectorized"
+        )
+        scalar = ParameterSweep(spec_builder=_scheme_sweep_spec).run(
+            values, backend="scalar"
+        )
+        for ps, pv in zip(scalar, vectorized):
+            assert ps.value == pv.value
+            for name, channel in ps.result.channels.items():
+                assert np.array_equal(channel, pv.result.channels[name]), (
+                    f"scheme {ps.value} channel {name} diverged"
+                )
+            assert ps.result.performance == pv.result.performance
+            assert ps.result.energy == pv.result.energy
+
+
+def _interval_pieces(cpu_interval_s: float):
+    """One server whose CPU period differs from its batch peers'."""
+    cfg = replace(
+        ServerConfig(),
+        control=ControlConfig(cpu_interval_s=cpu_interval_s, fan_interval_s=3.0),
+    )
+    workload = NoisyWorkload(
+        SquareWaveWorkload(low=0.1, high=0.7, half_period_s=15.0),
+        std=0.04,
+        seed=5,
+    )
+    return (
+        build_plant(cfg),
+        build_sensor(cfg, seed=5),
+        workload,
+        build_global_controller("rcoord", cfg),
+    )
+
+
+class TestHeterogeneousCpuPeriods:
+    def test_subset_control_steps_bit_for_bit(self):
+        """Mixed CPU periods make fan decisions land on steps where only
+        a strict subset of the batch is due; those subset steps must
+        apply fan changes to the plant exactly like the scalar engine
+        (regression: the whole-rack lane once aliased its fan mirror to
+        the controller arrays, defeating the changed-fan detection)."""
+        intervals = (1.0, 2.0)
+
+        def spec(cpu_interval_s: float) -> BatchRunSpec:
+            plant, sensor, workload, controller = _interval_pieces(
+                cpu_interval_s
+            )
+            return BatchRunSpec(
+                plant=plant,
+                sensor=sensor,
+                workload=workload,
+                controller=controller,
+                duration_s=120.0,
+                dt_s=_DT,
+                record_decimation=_DEC,
+                label=f"cpu={cpu_interval_s:g}",
+            )
+
+        vectorized = run_batch([spec(ci) for ci in intervals])
+        for i, cpu_interval_s in enumerate(intervals):
+            plant, sensor, workload, controller = _interval_pieces(
+                cpu_interval_s
+            )
+            scalar = Simulator(
+                plant, sensor, workload, controller,
+                dt_s=_DT, record_decimation=_DEC,
+            ).run(120.0)
+            for name, channel in scalar.channels.items():
+                assert np.array_equal(channel, vectorized[i].channels[name]), (
+                    f"cpu_interval {cpu_interval_s} channel {name} diverged"
+                )
+            assert scalar.performance == vectorized[i].performance
+            assert scalar.energy == vectorized[i].energy
+
+
+class TestUnsupportedReasons:
+    def test_stock_compositions_supported(self):
+        for scheme in VECTORIZED_SCHEMES:
+            controller = build_global_controller(scheme, ServerConfig())
+            assert batch_controller_unsupported_reason(controller) is None
+
+    def test_ssfan_and_ecoord_unsupported(self):
+        reason = batch_controller_unsupported_reason(
+            build_global_controller("rcoord_atref_ssfan", ServerConfig())
+        )
+        assert reason is not None and "single-step" in reason
+        reason = batch_controller_unsupported_reason(
+            build_global_controller("ecoord", ServerConfig())
+        )
+        assert reason is not None and "coordinator" in reason
+
+    def test_subclasses_unsupported(self):
+        cfg = ServerConfig()
+        base = build_global_controller("rcoord", cfg)
+
+        class OddController(GlobalController):
+            pass
+
+        odd = OddController(
+            control=cfg.control,
+            fan_controller=base.fan_controller,
+            coordinator=base.coordinator,
+        )
+        reason = batch_controller_unsupported_reason(odd)
+        assert reason is not None and "OddController" in reason
+
+        class OddCapper(DeadzoneCpuCapper):
+            pass
+
+        capped = GlobalController(
+            control=cfg.control,
+            fan_controller=base.fan_controller,
+            coordinator=base.coordinator,
+            cpu_capper=OddCapper(t_low_c=76.0, t_high_c=80.0),
+        )
+        reason = batch_controller_unsupported_reason(capped)
+        assert reason is not None and "OddCapper" in reason
+
+    def test_fan_only_composition_supported(self):
+        """No capper (Figs 3/4 wiring) still vectorizes."""
+        from repro.sim.scenarios import build_fan_controller
+
+        cfg = ServerConfig()
+        controller = GlobalController(
+            control=cfg.control,
+            fan_controller=build_fan_controller(cfg),
+        )
+        assert batch_controller_unsupported_reason(controller) is None

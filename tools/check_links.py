@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (stdlib only).
+
+Scans ``docs/**/*.md`` and ``README.md`` for ``[text](target)`` links
+and fails (exit 1) when a relative target does not exist, or when a
+``#anchor`` does not match any heading in the target file.  External
+links (``http://``, ``https://``, ``mailto:``) are ignored.  CI runs
+this in the docs job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    anchors = set()
+    for line in path.read_text().splitlines():
+        if line.startswith("#"):
+            title = line.lstrip("#").strip().lower()
+            slug = re.sub(r"[^\w\- ]", "", title).replace(" ", "-")
+            anchors.add(slug)
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for target in LINK_RE.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = target.partition("#")
+        resolved = (path.parent / target).resolve() if target else path
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+        elif anchor and resolved.suffix == ".md":
+            if anchor not in heading_anchors(resolved):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor "
+                    f"-> {target or path.name}#{anchor}"
+                )
+    return errors
+
+
+def main() -> int:
+    files = sorted((REPO_ROOT / "docs").glob("**/*.md"))
+    files.append(REPO_ROOT / "README.md")
+    errors = [error for path in files for error in check_file(path)]
+    for error in errors:
+        print(error)
+    print(f"checked {len(files)} files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
