@@ -1,0 +1,128 @@
+"""Room-scale throughput: one stacked batch vs per-rack vectorized runs.
+
+The room subsystem's performance claim is that R racks of B servers run
+faster as **one** ``(R*B,)``-wide stacked batch than as R independent
+vectorized rack runs, because the per-``dt`` Python dispatch is paid
+once for the whole room.  This benchmark times both sides on the same
+4-rack x 16-server uniform room and records the ratio to
+``BENCH_fleet.json``; the scaling sweep records how stacked throughput
+grows with rack count (the near-linear-scaling check).
+
+The stacked run must stay on the vectorized path end to end - the
+backend and controller-backend assertions run in smoke mode too, so CI
+fails if the room path ever falls back to scalar.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from bench_report import bench_record, smoke_mode
+
+from repro.config import RoomConfig
+from repro.fleet import FleetSimulator, homogeneous_rack
+from repro.room import RoomSimulator, uniform_room
+from repro.room.scenarios import _rack_seed
+
+_N_RACKS = 4
+_SERVERS_PER_RACK = 16
+_DT_S = 0.1
+_DURATION_S = 10.0 if smoke_mode() else 60.0
+_ROUNDS = 1 if smoke_mode() else 3
+
+
+def _room_config(n_racks: int) -> RoomConfig:
+    return RoomConfig(
+        n_rows=1, racks_per_row=n_racks, servers_per_rack=_SERVERS_PER_RACK
+    )
+
+
+def _stacked_elapsed(n_racks: int) -> tuple[float, dict]:
+    """Best-of-N wall time for one stacked room run (asserts no fallback).
+
+    Returns the elapsed time and the run's extras so the recorded JSON
+    reflects the backend that *actually* ran, never an assumption.
+    """
+    best = float("inf")
+    extras = {}
+    for _ in range(_ROUNDS):
+        room = uniform_room(
+            _room_config(n_racks), duration_s=_DURATION_S, seed=1
+        )
+        sim = RoomSimulator(room, dt_s=_DT_S, record_decimation=10)
+        start = time.perf_counter()
+        result = sim.run(_DURATION_S)
+        best = min(best, time.perf_counter() - start)
+        extras = result.extras
+        assert extras["backend"] == "vectorized"
+        assert extras["controller_backend"] == "vectorized"
+    return best, extras
+
+
+def _per_rack_elapsed(n_racks: int) -> float:
+    """Best-of-N wall time for the same racks as independent runs."""
+    config = _room_config(n_racks)
+    best = float("inf")
+    for _ in range(_ROUNDS):
+        racks = [
+            homogeneous_rack(
+                n_servers=_SERVERS_PER_RACK,
+                duration_s=_DURATION_S,
+                seed=_rack_seed(1, r),
+                fleet=config.fleet_config(),
+            )
+            for r in range(n_racks)
+        ]
+        start = time.perf_counter()
+        for rack in racks:
+            result = FleetSimulator(
+                rack, dt_s=_DT_S, record_decimation=10, backend="vectorized"
+            ).run(_DURATION_S)
+            assert result.extras["backend"] == "vectorized"
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_room_stacked_vs_per_rack_throughput():
+    """The headline room number: stacked batch vs n_racks separate runs."""
+    n_steps = int(round(_DURATION_S / _DT_S))
+    server_steps = _N_RACKS * _SERVERS_PER_RACK * n_steps
+    stacked, extras = _stacked_elapsed(_N_RACKS)
+    per_rack = _per_rack_elapsed(_N_RACKS)
+    speedup = per_rack / stacked
+    bench_record(
+        "fleet",
+        "room4x16_stacked",
+        n_racks=_N_RACKS,
+        servers_per_rack=_SERVERS_PER_RACK,
+        n_steps=n_steps,
+        dt_s=_DT_S,
+        backend=extras["backend"],
+        controller_backend=extras["controller_backend"],
+        stacked_server_steps_per_sec=round(server_steps / stacked, 1),
+        per_rack_server_steps_per_sec=round(server_steps / per_rack, 1),
+        stacked_speedup=round(speedup, 2),
+    )
+    if not smoke_mode():
+        assert speedup > 1.0, (
+            f"stacked room run slower than {_N_RACKS} independent "
+            f"vectorized rack runs ({speedup:.2f}x)"
+        )
+
+
+@pytest.mark.parametrize("n_racks", [1, 4] if smoke_mode() else [1, 4, 8, 16])
+def test_room_scaling_with_rack_count(n_racks):
+    """Stacked throughput per server should hold up as racks are added."""
+    n_steps = int(round(_DURATION_S / _DT_S))
+    server_steps = n_racks * _SERVERS_PER_RACK * n_steps
+    elapsed, _ = _stacked_elapsed(n_racks)
+    bench_record(
+        "fleet",
+        f"room{n_racks}x{_SERVERS_PER_RACK}_scaling",
+        n_racks=n_racks,
+        servers_per_rack=_SERVERS_PER_RACK,
+        n_steps=n_steps,
+        dt_s=_DT_S,
+        stacked_server_steps_per_sec=round(server_steps / elapsed, 1),
+    )

@@ -1,0 +1,122 @@
+"""Room-scale simulation: multi-rack topologies on one stacked batch.
+
+Builds a hot-spot room (one rack pinned near full load among idle
+neighbours), runs the whole room as a single ``(n_racks * B,)``
+vectorized batch, prints the per-rack picture (supply, mean inlet,
+worst junction, fan energy), then contrasts the aisle-containment
+schemes on the same scenario to show how containment caps the hot
+rack's reach.
+
+Usage::
+
+    python examples/room_simulation.py [n_racks] [servers_per_rack] [duration_seconds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import RoomConfig, RoomSimulator
+from repro.analysis.report import format_table
+from repro.room import hot_spot_rack_room
+
+
+def run_room(containment: str, n_racks: int, servers: int, duration_s: float):
+    config = RoomConfig(
+        n_rows=1,
+        racks_per_row=n_racks,
+        servers_per_rack=servers,
+        containment=containment,
+    )
+    room = hot_spot_rack_room(config, duration_s=duration_s, seed=1, hot_rack=0)
+    sim = RoomSimulator(room, dt_s=0.5, record_decimation=10)
+    return room, sim.run(duration_s, label=f"room/{containment}")
+
+
+def main() -> None:
+    n_racks = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    servers = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    duration_s = float(sys.argv[3]) if len(sys.argv) > 3 else 600.0
+
+    print(
+        f"Simulating a {n_racks}-rack x {servers}-server room "
+        f"(rack 0 hot) for {duration_s:.0f} s on the stacked batch..."
+    )
+    room, result = run_room("none", n_racks, servers, duration_s)
+    extras = result.extras
+    print(
+        f"backend: {extras['backend']} "
+        f"(controllers: {extras.get('controller_backend', 'scalar')}, "
+        f"stacked width {extras['stacked_width']})"
+    )
+
+    print()
+    rows = []
+    for r, rack_result in enumerate(result.rack_results):
+        fleet = rack_result.metrics
+        rows.append(
+            [
+                f"rack{r}" + (" (hot)" if r == 0 else ""),
+                result.supply_c[r],
+                float(sum(rack_result.mean_inlet_c) / fleet.n_servers),
+                fleet.worst_max_junction_c,
+                fleet.fan_energy_j,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "rack",
+                "supply [degC]",
+                "mean inlet [degC]",
+                "worst Tj [degC]",
+                "fan energy [J]",
+            ],
+            rows,
+        )
+    )
+
+    metrics = result.metrics
+    print()
+    print(
+        f"room: {metrics.n_servers} servers, "
+        f"inlet spread {metrics.inlet_spread_c:.2f} degC, "
+        f"supply margin {metrics.supply_margin_c:.2f} degC, "
+        f"IT {metrics.total_energy_j / 1e3:.1f} kJ + "
+        f"CRAC {metrics.crac_energy_j / 1e3:.1f} kJ"
+    )
+
+    print()
+    print("Containment sweep (same hot-spot room):")
+    rows = []
+    for containment in ("none", "cold_aisle", "hot_aisle"):
+        # The "none" room already ran above; reuse its result.
+        swept = (
+            result
+            if containment == "none"
+            else run_room(containment, n_racks, servers, duration_s)[1]
+        )
+        m = swept.metrics
+        rows.append(
+            [
+                containment,
+                m.inlet_spread_c,
+                m.worst_max_junction_c,
+                m.fan_energy_j,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "containment",
+                "inlet spread [degC]",
+                "worst Tj [degC]",
+                "fan energy [J]",
+            ],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,10 +22,12 @@ paper-vs-measured comparison of every table and figure.
 from repro.config import (
     ControlConfig,
     CpuPowerConfig,
+    CRACConfig,
     DieConfig,
     FanConfig,
     FleetConfig,
     HeatSinkConfig,
+    RoomConfig,
     SensingConfig,
     ServerConfig,
     default_server_config,
@@ -67,6 +69,17 @@ from repro.fleet import (
     build_fleet_scenario,
     campaign_grid,
 )
+from repro.room import (
+    CRACUnit,
+    Room,
+    RoomResult,
+    RoomSimulator,
+    RoomTopology,
+    SparseCoupling,
+    build_room_scenario,
+    run_stacked_racks,
+    uniform_room,
+)
 from repro.sensing import TemperatureSensor
 from repro.sim import (
     SCHEME_NAMES,
@@ -100,6 +113,8 @@ __all__ = [
     "ControlInputs",
     "ControlState",
     "CpuPowerConfig",
+    "CRACConfig",
+    "CRACUnit",
     "DeadzoneCpuCapper",
     "DeadzoneFanController",
     "DieConfig",
@@ -119,6 +134,11 @@ __all__ = [
     "Rack",
     "RecirculationMatrix",
     "ReproError",
+    "Room",
+    "RoomConfig",
+    "RoomResult",
+    "RoomSimulator",
+    "RoomTopology",
     "RuleBasedCoordinator",
     "SCHEME_NAMES",
     "SensingConfig",
@@ -130,6 +150,7 @@ __all__ = [
     "Simulator",
     "SingleStepFanScaling",
     "SingleThresholdFanController",
+    "SparseCoupling",
     "StaticFanController",
     "SteadyStateServerModel",
     "TemperatureSensor",
@@ -138,6 +159,7 @@ __all__ = [
     "build_fleet_scenario",
     "build_global_controller",
     "build_plant",
+    "build_room_scenario",
     "build_sensor",
     "campaign_grid",
     "default_server_config",
@@ -148,7 +170,9 @@ __all__ = [
     "run_batch",
     "run_fan_only",
     "run_scheme",
+    "run_stacked_racks",
     "tune_region",
+    "uniform_room",
     "ziegler_nichols_gains",
     "__version__",
 ]

@@ -18,9 +18,11 @@ from repro.analysis.linearize import (
 )
 from repro.analysis.metrics import (
     FleetSummary,
+    RoomSummary,
     SchemeComparison,
     compare_schemes,
     fleet_summary,
+    room_summary,
     scheme_row,
 )
 from repro.analysis.stability import (
@@ -36,6 +38,7 @@ from repro.analysis.report import format_table, sparkline
 __all__ = [
     "FleetSummary",
     "LinearizationFit",
+    "RoomSummary",
     "SchemeComparison",
     "StabilityReport",
     "analyze_stability",
@@ -47,6 +50,7 @@ __all__ = [
     "linearize_plant",
     "oscillation_amplitude",
     "overshoot_percent",
+    "room_summary",
     "scheme_row",
     "settling_time_s",
     "sparkline",

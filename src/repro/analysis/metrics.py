@@ -1,10 +1,12 @@
-"""Table III metrics plus rack/fleet-level aggregates.
+"""Table III metrics plus rack/fleet- and room-level aggregates.
 
 Single-server scoring (:func:`scheme_row`, :func:`compare_schemes`)
 reproduces Table III; :func:`fleet_summary` rolls a set of lockstep
 per-server runs up into the fleet-level figures the rack simulation
 reports (total energy, worst-case junction, violation counts,
-inter-server temperature spread).
+inter-server temperature spread); :func:`room_summary` rolls per-rack
+fleet results up one more level into the room figures (per-rack inlet
+spread, supply-temperature margin, fan + CRAC energy).
 """
 
 from __future__ import annotations
@@ -129,4 +131,104 @@ def fleet_summary(results: Sequence[SimulationResult]) -> FleetSummary:
         total_periods=sum(r.performance.periods for r in results),
         mean_junction_spread_c=float(spread.mean()) if spread.size else 0.0,
         peak_junction_spread_c=float(spread.max()) if spread.size else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class RoomSummary:
+    """Room-level aggregates over one multi-rack run.
+
+    Inlet figures work on each server's *mean* inlet temperature over
+    the run (what :class:`~repro.fleet.result.FleetResult` carries):
+    ``inlet_spread_c`` is the hottest minus the coldest mean inlet in
+    the room - how unevenly the floor breathes - and
+    ``worst_rack_inlet_spread_c`` the largest such spread inside any one
+    rack.  ``supply_margin_c`` is the headroom between the allowable
+    rack-inlet temperature and the hottest mean inlet; negative margin
+    means some server's intake air exceeded the limit on average.
+    """
+
+    n_racks: int
+    n_servers: int
+    total_energy_j: float
+    fan_energy_j: float
+    cpu_energy_j: float
+    crac_energy_j: float
+    worst_max_junction_c: float
+    total_violations: int
+    total_periods: int
+    per_rack_mean_inlet_c: tuple[float, ...]
+    inlet_spread_c: float
+    worst_rack_inlet_spread_c: float
+    supply_margin_c: float
+
+    @property
+    def room_energy_j(self) -> float:
+        """IT (CPU + fan) plus CRAC energy for the whole room."""
+        return self.total_energy_j + self.crac_energy_j
+
+    @property
+    def violation_percent(self) -> float:
+        """Room-wide deadline violation percentage."""
+        if self.total_periods == 0:
+            return 0.0
+        return 100.0 * self.total_violations / self.total_periods
+
+    def as_dict(self) -> dict[str, float]:
+        """Headline figures as a flat dict (for tables and campaigns)."""
+        return {
+            "n_racks": float(self.n_racks),
+            "n_servers": float(self.n_servers),
+            "total_energy_j": self.total_energy_j,
+            "fan_energy_j": self.fan_energy_j,
+            "cpu_energy_j": self.cpu_energy_j,
+            "crac_energy_j": self.crac_energy_j,
+            "room_energy_j": self.room_energy_j,
+            "worst_max_junction_c": self.worst_max_junction_c,
+            "violation_percent": self.violation_percent,
+            "inlet_spread_c": self.inlet_spread_c,
+            "worst_rack_inlet_spread_c": self.worst_rack_inlet_spread_c,
+            "supply_margin_c": self.supply_margin_c,
+        }
+
+
+def room_summary(
+    rack_results: Sequence,
+    crac_energy_j: float = 0.0,
+    inlet_limit_c: float = 35.0,
+) -> RoomSummary:
+    """Aggregate per-rack :class:`~repro.fleet.result.FleetResult`\\ s.
+
+    All racks must hold lockstep runs of the same telemetry length (the
+    room simulator guarantees this by construction).
+    """
+    if not rack_results:
+        raise AnalysisError("room summary needs at least one rack result")
+    lengths = {r.times.size for r in rack_results}
+    if len(lengths) != 1:
+        raise AnalysisError(
+            f"rack telemetry lengths differ ({sorted(lengths)}); "
+            "room metrics need lockstep runs"
+        )
+    fleet = [r.metrics for r in rack_results]
+    all_inlets = np.concatenate([r.mean_inlet_c for r in rack_results])
+    rack_spreads = [
+        max(r.mean_inlet_c) - min(r.mean_inlet_c) for r in rack_results
+    ]
+    return RoomSummary(
+        n_racks=len(rack_results),
+        n_servers=int(sum(f.n_servers for f in fleet)),
+        total_energy_j=sum(f.total_energy_j for f in fleet),
+        fan_energy_j=sum(f.fan_energy_j for f in fleet),
+        cpu_energy_j=sum(f.cpu_energy_j for f in fleet),
+        crac_energy_j=crac_energy_j,
+        worst_max_junction_c=max(f.worst_max_junction_c for f in fleet),
+        total_violations=sum(f.total_violations for f in fleet),
+        total_periods=sum(f.total_periods for f in fleet),
+        per_rack_mean_inlet_c=tuple(
+            float(np.mean(r.mean_inlet_c)) for r in rack_results
+        ),
+        inlet_spread_c=float(all_inlets.max() - all_inlets.min()),
+        worst_rack_inlet_spread_c=float(max(rack_spreads)),
+        supply_margin_c=float(inlet_limit_c - all_inlets.max()),
     )

@@ -236,6 +236,141 @@ class FleetConfig:
         check_temperature(self.room_c, "room_c")
 
 
+#: Containment schemes a room aisle can use.  Factors scale how much
+#: exhaust leaks between racks and how strongly return air heats the
+#: CRAC supply; see :class:`repro.room.topology.RoomTopology`.
+CONTAINMENT_SCHEMES = ("none", "cold_aisle", "hot_aisle")
+
+
+@dataclass(frozen=True)
+class CRACConfig:
+    """Computer-room air conditioner (supply-air) parameters.
+
+    The CRAC closes the room loop: exhaust heat that reaches the return
+    plenum raises the supply air above its setpoint, and every rack the
+    unit feeds breathes that supply.  The feedback is linear in the
+    per-server exhaust rises, so the room expresses it as a rank-one
+    term of the sparse coupling operator (see
+    :class:`repro.room.crac.CRACUnit`).
+
+    * ``supply_setpoint_c`` - supply (cold-aisle) temperature the unit
+      targets; defaults to the single-server ambient so an uncoupled
+      room reproduces standalone racks exactly.
+    * ``capacity_w`` - rated heat-removal capacity (metrics only; the
+      supply model stays linear).
+    * ``return_sensitivity_k_per_k`` - supply-temperature rise per
+      kelvin of mean return-air rise above the setpoint.  0 severs the
+      feedback loop.
+    * ``cop`` - coefficient of performance; CRAC energy is the heat it
+      removes divided by this.
+    * ``failure_supply_rise_c`` - supply-temperature rise applied when
+      the unit is marked failed in a scenario.
+    """
+
+    supply_setpoint_c: float = 28.0
+    capacity_w: float = 50_000.0
+    return_sensitivity_k_per_k: float = 0.3
+    cop: float = 3.5
+    failure_supply_rise_c: float = 8.0
+
+    def __post_init__(self) -> None:
+        check_temperature(self.supply_setpoint_c, "supply_setpoint_c")
+        check_positive(self.capacity_w, "capacity_w")
+        check_nonnegative(
+            self.return_sensitivity_k_per_k, "return_sensitivity_k_per_k"
+        )
+        check_positive(self.cop, "cop")
+        check_nonnegative(self.failure_supply_rise_c, "failure_supply_rise_c")
+
+
+@dataclass(frozen=True)
+class RoomConfig:
+    """Room-level layout and coupling parameters for multi-rack runs.
+
+    A room is ``n_rows`` rows of ``racks_per_row`` racks; racks in a row
+    share a cold aisle, so adjacent racks exchange a little exhaust
+    sideways (``inter_rack_fraction``) on top of the front-to-back chain
+    inside each rack (``recirc_fraction``).  The containment scheme
+    scales both the sideways leak and the CRAC return mixing; the
+    per-scheme factors live in :class:`repro.room.topology.RoomTopology`.
+
+    * ``inlet_limit_c`` - allowable rack-inlet temperature used for the
+      supply-margin metric (ASHRAE A2 allowable, 35 degC).
+    """
+
+    n_rows: int = 1
+    racks_per_row: int = 4
+    servers_per_rack: int = 4
+    containment: str = "none"
+    recirc_fraction: float = 0.25
+    inter_rack_fraction: float = 0.08
+    crac: CRACConfig = field(default_factory=CRACConfig)
+    exhaust_conductance_w_per_k: float = 50.0
+    min_conductance_fraction: float = 0.15
+    inlet_limit_c: float = 35.0
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 1:
+            raise ConfigError(f"n_rows must be >= 1, got {self.n_rows}")
+        if self.racks_per_row < 1:
+            raise ConfigError(
+                f"racks_per_row must be >= 1, got {self.racks_per_row}"
+            )
+        if self.servers_per_rack < 1:
+            raise ConfigError(
+                f"servers_per_rack must be >= 1, got {self.servers_per_rack}"
+            )
+        if self.containment not in CONTAINMENT_SCHEMES:
+            raise ConfigError(
+                f"containment must be one of {CONTAINMENT_SCHEMES}, got "
+                f"{self.containment!r}"
+            )
+        if not 0.0 <= self.recirc_fraction < 1.0:
+            raise ConfigError(
+                f"recirc_fraction must be in [0, 1), got {self.recirc_fraction}"
+            )
+        if not 0.0 <= self.inter_rack_fraction < 1.0:
+            raise ConfigError(
+                "inter_rack_fraction must be in [0, 1), got "
+                f"{self.inter_rack_fraction}"
+            )
+        check_positive(
+            self.exhaust_conductance_w_per_k, "exhaust_conductance_w_per_k"
+        )
+        if not 0.0 < self.min_conductance_fraction <= 1.0:
+            raise ConfigError(
+                "min_conductance_fraction must be in (0, 1], got "
+                f"{self.min_conductance_fraction}"
+            )
+        check_temperature(self.inlet_limit_c, "inlet_limit_c")
+
+    @property
+    def n_racks(self) -> int:
+        """Total racks in the room."""
+        return self.n_rows * self.racks_per_row
+
+    @property
+    def n_servers(self) -> int:
+        """Total servers in the room."""
+        return self.n_racks * self.servers_per_rack
+
+    def fleet_config(
+        self, room_c: float | None = None, recirc_fraction: float | None = None
+    ) -> FleetConfig:
+        """The per-rack :class:`FleetConfig` this room implies."""
+        return FleetConfig(
+            n_servers=self.servers_per_rack,
+            recirc_fraction=(
+                self.recirc_fraction
+                if recirc_fraction is None
+                else recirc_fraction
+            ),
+            exhaust_conductance_w_per_k=self.exhaust_conductance_w_per_k,
+            min_conductance_fraction=self.min_conductance_fraction,
+            room_c=self.crac.supply_setpoint_c if room_c is None else room_c,
+        )
+
+
 @dataclass(frozen=True)
 class ServerConfig:
     """Complete description of the simulated enterprise server.

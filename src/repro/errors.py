@@ -48,6 +48,10 @@ class FleetError(SimulationError):
     """A rack/fleet simulation was misconfigured or inconsistently sized."""
 
 
+class RoomError(FleetError):
+    """A room-scale simulation was misconfigured or inconsistently sized."""
+
+
 class WorkloadError(ReproError, ValueError):
     """A workload generator was configured with invalid parameters."""
 

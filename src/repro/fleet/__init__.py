@@ -24,6 +24,7 @@ from repro.fleet.campaign import (
     CampaignRunner,
     CampaignTask,
     campaign_grid,
+    run_campaign_chunk,
     run_campaign_task,
 )
 from repro.fleet.coupling import ExhaustModel, RecirculationMatrix
@@ -56,6 +57,7 @@ __all__ = [
     "heterogeneous_sensor_rack",
     "homogeneous_rack",
     "hot_spot_rack",
+    "run_campaign_chunk",
     "run_campaign_task",
     "staggered_waves_rack",
 ]

@@ -10,12 +10,17 @@ worker (or the parent process, for the serial path) executes the task;
 :class:`CampaignRunner` only chooses *where* tasks run, via the same
 :func:`~repro.sim.parallel.parallel_map` machinery parameter sweeps use.
 
-Process-level parallelism composes with the vectorized backend: each
-task defaults to ``backend="auto"``, so every worker advances its rack
-as ``(B,)`` array ops (plant, sensing, and - for stock DTM compositions
-- control) and the pool fans *racks* out across cores.  Set
-``CampaignTask.backend="scalar"`` to force the reference loop, e.g.
-when profiling or bisecting a backend discrepancy.
+Process-level parallelism composes with the vectorized backend twice
+over: each worker advances racks as array ops, and the runner **chunks
+same-shape tasks** (equal server count and time grid) so one worker
+stacks several racks into a single ``(n_racks * B,)`` batch via
+:func:`repro.room.stack.run_stacked_racks` - block-diagonal coupling,
+so every result stays bit-for-bit identical to its solo run while the
+per-``dt`` Python dispatch is paid once per chunk instead of once per
+rack.  The chunk each result rode in is recorded under
+``result.extras["chunk"]``.  Set ``chunk_size=1`` to force one rack per
+task, or ``CampaignTask.backend="scalar"`` to force the reference loop,
+e.g. when profiling or bisecting a backend discrepancy.
 """
 
 from __future__ import annotations
@@ -29,6 +34,11 @@ from repro.fleet.result import FleetResult
 from repro.fleet.scenarios import FLEET_SCENARIOS, build_fleet_scenario
 from repro.fleet.simulator import FleetSimulator
 from repro.sim.parallel import parallel_map
+
+#: Default racks per stacked chunk.  Past ~4 racks the per-``dt``
+#: dispatch is already well amortized and wider stacks only grow worker
+#: payloads, so the default stays modest.
+DEFAULT_CHUNK_SIZE = 4
 
 
 @dataclass(frozen=True)
@@ -61,10 +71,25 @@ class CampaignTask:
             f"/f{self.recirc_fraction:g}/s{self.seed}"
         )
 
+    @property
+    def chunk_key(self) -> tuple:
+        """Tasks sharing this key can stack into one batch run.
 
-def run_campaign_task(task: CampaignTask) -> FleetResult:
-    """Build and simulate one task's rack (module-level: pool-picklable)."""
-    rack = build_fleet_scenario(
+        Stacking requires one time grid (duration, dt, decimation) and
+        same-shape racks; ``"scalar"``-backend tasks group together but
+        always fall back to one rack per task inside the worker.
+        """
+        return (
+            self.n_servers,
+            self.duration_s,
+            self.dt_s,
+            self.record_decimation,
+            self.backend,
+        )
+
+
+def _build_rack(task: CampaignTask):
+    return build_fleet_scenario(
         task.scenario,
         n_servers=task.n_servers,
         duration_s=task.duration_s,
@@ -74,6 +99,9 @@ def run_campaign_task(task: CampaignTask) -> FleetResult:
         ),
         scheme=task.scheme,
     )
+
+
+def _simulate_task(task: CampaignTask, rack) -> FleetResult:
     sim = FleetSimulator(
         rack,
         dt_s=task.dt_s,
@@ -82,6 +110,62 @@ def run_campaign_task(task: CampaignTask) -> FleetResult:
     )
     result = sim.run(task.duration_s, label=task.label)
     return replace(result, extras={**result.extras, "task": task})
+
+
+def run_campaign_task(task: CampaignTask) -> FleetResult:
+    """Build and simulate one task's rack (module-level: pool-picklable)."""
+    return _simulate_task(task, _build_rack(task))
+
+
+def run_campaign_chunk(
+    tasks: Sequence[CampaignTask],
+) -> list[FleetResult]:
+    """Run a chunk of same-shape tasks as one stacked batch.
+
+    Module-level and picklable, like :func:`run_campaign_task`.  Racks
+    stack with block-diagonal coupling (mutually independent), so each
+    result is bit-for-bit identical to its solo run; when the chunk
+    cannot stack (scalar backend requested, or a rack the batch backend
+    cannot represent) every task silently falls back to its own
+    :class:`~repro.fleet.simulator.FleetSimulator` run.
+    """
+    tasks = list(tasks)
+    if len(tasks) == 1:
+        return [run_campaign_task(tasks[0])]
+    from repro.room.stack import run_stacked_racks, stacked_unsupported_reason
+
+    racks = [_build_rack(task) for task in tasks]
+    reason = (
+        "scalar backend requested"
+        if any(task.backend == "scalar" for task in tasks)
+        else stacked_unsupported_reason(racks)
+    )
+    if reason is not None:
+        return [
+            _simulate_task(task, rack) for task, rack in zip(tasks, racks)
+        ]
+    labels = [task.label for task in tasks]
+    results = run_stacked_racks(
+        racks,
+        duration_s=tasks[0].duration_s,
+        dt_s=tasks[0].dt_s,
+        record_decimation=tasks[0].record_decimation,
+        labels=labels,
+        # stacked_unsupported_reason already vetted these racks above.
+        precheck=False,
+    )
+    chunk_info = {"size": len(tasks), "labels": tuple(labels)}
+    return [
+        replace(
+            result,
+            extras={
+                **result.extras,
+                "task": task,
+                "chunk": {**chunk_info, "position": i},
+            },
+        )
+        for i, (task, result) in enumerate(zip(tasks, results))
+    ]
 
 
 def campaign_grid(
@@ -108,25 +192,66 @@ class CampaignRunner:
     """Execute campaign tasks serially or across a process pool.
 
     ``workers`` of ``None``/``0``/``1`` runs in-process; larger values
-    use a :class:`~concurrent.futures.ProcessPoolExecutor`.  Either way
-    results come back in task order and are value-identical, so the
-    parallel path is a pure throughput knob.
+    use a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    ``chunk_size`` bounds how many same-shape tasks one worker stacks
+    into a single batch run (1 = one rack per task, the pre-chunking
+    behaviour).  Whatever the knobs, results come back in task order
+    and are value-identical, so both parallelism levels are pure
+    throughput knobs.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self, workers: int | None = None, chunk_size: int | None = None
+    ) -> None:
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        if chunk_size < 1:
+            raise FleetError(f"chunk_size must be >= 1, got {chunk_size}")
         self._workers = workers
+        self._chunk_size = chunk_size
 
     @property
     def workers(self) -> int | None:
         """Configured pool size (None = serial)."""
         return self._workers
 
+    @property
+    def chunk_size(self) -> int:
+        """Maximum same-shape tasks stacked into one batch run."""
+        return self._chunk_size
+
+    def _chunks(
+        self, tasks: list[CampaignTask]
+    ) -> list[tuple[list[int], list[CampaignTask]]]:
+        """Split tasks into stackable chunks, remembering their indices."""
+        grouped: dict[tuple, list[int]] = {}
+        for i, task in enumerate(tasks):
+            grouped.setdefault(task.chunk_key, []).append(i)
+        chunks = []
+        for indices in grouped.values():
+            for lo in range(0, len(indices), self._chunk_size):
+                part = indices[lo : lo + self._chunk_size]
+                chunks.append((part, [tasks[i] for i in part]))
+        # Deterministic execution order: by first task index.
+        chunks.sort(key=lambda chunk: chunk[0][0])
+        return chunks
+
     def run(self, tasks: Iterable[CampaignTask]) -> list[FleetResult]:
         """Run every task and return results in task order."""
         task_list = list(tasks)
         if not task_list:
             raise FleetError("campaign needs at least one task")
-        return parallel_map(run_campaign_task, task_list, workers=self._workers)
+        chunks = self._chunks(task_list)
+        chunk_results = parallel_map(
+            run_campaign_chunk,
+            [chunk_tasks for _, chunk_tasks in chunks],
+            workers=self._workers,
+        )
+        results: list[FleetResult | None] = [None] * len(task_list)
+        for (indices, _), chunk in zip(chunks, chunk_results):
+            for i, result in zip(indices, chunk):
+                results[i] = result
+        return results  # type: ignore[return-value]
 
     def run_summaries(
         self, tasks: Iterable[CampaignTask]

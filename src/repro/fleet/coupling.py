@@ -8,14 +8,23 @@ instead of returning to the CRAC.  This module provides the two halves:
 * :class:`ExhaustModel` - ``dT = P / G(V)`` with the airflow heat
   conductance ``G`` scaling linearly with fan speed (mass flow ~ rpm),
   floored so the rise stays bounded at low speeds.
-* :class:`RecirculationMatrix` - a nonnegative mixing matrix ``M`` with
-  zero diagonal mapping per-server exhaust rises to per-server inlet
-  offsets: ``offset = M @ rise``.  :meth:`RecirculationMatrix.chain`
-  builds the standard front-to-back rack topology where server ``i``
-  receives ``f**(i-j)`` of server ``j``'s rise for every upstream ``j``.
+* :class:`CouplingOperator` - the linear-operator contract every
+  coupling representation implements: map per-server exhaust rises to
+  per-server inlet offsets.  Simulation drivers (``Rack.update_inlets``,
+  the batch backend's per-``dt`` coupling step) only ever call
+  :meth:`CouplingOperator.apply`, so dense rack matrices and the
+  room-scale block-sparse operator (:class:`repro.room.coupling.
+  SparseCoupling`) are interchangeable.
+* :class:`RecirculationMatrix` - the dense operator: a nonnegative
+  mixing matrix ``M`` with zero diagonal, ``offset = M @ rise``.
+  :meth:`RecirculationMatrix.chain` builds the standard front-to-back
+  rack topology where server ``i`` receives ``f**(i-j)`` of server
+  ``j``'s rise for every upstream ``j``.
 """
 
 from __future__ import annotations
+
+from abc import ABC, abstractmethod
 
 import numpy as np
 
@@ -98,9 +107,65 @@ class ExhaustModel:
         """Exhaust rise implied by a plant state snapshot."""
         return self.rise_c(state.total_power_w, state.fan_speed_rpm)
 
+    def same_parameters(self, other: "ExhaustModel") -> bool:
+        """Whether another model computes identical rises.
 
-class RecirculationMatrix:
-    """Mixing matrix mapping exhaust rises to inlet offsets.
+        Stacked multi-rack runs share one exhaust model across every
+        rack, which is only sound when the racks' models agree exactly.
+        """
+        return (
+            self._g_max == other._g_max
+            and self._v_max == other._v_max
+            and self._g_floor == other._g_floor
+        )
+
+
+class CouplingOperator(ABC):
+    """Linear map from per-server exhaust rises to inlet offsets.
+
+    The contract every coupling representation satisfies:
+
+    * :meth:`apply` is the validation-free hot path the simulation loops
+      call once per step; it must run the same floating-point operations
+      every time so backends stay deterministic.
+    * :meth:`to_dense` materializes the equivalent dense matrix ``M``
+      with ``apply(r) ~= M @ r`` (used for equivalence tests and for
+      composing operators into larger block structures).
+    * :attr:`is_decoupled` lets drivers short-circuit to zero offsets
+      without touching the exhaust model, preserving bit-for-bit
+      equality with uncoupled runs.
+    """
+
+    @property
+    @abstractmethod
+    def n_servers(self) -> int:
+        """Number of servers the operator couples."""
+
+    @property
+    @abstractmethod
+    def is_decoupled(self) -> bool:
+        """True when the operator is identically zero."""
+
+    @abstractmethod
+    def apply(self, rises_c: np.ndarray) -> np.ndarray:
+        """Inlet offsets from exhaust rises; no validation (hot path)."""
+
+    @abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """The equivalent dense ``(n_servers, n_servers)`` matrix."""
+
+    def inlet_offsets_c(self, rises_c: np.ndarray) -> np.ndarray:
+        """Validated :meth:`apply`: checks the rise vector shape first."""
+        rises = np.asarray(rises_c, dtype=float)
+        if rises.shape != (self.n_servers,):
+            raise FleetError(
+                f"expected {self.n_servers} rises, got shape {rises.shape}"
+            )
+        return self.apply(rises)
+
+
+class RecirculationMatrix(CouplingOperator):
+    """Dense mixing matrix mapping exhaust rises to inlet offsets.
 
     ``offsets = M @ rises`` where ``M[i, j]`` is the fraction of server
     ``j``'s exhaust rise appearing at server ``i``'s inlet.  The matrix
@@ -162,11 +227,10 @@ class RecirculationMatrix:
         """True when the matrix is identically zero."""
         return not np.any(self._m)
 
-    def inlet_offsets_c(self, rises_c: np.ndarray) -> np.ndarray:
-        """Per-server inlet offsets from per-server exhaust rises."""
-        rises = np.asarray(rises_c, dtype=float)
-        if rises.shape != (self.n_servers,):
-            raise FleetError(
-                f"expected {self.n_servers} rises, got shape {rises.shape}"
-            )
-        return self._m @ rises
+    def apply(self, rises_c: np.ndarray) -> np.ndarray:
+        """``M @ rises`` with no validation (the per-step hot path)."""
+        return self._m @ rises_c
+
+    def to_dense(self) -> np.ndarray:
+        """A copy of the mixing matrix (same as :attr:`matrix`)."""
+        return self._m.copy()

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.global_controller import GlobalController
 from repro.errors import FleetError
-from repro.fleet.coupling import ExhaustModel, RecirculationMatrix
+from repro.fleet.coupling import CouplingOperator, ExhaustModel, RecirculationMatrix
 from repro.sensing.sensor import TemperatureSensor
 from repro.thermal.ambient import CoupledInlet
 from repro.thermal.server import ServerThermalModel
@@ -48,8 +48,10 @@ class Rack:
     slots:
         Server stacks in airflow order (slot 0 is most upstream).
     coupling:
-        Mixing matrix sized to the slot count; defaults to the
-        front-to-back chain with ``recirc_fraction``.
+        Any :class:`~repro.fleet.coupling.CouplingOperator` sized to the
+        slot count (dense :class:`RecirculationMatrix`, or the sparse
+        room-scale operator); defaults to the front-to-back chain with
+        ``recirc_fraction``.
     exhaust:
         Exhaust-rise model; defaults to :class:`ExhaustModel` scaled to
         the first slot's fan range.
@@ -60,7 +62,7 @@ class Rack:
     def __init__(
         self,
         slots: Sequence[ServerSlot],
-        coupling: RecirculationMatrix | None = None,
+        coupling: CouplingOperator | None = None,
         exhaust: ExhaustModel | None = None,
         recirc_fraction: float = 0.25,
     ) -> None:
@@ -93,8 +95,8 @@ class Rack:
         return len(self._slots)
 
     @property
-    def coupling(self) -> RecirculationMatrix:
-        """The recirculation mixing matrix."""
+    def coupling(self) -> CouplingOperator:
+        """The recirculation coupling operator."""
         return self._coupling
 
     @property

@@ -1,0 +1,313 @@
+"""Block-structured sparse recirculation for multi-rack rooms.
+
+A room's dense mixing matrix is almost entirely zero: recirculation is
+strong *within* a rack (the front-to-back chain), weak between adjacent
+racks sharing an aisle, and zero everywhere else.  :class:`SparseCoupling`
+stores exactly that structure instead of the ``(N, N)`` dense matrix:
+
+* **diagonal blocks** - one dense per-rack matrix each (the same
+  matrices :class:`~repro.fleet.coupling.RecirculationMatrix` holds for
+  a standalone rack),
+* **cross blocks** - an explicit ``(dst_rack, src_rack) -> matrix``
+  dictionary for the few rack pairs that exchange aisle air (CSR-style:
+  only stored pairs cost anything),
+* an optional **low-rank term** ``gain.T @ (mix @ rises)`` coupling
+  every server through shared plenum air - how the CRAC supply-return
+  loop enters the operator (rank one per CRAC unit).
+
+:meth:`SparseCoupling.apply` is a block-sparse mat-vec: per-rack gemvs
+plus one small gemv per stored cross block plus ``2K`` dot products for
+the rank-``K`` term - ``O(sum B_r**2)`` instead of ``O(N**2)``.  With no
+cross blocks and no low-rank term each rack's offsets are computed by
+*the same gemv on the same values* as a standalone dense rack, which is
+what makes a zero-inter-rack room bit-for-bit equal to independent
+per-rack runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import RoomError
+from repro.fleet.coupling import CouplingOperator, RecirculationMatrix
+
+
+def _check_nonnegative_matrix(m: np.ndarray, what: str) -> np.ndarray:
+    arr = np.asarray(m, dtype=float)
+    if arr.ndim != 2:
+        raise RoomError(f"{what} must be 2-D, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise RoomError(f"{what} must be finite")
+    if np.any(arr < 0.0):
+        raise RoomError(f"{what} must be nonnegative")
+    return arr
+
+
+class SparseCoupling(CouplingOperator):
+    """Block-structured sparse inlet-recirculation operator.
+
+    Parameters
+    ----------
+    blocks:
+        Per-rack dense mixing matrices in rack order.  Each must be
+        square, finite, nonnegative, and zero-diagonal - the exact
+        :class:`~repro.fleet.coupling.RecirculationMatrix` contract.
+    cross:
+        Optional ``{(dst_rack, src_rack): matrix}`` inter-rack blocks;
+        ``matrix[i, j]`` is the fraction of server ``j``-of-``src``'s
+        rise reaching server ``i``-of-``dst``'s inlet.  Keys must name
+        distinct racks (a rack's self-coupling belongs in its block).
+    feedback_gain, feedback_mix:
+        Optional ``(K, N)`` (or ``(N,)`` for rank one) arrays of the
+        low-rank term ``offsets += gain.T @ (mix @ rises)``; both must
+        be given together.  Row ``k`` is one plenum/CRAC path: ``mix[k]``
+        weights how much of each server's rise reaches that return
+        plenum, ``gain[k]`` how strongly the resulting supply rise hits
+        each server's inlet.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[np.ndarray],
+        cross: Mapping[tuple[int, int], np.ndarray] | None = None,
+        feedback_gain: np.ndarray | None = None,
+        feedback_mix: np.ndarray | None = None,
+    ) -> None:
+        if not blocks:
+            raise RoomError("sparse coupling needs at least one rack block")
+        validated = []
+        for r, block in enumerate(blocks):
+            arr = _check_nonnegative_matrix(block, f"rack {r} block")
+            if arr.shape[0] != arr.shape[1]:
+                raise RoomError(
+                    f"rack {r} block must be square, got shape {arr.shape}"
+                )
+            if np.any(np.diag(arr) != 0.0):
+                raise RoomError(f"rack {r} block must have a zero diagonal")
+            validated.append(arr)
+        self._blocks = tuple(validated)
+        sizes = [b.shape[0] for b in self._blocks]
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        self._starts = tuple(int(v) for v in bounds[:-1])
+        self._stops = tuple(int(v) for v in bounds[1:])
+        self._n = int(bounds[-1])
+
+        self._cross: dict[tuple[int, int], np.ndarray] = {}
+        for key, matrix in dict(cross or {}).items():
+            dst, src = key
+            if not (0 <= dst < self.n_racks and 0 <= src < self.n_racks):
+                raise RoomError(
+                    f"cross block {key} names a rack outside "
+                    f"[0, {self.n_racks})"
+                )
+            if dst == src:
+                raise RoomError(
+                    f"cross block {key} couples a rack to itself; use its "
+                    "diagonal block"
+                )
+            arr = _check_nonnegative_matrix(matrix, f"cross block {key}")
+            expected = (sizes[dst], sizes[src])
+            if arr.shape != expected:
+                raise RoomError(
+                    f"cross block {key} must have shape {expected}, got "
+                    f"{arr.shape}"
+                )
+            if np.any(arr):
+                self._cross[(int(dst), int(src))] = arr
+
+        if (feedback_gain is None) != (feedback_mix is None):
+            raise RoomError(
+                "feedback_gain and feedback_mix must be given together"
+            )
+        if feedback_gain is None:
+            self._gain: np.ndarray | None = None
+            self._mix: np.ndarray | None = None
+        else:
+            gain = np.atleast_2d(np.asarray(feedback_gain, dtype=float))
+            mix = np.atleast_2d(np.asarray(feedback_mix, dtype=float))
+            for name, arr in (("feedback_gain", gain), ("feedback_mix", mix)):
+                _check_nonnegative_matrix(arr, name)
+                if arr.shape[1] != self._n:
+                    raise RoomError(
+                        f"{name} must have {self._n} columns, got shape "
+                        f"{arr.shape}"
+                    )
+            if gain.shape[0] != mix.shape[0]:
+                raise RoomError(
+                    f"feedback rank mismatch: gain has {gain.shape[0]} rows, "
+                    f"mix has {mix.shape[0]}"
+                )
+            if np.any(gain) and np.any(mix):
+                self._gain, self._mix = gain, mix
+            else:
+                self._gain = self._mix = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+
+    @classmethod
+    def block_diagonal(
+        cls, blocks: Sequence[np.ndarray]
+    ) -> "SparseCoupling":
+        """Purely intra-rack coupling (no aisle exchange, no feedback)."""
+        return cls(blocks)
+
+    @classmethod
+    def from_racks(
+        cls,
+        racks: Sequence,
+        cross: Mapping[tuple[int, int], np.ndarray] | None = None,
+        feedback_gain: np.ndarray | None = None,
+        feedback_mix: np.ndarray | None = None,
+    ) -> "SparseCoupling":
+        """Diagonal blocks taken from each rack's own coupling operator."""
+        return cls(
+            [rack.coupling.to_dense() for rack in racks],
+            cross=cross,
+            feedback_gain=feedback_gain,
+            feedback_mix=feedback_mix,
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+
+    @property
+    def n_servers(self) -> int:
+        """Total servers across all racks."""
+        return self._n
+
+    @property
+    def n_racks(self) -> int:
+        """Number of diagonal blocks."""
+        return len(self._blocks)
+
+    @property
+    def block_sizes(self) -> tuple[int, ...]:
+        """Servers per rack, in rack order."""
+        return tuple(b.shape[0] for b in self._blocks)
+
+    @property
+    def blocks(self) -> tuple[np.ndarray, ...]:
+        """Copies of the diagonal (intra-rack) blocks."""
+        return tuple(b.copy() for b in self._blocks)
+
+    @property
+    def cross_blocks(self) -> dict[tuple[int, int], np.ndarray]:
+        """Copies of the stored inter-rack blocks."""
+        return {key: m.copy() for key, m in self._cross.items()}
+
+    @property
+    def feedback_rank(self) -> int:
+        """Rank of the low-rank plenum/CRAC term (0 when absent)."""
+        return 0 if self._gain is None else self._gain.shape[0]
+
+    def rack_slice(self, rack: int) -> slice:
+        """The server-index range rack ``rack`` occupies."""
+        if not 0 <= rack < self.n_racks:
+            raise RoomError(
+                f"rack index must be in [0, {self.n_racks}), got {rack}"
+            )
+        return slice(self._starts[rack], self._stops[rack])
+
+    @property
+    def is_decoupled(self) -> bool:
+        """True when every stored term is identically zero."""
+        if self._gain is not None or self._cross:
+            return False
+        return not any(np.any(b) for b in self._blocks)
+
+    @property
+    def nnz(self) -> int:
+        """Stored (block + cross) entries that are nonzero."""
+        count = sum(int(np.count_nonzero(b)) for b in self._blocks)
+        count += sum(int(np.count_nonzero(m)) for m in self._cross.values())
+        return count
+
+    @property
+    def density(self) -> float:
+        """Nonzero stored entries over the dense ``N**2`` footprint."""
+        return self.nnz / float(self._n * self._n)
+
+    # ------------------------------------------------------------------
+    # The operator
+
+    def apply(self, rises_c: np.ndarray) -> np.ndarray:
+        """Block-sparse mat-vec (plus the low-rank term); no validation.
+
+        With no cross blocks and no feedback this runs exactly one
+        ``block @ rises[slice]`` per rack - the identical gemv a
+        standalone dense rack runs - so zero-inter-rack rooms stay
+        bit-for-bit equal to independent per-rack simulations.
+        """
+        out = np.empty(self._n)
+        for start, stop, block in zip(self._starts, self._stops, self._blocks):
+            out[start:stop] = block @ rises_c[start:stop]
+        for (dst, src), matrix in self._cross.items():
+            out[self._starts[dst] : self._stops[dst]] += (
+                matrix @ rises_c[self._starts[src] : self._stops[src]]
+            )
+        if self._gain is not None:
+            out += self._gain.T @ (self._mix @ rises_c)
+        return out
+
+    # ------------------------------------------------------------------
+    # Conversions
+
+    def to_dense(self) -> np.ndarray:
+        """The equivalent dense ``(N, N)`` matrix (all terms included)."""
+        dense = np.zeros((self._n, self._n))
+        for start, stop, block in zip(self._starts, self._stops, self._blocks):
+            dense[start:stop, start:stop] = block
+        for (dst, src), matrix in self._cross.items():
+            dense[
+                self._starts[dst] : self._stops[dst],
+                self._starts[src] : self._stops[src],
+            ] += matrix
+        if self._gain is not None:
+            dense += self._gain.T @ self._mix
+        return dense
+
+    def to_recirculation_matrix(self) -> RecirculationMatrix:
+        """Densify into a :class:`RecirculationMatrix` for equivalence runs.
+
+        Raises :class:`~repro.errors.FleetError` (via the dense
+        constructor) when the low-rank term puts recirculation on the
+        diagonal - a server re-ingesting its own exhaust through the
+        plenum - which the dense class forbids.
+        """
+        return RecirculationMatrix(self.to_dense())
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The stored sparsity as CSR ``(indptr, indices, data)`` arrays.
+
+        Covers the diagonal and cross blocks (the explicit sparsity);
+        the dense low-rank term is deliberately excluded - materializing
+        ``gain.T @ mix`` would fill the matrix.  Entries within each row
+        are ordered by column index, zeros dropped.
+        """
+        rows: list[list[tuple[int, float]]] = [[] for _ in range(self._n)]
+
+        def scatter(matrix: np.ndarray, row0: int, col0: int) -> None:
+            for i, j in zip(*np.nonzero(matrix)):
+                rows[row0 + int(i)].append((col0 + int(j), float(matrix[i, j])))
+
+        for start, block in zip(self._starts, self._blocks):
+            scatter(block, start, start)
+        for (dst, src), matrix in self._cross.items():
+            scatter(matrix, self._starts[dst], self._starts[src])
+
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        indices: list[int] = []
+        data: list[float] = []
+        for i, entries in enumerate(rows):
+            entries.sort()
+            indptr[i + 1] = indptr[i] + len(entries)
+            indices.extend(col for col, _ in entries)
+            data.extend(value for _, value in entries)
+        return (
+            indptr,
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(data, dtype=float),
+        )

@@ -1,0 +1,126 @@
+"""CRAC (computer-room air conditioner) supply-air model.
+
+The room loop the paper's single-enclosure evaluation never closes:
+server exhaust heat rides the return plenum back to the CRAC, warms the
+supply air above its setpoint, and every rack the unit feeds breathes
+that warmer supply.  The model keeps the loop **linear in the exhaust
+rises** so it folds into the room's sparse coupling operator as one
+rank-one term per unit (cf. HVAC control synthesis for data centers,
+Fliess et al.):
+
+* return-air rise = mean of the served servers' exhaust rises, scaled
+  by the containment return-mix factor (how much exhaust actually makes
+  it to the return instead of the room),
+* supply rise = ``return_sensitivity_k_per_k`` x return-air rise,
+* each served server's inlet offset gains that supply rise.
+
+A **failed** unit additionally parks its supply ``failure_supply_rise_c``
+above the setpoint (fans still spin, compressor out) - a constant that
+scenario builders bake into the served racks' base inlet temperature
+rather than into the operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CRACConfig
+from repro.errors import RoomError
+
+
+class CRACUnit:
+    """One supply/return air unit feeding a set of racks.
+
+    Parameters
+    ----------
+    config:
+        The unit's parameters (setpoint, capacity, sensitivity, COP).
+    racks:
+        Indices of the racks this unit feeds.  Every rack in a room
+        must be fed by exactly one unit.
+    failed:
+        When true the unit supplies ``failure_supply_rise_c`` above the
+        setpoint and its feedback loop is severed (no compressor, no
+        controlled recirculation of return heat into a *colder* supply -
+        the rise is already counted in the supply temperature).
+    """
+
+    def __init__(
+        self,
+        config: CRACConfig | None = None,
+        racks: tuple[int, ...] = (),
+        failed: bool = False,
+    ) -> None:
+        self._config = config or CRACConfig()
+        if len(set(racks)) != len(racks):
+            raise RoomError(f"CRAC rack list has duplicates: {racks}")
+        if any(r < 0 for r in racks):
+            raise RoomError(f"CRAC rack indices must be >= 0, got {racks}")
+        self._racks = tuple(int(r) for r in racks)
+        self._failed = bool(failed)
+
+    @property
+    def config(self) -> CRACConfig:
+        """The unit's configured parameters."""
+        return self._config
+
+    @property
+    def racks(self) -> tuple[int, ...]:
+        """Indices of the racks this unit feeds."""
+        return self._racks
+
+    @property
+    def failed(self) -> bool:
+        """Whether the unit's compressor is out."""
+        return self._failed
+
+    @property
+    def supply_temperature_c(self) -> float:
+        """Supply air temperature at the rack inlets (before recirculation)."""
+        if self._failed:
+            return (
+                self._config.supply_setpoint_c
+                + self._config.failure_supply_rise_c
+            )
+        return self._config.supply_setpoint_c
+
+    def feedback_rows(
+        self,
+        served_mask: np.ndarray,
+        return_mix_factor: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """This unit's ``(gain, mix)`` rows of the room's low-rank term.
+
+        ``mix`` averages the served servers' exhaust rises into the
+        return-air rise (scaled by the containment factor); ``gain``
+        spreads the resulting supply rise back onto every served inlet.
+        A failed or zero-sensitivity unit contributes zero rows.
+        """
+        mask = np.asarray(served_mask, dtype=bool)
+        n_served = int(mask.sum())
+        if n_served == 0:
+            raise RoomError("CRAC feedback rows need at least one served server")
+        gain = np.zeros(mask.size)
+        mix = np.zeros(mask.size)
+        if not self._failed and self._config.return_sensitivity_k_per_k > 0.0:
+            gain[mask] = self._config.return_sensitivity_k_per_k
+            mix[mask] = return_mix_factor / n_served
+        return gain, mix
+
+    def energy_j(self, heat_j: float) -> float:
+        """Electrical energy to remove ``heat_j`` joules of server heat.
+
+        ``heat / COP``; a failed unit moves air but removes no heat, so
+        its accounted energy is zero.
+        """
+        if heat_j < 0.0:
+            raise RoomError(f"heat_j must be >= 0, got {heat_j}")
+        if self._failed:
+            return 0.0
+        return heat_j / self._config.cop
+
+    def utilization(self, mean_heat_w: float) -> float:
+        """Fraction of rated capacity the given mean heat load uses."""
+        if mean_heat_w < 0.0:
+            raise RoomError(f"mean_heat_w must be >= 0, got {mean_heat_w}")
+        return mean_heat_w / self._config.capacity_w

@@ -1,0 +1,85 @@
+"""Room run results: per-rack fleet results plus room-level metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.metrics import RoomSummary, room_summary
+from repro.errors import AnalysisError
+from repro.fleet.result import FleetResult
+from repro.sim.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class RoomResult:
+    """Everything one room run produced.
+
+    Holds one :class:`~repro.fleet.result.FleetResult` per rack (all in
+    lockstep on the same time grid) plus the room-side context the
+    per-rack results cannot know: the CRAC supply temperature each rack
+    breathed, the CRAC energy spent removing the room's heat, and the
+    inlet limit the supply-margin metric scores against.  Picklable,
+    like every other result type.
+    """
+
+    rack_results: tuple[FleetResult, ...]
+    supply_c: tuple[float, ...]
+    crac_energy_j: float = 0.0
+    inlet_limit_c: float = 35.0
+    label: str = "room"
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.rack_results:
+            raise AnalysisError("room result needs at least one rack run")
+        if len(self.supply_c) != len(self.rack_results):
+            raise AnalysisError(
+                f"{len(self.supply_c)} supply temperatures for "
+                f"{len(self.rack_results)} racks"
+            )
+        if self.crac_energy_j < 0.0:
+            raise AnalysisError(
+                f"crac_energy_j must be >= 0, got {self.crac_energy_j}"
+            )
+
+    @property
+    def n_racks(self) -> int:
+        """Racks in the room run."""
+        return len(self.rack_results)
+
+    @property
+    def n_servers(self) -> int:
+        """Total servers across all racks."""
+        return sum(r.n_servers for r in self.rack_results)
+
+    @property
+    def times(self) -> np.ndarray:
+        """The shared time axis (all racks step in lockstep)."""
+        return self.rack_results[0].times
+
+    def rack(self, index: int) -> FleetResult:
+        """One rack's result by room position."""
+        return self.rack_results[index]
+
+    @property
+    def server_results(self) -> tuple[SimulationResult, ...]:
+        """Every server's result, flattened in stacking order."""
+        return tuple(
+            server for rack in self.rack_results for server in rack.server_results
+        )
+
+    @property
+    def metrics(self) -> RoomSummary:
+        """Room-level aggregates (energy incl. CRAC, spreads, margin)."""
+        return room_summary(
+            self.rack_results,
+            crac_energy_j=self.crac_energy_j,
+            inlet_limit_c=self.inlet_limit_c,
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Headline room metrics as a flat dict."""
+        return self.metrics.as_dict()

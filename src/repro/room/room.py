@@ -1,0 +1,203 @@
+"""The room: racks on a topology, coupled by sparse recirculation + CRACs.
+
+A :class:`Room` composes already-built :class:`~repro.fleet.rack.Rack`
+objects with a :class:`~repro.room.topology.RoomTopology`, one
+room-wide :class:`~repro.room.coupling.SparseCoupling` operator over the
+concatenated server list, and the :class:`~repro.room.crac.CRACUnit`\\ s
+feeding the racks.  It is to a room what ``Rack`` is to a rack: the
+passive composition the simulators drive - including the same
+previous-step causality (:meth:`Room.update_inlets` turns the current
+plant states into the *next* step's inlet offsets).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import RoomError
+from repro.fleet.coupling import ExhaustModel
+from repro.fleet.rack import Rack, ServerSlot
+from repro.room.coupling import SparseCoupling
+from repro.room.crac import CRACUnit
+from repro.room.topology import RoomTopology
+
+
+class Room:
+    """Racks placed on a topology and coupled through one sparse operator.
+
+    Parameters
+    ----------
+    racks:
+        The racks in rack-index order (must match the topology's count).
+        Every rack must carry exhaust models with identical parameters -
+        the stacked batch shares one model across the room.
+    topology:
+        Rack placement and containment; defaults to a single row.
+    coupling:
+        The room-wide operator over the concatenated servers; block
+        sizes must match the racks.  Defaults to the purely intra-rack
+        block diagonal of the racks' own operators.
+    cracs:
+        Supply-air units; together they must feed every rack exactly
+        once.  Defaults to one healthy unit feeding the whole room.
+    inlet_limit_c:
+        Allowable rack-inlet temperature the supply-margin metric is
+        scored against (scenario builders pass
+        :attr:`~repro.config.RoomConfig.inlet_limit_c`).
+    """
+
+    def __init__(
+        self,
+        racks: Sequence[Rack],
+        topology: RoomTopology | None = None,
+        coupling: SparseCoupling | None = None,
+        cracs: Sequence[CRACUnit] | None = None,
+        inlet_limit_c: float = 35.0,
+    ) -> None:
+        if not racks:
+            raise RoomError("room needs at least one rack")
+        self._racks = tuple(racks)
+        if topology is None:
+            topology = RoomTopology(1, len(self._racks))
+        if topology.n_racks != len(self._racks):
+            raise RoomError(
+                f"topology places {topology.n_racks} racks but the room has "
+                f"{len(self._racks)}"
+            )
+        self._topology = topology
+
+        exhaust = self._racks[0].exhaust
+        for r, rack in enumerate(self._racks[1:], start=1):
+            if not exhaust.same_parameters(rack.exhaust):
+                raise RoomError(
+                    f"rack {r}'s exhaust model differs from rack 0's; a "
+                    "stacked room shares one exhaust model"
+                )
+        self._exhaust = exhaust
+
+        sizes = tuple(rack.n_servers for rack in self._racks)
+        if coupling is None:
+            coupling = SparseCoupling.from_racks(self._racks)
+        if coupling.block_sizes != sizes:
+            raise RoomError(
+                f"coupling blocks are sized {coupling.block_sizes}, racks "
+                f"are sized {sizes}"
+            )
+        self._coupling = coupling
+
+        if cracs is None:
+            cracs = (CRACUnit(racks=tuple(range(len(self._racks)))),)
+        self._cracs = tuple(cracs)
+        served: dict[int, int] = {}
+        for c, crac in enumerate(self._cracs):
+            for rack in crac.racks:
+                if rack >= len(self._racks):
+                    raise RoomError(
+                        f"CRAC {c} feeds rack {rack}, but the room has "
+                        f"{len(self._racks)} racks"
+                    )
+                if rack in served:
+                    raise RoomError(
+                        f"rack {rack} is fed by CRACs {served[rack]} and {c}"
+                    )
+                served[rack] = c
+        missing = sorted(set(range(len(self._racks))) - set(served))
+        if missing:
+            raise RoomError(f"racks {missing} are fed by no CRAC")
+        self._crac_of = tuple(served[r] for r in range(len(self._racks)))
+        self._inlet_limit_c = float(inlet_limit_c)
+
+        self._slots = tuple(slot for rack in self._racks for slot in rack)
+        # The room *is* one flat rack under the sparse operator; delegating
+        # to Rack keeps the causality-critical inlet propagation (and its
+        # decoupled short-circuit) in exactly one place.
+        self._flat = Rack(self._slots, coupling=coupling, exhaust=exhaust)
+
+    @property
+    def racks(self) -> tuple[Rack, ...]:
+        """The racks in rack-index (stacking) order."""
+        return self._racks
+
+    @property
+    def topology(self) -> RoomTopology:
+        """Rack placement and containment."""
+        return self._topology
+
+    @property
+    def coupling(self) -> SparseCoupling:
+        """The room-wide recirculation operator."""
+        return self._coupling
+
+    @property
+    def cracs(self) -> tuple[CRACUnit, ...]:
+        """The supply-air units."""
+        return self._cracs
+
+    @property
+    def exhaust(self) -> ExhaustModel:
+        """The shared exhaust-rise model."""
+        return self._exhaust
+
+    @property
+    def inlet_limit_c(self) -> float:
+        """Allowable rack-inlet temperature for the supply-margin metric."""
+        return self._inlet_limit_c
+
+    @property
+    def n_racks(self) -> int:
+        """Racks in the room."""
+        return len(self._racks)
+
+    @property
+    def n_servers(self) -> int:
+        """Total servers across all racks."""
+        return len(self._slots)
+
+    @property
+    def slots(self) -> tuple[ServerSlot, ...]:
+        """Every server slot in stacking order (rack 0 first)."""
+        return self._slots
+
+    def __iter__(self) -> Iterator[ServerSlot]:
+        return iter(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def rack_slice(self, rack: int) -> slice:
+        """The stacked-index range rack ``rack`` occupies."""
+        return self._coupling.rack_slice(rack)
+
+    def crac_of(self, rack: int) -> CRACUnit:
+        """The unit feeding rack ``rack``."""
+        if not 0 <= rack < self.n_racks:
+            raise RoomError(
+                f"rack index must be in [0, {self.n_racks}), got {rack}"
+            )
+        return self._cracs[self._crac_of[rack]]
+
+    def supply_temperatures_c(self) -> tuple[float, ...]:
+        """Per-rack CRAC supply temperature (the rack's base inlet air)."""
+        return tuple(
+            self.crac_of(r).supply_temperature_c for r in range(self.n_racks)
+        )
+
+    def exhaust_rises_c(self) -> np.ndarray:
+        """Per-server exhaust rises implied by the current plant states."""
+        return self._flat.exhaust_rises_c()
+
+    def inlet_temperatures_c(self) -> np.ndarray:
+        """Per-server inlet temperatures currently in force."""
+        return self._flat.inlet_temperatures_c()
+
+    def update_inlets(self) -> np.ndarray:
+        """Propagate current exhaust states into every inlet offset.
+
+        Delegates to the flat-rack view, so the room inherits
+        :meth:`repro.fleet.rack.Rack.update_inlets`'s causality (exhaust
+        produced at step ``k`` reaches inlets at ``k + 1``) and its
+        decoupled short-circuit verbatim.
+        """
+        return self._flat.update_inlets()

@@ -1,0 +1,331 @@
+"""Canned room builders, in ``fleet/scenarios.py`` style.
+
+Each builder assembles a full :class:`~repro.room.room.Room` - racks,
+topology/containment, the block-sparse coupling with aisle cross-terms
+and CRAC feedback, and the CRAC units - from a scenario name, a
+:class:`~repro.config.RoomConfig`, a seed, and a duration.  The registry
+(:data:`ROOM_SCENARIOS`) maps names to builders so campaign-style
+drivers can reconstruct a room from a picklable description.
+
+===================  ====================================================
+name                 room composition
+===================  ====================================================
+``uniform``          every rack a homogeneous paper-workload rack
+                     (per-rack seed offsets), one healthy CRAC
+``hot_spot_rack``    one rack pinned near full load, the rest near
+                     idle - the aisle-recirculation stress case
+``failed_crac``      two supply groups; one unit failed (hot supply,
+                     no feedback), the other healthy
+``mixed_aisles``     rows alternate DTM schemes (e.g. coordinated vs
+                     uncoordinated aisles)
+===================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.config import RoomConfig, ServerConfig
+from repro.errors import ExperimentError
+from repro.fleet.coupling import ExhaustModel, RecirculationMatrix
+from repro.fleet.rack import Rack
+from repro.fleet.scenarios import build_server_slot
+from repro.room.coupling import SparseCoupling
+from repro.room.crac import CRACUnit
+from repro.room.room import Room
+from repro.room.topology import RoomTopology
+from repro.workload.base import Workload
+from repro.workload.synthetic import ConstantWorkload
+
+#: Seed stride between racks; comfortably above the per-server stride
+#: (1009) times any realistic rack size, so no two servers in a room
+#: ever share an RNG stream.
+_RACK_SEED_STRIDE = 1_000_003
+
+
+def _rack_seed(seed: int, rack: int) -> int:
+    return seed + _RACK_SEED_STRIDE * rack
+
+
+def _build_rack(
+    room: RoomConfig,
+    duration_s: float,
+    seed: int,
+    config: ServerConfig | None,
+    scheme: str,
+    supply_c: float,
+    workloads: Sequence[Workload] | None = None,
+    initial_utilization: float = 0.1,
+) -> Rack:
+    """One rack of the room, wired exactly like the fleet builders.
+
+    ``workloads`` gives one workload per slot; without it, each slot
+    gets the paper workload seeded from its own stream.
+    """
+    slots = []
+    for i in range(room.servers_per_rack):
+        slot_workload = None if workloads is None else workloads[i]
+        slots.append(
+            build_server_slot(
+                f"srv{i:02d}",
+                config=config,
+                scheme=scheme,
+                seed=seed + 1009 * i,
+                workload=slot_workload,
+                room_c=supply_c,
+                initial_utilization=initial_utilization,
+                workload_duration_s=duration_s,
+            )
+        )
+    return Rack(
+        slots,
+        coupling=RecirculationMatrix.chain(len(slots), room.recirc_fraction),
+        exhaust=ExhaustModel(
+            conductance_at_max_w_per_k=room.exhaust_conductance_w_per_k,
+            max_speed_rpm=slots[0].plant.config.fan.max_speed_rpm,
+            min_conductance_fraction=room.min_conductance_fraction,
+        ),
+    )
+
+
+def build_room_coupling(
+    room: RoomConfig,
+    topology: RoomTopology,
+    racks: Sequence[Rack],
+    cracs: Sequence[CRACUnit],
+) -> SparseCoupling:
+    """The room operator: rack blocks + aisle cross-terms + CRAC feedback.
+
+    Aisle exchange puts ``inter_rack_fraction`` (scaled by the
+    containment factor) of each server's rise onto the same-height
+    server of the adjacent rack - the sideways leak around rack ends.
+    Each CRAC contributes one rank-one supply-return row (zero for
+    failed units).
+    """
+    sizes = [rack.n_servers for rack in racks]
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    n_total = int(bounds[-1])
+
+    cross = {}
+    eff = room.inter_rack_fraction * topology.inter_rack_factor
+    if eff > 0.0:
+        for dst, src in topology.aisle_pairs():
+            cross[(dst, src)] = eff * np.eye(sizes[dst], sizes[src])
+
+    gains, mixes = [], []
+    for crac in cracs:
+        mask = np.zeros(n_total, dtype=bool)
+        for rack in crac.racks:
+            mask[int(bounds[rack]) : int(bounds[rack + 1])] = True
+        gain, mix = crac.feedback_rows(mask, topology.return_mix_factor)
+        if np.any(gain) and np.any(mix):
+            gains.append(gain)
+            mixes.append(mix)
+
+    return SparseCoupling.from_racks(
+        racks,
+        cross=cross or None,
+        feedback_gain=np.array(gains) if gains else None,
+        feedback_mix=np.array(mixes) if mixes else None,
+    )
+
+
+def _assemble_room(
+    room: RoomConfig,
+    cracs: Sequence[CRACUnit],
+    rack_builder: Callable[[int, float], Rack],
+) -> Room:
+    """Shared assembly: build racks against their CRAC supply, couple."""
+    topology = RoomTopology(
+        room.n_rows, room.racks_per_row, containment=room.containment
+    )
+    crac_of: dict[int, CRACUnit] = {}
+    for crac in cracs:
+        for rack in crac.racks:
+            crac_of[rack] = crac
+    racks = [
+        rack_builder(r, crac_of[r].supply_temperature_c)
+        for r in range(room.n_racks)
+    ]
+    coupling = build_room_coupling(room, topology, racks, cracs)
+    return Room(
+        racks,
+        topology=topology,
+        coupling=coupling,
+        cracs=cracs,
+        inlet_limit_c=room.inlet_limit_c,
+    )
+
+
+def uniform_room(
+    room: RoomConfig | None = None,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    config: ServerConfig | None = None,
+    scheme: str = "rcoord",
+) -> Room:
+    """Every rack a homogeneous paper-workload rack, one healthy CRAC."""
+    room = room or RoomConfig()
+    cracs = (CRACUnit(room.crac, racks=tuple(range(room.n_racks))),)
+    return _assemble_room(
+        room,
+        cracs,
+        lambda r, supply_c: _build_rack(
+            room, duration_s, _rack_seed(seed, r), config, scheme, supply_c
+        ),
+    )
+
+
+def hot_spot_rack_room(
+    room: RoomConfig | None = None,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    config: ServerConfig | None = None,
+    scheme: str = "rcoord",
+    hot_rack: int = 0,
+    hot_level: float = 0.9,
+    idle_level: float = 0.15,
+) -> Room:
+    """One rack pinned near full load, the rest near idle.
+
+    The aisle stress case: the hot rack's exhaust leaks into its
+    neighbours' inlets and (through the CRAC return) nudges the whole
+    room's supply, raising fan speeds on racks whose own CPUs idle.
+    """
+    room = room or RoomConfig()
+    if not 0 <= hot_rack < room.n_racks:
+        raise ExperimentError(
+            f"hot_rack must be in [0, {room.n_racks}), got {hot_rack}"
+        )
+    cracs = (CRACUnit(room.crac, racks=tuple(range(room.n_racks))),)
+
+    def build(r: int, supply_c: float) -> Rack:
+        level = hot_level if r == hot_rack else idle_level
+        return _build_rack(
+            room,
+            duration_s,
+            _rack_seed(seed, r),
+            config,
+            scheme,
+            supply_c,
+            workloads=[
+                ConstantWorkload(level) for _ in range(room.servers_per_rack)
+            ],
+            initial_utilization=idle_level,
+        )
+
+    return _assemble_room(room, cracs, build)
+
+
+def failed_crac_room(
+    room: RoomConfig | None = None,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    config: ServerConfig | None = None,
+    scheme: str = "rcoord",
+    failed_unit: int = 0,
+) -> Room:
+    """Two supply groups, one unit failed (hot supply, severed feedback).
+
+    Multi-row rooms get one CRAC per row; a single-row room splits the
+    row into two halves.  The failed group's racks breathe
+    ``failure_supply_rise_c`` above the setpoint, so their DTMs run
+    against a hot inlet while the healthy group stays nominal - the
+    asymmetric-supply case global schemes must not destabilize on.
+    """
+    room = room or RoomConfig()
+    if room.n_rows > 1:
+        groups = [
+            tuple(
+                range(row * room.racks_per_row, (row + 1) * room.racks_per_row)
+            )
+            for row in range(room.n_rows)
+        ]
+    else:
+        if room.n_racks < 2:
+            raise ExperimentError(
+                "failed_crac needs at least 2 racks to form two supply groups"
+            )
+        half = (room.n_racks + 1) // 2
+        groups = [
+            tuple(range(0, half)),
+            tuple(range(half, room.n_racks)),
+        ]
+    if not 0 <= failed_unit < len(groups):
+        raise ExperimentError(
+            f"failed_unit must be in [0, {len(groups)}), got {failed_unit}"
+        )
+    cracs = tuple(
+        CRACUnit(room.crac, racks=group, failed=(g == failed_unit))
+        for g, group in enumerate(groups)
+    )
+    return _assemble_room(
+        room,
+        cracs,
+        lambda r, supply_c: _build_rack(
+            room, duration_s, _rack_seed(seed, r), config, scheme, supply_c
+        ),
+    )
+
+
+def mixed_aisles_room(
+    room: RoomConfig | None = None,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    config: ServerConfig | None = None,
+    schemes: Sequence[str] = ("rcoord", "uncoordinated"),
+) -> Room:
+    """Rows alternate DTM schemes - coordinated vs uncoordinated aisles.
+
+    Cycles ``schemes`` across the rows, so a two-row room directly
+    contrasts a coordinated aisle against an uncoordinated one under
+    identical workloads and a shared CRAC.
+    """
+    room = room or RoomConfig()
+    if not schemes:
+        raise ExperimentError("mixed_aisles needs at least one scheme")
+    cracs = (CRACUnit(room.crac, racks=tuple(range(room.n_racks))),)
+    racks_per_row = room.racks_per_row
+
+    def build(r: int, supply_c: float) -> Rack:
+        scheme = schemes[(r // racks_per_row) % len(schemes)]
+        return _build_rack(
+            room, duration_s, _rack_seed(seed, r), config, scheme, supply_c
+        )
+
+    return _assemble_room(room, cracs, build)
+
+
+#: Scenario-name registry, mirroring :data:`repro.fleet.scenarios.
+#: FLEET_SCENARIOS` one level up.
+ROOM_SCENARIOS: dict[str, Callable[..., Room]] = {
+    "uniform": uniform_room,
+    "hot_spot_rack": hot_spot_rack_room,
+    "failed_crac": failed_crac_room,
+    "mixed_aisles": mixed_aisles_room,
+}
+
+
+def build_room_scenario(
+    name: str,
+    room: RoomConfig | None = None,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    config: ServerConfig | None = None,
+    **kwargs,
+) -> Room:
+    """Build a registered room scenario by name."""
+    if name not in ROOM_SCENARIOS:
+        raise ExperimentError(
+            f"unknown room scenario {name!r}; choose from "
+            f"{sorted(ROOM_SCENARIOS)}"
+        )
+    return ROOM_SCENARIOS[name](
+        room=room,
+        duration_s=duration_s,
+        seed=seed,
+        config=config,
+        **kwargs,
+    )

@@ -1,0 +1,218 @@
+"""Lockstep room simulation driver.
+
+:class:`RoomSimulator` advances every server of every rack in a
+:class:`~repro.room.room.Room` through the same time grid, mirroring
+:class:`~repro.fleet.simulator.FleetSimulator` one level up:
+
+* ``"vectorized"`` - all racks stack into **one** ``(R*B,)``-wide
+  :class:`~repro.sim.batch.BatchStepper` (via
+  :mod:`repro.room.stack`), with the room's
+  :class:`~repro.room.coupling.SparseCoupling` applied as a block-sparse
+  mat-vec once per ``dt``.  This is the room's native execution model:
+  the per-``dt`` Python dispatch is paid once for the whole room
+  instead of once per rack.
+* ``"scalar"`` - one :class:`~repro.sim.engine.ServerStepper` per
+  server with :meth:`Room.update_inlets` once per step; the bit-for-bit
+  reference the stacked path is tested against.
+
+``backend="auto"`` (the default) stacks whenever the room's plants and
+sensors support batching, falling back to scalar (with the reason
+recorded in ``RoomResult.extras``) otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.fleet.result import FleetResult
+from repro.room.result import RoomResult
+from repro.room.room import Room
+from repro.room.stack import (
+    split_stacked_results,
+    stacked_stepper,
+    stacked_unsupported_reason,
+)
+from repro.sim.engine import ServerStepper
+from repro.units import check_duration
+from repro.workload.performance import DeadlineTracker
+
+#: Valid execution backends (same meaning as FleetSimulator's).
+BACKENDS = ("auto", "scalar", "vectorized")
+
+
+class RoomSimulator:
+    """Step a whole room in lockstep with sparse recirculation coupling.
+
+    Parameters mirror :class:`~repro.fleet.simulator.FleetSimulator`,
+    plus ``inlet_limit_c`` feeding the room result's supply-margin
+    metric (default: the room's own limit, which scenario builders take
+    from :attr:`~repro.config.RoomConfig.inlet_limit_c`).
+    """
+
+    def __init__(
+        self,
+        room: Room,
+        dt_s: float = 0.1,
+        record_decimation: int = 1,
+        violation_tolerance: float = 0.01,
+        degradation_window: int = 10,
+        backend: str = "auto",
+        inlet_limit_c: float | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        self._room = room
+        self._dt = check_duration(dt_s, "dt_s")
+        self._decimation = record_decimation
+        self._violation_tolerance = violation_tolerance
+        self._degradation_window = degradation_window
+        self._backend = backend
+        self._inlet_limit_c = (
+            room.inlet_limit_c if inlet_limit_c is None else inlet_limit_c
+        )
+
+    @property
+    def room(self) -> Room:
+        """The room being simulated."""
+        return self._room
+
+    @property
+    def backend(self) -> str:
+        """The configured execution backend."""
+        return self._backend
+
+    def run(self, duration_s: float, label: str = "room") -> RoomResult:
+        """Simulate the whole room for ``duration_s`` seconds."""
+        check_duration(duration_s, "duration_s")
+        n_steps = int(round(duration_s / self._dt))
+        if n_steps < 1:
+            raise SimulationError(f"duration {duration_s} shorter than one step")
+
+        fallback_reason = None
+        if self._backend in ("auto", "vectorized"):
+            fallback_reason = stacked_unsupported_reason(
+                self._room.racks, self._room.coupling
+            )
+            if fallback_reason is None:
+                return self._run_vectorized(n_steps, label)
+        extras = {"backend": "scalar"}
+        if fallback_reason is not None:
+            extras["fallback_reason"] = fallback_reason
+        return self._run_scalar(n_steps, label, extras)
+
+    # ------------------------------------------------------------------
+
+    def _rack_labels(self, label: str) -> list[str]:
+        return [f"{label}/rack{r:02d}" for r in range(self._room.n_racks)]
+
+    def _package(
+        self,
+        rack_results: list[FleetResult],
+        label: str,
+        extras: dict,
+    ) -> RoomResult:
+        room = self._room
+        crac_energy = 0.0
+        for crac in room.cracs:
+            heat_j = sum(
+                rack_results[r].metrics.total_energy_j for r in crac.racks
+            )
+            crac_energy += crac.energy_j(heat_j)
+        extras = dict(extras)
+        extras.setdefault("n_racks", room.n_racks)
+        extras.setdefault("stacked_width", room.n_servers)
+        extras.setdefault("containment", room.topology.containment)
+        return RoomResult(
+            rack_results=tuple(rack_results),
+            supply_c=room.supply_temperatures_c(),
+            crac_energy_j=crac_energy,
+            inlet_limit_c=self._inlet_limit_c,
+            label=label,
+            extras=extras,
+        )
+
+    def _run_vectorized(self, n_steps: int, label: str) -> RoomResult:
+        room = self._room
+        stepper = stacked_stepper(
+            room.racks,
+            n_steps=n_steps,
+            dt_s=self._dt,
+            record_decimation=self._decimation,
+            violation_tolerance=self._violation_tolerance,
+            degradation_window=self._degradation_window,
+            coupling=room.coupling,
+            # run() already consulted stacked_unsupported_reason.
+            precheck=False,
+        )
+        stepper.run()
+        rack_results = split_stacked_results(
+            stepper, room.racks, self._rack_labels(label)
+        )
+        extras = {"backend": "vectorized"}
+        fallbacks = stepper.controller_fallbacks
+        if not fallbacks:
+            extras["controller_backend"] = "vectorized"
+        elif stepper.n_vectorized_controllers == 0:
+            extras["controller_backend"] = "scalar"
+        else:
+            extras["controller_backend"] = "mixed"
+        return self._package(rack_results, label, extras)
+
+    def _run_scalar(
+        self, n_steps: int, label: str, extras: dict
+    ) -> RoomResult:
+        room = self._room
+        trackers = [
+            DeadlineTracker(
+                tolerance=self._violation_tolerance,
+                window=self._degradation_window,
+            )
+            for _ in range(room.n_servers)
+        ]
+        steppers = [
+            ServerStepper(
+                slot.plant,
+                slot.sensor,
+                slot.workload,
+                slot.controller,
+                n_steps=n_steps,
+                dt_s=self._dt,
+                record_decimation=self._decimation,
+                tracker=tracker,
+            )
+            for slot, tracker in zip(room, trackers)
+        ]
+
+        inlet_sums = np.zeros(room.n_servers)
+        for _ in range(n_steps):
+            # Exhaust produced up to step k sets the inlets for step k+1.
+            room.update_inlets()
+            for stepper in steppers:
+                stepper.step()
+            inlet_sums += room.inlet_temperatures_c()
+        mean_inlets = inlet_sums / n_steps
+
+        rack_results = []
+        labels = self._rack_labels(label)
+        start = 0
+        for rack, rack_label in zip(room.racks, labels):
+            stop = start + rack.n_servers
+            server_results = tuple(
+                stepper.finish(label=f"{rack_label}/{slot.name}")
+                for slot, stepper in zip(rack, steppers[start:stop])
+            )
+            rack_results.append(
+                FleetResult(
+                    server_results=server_results,
+                    mean_inlet_c=tuple(
+                        float(v) for v in mean_inlets[start:stop]
+                    ),
+                    label=rack_label,
+                    extras=dict(extras),
+                )
+            )
+            start = stop
+        return self._package(rack_results, label, extras)

@@ -1,0 +1,145 @@
+"""Room layout: racks in rows/aisles with containment options.
+
+A :class:`RoomTopology` places ``n_racks`` racks on a ``rows x cols``
+grid.  Racks in the same row front onto a shared cold aisle, so adjacent
+racks exchange a little exhaust sideways around their ends; racks in
+different rows only interact through the CRAC return plenum.  The
+containment scheme scales both paths:
+
+==============  =====================================================
+scheme          physical picture
+==============  =====================================================
+``none``        open room - aisle leakage and return mixing at full
+                strength
+``cold_aisle``  cold aisles capped and doored - supply air reaches
+                inlets cleanly, but hot exhaust still roams the room
+``hot_aisle``   hot aisles ducted straight to the return plenum -
+                almost no exhaust re-entrainment anywhere
+==============  =====================================================
+
+The factors are multipliers on :class:`~repro.config.RoomConfig`'s base
+``inter_rack_fraction`` and on the CRAC return-mixing weight, chosen to
+order the schemes physically (none > cold aisle > hot aisle) rather
+than to reproduce a measured facility.
+"""
+
+from __future__ import annotations
+
+from repro.config import CONTAINMENT_SCHEMES
+from repro.errors import RoomError
+
+#: containment scheme -> (inter-rack leakage factor, return-mix factor).
+CONTAINMENT_FACTORS = {
+    "none": (1.0, 1.0),
+    "cold_aisle": (0.4, 0.7),
+    "hot_aisle": (0.15, 0.25),
+}
+
+assert set(CONTAINMENT_FACTORS) == set(CONTAINMENT_SCHEMES)
+
+
+class RoomTopology:
+    """Grid placement of racks plus the containment scheme.
+
+    Rack ``r`` sits at row ``r // racks_per_row``, column
+    ``r % racks_per_row`` - rack indices walk each row left to right,
+    matching the order racks are stacked into the batch.
+    """
+
+    def __init__(
+        self,
+        n_rows: int = 1,
+        racks_per_row: int = 4,
+        containment: str = "none",
+    ) -> None:
+        if n_rows < 1:
+            raise RoomError(f"n_rows must be >= 1, got {n_rows}")
+        if racks_per_row < 1:
+            raise RoomError(
+                f"racks_per_row must be >= 1, got {racks_per_row}"
+            )
+        if containment not in CONTAINMENT_FACTORS:
+            raise RoomError(
+                f"containment must be one of {sorted(CONTAINMENT_FACTORS)}, "
+                f"got {containment!r}"
+            )
+        self._rows = n_rows
+        self._cols = racks_per_row
+        self._containment = containment
+
+    @classmethod
+    def grid(
+        cls, n_rows: int, racks_per_row: int, containment: str = "none"
+    ) -> "RoomTopology":
+        """Alias constructor reading like the layout it builds."""
+        return cls(n_rows, racks_per_row, containment)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rack rows (one cold aisle each)."""
+        return self._rows
+
+    @property
+    def racks_per_row(self) -> int:
+        """Racks along each row."""
+        return self._cols
+
+    @property
+    def n_racks(self) -> int:
+        """Total racks in the room."""
+        return self._rows * self._cols
+
+    @property
+    def containment(self) -> str:
+        """The aisle containment scheme."""
+        return self._containment
+
+    @property
+    def inter_rack_factor(self) -> float:
+        """Containment multiplier on aisle (rack-to-rack) leakage."""
+        return CONTAINMENT_FACTORS[self._containment][0]
+
+    @property
+    def return_mix_factor(self) -> float:
+        """Containment multiplier on exhaust reaching the CRAC return."""
+        return CONTAINMENT_FACTORS[self._containment][1]
+
+    def position(self, rack: int) -> tuple[int, int]:
+        """``(row, column)`` of rack ``rack``."""
+        self._check_rack(rack)
+        return rack // self._cols, rack % self._cols
+
+    def row_of(self, rack: int) -> int:
+        """The row (aisle) a rack belongs to."""
+        return self.position(rack)[0]
+
+    def racks_in_row(self, row: int) -> tuple[int, ...]:
+        """Rack indices along row ``row``, left to right."""
+        if not 0 <= row < self._rows:
+            raise RoomError(f"row must be in [0, {self._rows}), got {row}")
+        first = row * self._cols
+        return tuple(range(first, first + self._cols))
+
+    def neighbors(self, rack: int) -> tuple[int, ...]:
+        """Racks adjacent to ``rack`` along its own row."""
+        row, col = self.position(rack)
+        adjacent = []
+        if col > 0:
+            adjacent.append(rack - 1)
+        if col < self._cols - 1:
+            adjacent.append(rack + 1)
+        return tuple(adjacent)
+
+    def aisle_pairs(self) -> tuple[tuple[int, int], ...]:
+        """All ordered ``(dst, src)`` adjacent-rack pairs, both ways."""
+        pairs = []
+        for rack in range(self.n_racks):
+            for neighbor in self.neighbors(rack):
+                pairs.append((rack, neighbor))
+        return tuple(pairs)
+
+    def _check_rack(self, rack: int) -> None:
+        if not 0 <= rack < self.n_racks:
+            raise RoomError(
+                f"rack index must be in [0, {self.n_racks}), got {rack}"
+            )

@@ -493,7 +493,9 @@ class BatchStepper:
             self._inlet_sums = np.zeros(n)
             self._zero_offsets = np.zeros(n)
             self._last_offsets = self._zero_offsets
-            self._coupling_matrix = coupling.matrix
+            # Hot-path handle on the CouplingOperator: dense racks run one
+            # gemv, room-scale operators a block-sparse mat-vec.
+            self._coupling_apply = coupling.apply
             # Exhaust conductance depends only on the fan-speed array,
             # which is replaced (never mutated) on fan changes, so cache
             # it keyed on array identity.
@@ -622,7 +624,7 @@ class BatchStepper:
         coupled = self._coupled
         decoupled = coupled and self._decoupled
         if coupled:
-            coupling_m = None if decoupled else self._coupling_matrix
+            coupling_apply = None if decoupled else self._coupling_apply
             room = self._room
         else:
             ambient = self._ambient_const
@@ -647,7 +649,7 @@ class BatchStepper:
                     rises = (
                         self._state_cpu_w + self._state_fan_w
                     ) / self._conductance
-                    offsets = coupling_m @ rises
+                    offsets = coupling_apply(rises)
                 self._last_offsets = offsets
                 ambient = room + offsets
 

@@ -104,6 +104,18 @@ class SineWorkload(Workload):
             2.0 * math.pi * t_s / self._period_s
         )
 
+    def demand_array(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        # Same expression, same operation order as demand().  Bit-for-bit
+        # equality with the scalar path additionally assumes np.sin's
+        # float64 kernel matches math.sin (true where NumPy defers to the
+        # platform libm; a SIMD sin build could differ in the last ulp).
+        # test_workload pins the equality so a divergent platform fails
+        # loudly rather than silently breaking backend equivalence.
+        return self._mean + self._amplitude * np.sin(
+            2.0 * np.pi * times / self._period_s
+        )
+
 
 class NoisyWorkload(Workload):
     """Wrap a workload with additive Gaussian noise, clamped to [0, 1].
@@ -143,16 +155,60 @@ class NoisyWorkload(Workload):
         if self._std == 0.0:
             return base
         # Slot arithmetic matches the scalar path exactly (same division,
-        # same floor); drawing once per slot *run* in time order keeps the
-        # RNG stream position identical to per-step scalar calls.
+        # same floor); draws happen once per slot *run* in time order, in
+        # bulk, keeping the RNG stream position identical to per-step
+        # scalar calls.
         times = np.asarray(times_s, dtype=float)
         slots = np.floor(times / self._resolution_s).astype(np.int64)
         starts = np.concatenate(([0], np.nonzero(np.diff(slots))[0] + 1))
         lengths = np.diff(np.concatenate((starts, [len(slots)])))
-        noise = np.repeat(
-            [self._noise_for_slot(int(slots[i])) for i in starts], lengths
-        )
+        noise = np.repeat(self._noise_for_slots(slots[starts]), lengths)
         return np.clip(base + noise, 0.0, 1.0)
+
+    def _noise_for_slots(self, slots: np.ndarray) -> np.ndarray:
+        """Per-slot noise for distinct ascending slots, drawn in bulk.
+
+        ``Generator.normal(size=k)`` consumes the bit stream exactly as
+        ``k`` scalar draws do, so each maximal run of cache misses is
+        drawn as one array call while the stream position (and therefore
+        every value) stays identical to per-slot :meth:`_noise_for_slot`
+        calls.  Cache lookups happen only *after* all preceding draws -
+        a clear can only turn hits into misses, never the reverse, so a
+        miss-run scanned ahead of its draw is exactly the run the scalar
+        path would draw, and a hit is re-checked once the draws before
+        it (and any clear they triggered) have happened.
+        """
+        out = np.empty(slots.size)
+        cache = self._noise_cache
+        n = slots.size
+        j = 0
+        while j < n:
+            hit = cache.get(int(slots[j]))
+            if hit is not None:
+                out[j] = hit
+                j += 1
+                continue
+            # A repeated slot (possible on non-ascending public calls)
+            # ends the run too: its first draw must land in the cache
+            # before the repeat is looked up, exactly like scalar visits.
+            run = {int(slots[j])}
+            k = j + 1
+            while k < n:
+                s = int(slots[k])
+                if s in run or s in cache:
+                    break
+                run.add(s)
+                k += 1
+            draws = self._rng.normal(0.0, self._std, size=k - j)
+            for p, value in zip(range(j, k), draws):
+                value = float(value)
+                # Bound the cache: keep only a recent window of slots.
+                if len(cache) > 100_000:
+                    cache.clear()
+                cache[int(slots[p])] = value
+                out[p] = value
+            j = k
+        return out
 
     def _noise_for_slot(self, slot: int) -> float:
         noise = self._noise_cache.get(slot)

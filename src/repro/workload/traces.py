@@ -67,6 +67,21 @@ class TraceWorkload(Workload):
             index = min(index, self._samples.size - 1)
         return float(self._samples[index])
 
+    def demand_array(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        if times.size and float(times.min()) < 0.0:
+            raise WorkloadError(
+                f"trace time must be >= 0, got {float(times.min())}"
+            )
+        # Same division then truncation toward zero as the scalar int()
+        # cast (times are nonnegative), so the ZOH lookup is exact.
+        index = (times / self._interval).astype(np.int64)
+        if self._wrap:
+            index %= self._samples.size
+        else:
+            index = np.minimum(index, self._samples.size - 1)
+        return self._samples[index]
+
     @classmethod
     def from_csv(
         cls, path: str | Path, sample_interval_s: float = 1.0, wrap: bool = False

@@ -127,6 +127,89 @@ class TestCampaignRunner:
         assert summaries[0]["total_energy_j"] > 0.0
 
 
+class TestCampaignChunking:
+    """Same-shape tasks stack into one batch run without changing results."""
+
+    def _tasks(self, n_servers=3, seeds=(0, 1, 2)):
+        return [
+            CampaignTask(
+                scenario="homogeneous",
+                n_servers=n_servers,
+                seed=seed,
+                duration_s=30.0,
+                dt_s=0.5,
+                record_decimation=5,
+            )
+            for seed in seeds
+        ]
+
+    def test_chunked_matches_unchunked_bit_for_bit(self):
+        tasks = self._tasks()
+        solo = CampaignRunner(chunk_size=1).run(tasks)
+        chunked = CampaignRunner(chunk_size=4).run(tasks)
+        for s, c in zip(solo, chunked):
+            assert s.label == c.label
+            assert s.mean_inlet_c == c.mean_inlet_c
+            for rs, rc in zip(s.server_results, c.server_results):
+                for name, channel in rs.channels.items():
+                    assert np.array_equal(channel, rc.channels[name])
+
+    def test_chunk_composition_recorded_in_extras(self):
+        tasks = self._tasks()
+        results = CampaignRunner(chunk_size=2).run(tasks)
+        # Three same-shape tasks, chunk_size 2 -> a pair and a singleton.
+        assert results[0].extras["chunk"] == {
+            "size": 2,
+            "labels": (tasks[0].label, tasks[1].label),
+            "position": 0,
+        }
+        assert results[1].extras["chunk"]["position"] == 1
+        assert results[0].extras["stacked"]["width"] == 6
+        assert "chunk" not in results[2].extras  # singleton runs solo
+        assert all(r.extras["task"] == t for r, t in zip(results, tasks))
+
+    def test_mixed_shapes_chunk_separately_in_task_order(self):
+        tasks = self._tasks(n_servers=2, seeds=(0,)) + self._tasks(
+            n_servers=3, seeds=(1,)
+        ) + self._tasks(n_servers=2, seeds=(2,))
+        results = CampaignRunner(chunk_size=4).run(tasks)
+        assert [r.label for r in results] == [t.label for t in tasks]
+        assert [r.n_servers for r in results] == [2, 3, 2]
+        # The two 2-server tasks stacked together despite the 3-server
+        # task sitting between them.
+        assert results[0].extras["chunk"]["size"] == 2
+        assert results[2].extras["chunk"]["position"] == 1
+
+    def test_scalar_backend_tasks_do_not_stack(self):
+        tasks = [
+            CampaignTask(
+                scenario="homogeneous",
+                n_servers=2,
+                seed=seed,
+                duration_s=20.0,
+                dt_s=0.5,
+                record_decimation=5,
+                backend="scalar",
+            )
+            for seed in (0, 1)
+        ]
+        results = CampaignRunner(chunk_size=4).run(tasks)
+        for result in results:
+            assert result.extras["backend"] == "scalar"
+            assert "chunk" not in result.extras
+
+    def test_chunked_parallel_matches_serial(self):
+        tasks = self._tasks(seeds=(0, 1, 2, 3))
+        serial = CampaignRunner(workers=None, chunk_size=2).run(tasks)
+        parallel = CampaignRunner(workers=2, chunk_size=2).run(tasks)
+        for s, p in zip(serial, parallel):
+            assert s.summary() == p.summary()
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(FleetError):
+            CampaignRunner(chunk_size=0)
+
+
 class TestParallelSweep:
     def test_workers_match_sequential(self):
         sweep = ParameterSweep(

@@ -1,0 +1,465 @@
+"""Room subsystem: sparse coupling, topology, CRAC, stacked execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CRACConfig, FleetConfig, RoomConfig
+from repro.errors import RoomError, SimulationError
+from repro.fleet import FleetSimulator, RecirculationMatrix, homogeneous_rack
+from repro.fleet.coupling import CouplingOperator
+from repro.room import (
+    CRACUnit,
+    Room,
+    RoomSimulator,
+    RoomTopology,
+    SparseCoupling,
+    build_room_scenario,
+    run_stacked_racks,
+    stacked_unsupported_reason,
+    uniform_room,
+)
+from repro.room.scenarios import (
+    ROOM_SCENARIOS,
+    failed_crac_room,
+    hot_spot_rack_room,
+    mixed_aisles_room,
+)
+
+
+def _chain_blocks(n_racks, servers, fraction=0.25):
+    return [
+        RecirculationMatrix.chain(servers, fraction).matrix
+        for _ in range(n_racks)
+    ]
+
+
+def _assert_results_equal(a, b):
+    """Two FleetResults hold bit-for-bit identical runs."""
+    assert a.mean_inlet_c == b.mean_inlet_c
+    for ra, rb in zip(a.server_results, b.server_results):
+        for name, channel in ra.channels.items():
+            assert np.array_equal(channel, rb.channels[name]), name
+        assert ra.energy == rb.energy
+        assert ra.performance == rb.performance
+
+
+class TestSparseCoupling:
+    def test_block_diagonal_matches_dense(self):
+        blocks = _chain_blocks(3, 4)
+        sparse = SparseCoupling.block_diagonal(blocks)
+        dense = sparse.to_dense()
+        rises = np.linspace(0.5, 3.0, 12)
+        # Block-diagonal apply runs the same per-rack gemvs as the dense
+        # racks would, so this holds exactly, not just to tolerance.
+        per_rack = np.concatenate(
+            [block @ rises[4 * r : 4 * (r + 1)] for r, block in enumerate(blocks)]
+        )
+        assert np.array_equal(sparse.apply(rises), per_rack)
+        assert np.allclose(sparse.apply(rises), dense @ rises)
+
+    def test_cross_and_feedback_match_dense_to_tolerance(self):
+        blocks = _chain_blocks(2, 3)
+        cross = {(0, 1): 0.05 * np.eye(3), (1, 0): 0.02 * np.ones((3, 3))}
+        gain = 0.3 * np.ones(6)
+        mix = np.full(6, 0.7 / 6)
+        sparse = SparseCoupling(
+            blocks, cross=cross, feedback_gain=gain, feedback_mix=mix
+        )
+        rises = np.array([1.0, 2.0, 0.5, 3.0, 0.25, 1.5])
+        dense = sparse.to_dense()
+        assert np.allclose(sparse.apply(rises), dense @ rises, rtol=1e-12)
+        assert sparse.feedback_rank == 1
+
+    def test_csr_arrays_reconstruct_sparsity(self):
+        blocks = _chain_blocks(2, 3)
+        cross = {(1, 0): 0.05 * np.eye(3)}
+        sparse = SparseCoupling(blocks, cross=cross)
+        indptr, indices, data = sparse.csr_arrays()
+        dense = np.zeros((6, 6))
+        for i in range(6):
+            for k in range(indptr[i], indptr[i + 1]):
+                dense[i, indices[k]] = data[k]
+        assert np.array_equal(dense, sparse.to_dense())
+        assert indptr[-1] == sparse.nnz
+        assert 0.0 < sparse.density < 1.0
+
+    def test_is_decoupled(self):
+        zero = SparseCoupling.block_diagonal([np.zeros((2, 2))] * 2)
+        assert zero.is_decoupled
+        assert not SparseCoupling.block_diagonal(_chain_blocks(1, 2)).is_decoupled
+        # A nonzero low-rank term couples even over zero blocks.
+        fed = SparseCoupling(
+            [np.zeros((2, 2))],
+            feedback_gain=np.ones(2),
+            feedback_mix=np.ones(2),
+        )
+        assert not fed.is_decoupled
+
+    def test_is_a_coupling_operator(self):
+        from repro.errors import FleetError
+
+        sparse = SparseCoupling.block_diagonal(_chain_blocks(2, 2))
+        assert isinstance(sparse, CouplingOperator)
+        with pytest.raises(FleetError):
+            sparse.inlet_offsets_c(np.zeros(3))
+
+    def test_to_recirculation_matrix_round_trips(self):
+        sparse = SparseCoupling(
+            _chain_blocks(2, 2), cross={(0, 1): 0.1 * np.eye(2)}
+        )
+        dense = sparse.to_recirculation_matrix()
+        rises = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(dense.apply(rises), sparse.apply(rises))
+
+    def test_validation(self):
+        with pytest.raises(RoomError):
+            SparseCoupling([])
+        with pytest.raises(RoomError):
+            SparseCoupling([np.ones((2, 3))])  # not square
+        with pytest.raises(RoomError):
+            SparseCoupling([np.eye(2)])  # nonzero diagonal
+        with pytest.raises(RoomError):
+            SparseCoupling([-np.ones((2, 2)) + np.eye(2)])  # negative
+        blocks = _chain_blocks(2, 2)
+        with pytest.raises(RoomError):
+            SparseCoupling(blocks, cross={(0, 0): np.zeros((2, 2))})
+        with pytest.raises(RoomError):
+            SparseCoupling(blocks, cross={(0, 2): np.zeros((2, 2))})
+        with pytest.raises(RoomError):
+            SparseCoupling(blocks, cross={(0, 1): np.zeros((3, 2))})
+        with pytest.raises(RoomError):
+            SparseCoupling(blocks, feedback_gain=np.ones(4))  # missing mix
+        with pytest.raises(RoomError):
+            SparseCoupling(
+                blocks,
+                feedback_gain=np.ones(3),
+                feedback_mix=np.ones(4),
+            )
+
+
+class TestRoomTopology:
+    def test_grid_positions_and_rows(self):
+        topo = RoomTopology(2, 3)
+        assert topo.n_racks == 6
+        assert topo.position(4) == (1, 1)
+        assert topo.racks_in_row(1) == (3, 4, 5)
+        assert topo.row_of(5) == 1
+
+    def test_neighbors_stay_in_row(self):
+        topo = RoomTopology(2, 3)
+        assert topo.neighbors(0) == (1,)
+        assert topo.neighbors(1) == (0, 2)
+        # Rack 2 ends row 0; rack 3 starts row 1 - not neighbours.
+        assert topo.neighbors(2) == (1,)
+        assert topo.neighbors(3) == (4,)
+        pairs = topo.aisle_pairs()
+        assert (2, 3) not in pairs and (3, 2) not in pairs
+
+    def test_containment_orders_factors(self):
+        none = RoomTopology(1, 2, containment="none")
+        cold = RoomTopology(1, 2, containment="cold_aisle")
+        hot = RoomTopology(1, 2, containment="hot_aisle")
+        assert none.inter_rack_factor > cold.inter_rack_factor > hot.inter_rack_factor
+        assert none.return_mix_factor > cold.return_mix_factor > hot.return_mix_factor
+
+    def test_validation(self):
+        with pytest.raises(RoomError):
+            RoomTopology(0, 2)
+        with pytest.raises(RoomError):
+            RoomTopology(1, 2, containment="open_plan")
+        with pytest.raises(RoomError):
+            RoomTopology(1, 2).position(2)
+
+
+class TestCRACUnit:
+    def test_failed_unit_supply_and_energy(self):
+        cfg = CRACConfig(supply_setpoint_c=22.0, failure_supply_rise_c=6.0)
+        healthy = CRACUnit(cfg, racks=(0,))
+        failed = CRACUnit(cfg, racks=(1,), failed=True)
+        assert healthy.supply_temperature_c == 22.0
+        assert failed.supply_temperature_c == 28.0
+        assert healthy.energy_j(700.0) == pytest.approx(700.0 / cfg.cop)
+        assert failed.energy_j(700.0) == 0.0
+
+    def test_feedback_rows(self):
+        crac = CRACUnit(CRACConfig(return_sensitivity_k_per_k=0.4), racks=(0,))
+        mask = np.array([True, True, False, False])
+        gain, mix = crac.feedback_rows(mask, return_mix_factor=0.5)
+        assert np.array_equal(gain, [0.4, 0.4, 0.0, 0.0])
+        assert np.array_equal(mix, [0.25, 0.25, 0.0, 0.0])
+        # Failed units sever the loop.
+        dead = CRACUnit(CRACConfig(), racks=(0,), failed=True)
+        gain, mix = dead.feedback_rows(mask, 0.5)
+        assert not gain.any() and not mix.any()
+
+    def test_validation(self):
+        with pytest.raises(RoomError):
+            CRACUnit(racks=(0, 0))
+        with pytest.raises(RoomError):
+            CRACUnit(racks=(-1,))
+        with pytest.raises(RoomError):
+            CRACUnit().energy_j(-1.0)
+
+
+class TestRoomComposition:
+    def test_crac_partition_validated(self):
+        racks = [homogeneous_rack(n_servers=2, duration_s=30.0) for _ in range(2)]
+        with pytest.raises(RoomError):
+            Room(racks, cracs=(CRACUnit(racks=(0,)),))  # rack 1 unfed
+        with pytest.raises(RoomError):
+            Room(
+                racks,
+                cracs=(CRACUnit(racks=(0, 1)), CRACUnit(racks=(1,))),
+            )  # rack 1 fed twice
+
+    def test_coupling_block_sizes_validated(self):
+        racks = [homogeneous_rack(n_servers=2, duration_s=30.0) for _ in range(2)]
+        with pytest.raises(RoomError):
+            Room(racks, coupling=SparseCoupling.block_diagonal(_chain_blocks(2, 3)))
+
+    def test_defaults_are_block_diagonal_one_crac(self):
+        racks = [homogeneous_rack(n_servers=2, duration_s=30.0) for _ in range(3)]
+        room = Room(racks)
+        assert room.n_servers == 6
+        assert room.coupling.n_racks == 3
+        assert room.coupling.feedback_rank == 0
+        assert room.crac_of(2) is room.cracs[0]
+        assert room.rack_slice(1) == slice(2, 4)
+
+
+class TestStackedEquivalence:
+    """The acceptance-criteria equivalences, all bit-for-bit."""
+
+    def test_stacked_racks_match_per_rack_runs(self):
+        """run_stacked_racks == FleetSimulator per rack, bit-for-bit."""
+        def build(seed):
+            return homogeneous_rack(
+                n_servers=3,
+                duration_s=40.0,
+                seed=seed,
+                fleet=FleetConfig(n_servers=3, recirc_fraction=0.25),
+            )
+
+        stacked = run_stacked_racks(
+            [build(0), build(7)], duration_s=40.0, dt_s=0.5, record_decimation=2
+        )
+        for seed, stacked_result in zip((0, 7), stacked):
+            solo = FleetSimulator(
+                build(seed), dt_s=0.5, record_decimation=2, backend="vectorized"
+            ).run(40.0, label=stacked_result.label)
+            _assert_results_equal(stacked_result, solo)
+            assert stacked_result.extras["backend"] == "vectorized"
+            assert stacked_result.extras["stacked"]["n_racks"] == 2
+            assert stacked_result.extras["stacked"]["width"] == 6
+
+    def test_zero_inter_rack_room_matches_independent_racks(self):
+        """A room with no inter-rack terms == independent per-rack runs."""
+        cfg = RoomConfig(
+            n_rows=1,
+            racks_per_row=3,
+            servers_per_rack=4,
+            inter_rack_fraction=0.0,
+            crac=CRACConfig(return_sensitivity_k_per_k=0.0),
+        )
+        room = uniform_room(cfg, duration_s=40.0, seed=3)
+        assert room.coupling.feedback_rank == 0
+        assert not room.coupling.cross_blocks
+        result = RoomSimulator(room, dt_s=0.5, record_decimation=2).run(40.0)
+        assert result.extras["backend"] == "vectorized"
+
+        from repro.room.scenarios import _rack_seed
+
+        for r in range(3):
+            solo_rack = homogeneous_rack(
+                n_servers=4,
+                duration_s=40.0,
+                seed=_rack_seed(3, r),
+                fleet=cfg.fleet_config(),
+            )
+            solo = FleetSimulator(
+                solo_rack, dt_s=0.5, record_decimation=2, backend="vectorized"
+            ).run(40.0, label=result.rack_results[r].label)
+            _assert_results_equal(result.rack_results[r], solo)
+
+    def test_sparse_matches_equivalent_dense_matrix(self):
+        """Sparse room coupling == one dense RecirculationMatrix rack."""
+        cfg = RoomConfig(
+            n_rows=1,
+            racks_per_row=2,
+            servers_per_rack=2,
+            inter_rack_fraction=0.1,
+            crac=CRACConfig(return_sensitivity_k_per_k=0.0),
+        )
+        sparse_room = uniform_room(cfg, duration_s=40.0, seed=5)
+        dense_room = uniform_room(cfg, duration_s=40.0, seed=5)
+        dense = dense_room.coupling.to_recirculation_matrix()
+        # One 4-server "rack" spanning the room, coupled by the dense
+        # equivalent matrix - same physics, different mat-vec.
+        from repro.fleet.rack import Rack
+
+        flat = Rack(
+            dense_room.slots, coupling=dense, exhaust=dense_room.exhaust
+        )
+        dense_result = FleetSimulator(
+            flat, dt_s=0.5, record_decimation=2, backend="vectorized"
+        ).run(40.0)
+        sparse_result = RoomSimulator(
+            sparse_room, dt_s=0.5, record_decimation=2, backend="vectorized"
+        ).run(40.0)
+        sparse_servers = [
+            s for rack in sparse_result.rack_results for s in rack.server_results
+        ]
+        for sparse_server, dense_server in zip(
+            sparse_servers, dense_result.server_results
+        ):
+            for name, channel in sparse_server.channels.items():
+                assert np.allclose(
+                    channel,
+                    dense_server.channels[name],
+                    rtol=1e-10,
+                    atol=1e-9,
+                ), name
+
+    def test_scalar_room_backend_matches_vectorized(self):
+        cfg = RoomConfig(n_rows=2, racks_per_row=2, servers_per_rack=2)
+        scalar = RoomSimulator(
+            uniform_room(cfg, duration_s=30.0, seed=1),
+            dt_s=0.5,
+            record_decimation=2,
+            backend="scalar",
+        ).run(30.0)
+        vectorized = RoomSimulator(
+            uniform_room(cfg, duration_s=30.0, seed=1),
+            dt_s=0.5,
+            record_decimation=2,
+            backend="vectorized",
+        ).run(30.0)
+        assert scalar.extras["backend"] == "scalar"
+        assert vectorized.extras["backend"] == "vectorized"
+        for rack_s, rack_v in zip(scalar.rack_results, vectorized.rack_results):
+            _assert_results_equal(rack_s, rack_v)
+        assert scalar.summary() == vectorized.summary()
+
+    def test_stacked_rejects_mismatched_exhaust(self):
+        a = homogeneous_rack(n_servers=2, duration_s=30.0)
+        b = homogeneous_rack(
+            n_servers=2,
+            duration_s=30.0,
+            fleet=FleetConfig(n_servers=2, exhaust_conductance_w_per_k=80.0),
+        )
+        assert stacked_unsupported_reason([a, b]) is not None
+        with pytest.raises(SimulationError):
+            run_stacked_racks([a, b], duration_s=30.0, dt_s=0.5)
+
+
+class TestRoomScenariosAndResult:
+    def test_registry_builds_and_runs_vectorized(self):
+        cfg = RoomConfig(n_rows=2, racks_per_row=2, servers_per_rack=2)
+        for name in sorted(ROOM_SCENARIOS):
+            room = build_room_scenario(name, cfg, duration_s=20.0, seed=2)
+            assert room.n_racks == 4
+            result = RoomSimulator(room, dt_s=0.5, record_decimation=5).run(20.0)
+            assert result.extras["backend"] == "vectorized"
+            assert result.extras["controller_backend"] == "vectorized"
+            summary = result.summary()
+            assert all(np.isfinite(v) for v in summary.values()), name
+
+    def test_failed_crac_heats_its_group(self):
+        cfg = RoomConfig(n_rows=2, racks_per_row=2, servers_per_rack=2)
+        room = failed_crac_room(cfg, duration_s=20.0, seed=2, failed_unit=0)
+        supplies = room.supply_temperatures_c()
+        rise = room.cracs[0].config.failure_supply_rise_c
+        setpoint = room.cracs[0].config.supply_setpoint_c
+        assert supplies[0] == supplies[1] == setpoint + rise
+        assert supplies[2] == supplies[3] == setpoint
+
+    def test_hot_spot_rack_spreads_inlets(self):
+        cfg = RoomConfig(n_rows=1, racks_per_row=3, servers_per_rack=2)
+        hot = hot_spot_rack_room(cfg, duration_s=60.0, seed=1, hot_rack=0)
+        result = RoomSimulator(hot, dt_s=0.5, record_decimation=5).run(60.0)
+        per_rack = result.metrics.per_rack_mean_inlet_c
+        # The hot rack's neighbours breathe its exhaust; rack 2 is fed
+        # only through the (weaker) CRAC loop, so inlets fall with
+        # distance from the hot rack.
+        assert per_rack[1] > per_rack[2]
+        assert result.metrics.inlet_spread_c > 0.0
+
+    def test_mixed_aisles_alternates_schemes(self):
+        cfg = RoomConfig(n_rows=2, racks_per_row=2, servers_per_rack=2)
+        room = mixed_aisles_room(
+            cfg, duration_s=20.0, seed=1, schemes=("rcoord", "uncoordinated")
+        )
+        from repro.core.rules import RuleBasedCoordinator
+        from repro.core.uncoordinated import UncoordinatedCoordinator
+
+        row0 = room.racks[0].slots[0].controller.coordinator
+        row1 = room.racks[2].slots[0].controller.coordinator
+        assert isinstance(row0, RuleBasedCoordinator)
+        assert isinstance(row1, UncoordinatedCoordinator)
+
+    def test_containment_reduces_coupling(self):
+        def spread(containment):
+            cfg = RoomConfig(
+                n_rows=1,
+                racks_per_row=3,
+                servers_per_rack=2,
+                containment=containment,
+            )
+            room = hot_spot_rack_room(cfg, duration_s=60.0, seed=1)
+            result = RoomSimulator(room, dt_s=0.5, record_decimation=5).run(60.0)
+            return result.metrics.per_rack_mean_inlet_c[1]
+
+        assert spread("none") > spread("hot_aisle")
+
+    def test_room_result_metrics_and_crac_energy(self):
+        cfg = RoomConfig(n_rows=1, racks_per_row=2, servers_per_rack=2)
+        room = uniform_room(cfg, duration_s=20.0, seed=1)
+        result = RoomSimulator(room, dt_s=0.5, record_decimation=5).run(20.0)
+        metrics = result.metrics
+        it_energy = sum(r.metrics.total_energy_j for r in result.rack_results)
+        assert metrics.crac_energy_j == pytest.approx(
+            it_energy / cfg.crac.cop
+        )
+        assert metrics.room_energy_j == pytest.approx(
+            it_energy + metrics.crac_energy_j
+        )
+        assert result.n_servers == 4
+        assert len(result.server_results) == 4
+        assert result.times.size == result.rack(0).times.size
+
+    def test_inlet_limit_flows_from_config_to_metric(self):
+        cfg_a = RoomConfig(n_rows=1, racks_per_row=2, servers_per_rack=2)
+        cfg_b = RoomConfig(
+            n_rows=1, racks_per_row=2, servers_per_rack=2, inlet_limit_c=30.0
+        )
+        result_a = RoomSimulator(
+            uniform_room(cfg_a, duration_s=20.0, seed=1),
+            dt_s=0.5,
+            record_decimation=5,
+        ).run(20.0)
+        result_b = RoomSimulator(
+            uniform_room(cfg_b, duration_s=20.0, seed=1),
+            dt_s=0.5,
+            record_decimation=5,
+        ).run(20.0)
+        # Same physics, tighter limit: the margin shifts by exactly the
+        # limit difference.
+        assert result_b.metrics.supply_margin_c == pytest.approx(
+            result_a.metrics.supply_margin_c - 5.0
+        )
+        # An explicit simulator override still wins over the room's limit.
+        result_c = RoomSimulator(
+            uniform_room(cfg_b, duration_s=20.0, seed=1),
+            dt_s=0.5,
+            record_decimation=5,
+            inlet_limit_c=40.0,
+        ).run(20.0)
+        assert result_c.inlet_limit_c == 40.0
+
+    def test_unknown_scenario_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            build_room_scenario("warehouse")

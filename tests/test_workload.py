@@ -91,6 +91,72 @@ class TestSynthetic:
         assert wl.demand(t) in (0.1, 0.7)
 
 
+class TestDemandArrayExactness:
+    """Vectorized demand_array overrides match the scalar loop bit-for-bit.
+
+    The batch backend's equivalence contract leans on these: the scalar
+    engine calls demand() per step, the batch engine demand_array() per
+    chunk, and both must see the exact same floats.
+    """
+
+    #: The batch stepper's visiting pattern: ascending uniform grid.
+    TIMES = np.array([0.1 * (k + 1) for k in range(5000)])
+
+    def _assert_exact(self, workload, times=None):
+        times = self.TIMES if times is None else times
+        scalar = np.array([workload.demand(float(t)) for t in times])
+        assert np.array_equal(workload.demand_array(times), scalar)
+
+    def test_sine_exact(self):
+        # np.sin routes float64 through the same libm call math.sin
+        # makes; this pin is what the override's exactness rests on.
+        self._assert_exact(SineWorkload(mean=0.4, amplitude=0.3, period_s=137.0))
+
+    def test_trace_exact_hold_and_wrap(self):
+        samples = np.linspace(0.0, 1.0, 101)
+        self._assert_exact(TraceWorkload(samples, sample_interval_s=0.7))
+        self._assert_exact(
+            TraceWorkload(samples, sample_interval_s=0.7, wrap=True)
+        )
+
+    def test_trace_array_rejects_negative_times(self):
+        wl = TraceWorkload([0.5])
+        with pytest.raises(WorkloadError):
+            wl.demand_array(np.array([1.0, -0.1]))
+
+    def test_noisy_bulk_draws_match_scalar_stream(self):
+        # Fresh twin instances: the array path's bulk normal(size=k)
+        # draws must consume the RNG stream exactly as the scalar
+        # per-slot draws do.
+        array_wl = NoisyWorkload(SquareWaveWorkload(), std=0.04, seed=11)
+        scalar_wl = NoisyWorkload(SquareWaveWorkload(), std=0.04, seed=11)
+        scalar = np.array([scalar_wl.demand(float(t)) for t in self.TIMES])
+        assert np.array_equal(array_wl.demand_array(self.TIMES), scalar)
+
+    def test_noisy_bulk_handles_repeated_slots(self):
+        # Non-ascending public calls can revisit a slot inside one
+        # demand_array; the repeat must cache-hit its first draw, not
+        # consume an extra draw and desync the stream.
+        times = np.array([5.0, 7.0, 5.0, 9.0])
+        array_wl = NoisyWorkload(ConstantWorkload(0.5), std=0.1, seed=1)
+        scalar_wl = NoisyWorkload(ConstantWorkload(0.5), std=0.1, seed=1)
+        scalar = np.array([scalar_wl.demand(float(t)) for t in times])
+        assert np.array_equal(array_wl.demand_array(times), scalar)
+        # The streams stay aligned afterwards too.
+        assert array_wl.demand(11.0) == scalar_wl.demand(11.0)
+
+    def test_noisy_bulk_respects_prior_cache(self):
+        # Slots already drawn by scalar demand() calls must be reused,
+        # with only the cache misses drawn (in order) from the stream.
+        array_wl = NoisyWorkload(SquareWaveWorkload(), std=0.04, seed=13)
+        scalar_wl = NoisyWorkload(SquareWaveWorkload(), std=0.04, seed=13)
+        for t in self.TIMES[1000:1500]:
+            array_wl.demand(float(t))
+            scalar_wl.demand(float(t))
+        scalar = np.array([scalar_wl.demand(float(t)) for t in self.TIMES])
+        assert np.array_equal(array_wl.demand_array(self.TIMES), scalar)
+
+
 class TestSpikes:
     def test_spike_active_window(self):
         spike = Spike(start_s=10.0, duration_s=5.0, height=0.3)
