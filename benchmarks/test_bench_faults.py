@@ -1,0 +1,127 @@
+"""Fault-injection benchmarks: faulted throughput + hook overhead.
+
+Two claims to keep honest:
+
+1. A fault-injected 16-server rack still runs on the vectorized backend
+   at useful throughput (``rack16_faults`` in ``BENCH_fleet.json``) -
+   faults cost python work only for the servers and instants they
+   touch.
+2. Installing the injection hooks with a fault-free schedule leaves the
+   hot path within 5% of the bare run (``fault_hook_overhead``); the
+   bench-smoke CI job fails on regression.  The ratio is best-of-N on
+   both sides to shave scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_report import bench_record, smoke_mode
+
+from repro.faults import FaultEvent, FaultSchedule
+from repro.fleet import FleetSimulator, homogeneous_rack
+
+_N_SERVERS = 16
+_DT_S = 0.1
+_DURATION_S = 20.0 if smoke_mode() else 120.0
+_ROUNDS = 3 if smoke_mode() else 5
+#: Rounds for the overhead ratio: each smoke-mode run is only ~10 ms,
+#: so the ratio needs many interleaved best-of samples to be stable.
+_OVERHEAD_ROUNDS = 15 if smoke_mode() else 5
+
+
+def _busy_schedule() -> FaultSchedule:
+    """Faults on a quarter of the rack, overlapping through mid-run."""
+    third = _DURATION_S / 3.0
+    return FaultSchedule(
+        events=(
+            FaultEvent("dropout", server=0, start_s=third, duration_s=third),
+            FaultEvent(
+                "offset", server=1, start_s=0.0, duration_s=2 * third, magnitude=-2.0
+            ),
+            FaultEvent("fan_seize", server=2, start_s=third, duration_s=third),
+            FaultEvent(
+                "fouling",
+                server=3,
+                start_s=0.5 * third,
+                duration_s=2 * third,
+                magnitude=0.05,
+                ramp_steps=8,
+            ),
+        ),
+        seed=1,
+    )
+
+
+def _one_run(faults) -> float:
+    """Wall time of one vectorized 16-server rack run."""
+    rack = homogeneous_rack(
+        n_servers=_N_SERVERS, duration_s=_DURATION_S, seed=1
+    )
+    sim = FleetSimulator(
+        rack,
+        dt_s=_DT_S,
+        record_decimation=10,
+        backend="vectorized",
+        faults=faults,
+    )
+    start = time.perf_counter()
+    result = sim.run(_DURATION_S)
+    elapsed = time.perf_counter() - start
+    assert result.extras["backend"] == "vectorized"
+    assert result.extras["controller_backend"] == "vectorized"
+    return elapsed
+
+
+def _elapsed(faults, rounds: int = _ROUNDS) -> float:
+    """Best-of-N wall time for one vectorized 16-server rack run."""
+    return min(_one_run(faults) for _ in range(rounds))
+
+
+def test_faulted_rack_throughput():
+    """Vectorized throughput with an active fault schedule."""
+    n_steps = int(round(_DURATION_S / _DT_S))
+    server_steps = _N_SERVERS * n_steps
+    elapsed = _elapsed(_busy_schedule())
+    bench_record(
+        "fleet",
+        "rack16_faults",
+        n_servers=_N_SERVERS,
+        n_steps=n_steps,
+        dt_s=_DT_S,
+        n_fault_events=len(_busy_schedule().events),
+        faulted_server_steps_per_sec=round(server_steps / elapsed, 1),
+    )
+
+
+def test_fault_hook_overhead():
+    """Idle injection hooks must stay within 5% of the bare hot path.
+
+    Interleaved best-of-N on both sides (bare and hooked runs alternate,
+    so a machine-load swing hits both equally); the 5% gate itself runs
+    in the bench-smoke CI step off the recorded JSON.
+    """
+    bare = float("inf")
+    hooked = float("inf")
+    empty = FaultSchedule()
+    _one_run(None)  # warm caches outside the timed rounds
+    for _ in range(_OVERHEAD_ROUNDS):
+        bare = min(bare, _one_run(None))
+        hooked = min(hooked, _one_run(empty))
+    ratio = hooked / bare
+    n_steps = int(round(_DURATION_S / _DT_S))
+    bench_record(
+        "fleet",
+        "fault_hook_overhead",
+        n_servers=_N_SERVERS,
+        n_steps=n_steps,
+        dt_s=_DT_S,
+        bare_server_steps_per_sec=round(_N_SERVERS * n_steps / bare, 1),
+        hooked_server_steps_per_sec=round(_N_SERVERS * n_steps / hooked, 1),
+        hook_overhead_ratio=round(ratio, 4),
+    )
+    if not smoke_mode():
+        assert ratio <= 1.05, (
+            f"fault-free hot path regressed {ratio:.3f}x with injection "
+            "hooks installed (limit 1.05x)"
+        )

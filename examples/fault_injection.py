@@ -1,0 +1,138 @@
+"""Fault injection walkthrough: blackout, seized fan, CRAC brownout.
+
+Runs three fault studies and prints what fired, how fast the telemetry
+watchdog contained it, and what the degradation cost:
+
+1. ``sensor_blackout`` - half the rack's sensors go dark; the failsafe
+   forces those fans to maximum one transport delay + one control
+   period after onset, and we score the energy penalty of flying blind.
+2. ``seized_fan_rack`` - the upstream fan seizes; overheat exposure
+   (degC-seconds above the limit) quantifies the thermal damage a
+   single-server analysis would miss.
+3. ``crac_brownout`` - a room's CRAC supply ramps hot through its RC
+   time constant and recovers; room metrics show the transient.
+
+Usage::
+
+    python examples/fault_injection.py [n_servers] [duration_seconds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FleetSimulator, RoomSimulator
+from repro.analysis import (
+    fault_impact,
+    fleet_overheat_exposure_c_s,
+)
+from repro.analysis.report import format_table, sparkline
+from repro.faults import crac_brownout, seized_fan_rack, sensor_blackout
+from repro.fleet import homogeneous_rack
+
+
+def blackout_study(n_servers: int, duration_s: float) -> None:
+    print(f"1) Sensor blackout on a {n_servers}-server rack")
+    rack, faults = sensor_blackout(
+        n_servers=n_servers,
+        duration_s=duration_s,
+        seed=1,
+        start_s=duration_s / 3.0,
+        blackout_s=duration_s / 6.0,
+    )
+    result = FleetSimulator(
+        rack, dt_s=0.5, record_decimation=4, faults=faults
+    ).run(duration_s)
+    impact = fault_impact(result.extras["faults"])
+    rows = [
+        ("events fired", f"{impact.n_fired}"),
+        ("failsafe engagements", f"{impact.failsafe_engagements}"),
+        ("mean detection latency", f"{impact.mean_detection_latency_s:.1f} s"),
+        ("failsafe dwell", f"{impact.failsafe_time_s:.0f} s"),
+        ("failsafe energy penalty", f"{impact.failsafe_energy_penalty_j:.0f} J"),
+    ]
+    print(format_table(("metric", "value"), rows))
+    server0 = result.server_results[0]
+    print(f"   srv00 fan: {sparkline(server0.fan_speed_rpm)}")
+    print()
+
+
+def seized_fan_study(n_servers: int, duration_s: float) -> None:
+    print(f"2) Seized upstream fan on a {n_servers}-server rack")
+    rack, faults = seized_fan_rack(
+        n_servers=n_servers,
+        duration_s=duration_s,
+        seed=1,
+        start_s=duration_s / 3.0,
+        seize_s=duration_s / 2.0,
+    )
+    faulted = FleetSimulator(
+        rack, dt_s=0.5, record_decimation=4, faults=faults
+    ).run(duration_s)
+    clean_rack = homogeneous_rack(
+        n_servers=n_servers, duration_s=duration_s, seed=1
+    )
+    clean = FleetSimulator(clean_rack, dt_s=0.5, record_decimation=4).run(
+        duration_s
+    )
+    limit_c = 78.0
+    rows = [
+        (
+            "overheat exposure (faulted)",
+            f"{fleet_overheat_exposure_c_s(faulted.server_results, limit_c):.1f} degC*s",
+        ),
+        (
+            "overheat exposure (clean)",
+            f"{fleet_overheat_exposure_c_s(clean.server_results, limit_c):.1f} degC*s",
+        ),
+        (
+            "worst junction (faulted)",
+            f"{faulted.metrics.worst_max_junction_c:.1f} degC",
+        ),
+        (
+            "fan energy (faulted / clean)",
+            f"{faulted.metrics.fan_energy_j:.0f} / {clean.metrics.fan_energy_j:.0f} J",
+        ),
+    ]
+    print(format_table(("metric", "value"), rows))
+    print(f"   seized srv00 tach: {sparkline(faulted.server_results[0].fan_speed_rpm)}")
+    print()
+
+
+def brownout_study(duration_s: float) -> None:
+    print("3) CRAC brownout in a 2x2-rack room (RC supply transient)")
+    room, faults = crac_brownout(
+        room=None,  # default room with a 120 s CRAC time constant
+        duration_s=duration_s,
+        seed=1,
+        start_s=duration_s / 3.0,
+        brownout_s=duration_s / 3.0,
+        supply_rise_c=6.0,
+    )
+    result = RoomSimulator(
+        room, dt_s=0.5, record_decimation=4, faults=faults
+    ).run(duration_s)
+    metrics = result.metrics
+    rows = [
+        ("backend", str(result.extras["backend"])),
+        ("events fired", f"{result.extras['faults']['n_fired']}"),
+        ("worst junction", f"{metrics.worst_max_junction_c:.1f} degC"),
+        ("supply margin", f"{metrics.supply_margin_c:.1f} degC"),
+        ("fan + CRAC energy", f"{metrics.fan_energy_j + metrics.crac_energy_j:.0f} J"),
+    ]
+    print(format_table(("metric", "value"), rows))
+    hottest = result.rack_results[0].server_results[0]
+    print(f"   rack00/srv00 junction: {sparkline(hottest.junction_c)}")
+    print()
+
+
+def main() -> None:
+    n_servers = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    duration_s = float(sys.argv[2]) if len(sys.argv) > 2 else 900.0
+    blackout_study(n_servers, duration_s)
+    seized_fan_study(n_servers, duration_s)
+    brownout_study(duration_s)
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,14 @@ from repro.core import (
     ziegler_nichols_gains,
 )
 from repro.errors import ReproError
+from repro.faults import (
+    FAULT_SCENARIOS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    TelemetryWatchdog,
+    build_fault_scenario,
+)
 from repro.fleet import (
     CampaignRunner,
     CampaignTask,
@@ -74,9 +82,11 @@ from repro.room import (
     Room,
     RoomResult,
     RoomSimulator,
+    RoomTask,
     RoomTopology,
     SparseCoupling,
     build_room_scenario,
+    room_campaign_grid,
     run_stacked_racks,
     uniform_room,
 )
@@ -119,7 +129,11 @@ __all__ = [
     "DeadzoneFanController",
     "DieConfig",
     "EnergyAwareCoordinator",
+    "FAULT_SCENARIOS",
     "FanConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "FleetConfig",
     "FleetResult",
     "FleetSimulator",
@@ -138,6 +152,7 @@ __all__ = [
     "RoomConfig",
     "RoomResult",
     "RoomSimulator",
+    "RoomTask",
     "RoomTopology",
     "RuleBasedCoordinator",
     "SCHEME_NAMES",
@@ -153,9 +168,11 @@ __all__ = [
     "SparseCoupling",
     "StaticFanController",
     "SteadyStateServerModel",
+    "TelemetryWatchdog",
     "TemperatureSensor",
     "UncoordinatedCoordinator",
     "ZieglerNicholsRule",
+    "build_fault_scenario",
     "build_fleet_scenario",
     "build_global_controller",
     "build_plant",
@@ -167,6 +184,7 @@ __all__ = [
     "ideal_sensing_config",
     "paper_workload",
     "parallel_map",
+    "room_campaign_grid",
     "run_batch",
     "run_fan_only",
     "run_scheme",

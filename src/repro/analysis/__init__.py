@@ -17,11 +17,15 @@ from repro.analysis.linearize import (
     suggest_regions,
 )
 from repro.analysis.metrics import (
+    FaultImpact,
     FleetSummary,
     RoomSummary,
     SchemeComparison,
     compare_schemes,
+    fault_impact,
+    fleet_overheat_exposure_c_s,
     fleet_summary,
+    overheat_exposure_c_s,
     room_summary,
     scheme_row,
 )
@@ -36,6 +40,7 @@ from repro.analysis.stability import (
 from repro.analysis.report import format_table, sparkline
 
 __all__ = [
+    "FaultImpact",
     "FleetSummary",
     "LinearizationFit",
     "RoomSummary",
@@ -43,7 +48,10 @@ __all__ = [
     "StabilityReport",
     "analyze_stability",
     "compare_schemes",
+    "fault_impact",
+    "fleet_overheat_exposure_c_s",
     "fleet_summary",
+    "overheat_exposure_c_s",
     "format_table",
     "is_oscillatory",
     "linearization_error",

@@ -1,4 +1,4 @@
-"""Table III metrics plus rack/fleet- and room-level aggregates.
+"""Table III metrics plus rack/fleet-, room-, and fault-level aggregates.
 
 Single-server scoring (:func:`scheme_row`, :func:`compare_schemes`)
 reproduces Table III; :func:`fleet_summary` rolls a set of lockstep
@@ -7,12 +7,21 @@ reports (total energy, worst-case junction, violation counts,
 inter-server temperature spread); :func:`room_summary` rolls per-rack
 fleet results up one more level into the room figures (per-rack inlet
 spread, supply-temperature margin, fan + CRAC energy).
+
+Fault-injected runs (:mod:`repro.faults`) add a third axis - how badly
+degradation hurt and how well the failsafe contained it:
+:func:`overheat_exposure_c_s` integrates junction excursions above the
+safe limit (degC-seconds, the thermal-damage proxy), and
+:func:`fault_impact` reduces a run's ``extras["faults"]`` record to
+detection latency, failsafe dwell time, and the fan-energy penalty the
+forced-max-fan response cost.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -231,4 +240,117 @@ def room_summary(
         inlet_spread_c=float(all_inlets.max() - all_inlets.min()),
         worst_rack_inlet_spread_c=float(max(rack_spreads)),
         supply_margin_c=float(inlet_limit_c - all_inlets.max()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault-injection metrics (repro.faults)
+
+
+def overheat_exposure_c_s(
+    result: SimulationResult, limit_c: float | None = None
+) -> float:
+    """Integrated junction excursion above the safe limit, in degC-seconds.
+
+    The thermal-damage proxy for degraded runs: ``integral of
+    max(0, Tj - limit) dt`` over the recorded trace (trapezoidal on the
+    telemetry grid, so decimated runs stay consistent).  ``limit_c``
+    defaults to the run's configured critical temperature.
+    """
+    if limit_c is None:
+        limit_c = result.config.control.t_critical_c
+    times = result.times
+    if times.size < 2:
+        return 0.0
+    excess = np.maximum(0.0, result.junction_c - limit_c)
+    return float(np.sum(0.5 * (excess[1:] + excess[:-1]) * np.diff(times)))
+
+
+def fleet_overheat_exposure_c_s(
+    results: Sequence[SimulationResult], limit_c: float | None = None
+) -> float:
+    """Summed :func:`overheat_exposure_c_s` over lockstep server runs."""
+    return float(
+        sum(overheat_exposure_c_s(result, limit_c) for result in results)
+    )
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """How a run's faults played out, reduced from ``extras["faults"]``.
+
+    * ``n_events`` / ``n_fired`` - scheduled events vs events whose
+      window intersected the run.
+    * ``failsafe_engagements`` / ``failsafe_time_s`` - how often and how
+      long the telemetry watchdog overrode the DTM.
+    * ``mean_detection_latency_s`` / ``max_detection_latency_s`` - time
+      from dropout onset to failsafe engagement (dominated by the
+      sensing transport delay); NaN when no dropout was detected.
+    * ``failsafe_energy_penalty_j`` - extra fan energy the forced-max
+      response spent versus holding each server's prior command, the
+      price of flying blind.
+    """
+
+    n_events: int
+    n_fired: int
+    failsafe_engagements: int
+    failsafe_time_s: float
+    mean_detection_latency_s: float
+    max_detection_latency_s: float
+    failsafe_energy_penalty_j: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Headline figures as a flat dict (for tables and campaigns)."""
+        return {
+            "n_events": float(self.n_events),
+            "n_fired": float(self.n_fired),
+            "failsafe_engagements": float(self.failsafe_engagements),
+            "failsafe_time_s": self.failsafe_time_s,
+            "mean_detection_latency_s": self.mean_detection_latency_s,
+            "max_detection_latency_s": self.max_detection_latency_s,
+            "failsafe_energy_penalty_j": self.failsafe_energy_penalty_j,
+        }
+
+
+def fault_impact(faults_extras: Mapping[str, Any]) -> FaultImpact:
+    """Reduce a run's ``extras["faults"]`` record to a :class:`FaultImpact`.
+
+    Works on the dict any fault-injected run attaches to its result
+    (:class:`~repro.fleet.result.FleetResult` and
+    :class:`~repro.room.result.RoomResult` alike); raises
+    :class:`~repro.errors.AnalysisError` when handed something else.
+    """
+    try:
+        windows = faults_extras["failsafe"]["windows"]
+        n_events = len(faults_extras["events"])
+        n_fired = int(faults_extras["n_fired"])
+        latencies = list(faults_extras["detection_latency_s"].values())
+    except (KeyError, TypeError) as exc:
+        raise AnalysisError(
+            "fault_impact needs a run's extras['faults'] record"
+        ) from exc
+    dwell = 0.0
+    penalty = 0.0
+    for window in windows:
+        if window["released_s"] is None:
+            raise AnalysisError(
+                f"failsafe window for server {window['server']} was never "
+                "closed; pass a finalized fault summary"
+            )
+        dwell += window["released_s"] - window["engaged_s"]
+        # Integrated at window close across actuator-fault regime
+        # changes (a seize ending mid-engagement starts costing then).
+        penalty += window["penalty_j"]
+    return FaultImpact(
+        n_events=n_events,
+        n_fired=n_fired,
+        failsafe_engagements=len(windows),
+        failsafe_time_s=dwell,
+        mean_detection_latency_s=(
+            float(np.mean(latencies)) if latencies else math.nan
+        ),
+        max_detection_latency_s=(
+            float(np.max(latencies)) if latencies else math.nan
+        ),
+        failsafe_energy_penalty_j=penalty,
     )

@@ -265,6 +265,13 @@ class CRACConfig:
       removes divided by this.
     * ``failure_supply_rise_c`` - supply-temperature rise applied when
       the unit is marked failed in a scenario.
+    * ``supply_time_constant_s`` - first-order thermal time constant of
+      the supply loop (coil + plenum mass).  0 (the default) keeps the
+      static model: supply responds instantly to return-air rises and
+      failures, exactly the pre-dynamics behaviour.  Positive values
+      turn CRAC failures and brownouts into RC step responses (see
+      :class:`repro.room.coupling.SparseCoupling`'s dynamic supply
+      filter).
     """
 
     supply_setpoint_c: float = 28.0
@@ -272,6 +279,7 @@ class CRACConfig:
     return_sensitivity_k_per_k: float = 0.3
     cop: float = 3.5
     failure_supply_rise_c: float = 8.0
+    supply_time_constant_s: float = 0.0
 
     def __post_init__(self) -> None:
         check_temperature(self.supply_setpoint_c, "supply_setpoint_c")
@@ -281,6 +289,7 @@ class CRACConfig:
         )
         check_positive(self.cop, "cop")
         check_nonnegative(self.failure_supply_rise_c, "failure_supply_rise_c")
+        check_nonnegative(self.supply_time_constant_s, "supply_time_constant_s")
 
 
 @dataclass(frozen=True)

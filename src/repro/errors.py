@@ -52,6 +52,10 @@ class RoomError(FleetError):
     """A room-scale simulation was misconfigured or inconsistently sized."""
 
 
+class FaultConfigError(ReproError, ValueError):
+    """A fault event or schedule is malformed or targets a missing entity."""
+
+
 class WorkloadError(ReproError, ValueError):
     """A workload generator was configured with invalid parameters."""
 

@@ -1,0 +1,67 @@
+"""Fault injection & degraded sensing: scheduled failures with failsafes.
+
+The paper asks how fan control behaves under *non-ideal* temperature
+measurements; this package asks the next question - how it behaves when
+measurement and actuation outright **fail** - and answers it with a
+deterministic, seeded fault-injection subsystem that runs identically on
+every execution lane (scalar :class:`~repro.sim.engine.ServerStepper`,
+vectorized :class:`~repro.sim.batch.BatchStepper`, and room-scale
+:class:`~repro.room.simulator.RoomSimulator` stacks):
+
+* :class:`~repro.faults.events.FaultEvent` /
+  :class:`~repro.faults.events.FaultSchedule` - picklable, time-windowed
+  fault descriptions (sensor stuck/dropout/offset/drift/noise-burst,
+  fan seize/ceiling/tach-misreport, heat-sink fouling, CRAC brownout).
+* :class:`~repro.faults.injector.FaultInjector` - the per-run hook
+  object both backends drive; all transforms are shared scalar math, so
+  fault-injected runs stay bit-for-bit equal across lanes.
+* :class:`~repro.faults.injector.TelemetryWatchdog` - the firmware
+  failsafe (modeled on iDRAC-style BMC fallbacks): invalid telemetry
+  forces the fan to maximum within one control period, bypassing - not
+  reprogramming - the DTM.
+* :mod:`repro.faults.scenarios` - canned fault studies
+  (``sensor_blackout``, ``seized_fan_rack``, ``crac_brownout``,
+  ``cascading_failures``) and the :data:`FAULT_SCENARIOS` registry.
+
+Pass a schedule to any simulator (``Simulator``, ``FleetSimulator``,
+``RoomSimulator``) via ``faults=``; what fired lands in the result's
+``extras["faults"]`` and is scored by
+:func:`repro.analysis.metrics.fault_impact`.
+"""
+
+from repro.faults.events import (
+    ACTUATOR_FAULTS,
+    FAULT_KINDS,
+    PLANT_FAULTS,
+    ROOM_FAULTS,
+    SENSOR_FAULTS,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.faults.injector import FaultInjector, TelemetryWatchdog
+from repro.faults.scenarios import (
+    FAULT_SCENARIOS,
+    build_fault_scenario,
+    cascading_failures,
+    crac_brownout,
+    seized_fan_rack,
+    sensor_blackout,
+)
+
+__all__ = [
+    "ACTUATOR_FAULTS",
+    "FAULT_KINDS",
+    "FAULT_SCENARIOS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "PLANT_FAULTS",
+    "ROOM_FAULTS",
+    "SENSOR_FAULTS",
+    "TelemetryWatchdog",
+    "build_fault_scenario",
+    "cascading_failures",
+    "crac_brownout",
+    "seized_fan_rack",
+    "sensor_blackout",
+]

@@ -1,0 +1,287 @@
+"""Fault events and schedules: the picklable description of what breaks.
+
+The paper's premise is that fan control must survive non-ideal
+temperature measurements; the benign non-idealities (lag, quantization,
+noise) live in :mod:`repro.sensing`.  This module describes outright
+*degradation* - the sensor error modes real platforms exhibit (cf. Rotem
+et al., "Temperature measurement in the Intel Core Duo processor") and
+the actuator/infrastructure failures room-level control must tolerate
+(cf. Van Damme et al., fault-tolerant data-center control):
+
+=====================  ====================================================
+kind                   meaning (``magnitude`` interpretation)
+=====================  ====================================================
+``stuck``              sensor register freezes at the last pushed value
+``dropout``            samples become invalid (NaN) - an I2C/BMC outage
+``offset``             calibration offset in degC (may be negative)
+``drift``              slow calibration drift, ``magnitude`` degC per s
+``noise_burst``        extra seeded Gaussian noise, ``magnitude`` = std degC
+``fan_seize``          fan locks at ``magnitude`` rpm (None = its minimum)
+``fan_ceiling``        fan cannot exceed ``magnitude`` rpm (worn bearing)
+``tach_misreport``     tachometer reports ``magnitude`` x the true speed
+``fouling``            heat-sink fouling: ``magnitude`` K/W extra base
+                       resistance, ramped in ``ramp_steps`` steps over the
+                       window and **persisting afterwards**
+``crac_brownout``      CRAC unit ``server`` supplies ``magnitude`` degC
+                       above setpoint during the window (room runs only)
+=====================  ====================================================
+
+Events are frozen dataclasses of plain floats/ints/strings, so a
+:class:`FaultSchedule` pickles across process pools and hashes into
+campaign chunk keys.  All randomness (``noise_burst``) derives from the
+schedule seed, the event's position, and the target server, so a
+schedule reproduces identically wherever it runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+from repro.errors import FaultConfigError
+
+#: Time tolerance for window membership, matching the engine's control
+#: scheduling tolerance: a fault is active at step time ``t`` iff
+#: ``start_s <= t + EPS < end_s``.
+EPS = 1e-9
+
+#: Fault kinds applied inside the sensing pipeline, at sample instants.
+SENSOR_FAULTS = ("stuck", "dropout", "offset", "drift", "noise_burst")
+
+#: Fault kinds applied at the fan/plant boundary.
+ACTUATOR_FAULTS = ("fan_seize", "fan_ceiling", "tach_misreport")
+
+#: Fault kinds modifying the thermal plant itself.
+PLANT_FAULTS = ("fouling",)
+
+#: Fault kinds targeting room infrastructure (``server`` = CRAC unit).
+ROOM_FAULTS = ("crac_brownout",)
+
+FAULT_KINDS = SENSOR_FAULTS + ACTUATOR_FAULTS + PLANT_FAULTS + ROOM_FAULTS
+
+#: Kinds whose ``magnitude`` must be provided (and how it is validated).
+_MAGNITUDE_RULES = {
+    "offset": "finite",
+    "drift": "finite",
+    "noise_burst": "positive",
+    "fan_ceiling": "positive",
+    "tach_misreport": "positive",
+    "fouling": "nonnegative",
+    "crac_brownout": "nonnegative",
+}
+
+
+def window_active(t_s: float, start_s: float, end_s: float) -> bool:
+    """Canonical window-membership test shared by every fault state.
+
+    Both execution lanes evaluate faults at the same step times through
+    this one predicate, so window edges resolve identically everywhere.
+    """
+    eff = t_s + EPS
+    return start_s <= eff < end_s
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One time-windowed fault on one server (or CRAC unit).
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    server:
+        Target server index within the run (stacking order for rooms);
+        for ``crac_brownout`` the CRAC *unit* index instead.
+    start_s, duration_s:
+        The active window ``[start_s, start_s + duration_s)`` in
+        simulation time.  ``duration_s`` may be ``math.inf`` (the fault
+        never clears).
+    magnitude:
+        Kind-specific parameter (see the module table); must be omitted
+        for ``stuck``/``dropout`` and may be omitted for ``fan_seize``.
+    ramp_steps:
+        ``fouling`` only: number of equal resistance steps the ramp
+        takes across the window (1 = a single step at onset).
+    """
+
+    kind: str
+    server: int = 0
+    start_s: float = 0.0
+    duration_s: float = math.inf
+    magnitude: float | None = None
+    ramp_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultConfigError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.server < 0:
+            raise FaultConfigError(
+                f"fault server/unit index must be >= 0, got {self.server}"
+            )
+        if not (math.isfinite(self.start_s) and self.start_s >= 0.0):
+            raise FaultConfigError(
+                f"fault start_s must be finite and >= 0, got {self.start_s}"
+            )
+        if not self.duration_s > 0.0:
+            raise FaultConfigError(
+                f"fault duration_s must be > 0, got {self.duration_s}"
+            )
+        rule = _MAGNITUDE_RULES.get(self.kind)
+        if rule is None:
+            if self.kind in ("stuck", "dropout") and self.magnitude is not None:
+                raise FaultConfigError(
+                    f"{self.kind} faults take no magnitude, got {self.magnitude}"
+                )
+            if self.magnitude is not None and not (
+                math.isfinite(self.magnitude) and self.magnitude > 0.0
+            ):
+                raise FaultConfigError(
+                    f"{self.kind} magnitude must be a positive rpm, got "
+                    f"{self.magnitude}"
+                )
+        else:
+            if self.magnitude is None:
+                raise FaultConfigError(f"{self.kind} faults need a magnitude")
+            if not math.isfinite(self.magnitude):
+                raise FaultConfigError(
+                    f"{self.kind} magnitude must be finite, got {self.magnitude}"
+                )
+            if rule == "positive" and not self.magnitude > 0.0:
+                raise FaultConfigError(
+                    f"{self.kind} magnitude must be > 0, got {self.magnitude}"
+                )
+            if rule == "nonnegative" and self.magnitude < 0.0:
+                raise FaultConfigError(
+                    f"{self.kind} magnitude must be >= 0, got {self.magnitude}"
+                )
+        if self.ramp_steps < 1:
+            raise FaultConfigError(
+                f"ramp_steps must be >= 1, got {self.ramp_steps}"
+            )
+        if self.ramp_steps > 1 and self.kind != "fouling":
+            raise FaultConfigError(
+                f"ramp_steps applies to fouling faults only, not {self.kind}"
+            )
+        if self.kind == "fouling" and self.ramp_steps > 1 and not math.isfinite(
+            self.duration_s
+        ):
+            raise FaultConfigError(
+                "a fouling ramp (ramp_steps > 1) needs a finite duration_s"
+            )
+
+    @property
+    def end_s(self) -> float:
+        """First instant the fault is no longer active."""
+        return self.start_s + self.duration_s
+
+    def active(self, t_s: float) -> bool:
+        """Whether the fault window covers step time ``t_s``."""
+        return window_active(t_s, self.start_s, self.end_s)
+
+    def overlaps(self, start_s: float, end_s: float) -> bool:
+        """Whether the fault window intersects ``[start_s, end_s)``."""
+        return self.start_s < end_s and self.end_s > start_s
+
+    def describe(self) -> dict:
+        """Plain-dict form for result extras (picklable, JSON-friendly)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, seeded set of fault events - the unit campaigns vary.
+
+    Events apply in list order wherever several target the same server at
+    the same instant.  The schedule is immutable, hashable, and
+    picklable, so it can ride in campaign tasks and chunk keys.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    label: str = "faults"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise FaultConfigError(
+                    f"schedule events must be FaultEvent, got {type(event).__name__}"
+                )
+
+    @property
+    def n_events(self) -> int:
+        """Number of events in the schedule."""
+        return len(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the schedule carries no events (hooks still install)."""
+        return not self.events
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        """Distinct fault kinds present, in first-appearance order."""
+        seen: list[str] = []
+        for event in self.events:
+            if event.kind not in seen:
+                seen.append(event.kind)
+        return tuple(seen)
+
+    @property
+    def has_dropout(self) -> bool:
+        """Whether any event can produce invalid (NaN) readings."""
+        return any(event.kind == "dropout" for event in self.events)
+
+    def events_of(self, *kinds: str) -> tuple[FaultEvent, ...]:
+        """Events of the given kinds, in schedule order."""
+        return tuple(event for event in self.events if event.kind in kinds)
+
+    def server_events(self, server: int) -> tuple[FaultEvent, ...]:
+        """Non-room events targeting one server, in schedule order."""
+        return tuple(
+            event
+            for event in self.events
+            if event.server == server and event.kind not in ROOM_FAULTS
+        )
+
+    def validate_for(self, n_servers: int) -> None:
+        """Check every server-targeted event fits a run of ``n_servers``."""
+        for event in self.events:
+            if event.kind in ROOM_FAULTS:
+                continue
+            if event.server >= n_servers:
+                raise FaultConfigError(
+                    f"{event.kind} fault targets server {event.server}, but "
+                    f"the run has {n_servers} servers"
+                )
+
+    def fired_events(self, start_s: float, end_s: float) -> tuple[FaultEvent, ...]:
+        """Events whose window intersects the run horizon."""
+        return tuple(
+            event for event in self.events if event.overlaps(start_s, end_s)
+        )
+
+    def describe(self) -> dict:
+        """Plain-dict form for result extras."""
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "n_events": self.n_events,
+            "kinds": list(self.kinds),
+        }
+
+
+__all__ = [
+    "ACTUATOR_FAULTS",
+    "EPS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "PLANT_FAULTS",
+    "ROOM_FAULTS",
+    "SENSOR_FAULTS",
+    "window_active",
+]

@@ -1,0 +1,451 @@
+"""The per-run fault injector and the firmware failsafe watchdog.
+
+A :class:`FaultInjector` is built fresh for every run from a picklable
+:class:`~repro.faults.events.FaultSchedule` plus the run's plants.  It
+owns all mutable fault state (the per-server transform objects of
+:mod:`repro.faults.states`, the transition queue the batch backend uses
+to refresh cached plant coefficients, the CRAC forcing pointer for room
+runs) and the :class:`TelemetryWatchdog` implementing the firmware-side
+failsafe.  Both execution backends drive the *same* injector API, which
+is what keeps fault-injected runs bit-for-bit identical across lanes.
+
+The watchdog models BMC hardware fallbacks (iDRAC-style: when the
+controller loop stops producing sane commands, the BMC forces fans to a
+safe speed): when a server's telemetry turns invalid (NaN from a
+``dropout`` fault), the watchdog forces that server's fan command to its
+maximum within the same control period and *bypasses* - never
+reprograms - the DTM.  The controller objects are not stepped while the
+failsafe holds, so when telemetry recovers the DTM resumes from its
+pre-fault state, exactly like a hardware override being released.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Sequence
+
+from repro.errors import FaultConfigError
+from repro.faults.events import EPS, FaultSchedule, ROOM_FAULTS
+from repro.faults.states import FanFaultState, FoulingState, SensorFaultState
+from repro.power.fan import FanPowerModel
+
+
+def attach_fault_summary(extras: dict, injector, horizon_s: float) -> dict:
+    """Attach a finalized fault summary as ``extras["faults"]``.
+
+    The one place the horizon convention lives: pass the *simulated*
+    horizon (``n_steps * dt``), which can differ from a requested
+    duration by up to half a step after rounding.  No-op without an
+    injector.
+    """
+    if injector is not None:
+        extras["faults"] = injector.summary(horizon_s)
+    return extras
+
+
+class TelemetryWatchdog:
+    """Stale/invalid-telemetry failsafe for every server in a run.
+
+    Tracks per-server engagement windows with enough context (prior
+    commanded speed, forced speed, instantaneous fan-power penalty) for
+    :func:`repro.analysis.metrics.fault_impact` to score the failsafe's
+    energy cost without re-reading telemetry.
+    """
+
+    def __init__(
+        self,
+        forced_rpm: Sequence[float],
+        penalty_w_per_server: Sequence[Any],
+        fan_states: Sequence[Any] | None = None,
+    ) -> None:
+        n = len(forced_rpm)
+        self._forced = [float(v) for v in forced_rpm]
+        self._penalty_fn = list(penalty_w_per_server)
+        self._fan_states = (
+            list(fan_states) if fan_states is not None else [None] * n
+        )
+        self._engaged = [False] * n
+        self._windows: list[dict] = []
+        self._open: list[dict | None] = [None] * n
+        self.any_engaged = False
+
+    def engaged(self, server: int) -> bool:
+        """Whether the failsafe currently overrides this server."""
+        return self._engaged[server]
+
+    def forced_rpm(self, server: int) -> float:
+        """The speed the failsafe commands (the fan's maximum)."""
+        return self._forced[server]
+
+    def engage(self, server: int, t_s: float, prior_rpm: float) -> float:
+        """Open a failsafe window; returns the forced fan command.
+
+        ``penalty_w`` records the *engagement-instant* extra power of
+        what the fan actually achieves under the override (commands pass
+        through the server's actuator faults first, so forcing a seized
+        fan records zero); the window's total ``penalty_j``, integrated
+        across actuator-fault regime changes, is filled in at close.
+        """
+        if not self._engaged[server]:
+            forced = self._forced[server]
+            state = self._fan_states[server]
+            if state is None:
+                achieved_prior, achieved_forced = prior_rpm, forced
+            else:
+                achieved_prior = state.actual(t_s, prior_rpm)
+                achieved_forced = state.actual(t_s, forced)
+            window = {
+                "server": server,
+                "engaged_s": t_s,
+                "released_s": None,
+                "prior_rpm": prior_rpm,
+                "forced_rpm": forced,
+                "penalty_w": self._penalty_fn[server](
+                    achieved_prior, achieved_forced
+                ),
+            }
+            self._open[server] = window
+            self._windows.append(window)
+            self._engaged[server] = True
+            self.any_engaged = True
+        return self._forced[server]
+
+    def _integrated_penalty_j(self, window: dict) -> float:
+        """Extra fan energy the override actually spent over the window.
+
+        Piecewise integration over the server's actuator-fault change
+        instants, so a seize that ends mid-engagement starts costing
+        forced-max power from that moment on (and vice versa).  Pure
+        arithmetic on recorded values - identical in both lanes.
+        """
+        server = window["server"]
+        t0, t1 = window["engaged_s"], window["released_s"]
+        prior, forced = window["prior_rpm"], window["forced_rpm"]
+        fn = self._penalty_fn[server]
+        state = self._fan_states[server]
+        if state is None:
+            return fn(prior, forced) * (t1 - t0)
+        cuts = sorted({t for t in state.change_times() if t0 < t < t1})
+        total = 0.0
+        for a, b in zip([t0, *cuts], [*cuts, t1]):
+            total += fn(state.actual(a, prior), state.actual(a, forced)) * (
+                b - a
+            )
+        return total
+
+    def _close(self, server: int, window: dict, t_s: float) -> None:
+        window["released_s"] = t_s
+        window["penalty_j"] = self._integrated_penalty_j(window)
+        self._open[server] = None
+
+    def release(self, server: int, t_s: float) -> None:
+        """Close the open failsafe window (telemetry recovered)."""
+        window = self._open[server]
+        if window is not None:
+            self._close(server, window, t_s)
+        self._engaged[server] = False
+        self.any_engaged = any(self._engaged)
+
+    def finalize(self, end_s: float) -> None:
+        """Close windows still open when the run's horizon ends."""
+        for server, window in enumerate(self._open):
+            if window is not None:
+                self._close(server, window, end_s)
+
+    @property
+    def windows(self) -> list[dict]:
+        """All failsafe windows recorded so far (engage order)."""
+        return self._windows
+
+
+class FaultInjector:
+    """Per-run fault machinery shared by the scalar and batch backends.
+
+    Parameters
+    ----------
+    schedule:
+        The picklable fault description.
+    plants:
+        The run's plants in server order; fan limits and power
+        coefficients are read from their configs.
+    start_s:
+        Simulation time of the run's first step (the plants' clock).
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        plants: Sequence[Any],
+        start_s: float | None = None,
+    ) -> None:
+        n = len(plants)
+        if n == 0:
+            raise FaultConfigError("fault injector needs at least one plant")
+        schedule.validate_for(n)
+        self._schedule = schedule
+        self._n = n
+        self._start = plants[0].time_s if start_s is None else float(start_s)
+
+        self._sensor_states: list[SensorFaultState | None] = [None] * n
+        self._fan_states: list[FanFaultState | None] = [None] * n
+        self._fouling_states: list[FoulingState | None] = [None] * n
+
+        per_server: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
+        self._crac_events = []
+        for index, event in enumerate(schedule.events):
+            if event.kind in ROOM_FAULTS:
+                self._crac_events.append(event)
+            else:
+                per_server[event.server].append((index, event))
+
+        plant_changes: list[tuple[float, int]] = []
+        for i, indexed in enumerate(per_server):
+            if not indexed:
+                continue
+            events = [event for _, event in indexed]
+            kinds = {event.kind for event in events}
+            if kinds & {"stuck", "dropout", "offset", "drift", "noise_burst"}:
+                self._sensor_states[i] = SensorFaultState(
+                    indexed, schedule.seed
+                )
+            if kinds & {"fan_seize", "fan_ceiling", "tach_misreport"}:
+                state = FanFaultState(
+                    events, plants[i].config.fan.min_speed_rpm
+                )
+                self._fan_states[i] = state
+                plant_changes.extend((t, i) for t in state.change_times())
+            if "fouling" in kinds:
+                state = FoulingState(events)
+                self._fouling_states[i] = state
+                plant_changes.extend((t, i) for t in state.change_times())
+        self._plant_changes = sorted(set(plant_changes))
+        self._plant_pos = 0
+
+        self._crac_times = sorted(
+            {event.start_s for event in self._crac_events}
+            | {
+                event.end_s
+                for event in self._crac_events
+                if math.isfinite(event.end_s)
+            }
+        )
+        self._crac_pos = 0
+        self._coupling: Any | None = None
+
+        self.may_dropout = schedule.has_dropout
+        self.has_sensor_faults = any(
+            s is not None for s in self._sensor_states
+        )
+        self.fan_fault_servers = tuple(
+            i for i, s in enumerate(self._fan_states) if s is not None
+        )
+
+        forced = [p.config.fan.max_speed_rpm for p in plants]
+        penalties = [self._penalty_fn(p.config) for p in plants]
+        self.watchdog = TelemetryWatchdog(forced, penalties, self._fan_states)
+
+    @staticmethod
+    def _penalty_fn(config: Any):
+        """Instantaneous fan-power penalty of a failsafe override (W).
+
+        Speeds are clamped to the fan's physical range first - the plant
+        clamps every applied speed the same way, so the penalty scores
+        the power the fan can actually draw - and the cubic law comes
+        from the same :class:`~repro.power.fan.FanPowerModel` the plant
+        uses, not a re-derivation.
+        """
+        power_w = FanPowerModel(config.fan).power_w
+        lo = config.fan.min_speed_rpm
+        hi = config.fan.max_speed_rpm
+        sockets = float(config.n_sockets)
+
+        def penalty(prior_rpm: float, forced_rpm: float) -> float:
+            p_forced = power_w(min(max(forced_rpm, lo), hi))
+            p_prior = power_w(min(max(prior_rpm, lo), hi))
+            return (p_forced - p_prior) * sockets
+
+        return penalty
+
+    # ------------------------------------------------------------------
+    # Run-shape validation
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        """The schedule this injector was built from."""
+        return self._schedule
+
+    @property
+    def n_servers(self) -> int:
+        """Width of the run this injector is bound to."""
+        return self._n
+
+    def require_no_room_faults(self) -> None:
+        """Reject room-infrastructure events outside a room run."""
+        if self._crac_events:
+            kinds = sorted({event.kind for event in self._crac_events})
+            raise FaultConfigError(
+                f"{kinds} faults target CRAC units and need a room run "
+                "(RoomSimulator); rack and single-server runs have no CRACs"
+            )
+
+    def bind_coupling(self, coupling: Any, n_units: int) -> None:
+        """Attach the room coupling the CRAC faults will force.
+
+        The coupling must expose dynamic supply rows for every targeted
+        unit (see :meth:`repro.room.coupling.SparseCoupling.set_supply_forcing`);
+        scenario builders create rooms with those rows in place.
+        """
+        if not self._crac_events:
+            return
+        unit_rows = getattr(coupling, "crac_unit_rows", None)
+        for event in self._crac_events:
+            if event.server >= n_units:
+                raise FaultConfigError(
+                    f"{event.kind} fault targets CRAC unit {event.server}, "
+                    f"but the room has {n_units} units"
+                )
+            if (
+                not unit_rows
+                or event.server >= len(unit_rows)
+                or unit_rows[event.server] is None
+            ):
+                raise FaultConfigError(
+                    f"the room coupling has no dynamic supply path for CRAC "
+                    f"unit {event.server}; build the room with "
+                    f"forcing_units including unit {event.server}"
+                )
+        self._coupling = coupling
+
+    # ------------------------------------------------------------------
+    # Per-server state accessors (both lanes)
+
+    def sensor_state(self, server: int) -> SensorFaultState | None:
+        """The sensing-fault pipeline of one server (None = clean)."""
+        return self._sensor_states[server]
+
+    @property
+    def sensor_states(self) -> list[SensorFaultState | None]:
+        """Per-server sensing-fault pipelines, aligned with the run."""
+        return self._sensor_states
+
+    def fan_state(self, server: int) -> FanFaultState | None:
+        """The actuator-fault state of one server (None = clean)."""
+        return self._fan_states[server]
+
+    @property
+    def fan_states(self) -> list[FanFaultState | None]:
+        """Per-server actuator-fault states, aligned with the run."""
+        return self._fan_states
+
+    def fouling_state(self, server: int) -> FoulingState | None:
+        """The plant-fault state of one server (None = clean)."""
+        return self._fouling_states[server]
+
+    # ------------------------------------------------------------------
+    # Transition queues (batch backend + room loops)
+
+    @property
+    def next_plant_change_s(self) -> float:
+        """Next instant a fan/fouling transform changes (inf = never)."""
+        if self._plant_pos >= len(self._plant_changes):
+            return math.inf
+        return self._plant_changes[self._plant_pos][0]
+
+    def pop_plant_changes(self, t_s: float) -> list[int]:
+        """Servers whose plant-side transforms changed by ``t_s``.
+
+        The batch backend refreshes those servers' cached fan/resistance
+        coefficients; the scalar engine re-evaluates per step and never
+        calls this.
+        """
+        eff = t_s + EPS
+        servers: list[int] = []
+        while (
+            self._plant_pos < len(self._plant_changes)
+            and self._plant_changes[self._plant_pos][0] <= eff
+        ):
+            servers.append(self._plant_changes[self._plant_pos][1])
+            self._plant_pos += 1
+        if len(servers) > 1:
+            servers = sorted(set(servers))
+        return servers
+
+    @property
+    def next_crac_change_s(self) -> float:
+        """Next instant a CRAC forcing value changes (inf = never)."""
+        if self._crac_pos >= len(self._crac_times):
+            return math.inf
+        return self._crac_times[self._crac_pos]
+
+    def poll_crac(self, t_s: float) -> None:
+        """Push the CRAC brownout forcings in force at ``t_s``.
+
+        Both lanes call this once per step (a single float comparison
+        when nothing is due); due transitions recompute every targeted
+        unit's forcing and write it into the bound coupling, whose
+        first-order supply filter turns the step into an RC response.
+        """
+        eff = t_s + EPS
+        if (
+            self._crac_pos >= len(self._crac_times)
+            or self._crac_times[self._crac_pos] > eff
+        ):
+            return
+        self._crac_pos = bisect.bisect_right(self._crac_times, eff, self._crac_pos)
+        if self._coupling is None:
+            return
+        rises: dict[int, float] = {}
+        for event in self._crac_events:
+            rises.setdefault(event.server, 0.0)
+            if event.active(t_s):
+                rises[event.server] += event.magnitude
+        for unit, rise in rises.items():
+            self._coupling.set_supply_forcing(unit, rise)
+
+    # ------------------------------------------------------------------
+    # Run summary
+
+    def summary(self, duration_s: float) -> dict:
+        """Everything the run's faults did, for ``extras["faults"]``.
+
+        Closes any failsafe window still open at the horizon.  The dict
+        is plain data (picklable, JSON-friendly) so campaign results can
+        be filtered on what actually fired.
+        """
+        end = self._start + duration_s
+        self.watchdog.finalize(end)
+        fired = self._schedule.fired_events(self._start, end)
+        windows = [dict(w) for w in self.watchdog.windows]
+
+        # Pair each server's first engagement with the *latest* dropout
+        # onset at or before it - earlier dropouts may have been too
+        # short to straddle a control instant and never engaged.
+        detection: dict[int, float] = {}
+        dropout_starts: dict[int, list[float]] = {}
+        for event in self._schedule.events_of("dropout"):
+            dropout_starts.setdefault(event.server, []).append(event.start_s)
+        for window in windows:
+            server = window["server"]
+            if server in detection:
+                continue
+            engaged = window["engaged_s"]
+            causes = [
+                start
+                for start in dropout_starts.get(server, ())
+                if start <= engaged
+            ]
+            if causes:
+                detection[server] = engaged - max(causes)
+
+        return {
+            "schedule": self._schedule.describe(),
+            "events": [event.describe() for event in self._schedule.events],
+            "fired": [event.describe() for event in fired],
+            "n_fired": len(fired),
+            "failsafe": {
+                "engagements": len(windows),
+                "windows": windows,
+            },
+            "detection_latency_s": detection,
+        }

@@ -1,0 +1,259 @@
+"""Canned fault studies: a subject (rack or room) plus its schedule.
+
+Each builder returns ``(subject, schedule)`` - a fully wired
+:class:`~repro.fleet.rack.Rack` or :class:`~repro.room.room.Room`
+together with the :class:`~repro.faults.events.FaultSchedule` designed
+for it - so a study is one call away::
+
+    rack, faults = sensor_blackout(n_servers=8, seed=3)
+    result = FleetSimulator(rack, faults=faults).run(1800.0)
+
+===================  =====  =============================================
+name                 scope  what degrades
+===================  =====  =============================================
+``sensor_blackout``  rack   a subset of sensors drops out (NaN) for a
+                            window - the telemetry-watchdog stress case
+``seized_fan_rack``  rack   one fan seizes near its minimum while its
+                            CPU keeps working; downstream servers
+                            breathe its hotter exhaust
+``crac_brownout``    room   one CRAC's supply ramps up (RC response via
+                            the unit's thermal time constant) during a
+                            brownout window, then recovers
+``cascading_failures``  room  fouling degrades one server's sink, its
+                            fan seizes under the added load, then its
+                            sensor drops out - faults compounding the
+                            way real incidents do
+===================  =====  =============================================
+
+The registry (:data:`FAULT_SCENARIOS`) records each builder's scope so
+campaign drivers (``RoomTask``) can validate targets before pickling
+tasks across a pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.config import CRACConfig, RoomConfig
+from repro.errors import FaultConfigError
+from repro.faults.events import FaultEvent, FaultSchedule
+from repro.fleet.scenarios import homogeneous_rack
+from repro.room.scenarios import uniform_room
+
+#: Default CRAC supply time constant for brownout studies (s).  Real
+#: CRAC coils respond over minutes; 120 s keeps the transient visible
+#: against the 30 s fan period without dominating short runs.
+DEFAULT_CRAC_TAU_S = 120.0
+
+
+def sensor_blackout(
+    n_servers: int = 4,
+    duration_s: float = 1800.0,
+    seed: int = 0,
+    scheme: str = "rcoord",
+    servers: tuple[int, ...] | None = None,
+    start_s: float = 600.0,
+    blackout_s: float = 300.0,
+):
+    """A subset of sensors goes dark (NaN) mid-run.
+
+    Defaults black out the first half of the rack.  The telemetry
+    watchdog must drive every affected fan to maximum within one control
+    period of the dropout clearing the transport delay; the run's
+    ``extras["faults"]["detection_latency_s"]`` records how long that
+    took (dominated by the 10 s I2C lag).
+    """
+    rack = homogeneous_rack(
+        n_servers=n_servers, duration_s=duration_s, seed=seed, scheme=scheme
+    )
+    if servers is None:
+        servers = tuple(range(max(1, n_servers // 2)))
+    for server in servers:
+        if not 0 <= server < n_servers:
+            raise FaultConfigError(
+                f"blackout server {server} outside rack of {n_servers}"
+            )
+    schedule = FaultSchedule(
+        events=tuple(
+            FaultEvent(
+                "dropout", server=s, start_s=start_s, duration_s=blackout_s
+            )
+            for s in servers
+        ),
+        seed=seed,
+        label="sensor_blackout",
+    )
+    return rack, schedule
+
+
+def seized_fan_rack(
+    n_servers: int = 4,
+    duration_s: float = 1800.0,
+    seed: int = 0,
+    scheme: str = "rcoord",
+    seized_index: int = 0,
+    start_s: float = 600.0,
+    seize_s: float = 600.0,
+    seized_rpm: float | None = None,
+):
+    """One fan seizes while its CPU keeps working.
+
+    With the seized server upstream (index 0, the default) its
+    under-cooled exhaust pre-heats every downstream inlet, so the fault
+    taxes the whole rack, not just the failed slot - the recirculation
+    analogue of the hot-spot scenario.
+    """
+    rack = homogeneous_rack(
+        n_servers=n_servers, duration_s=duration_s, seed=seed, scheme=scheme
+    )
+    if not 0 <= seized_index < n_servers:
+        raise FaultConfigError(
+            f"seized_index must be in [0, {n_servers}), got {seized_index}"
+        )
+    schedule = FaultSchedule(
+        events=(
+            FaultEvent(
+                "fan_seize",
+                server=seized_index,
+                start_s=start_s,
+                duration_s=seize_s,
+                magnitude=seized_rpm,
+            ),
+        ),
+        seed=seed,
+        label="seized_fan_rack",
+    )
+    return rack, schedule
+
+
+def crac_brownout(
+    room: RoomConfig | None = None,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    scheme: str = "rcoord",
+    unit: int = 0,
+    start_s: float = 900.0,
+    brownout_s: float = 900.0,
+    supply_rise_c: float = 6.0,
+):
+    """One CRAC's supply air ramps hot during a brownout, then recovers.
+
+    The room is built with a dynamic supply path for the targeted unit
+    (see :func:`repro.room.scenarios.build_room_coupling`), so the
+    forcing step turns into a first-order RC response with the unit's
+    ``supply_time_constant_s`` - a step *response*, not a constant
+    offset - and every rack the unit feeds breathes the transient.
+    """
+    if room is None:
+        room = RoomConfig(
+            crac=CRACConfig(supply_time_constant_s=DEFAULT_CRAC_TAU_S)
+        )
+    elif room.crac.supply_time_constant_s == 0.0:
+        room = replace(
+            room,
+            crac=replace(
+                room.crac, supply_time_constant_s=DEFAULT_CRAC_TAU_S
+            ),
+        )
+    if unit != 0:
+        # uniform_room wires exactly one CRAC for the whole floor.
+        raise FaultConfigError(
+            f"the uniform brownout room has a single CRAC (unit 0), got "
+            f"unit {unit}"
+        )
+    built = uniform_room(
+        room,
+        duration_s=duration_s,
+        seed=seed,
+        scheme=scheme,
+        forcing_units=(unit,),
+    )
+    schedule = FaultSchedule(
+        events=(
+            FaultEvent(
+                "crac_brownout",
+                server=unit,
+                start_s=start_s,
+                duration_s=brownout_s,
+                magnitude=supply_rise_c,
+            ),
+        ),
+        seed=seed,
+        label="crac_brownout",
+    )
+    return built, schedule
+
+
+def cascading_failures(
+    room: RoomConfig | None = None,
+    duration_s: float = 3600.0,
+    seed: int = 0,
+    scheme: str = "rcoord",
+    victim: int = 0,
+    onset_s: float = 600.0,
+):
+    """Faults compounding on one server the way real incidents do.
+
+    The victim's heat sink fouls up (a slow resistance ramp), its
+    overworked fan then seizes, and finally its sensor drops out - so
+    the failsafe fires on a server whose fan *cannot* reach maximum.
+    The overheat-exposure metric quantifies the damage a single-fault
+    analysis would miss.
+    """
+    built = uniform_room(
+        room or RoomConfig(), duration_s=duration_s, seed=seed, scheme=scheme
+    )
+    if not 0 <= victim < built.n_servers:
+        raise FaultConfigError(
+            f"victim must be in [0, {built.n_servers}), got {victim}"
+        )
+    schedule = FaultSchedule(
+        events=(
+            FaultEvent(
+                "fouling",
+                server=victim,
+                start_s=onset_s,
+                duration_s=900.0,
+                magnitude=0.08,
+                ramp_steps=16,
+            ),
+            FaultEvent(
+                "fan_seize",
+                server=victim,
+                start_s=onset_s + 600.0,
+                duration_s=1200.0,
+            ),
+            FaultEvent(
+                "dropout",
+                server=victim,
+                start_s=onset_s + 900.0,
+                duration_s=600.0,
+            ),
+        ),
+        seed=seed,
+        label="cascading_failures",
+    )
+    return built, schedule
+
+
+#: Fault-scenario registry: name -> (builder, scope).  Scope is
+#: ``"rack"`` (run through :class:`~repro.fleet.simulator.FleetSimulator`)
+#: or ``"room"`` (:class:`~repro.room.simulator.RoomSimulator`).
+FAULT_SCENARIOS: dict[str, tuple[Callable, str]] = {
+    "sensor_blackout": (sensor_blackout, "rack"),
+    "seized_fan_rack": (seized_fan_rack, "rack"),
+    "crac_brownout": (crac_brownout, "room"),
+    "cascading_failures": (cascading_failures, "room"),
+}
+
+
+def build_fault_scenario(name: str, **kwargs):
+    """Build a registered fault scenario: returns ``(subject, schedule)``."""
+    if name not in FAULT_SCENARIOS:
+        raise FaultConfigError(
+            f"unknown fault scenario {name!r}; choose from "
+            f"{sorted(FAULT_SCENARIOS)}"
+        )
+    builder, _ = FAULT_SCENARIOS[name]
+    return builder(**kwargs)

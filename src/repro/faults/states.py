@@ -1,0 +1,221 @@
+"""Per-server fault state: the scalar transforms both backends share.
+
+Equivalence between the scalar engine and the vectorized batch backend
+is *structural* everywhere else in this library - the same floating
+point operations run in the same order.  Fault injection keeps that
+property by construction: every fault transform is implemented **once**,
+here, as plain scalar math on python floats, and both lanes call the
+same methods at the same step times with the same inputs.  The batch
+backend pays the python cost only for servers that actually carry
+faults; fault-free servers never enter these code paths.
+
+Three state objects, one per injection boundary:
+
+* :class:`SensorFaultState` - inside the sensing pipeline, at sample
+  instants: analog corruption (offset, drift, noise burst) before the
+  ADC, digital corruption (stuck register, dropout-to-NaN) after it.
+* :class:`FanFaultState` - at the fan/plant boundary: the *actual*
+  speed the fan achieves given the commanded one (seize, ceiling), and
+  the *reported* speed the tachometer shows (misreport).
+* :class:`FoulingState` - on the plant: extra heat-sink base resistance
+  as a monotone step-ramp of time (dirt does not clean itself, so the
+  level persists after the window).
+
+All transforms are piecewise-constant (or affine, for drift) in time
+between a small set of change instants, which is what lets the batch
+backend refresh its cached plant coefficients only at those instants
+(see :meth:`FanFaultState.change_times` / :meth:`FoulingState.change_times`)
+while the scalar engine simply re-evaluates per step.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.faults.events import EPS, FaultEvent, window_active
+
+
+def _event_rng(seed: int, index: int, server: int) -> np.random.Generator:
+    """The dedicated RNG stream of one (schedule, event, server) triple.
+
+    Each noise-burst event draws from its own stream, so the draw order
+    across servers (which differs between the lanes) cannot matter -
+    only the number of samples each stream produces, which is fixed by
+    the sample cadence and the window.
+    """
+    return np.random.default_rng((seed, index, server))
+
+
+class SensorFaultState:
+    """Sensing-layer faults for one server, applied at sample instants.
+
+    The scalar :class:`~repro.sensing.sensor.TemperatureSensor` and the
+    batch :class:`~repro.sim.batch.BatchSensorBank` call
+    :meth:`pre_adc` on the noisy analog value and :meth:`post_adc` on
+    the quantized one, for every sample they push into the transport
+    delay.  Dropout yields NaN *after* the ADC (a bus failure corrupts
+    the digital read, not the analog value), so the quantizer never sees
+    a non-finite input.
+    """
+
+    def __init__(
+        self, events: list[tuple[int, FaultEvent]], seed: int
+    ) -> None:
+        self._pre: list[tuple[FaultEvent, np.random.Generator | None]] = []
+        self._post: list[FaultEvent] = []
+        for index, event in events:
+            if event.kind in ("offset", "drift", "noise_burst"):
+                rng = (
+                    _event_rng(seed, index, event.server)
+                    if event.kind == "noise_burst"
+                    else None
+                )
+                self._pre.append((event, rng))
+            elif event.kind in ("stuck", "dropout"):
+                self._post.append(event)
+        self._held: list[float | None] = [None] * len(self._post)
+        self._last_pushed: float | None = None
+
+    def pre_adc(self, t_s: float, value_c: float) -> float:
+        """Analog-domain corruption of one sampled value."""
+        for event, rng in self._pre:
+            if not window_active(t_s, event.start_s, event.end_s):
+                continue
+            if event.kind == "offset":
+                value_c = value_c + event.magnitude
+            elif event.kind == "drift":
+                value_c = value_c + event.magnitude * (t_s - event.start_s)
+            else:  # noise_burst
+                value_c = value_c + float(rng.normal(0.0, event.magnitude))
+        return value_c
+
+    def post_adc(self, t_s: float, value_c: float) -> float:
+        """Digital-domain corruption of the quantized value.
+
+        A stuck register holds the last value pushed *before* its window
+        opened (captured lazily at the first in-window sample); dropout
+        replaces the sample with NaN.  The last finite value pushed is
+        tracked so consecutive or overlapping faults compose sanely.
+        """
+        out = value_c
+        for j, event in enumerate(self._post):
+            if not window_active(t_s, event.start_s, event.end_s):
+                continue
+            if event.kind == "stuck":
+                if self._held[j] is None:
+                    self._held[j] = (
+                        out if self._last_pushed is None else self._last_pushed
+                    )
+                out = self._held[j]
+            else:  # dropout
+                out = math.nan
+        if math.isfinite(out):
+            self._last_pushed = out
+        return out
+
+
+class FanFaultState:
+    """Actuator faults for one server, at the fan/plant boundary."""
+
+    def __init__(
+        self, events: list[FaultEvent], min_speed_rpm: float
+    ) -> None:
+        self._drive = [
+            e for e in events if e.kind in ("fan_seize", "fan_ceiling")
+        ]
+        self._tach = [e for e in events if e.kind == "tach_misreport"]
+        self._min_speed = float(min_speed_rpm)
+
+    def actual(self, t_s: float, commanded_rpm: float) -> float:
+        """The speed the fan physically runs at, given the command.
+
+        A seized fan ignores the command entirely (its magnitude, or the
+        fan's minimum speed when omitted - a dead rotor barely
+        windmilling); a worn bearing caps the achievable speed.  The
+        plant clamps the result to its physical range, exactly as it
+        clamps commands.
+        """
+        out = commanded_rpm
+        for event in self._drive:
+            if not window_active(t_s, event.start_s, event.end_s):
+                continue
+            if event.kind == "fan_seize":
+                out = (
+                    self._min_speed
+                    if event.magnitude is None
+                    else event.magnitude
+                )
+            else:  # fan_ceiling
+                out = min(out, event.magnitude)
+        return out
+
+    def reported(self, t_s: float, actual_rpm: float) -> float:
+        """The speed the tachometer reports (telemetry only).
+
+        The DTM in this library does not close a loop on fan-speed
+        feedback, so a misreporting tach corrupts the recorded
+        ``fan_speed`` channel without changing the physics.
+        """
+        out = actual_rpm
+        for event in self._tach:
+            if window_active(t_s, event.start_s, event.end_s):
+                out = out * event.magnitude
+        return out
+
+    def change_times(self) -> list[float]:
+        """Instants where :meth:`actual` may change between commands."""
+        times: list[float] = []
+        for event in self._drive:
+            times.append(event.start_s)
+            if math.isfinite(event.end_s):
+                times.append(event.end_s)
+        return times
+
+
+class FoulingState:
+    """Heat-sink fouling for one server: a monotone resistance step-ramp."""
+
+    def __init__(self, events: list[FaultEvent]) -> None:
+        self._events = [e for e in events if e.kind == "fouling"]
+
+    def level(self, t_s: float) -> float:
+        """Extra base resistance (K/W) in force at step time ``t_s``.
+
+        Within each event's window the level climbs ``magnitude`` in
+        ``ramp_steps`` equal steps; after the window it stays at the
+        full magnitude (fouling persists).  Both lanes evaluate this
+        same expression at the same step times, so the piecewise levels
+        agree bit-for-bit.
+        """
+        extra = 0.0
+        for event in self._events:
+            eff = t_s + EPS
+            if eff < event.start_s:
+                continue
+            if eff >= event.end_s:
+                extra += event.magnitude
+                continue
+            if event.ramp_steps == 1:
+                extra += event.magnitude
+                continue
+            h = event.duration_s / event.ramp_steps
+            k = int((eff - event.start_s) // h)
+            if k >= event.ramp_steps:
+                k = event.ramp_steps - 1
+            extra += event.magnitude * float(k + 1) / float(event.ramp_steps)
+        return extra
+
+    def change_times(self) -> list[float]:
+        """Instants where :meth:`level` steps to a new value."""
+        times: list[float] = []
+        for event in self._events:
+            if event.ramp_steps == 1:
+                times.append(event.start_s)
+            else:
+                h = event.duration_s / event.ramp_steps
+                times.extend(
+                    event.start_s + j * h for j in range(event.ramp_steps)
+                )
+        return times

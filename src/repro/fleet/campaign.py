@@ -26,7 +26,7 @@ e.g. when profiling or bisecting a backend discrepancy.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.config import FleetConfig
 from repro.errors import FleetError
@@ -55,6 +55,10 @@ class CampaignTask:
     scheme: str = "rcoord"
     #: Execution backend ("auto" = vectorized whenever the rack batches).
     backend: str = "auto"
+    #: Optional fault schedule injected into the run (repro.faults).
+    #: Faulted tasks run one rack per task - schedules target servers by
+    #: rack position, which stacking would re-index.
+    faults: Any = None
 
     def __post_init__(self) -> None:
         if self.scenario not in FLEET_SCENARIOS:
@@ -66,18 +70,22 @@ class CampaignTask:
     @property
     def label(self) -> str:
         """Stable identifier for reports and result lookup."""
-        return (
+        label = (
             f"{self.scenario}/n{self.n_servers}"
             f"/f{self.recirc_fraction:g}/s{self.seed}"
         )
+        if self.faults is not None:
+            label += f"/{self.faults.label}"
+        return label
 
     @property
     def chunk_key(self) -> tuple:
         """Tasks sharing this key can stack into one batch run.
 
         Stacking requires one time grid (duration, dt, decimation) and
-        same-shape racks; ``"scalar"``-backend tasks group together but
-        always fall back to one rack per task inside the worker.
+        same-shape racks; ``"scalar"``-backend and faulted tasks group
+        together but always fall back to one rack per task inside the
+        worker.
         """
         return (
             self.n_servers,
@@ -85,6 +93,7 @@ class CampaignTask:
             self.dt_s,
             self.record_decimation,
             self.backend,
+            self.faults,
         )
 
 
@@ -107,6 +116,7 @@ def _simulate_task(task: CampaignTask, rack) -> FleetResult:
         dt_s=task.dt_s,
         record_decimation=task.record_decimation,
         backend=task.backend,
+        faults=task.faults,
     )
     result = sim.run(task.duration_s, label=task.label)
     return replace(result, extras={**result.extras, "task": task})
@@ -130,16 +140,29 @@ def run_campaign_chunk(
     :class:`~repro.fleet.simulator.FleetSimulator` run.
     """
     tasks = list(tasks)
+    rack_flags = [isinstance(task, CampaignTask) for task in tasks]
+    if any(rack_flags) and not all(rack_flags):
+        raise FleetError(
+            "a campaign chunk must be all rack tasks or all room tasks; "
+            "CampaignRunner never mixes them within one chunk"
+        )
+    if tasks and not rack_flags[0]:
+        # Room tasks: each room already runs as one stacked batch, so a
+        # chunk is just its tasks run back to back.
+        from repro.room.campaign import run_room_task
+
+        return [run_room_task(task) for task in tasks]
     if len(tasks) == 1:
         return [run_campaign_task(tasks[0])]
     from repro.room.stack import run_stacked_racks, stacked_unsupported_reason
 
     racks = [_build_rack(task) for task in tasks]
-    reason = (
-        "scalar backend requested"
-        if any(task.backend == "scalar" for task in tasks)
-        else stacked_unsupported_reason(racks)
-    )
+    if any(task.faults is not None for task in tasks):
+        reason = "fault schedules target servers by rack position"
+    elif any(task.backend == "scalar" for task in tasks):
+        reason = "scalar backend requested"
+    else:
+        reason = stacked_unsupported_reason(racks)
     if reason is not None:
         return [
             _simulate_task(task, rack) for task, rack in zip(tasks, racks)
@@ -221,13 +244,21 @@ class CampaignRunner:
         return self._chunk_size
 
     def _chunks(
-        self, tasks: list[CampaignTask]
-    ) -> list[tuple[list[int], list[CampaignTask]]]:
-        """Split tasks into stackable chunks, remembering their indices."""
+        self, tasks: list
+    ) -> list[tuple[list[int], list]]:
+        """Split tasks into stackable chunks, remembering their indices.
+
+        Rack tasks group by :attr:`CampaignTask.chunk_key`; room tasks
+        (:class:`~repro.room.campaign.RoomTask`) are their own chunks -
+        a room already runs as one stacked batch internally.
+        """
         grouped: dict[tuple, list[int]] = {}
+        chunks: list[tuple[list[int], list]] = []
         for i, task in enumerate(tasks):
-            grouped.setdefault(task.chunk_key, []).append(i)
-        chunks = []
+            if isinstance(task, CampaignTask):
+                grouped.setdefault(task.chunk_key, []).append(i)
+            else:
+                chunks.append(([i], [task]))
         for indices in grouped.values():
             for lo in range(0, len(indices), self._chunk_size):
                 part = indices[lo : lo + self._chunk_size]
@@ -236,8 +267,14 @@ class CampaignRunner:
         chunks.sort(key=lambda chunk: chunk[0][0])
         return chunks
 
-    def run(self, tasks: Iterable[CampaignTask]) -> list[FleetResult]:
-        """Run every task and return results in task order."""
+    def run(self, tasks: Iterable) -> list:
+        """Run every task and return results in task order.
+
+        Accepts a mix of :class:`CampaignTask` (rack) and
+        :class:`~repro.room.campaign.RoomTask` (room) entries; each
+        result slot holds the matching :class:`FleetResult` or
+        :class:`~repro.room.result.RoomResult`.
+        """
         task_list = list(tasks)
         if not task_list:
             raise FleetError("campaign needs at least one task")

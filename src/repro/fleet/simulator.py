@@ -57,6 +57,10 @@ class FleetSimulator:
         ``"auto"`` (vectorized when the rack supports it), ``"scalar"``,
         or ``"vectorized"`` (falls back to scalar - recorded in the
         result's ``extras`` - when the rack cannot batch).
+    faults:
+        Optional :class:`~repro.faults.events.FaultSchedule` applied to
+        the run on either backend (bit-for-bit identically); the run's
+        fault summary lands in ``result.extras["faults"]``.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class FleetSimulator:
         violation_tolerance: float = 0.01,
         degradation_window: int = 10,
         backend: str = "auto",
+        faults=None,
     ) -> None:
         if backend not in BACKENDS:
             raise SimulationError(
@@ -78,6 +83,7 @@ class FleetSimulator:
         self._violation_tolerance = violation_tolerance
         self._degradation_window = degradation_window
         self._backend = backend
+        self._faults = faults
 
     @property
     def rack(self) -> Rack:
@@ -100,6 +106,18 @@ class FleetSimulator:
             for _ in range(n)
         ]
 
+    def _injector(self):
+        """Fresh per-run fault machinery (None without a schedule)."""
+        if self._faults is None:
+            return None
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            self._faults, [slot.plant for slot in self._rack]
+        )
+        injector.require_no_room_faults()
+        return injector
+
     def run(self, duration_s: float, label: str = "fleet") -> FleetResult:
         """Simulate the whole rack for ``duration_s`` seconds."""
         check_duration(duration_s, "duration_s")
@@ -107,6 +125,7 @@ class FleetSimulator:
         if n_steps < 1:
             raise SimulationError(f"duration {duration_s} shorter than one step")
 
+        injector = self._injector()
         fallback_reason = None
         if self._backend in ("auto", "vectorized"):
             fallback_reason = batch_unsupported_reason(
@@ -115,13 +134,20 @@ class FleetSimulator:
                 coupled=True,
             )
             if fallback_reason is None:
-                return self._run_vectorized(n_steps, label)
+                return self._run_vectorized(n_steps, label, injector)
         extras = {"backend": "scalar"}
         if self._backend == "vectorized":
             extras["fallback_reason"] = fallback_reason
-        return self._run_scalar(n_steps, label, extras)
+        return self._run_scalar(n_steps, label, extras, injector)
 
-    def _run_vectorized(self, n_steps: int, label: str) -> FleetResult:
+    def _fault_extras(self, extras: dict, injector, n_steps: int) -> dict:
+        from repro.faults.injector import attach_fault_summary
+
+        return attach_fault_summary(extras, injector, n_steps * self._dt)
+
+    def _run_vectorized(
+        self, n_steps: int, label: str, injector=None
+    ) -> FleetResult:
         rack = self._rack
         stepper = BatchStepper(
             plants=[slot.plant for slot in rack],
@@ -134,6 +160,7 @@ class FleetSimulator:
             trackers=self._trackers(rack.n_servers),
             coupling=rack.coupling,
             exhaust=rack.exhaust,
+            injector=injector,
         )
         stepper.run()
         results = stepper.finish(
@@ -155,11 +182,11 @@ class FleetSimulator:
             server_results=tuple(results),
             mean_inlet_c=stepper.mean_inlet_c(),
             label=label,
-            extras=extras,
+            extras=self._fault_extras(extras, injector, n_steps),
         )
 
     def _run_scalar(
-        self, n_steps: int, label: str, extras: dict
+        self, n_steps: int, label: str, extras: dict, injector=None
     ) -> FleetResult:
         trackers = self._trackers(self._rack.n_servers)
         steppers = [
@@ -172,8 +199,10 @@ class FleetSimulator:
                 dt_s=self._dt,
                 record_decimation=self._decimation,
                 tracker=tracker,
+                injector=injector,
+                server_index=index,
             )
-            for slot, tracker in zip(self._rack, trackers)
+            for index, (slot, tracker) in enumerate(zip(self._rack, trackers))
         ]
 
         inlet_sums = np.zeros(self._rack.n_servers)
@@ -192,5 +221,5 @@ class FleetSimulator:
             server_results=results,
             mean_inlet_c=tuple(float(s) for s in inlet_sums / n_steps),
             label=label,
-            extras=extras,
+            extras=self._fault_extras(extras, injector, n_steps),
         )

@@ -27,6 +27,7 @@ while keeping the execution model array-shaped:
   failed CRAC, mixed-scheme aisles).
 """
 
+from repro.room.campaign import RoomTask, room_campaign_grid, run_room_task
 from repro.room.coupling import SparseCoupling
 from repro.room.crac import CRACUnit
 from repro.room.result import RoomResult
@@ -54,8 +55,11 @@ __all__ = [
     "Room",
     "RoomResult",
     "RoomSimulator",
+    "RoomTask",
     "RoomTopology",
     "SparseCoupling",
+    "room_campaign_grid",
+    "run_room_task",
     "build_room_coupling",
     "build_room_scenario",
     "failed_crac_room",

@@ -66,6 +66,24 @@ class SparseCoupling(CouplingOperator):
         weights how much of each server's rise reaches that return
         plenum, ``gain[k]`` how strongly the resulting supply rise hits
         each server's inlet.
+    feedback_tau:
+        Optional ``(K,)`` per-row first-order time constants turning the
+        low-rank term into a **dynamic supply filter**: each row carries
+        an RC state ``s_k`` advanced once per :meth:`apply` call (one
+        simulation step) toward ``mix[k] @ rises + forcing_k``, and the
+        output becomes ``gain.T @ s``.  ``tau = 0`` rows settle
+        instantly, reproducing the static term bit for bit, so the
+        static model is exactly the all-zero limit.  Dynamic operators
+        must be armed with :meth:`prepare_run` before stepping.
+    feedback_forcing:
+        Optional ``(K,)`` baseline exogenous supply rises (e.g. a failed
+        CRAC's failure rise) driven through the filter.  Requires
+        ``feedback_tau``.
+    crac_unit_rows:
+        Optional mapping (sequence, one entry per CRAC unit, ``None`` =
+        no path) from CRAC unit index to its forcing row, letting the
+        fault injector target units by index
+        (:meth:`set_supply_forcing`).
     """
 
     def __init__(
@@ -74,6 +92,9 @@ class SparseCoupling(CouplingOperator):
         cross: Mapping[tuple[int, int], np.ndarray] | None = None,
         feedback_gain: np.ndarray | None = None,
         feedback_mix: np.ndarray | None = None,
+        feedback_tau: np.ndarray | None = None,
+        feedback_forcing: np.ndarray | None = None,
+        crac_unit_rows: Sequence[int | None] | None = None,
     ) -> None:
         if not blocks:
             raise RoomError("sparse coupling needs at least one rack block")
@@ -121,6 +142,11 @@ class SparseCoupling(CouplingOperator):
             raise RoomError(
                 "feedback_gain and feedback_mix must be given together"
             )
+        dynamic = feedback_tau is not None
+        if dynamic and feedback_gain is None:
+            raise RoomError("feedback_tau needs feedback_gain/feedback_mix rows")
+        if feedback_forcing is not None and not dynamic:
+            raise RoomError("feedback_forcing needs feedback_tau")
         if feedback_gain is None:
             self._gain: np.ndarray | None = None
             self._mix: np.ndarray | None = None
@@ -139,10 +165,57 @@ class SparseCoupling(CouplingOperator):
                     f"feedback rank mismatch: gain has {gain.shape[0]} rows, "
                     f"mix has {mix.shape[0]}"
                 )
-            if np.any(gain) and np.any(mix):
+            # Dynamic operators keep zero-mix rows: those are pure
+            # forcing paths (a CRAC's exogenous supply rise) that only
+            # the filter state drives.
+            if np.any(gain) and (np.any(mix) or dynamic):
                 self._gain, self._mix = gain, mix
             else:
                 self._gain = self._mix = None
+
+        # Dynamic supply filter (CRAC thermal time constants + forcing).
+        self._tau: np.ndarray | None = None
+        self._base_forcing: np.ndarray | None = None
+        self._forcing: np.ndarray | None = None
+        self._states: np.ndarray | None = None
+        self._decay: np.ndarray | None = None
+        self._crac_unit_rows: tuple[int | None, ...] = ()
+        if dynamic and self._gain is not None:
+            k = self._gain.shape[0]
+            tau = np.asarray(feedback_tau, dtype=float).reshape(-1)
+            if tau.shape != (k,):
+                raise RoomError(
+                    f"feedback_tau must have {k} entries, got shape {tau.shape}"
+                )
+            if not np.all(np.isfinite(tau)) or np.any(tau < 0.0):
+                raise RoomError("feedback_tau entries must be finite and >= 0")
+            self._tau = tau
+            if feedback_forcing is None:
+                forcing = np.zeros(k)
+            else:
+                forcing = np.asarray(feedback_forcing, dtype=float).reshape(-1)
+                if forcing.shape != (k,):
+                    raise RoomError(
+                        f"feedback_forcing must have {k} entries, got shape "
+                        f"{forcing.shape}"
+                    )
+                if not np.all(np.isfinite(forcing)) or np.any(forcing < 0.0):
+                    raise RoomError(
+                        "feedback_forcing entries must be finite and >= 0"
+                    )
+            self._base_forcing = forcing
+            self._forcing = forcing.copy()
+            self._states = np.zeros(k)
+            if crac_unit_rows is not None:
+                rows = tuple(
+                    None if row is None else int(row) for row in crac_unit_rows
+                )
+                for row in rows:
+                    if row is not None and not 0 <= row < k:
+                        raise RoomError(
+                            f"crac_unit_rows entry {row} outside [0, {k})"
+                        )
+                self._crac_unit_rows = rows
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -161,6 +234,9 @@ class SparseCoupling(CouplingOperator):
         cross: Mapping[tuple[int, int], np.ndarray] | None = None,
         feedback_gain: np.ndarray | None = None,
         feedback_mix: np.ndarray | None = None,
+        feedback_tau: np.ndarray | None = None,
+        feedback_forcing: np.ndarray | None = None,
+        crac_unit_rows: Sequence[int | None] | None = None,
     ) -> "SparseCoupling":
         """Diagonal blocks taken from each rack's own coupling operator."""
         return cls(
@@ -168,6 +244,9 @@ class SparseCoupling(CouplingOperator):
             cross=cross,
             feedback_gain=feedback_gain,
             feedback_mix=feedback_mix,
+            feedback_tau=feedback_tau,
+            feedback_forcing=feedback_forcing,
+            crac_unit_rows=crac_unit_rows,
         )
 
     # ------------------------------------------------------------------
@@ -202,6 +281,62 @@ class SparseCoupling(CouplingOperator):
     def feedback_rank(self) -> int:
         """Rank of the low-rank plenum/CRAC term (0 when absent)."""
         return 0 if self._gain is None else self._gain.shape[0]
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the low-rank term carries first-order supply states."""
+        return self._tau is not None
+
+    @property
+    def crac_unit_rows(self) -> tuple[int | None, ...]:
+        """Per-CRAC-unit forcing-row indices (empty tuple = no mapping)."""
+        return self._crac_unit_rows
+
+    @property
+    def supply_states_c(self) -> np.ndarray | None:
+        """Current per-row supply-rise states (None for static operators)."""
+        return None if self._states is None else self._states.copy()
+
+    def prepare_run(self, dt_s: float) -> None:
+        """Arm the dynamic supply filter for a run on a fixed time grid.
+
+        Computes the per-row decay ``exp(-dt / tau)`` (0 for ``tau = 0``
+        rows, which therefore settle in one step - the static limit),
+        resets the RC states to zero, and restores forcings to their
+        construction baseline, so repeated runs of the same room are
+        deterministic.  A no-op for static operators.
+        """
+        if self._tau is None:
+            return
+        if not dt_s > 0.0:
+            raise RoomError(f"prepare_run needs dt_s > 0, got {dt_s}")
+        self._decay = np.where(
+            self._tau > 0.0, np.exp(-dt_s / np.where(self._tau > 0.0, self._tau, 1.0)), 0.0
+        )
+        self._states = np.zeros(self._gain.shape[0])
+        self._forcing = self._base_forcing.copy()
+
+    def set_supply_forcing(self, unit: int, rise_c: float) -> None:
+        """Set one CRAC unit's exogenous supply rise (fault injection).
+
+        The value is *added on top of* the unit's baseline forcing and
+        enters the first-order filter, so a brownout step produces an RC
+        response at every served inlet.  Requires the unit to have a
+        forcing row (``crac_unit_rows``).
+        """
+        if not self._crac_unit_rows or unit >= len(self._crac_unit_rows):
+            raise RoomError(
+                f"no CRAC unit {unit} in this coupling's forcing map"
+            )
+        row = self._crac_unit_rows[unit]
+        if row is None:
+            raise RoomError(
+                f"CRAC unit {unit} has no dynamic supply path; rebuild the "
+                "room with forcing_units including it"
+            )
+        if not np.isfinite(rise_c) or rise_c < 0.0:
+            raise RoomError(f"supply forcing must be finite and >= 0, got {rise_c!r}")
+        self._forcing[row] = self._base_forcing[row] + float(rise_c)
 
     def rack_slice(self, rack: int) -> slice:
         """The server-index range rack ``rack`` occupies."""
@@ -240,6 +375,12 @@ class SparseCoupling(CouplingOperator):
         ``block @ rises[slice]`` per rack - the identical gemv a
         standalone dense rack runs - so zero-inter-rack rooms stay
         bit-for-bit equal to independent per-rack simulations.
+
+        Dynamic operators advance their supply-filter states here (one
+        call = one simulation step, which both execution lanes honour);
+        ``tau = 0`` rows settle to their target each step, making the
+        static term the exact all-zero-tau limit: ``target + (state -
+        target) * 0.0`` is bitwise ``target`` for finite values.
         """
         out = np.empty(self._n)
         for start, stop, block in zip(self._starts, self._stops, self._blocks):
@@ -249,7 +390,16 @@ class SparseCoupling(CouplingOperator):
                 matrix @ rises_c[self._starts[src] : self._stops[src]]
             )
         if self._gain is not None:
-            out += self._gain.T @ (self._mix @ rises_c)
+            if self._tau is None:
+                out += self._gain.T @ (self._mix @ rises_c)
+            else:
+                if self._decay is None:
+                    raise RoomError(
+                        "dynamic coupling needs prepare_run(dt_s) before apply"
+                    )
+                target = self._mix @ rises_c + self._forcing
+                self._states = target + (self._states - target) * self._decay
+                out += self._gain.T @ self._states
         return out
 
     # ------------------------------------------------------------------

@@ -75,14 +75,43 @@ class CRACUnit:
         return self._failed
 
     @property
+    def tau_s(self) -> float:
+        """First-order supply-loop time constant (0 = static model)."""
+        return self._config.supply_time_constant_s
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the supply follows an RC state instead of jumping."""
+        return self._config.supply_time_constant_s > 0.0
+
+    @property
     def supply_temperature_c(self) -> float:
-        """Supply air temperature at the rack inlets (before recirculation)."""
+        """Steady-state supply air temperature at the rack inlets.
+
+        For a dynamic unit (``tau_s > 0``) this is where the RC state
+        settles, not the instantaneous value; the transient lives in the
+        room coupling's supply filter.
+        """
         if self._failed:
             return (
                 self._config.supply_setpoint_c
                 + self._config.failure_supply_rise_c
             )
         return self._config.supply_setpoint_c
+
+    @property
+    def build_supply_c(self) -> float:
+        """The supply temperature scenario builders bake into base inlets.
+
+        Static failed units park their full failure rise in the base
+        inlet (the pre-dynamics behaviour); a *dynamic* failed unit
+        starts at its setpoint and reaches the rise through the coupled
+        RC filter - a step response from the run's start - so builders
+        must not double-count it.
+        """
+        if self._failed and self.is_dynamic:
+            return self._config.supply_setpoint_c
+        return self.supply_temperature_c
 
     def feedback_rows(
         self,
@@ -106,6 +135,21 @@ class CRACUnit:
             gain[mask] = self._config.return_sensitivity_k_per_k
             mix[mask] = return_mix_factor / n_served
         return gain, mix
+
+    def supply_row(self, served_mask: np.ndarray) -> np.ndarray:
+        """This unit's exogenous supply-rise spread row.
+
+        A unit's supply-temperature rise (failure transient, brownout
+        forcing) hits every served inlet one-to-one, independent of the
+        return sensitivity; paired with a zero mix row it forms a pure
+        forcing path through the coupling's dynamic supply filter.
+        """
+        mask = np.asarray(served_mask, dtype=bool)
+        if int(mask.sum()) == 0:
+            raise RoomError("CRAC supply row needs at least one served server")
+        row = np.zeros(mask.size)
+        row[mask] = 1.0
+        return row
 
     def energy_j(self, heat_j: float) -> float:
         """Electrical energy to remove ``heat_j`` joules of server heat.

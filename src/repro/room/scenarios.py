@@ -28,7 +28,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.config import RoomConfig, ServerConfig
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, RoomError
 from repro.fleet.coupling import ExhaustModel, RecirculationMatrix
 from repro.fleet.rack import Rack
 from repro.fleet.scenarios import build_server_slot
@@ -95,6 +95,7 @@ def build_room_coupling(
     topology: RoomTopology,
     racks: Sequence[Rack],
     cracs: Sequence[CRACUnit],
+    forcing_units: Sequence[int] = (),
 ) -> SparseCoupling:
     """The room operator: rack blocks + aisle cross-terms + CRAC feedback.
 
@@ -103,6 +104,13 @@ def build_room_coupling(
     server of the adjacent rack - the sideways leak around rack ends.
     Each CRAC contributes one rank-one supply-return row (zero for
     failed units).
+
+    When any unit carries a supply time constant (``tau_s > 0``), needs
+    a runtime forcing path (``forcing_units``, for CRAC-brownout fault
+    injection), or is a failed *dynamic* unit (whose failure rise must
+    ramp instead of jump), the operator is built with the dynamic supply
+    filter: per-row RC states advanced once per step, with ``tau = 0``
+    rows reproducing the static behaviour exactly.
     """
     sizes = [rack.n_servers for rack in racks]
     bounds = np.concatenate(([0], np.cumsum(sizes)))
@@ -114,8 +122,16 @@ def build_room_coupling(
         for dst, src in topology.aisle_pairs():
             cross[(dst, src)] = eff * np.eye(sizes[dst], sizes[src])
 
-    gains, mixes = [], []
-    for crac in cracs:
+    forcing_units = tuple(forcing_units)
+    for unit in forcing_units:
+        if not 0 <= unit < len(cracs):
+            raise RoomError(
+                f"forcing_units names CRAC {unit}, room has {len(cracs)}"
+            )
+
+    gains, mixes, taus, forcings = [], [], [], []
+    unit_rows: list[int | None] = [None] * len(cracs)
+    for c, crac in enumerate(cracs):
         mask = np.zeros(n_total, dtype=bool)
         for rack in crac.racks:
             mask[int(bounds[rack]) : int(bounds[rack + 1])] = True
@@ -123,12 +139,36 @@ def build_room_coupling(
         if np.any(gain) and np.any(mix):
             gains.append(gain)
             mixes.append(mix)
+            taus.append(crac.tau_s)
+            forcings.append(0.0)
+        # Exogenous supply path: runtime forcing target, or a dynamic
+        # failed unit whose failure rise enters as a filtered step.
+        if c in forcing_units or (crac.failed and crac.is_dynamic):
+            unit_rows[c] = len(gains)
+            gains.append(crac.supply_row(mask))
+            mixes.append(np.zeros(n_total))
+            taus.append(crac.tau_s)
+            # Only a *dynamic* failed unit routes its failure rise
+            # through the filter; a static one already bakes it into the
+            # base inlets (build_supply_c), so forcing it again here
+            # would double-count the rise.
+            forcings.append(
+                crac.config.failure_supply_rise_c
+                if (crac.failed and crac.is_dynamic)
+                else 0.0
+            )
 
+    dynamic = any(tau > 0.0 for tau in taus) or any(
+        row is not None for row in unit_rows
+    )
     return SparseCoupling.from_racks(
         racks,
         cross=cross or None,
         feedback_gain=np.array(gains) if gains else None,
         feedback_mix=np.array(mixes) if mixes else None,
+        feedback_tau=np.array(taus) if (gains and dynamic) else None,
+        feedback_forcing=np.array(forcings) if (gains and dynamic) else None,
+        crac_unit_rows=tuple(unit_rows) if dynamic else None,
     )
 
 
@@ -136,8 +176,15 @@ def _assemble_room(
     room: RoomConfig,
     cracs: Sequence[CRACUnit],
     rack_builder: Callable[[int, float], Rack],
+    forcing_units: Sequence[int] = (),
 ) -> Room:
-    """Shared assembly: build racks against their CRAC supply, couple."""
+    """Shared assembly: build racks against their CRAC supply, couple.
+
+    Racks are built against each unit's :attr:`~repro.room.crac.CRACUnit.
+    build_supply_c` - the setpoint for dynamic failed units, whose
+    failure rise instead enters through the coupling's supply filter as
+    a step response.
+    """
     topology = RoomTopology(
         room.n_rows, room.racks_per_row, containment=room.containment
     )
@@ -146,10 +193,12 @@ def _assemble_room(
         for rack in crac.racks:
             crac_of[rack] = crac
     racks = [
-        rack_builder(r, crac_of[r].supply_temperature_c)
+        rack_builder(r, crac_of[r].build_supply_c)
         for r in range(room.n_racks)
     ]
-    coupling = build_room_coupling(room, topology, racks, cracs)
+    coupling = build_room_coupling(
+        room, topology, racks, cracs, forcing_units=forcing_units
+    )
     return Room(
         racks,
         topology=topology,
@@ -165,8 +214,13 @@ def uniform_room(
     seed: int = 0,
     config: ServerConfig | None = None,
     scheme: str = "rcoord",
+    forcing_units: Sequence[int] = (),
 ) -> Room:
-    """Every rack a homogeneous paper-workload rack, one healthy CRAC."""
+    """Every rack a homogeneous paper-workload rack, one healthy CRAC.
+
+    ``forcing_units`` names CRAC units that get a dynamic supply path
+    (for runtime brownout forcing by the fault injector).
+    """
     room = room or RoomConfig()
     cracs = (CRACUnit(room.crac, racks=tuple(range(room.n_racks))),)
     return _assemble_room(
@@ -175,6 +229,7 @@ def uniform_room(
         lambda r, supply_c: _build_rack(
             room, duration_s, _rack_seed(seed, r), config, scheme, supply_c
         ),
+        forcing_units=forcing_units,
     )
 
 
@@ -187,6 +242,7 @@ def hot_spot_rack_room(
     hot_rack: int = 0,
     hot_level: float = 0.9,
     idle_level: float = 0.15,
+    forcing_units: Sequence[int] = (),
 ) -> Room:
     """One rack pinned near full load, the rest near idle.
 
@@ -216,7 +272,7 @@ def hot_spot_rack_room(
             initial_utilization=idle_level,
         )
 
-    return _assemble_room(room, cracs, build)
+    return _assemble_room(room, cracs, build, forcing_units=forcing_units)
 
 
 def failed_crac_room(
@@ -226,6 +282,7 @@ def failed_crac_room(
     config: ServerConfig | None = None,
     scheme: str = "rcoord",
     failed_unit: int = 0,
+    forcing_units: Sequence[int] = (),
 ) -> Room:
     """Two supply groups, one unit failed (hot supply, severed feedback).
 
@@ -267,6 +324,7 @@ def failed_crac_room(
         lambda r, supply_c: _build_rack(
             room, duration_s, _rack_seed(seed, r), config, scheme, supply_c
         ),
+        forcing_units=forcing_units,
     )
 
 
@@ -276,6 +334,7 @@ def mixed_aisles_room(
     seed: int = 0,
     config: ServerConfig | None = None,
     schemes: Sequence[str] = ("rcoord", "uncoordinated"),
+    forcing_units: Sequence[int] = (),
 ) -> Room:
     """Rows alternate DTM schemes - coordinated vs uncoordinated aisles.
 
@@ -295,7 +354,7 @@ def mixed_aisles_room(
             room, duration_s, _rack_seed(seed, r), config, scheme, supply_c
         )
 
-    return _assemble_room(room, cracs, build)
+    return _assemble_room(room, cracs, build, forcing_units=forcing_units)
 
 
 #: Scenario-name registry, mirroring :data:`repro.fleet.scenarios.

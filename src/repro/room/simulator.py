@@ -59,6 +59,7 @@ class RoomSimulator:
         degradation_window: int = 10,
         backend: str = "auto",
         inlet_limit_c: float | None = None,
+        faults=None,
     ) -> None:
         if backend not in BACKENDS:
             raise SimulationError(
@@ -73,6 +74,7 @@ class RoomSimulator:
         self._inlet_limit_c = (
             room.inlet_limit_c if inlet_limit_c is None else inlet_limit_c
         )
+        self._faults = faults
 
     @property
     def room(self) -> Room:
@@ -84,6 +86,18 @@ class RoomSimulator:
         """The configured execution backend."""
         return self._backend
 
+    def _injector(self):
+        """Fresh per-run fault machinery bound to the room (or None)."""
+        if self._faults is None:
+            return None
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            self._faults, [slot.plant for slot in self._room]
+        )
+        injector.bind_coupling(self._room.coupling, len(self._room.cracs))
+        return injector
+
     def run(self, duration_s: float, label: str = "room") -> RoomResult:
         """Simulate the whole room for ``duration_s`` seconds."""
         check_duration(duration_s, "duration_s")
@@ -91,17 +105,24 @@ class RoomSimulator:
         if n_steps < 1:
             raise SimulationError(f"duration {duration_s} shorter than one step")
 
+        # Arm the coupling's dynamic CRAC supply filter (no-op when
+        # static) so both lanes step the same RC states from zero.
+        coupling = self._room.coupling
+        if getattr(coupling, "is_dynamic", False):
+            coupling.prepare_run(self._dt)
+        injector = self._injector()
+
         fallback_reason = None
         if self._backend in ("auto", "vectorized"):
             fallback_reason = stacked_unsupported_reason(
                 self._room.racks, self._room.coupling
             )
             if fallback_reason is None:
-                return self._run_vectorized(n_steps, label)
+                return self._run_vectorized(n_steps, label, injector)
         extras = {"backend": "scalar"}
         if fallback_reason is not None:
             extras["fallback_reason"] = fallback_reason
-        return self._run_scalar(n_steps, label, extras)
+        return self._run_scalar(n_steps, label, extras, injector)
 
     # ------------------------------------------------------------------
 
@@ -134,7 +155,14 @@ class RoomSimulator:
             extras=extras,
         )
 
-    def _run_vectorized(self, n_steps: int, label: str) -> RoomResult:
+    def _fault_extras(self, extras: dict, injector, n_steps: int) -> dict:
+        from repro.faults.injector import attach_fault_summary
+
+        return attach_fault_summary(extras, injector, n_steps * self._dt)
+
+    def _run_vectorized(
+        self, n_steps: int, label: str, injector=None
+    ) -> RoomResult:
         room = self._room
         stepper = stacked_stepper(
             room.racks,
@@ -146,6 +174,7 @@ class RoomSimulator:
             coupling=room.coupling,
             # run() already consulted stacked_unsupported_reason.
             precheck=False,
+            injector=injector,
         )
         stepper.run()
         rack_results = split_stacked_results(
@@ -159,10 +188,12 @@ class RoomSimulator:
             extras["controller_backend"] = "scalar"
         else:
             extras["controller_backend"] = "mixed"
-        return self._package(rack_results, label, extras)
+        return self._package(
+            rack_results, label, self._fault_extras(extras, injector, n_steps)
+        )
 
     def _run_scalar(
-        self, n_steps: int, label: str, extras: dict
+        self, n_steps: int, label: str, extras: dict, injector=None
     ) -> RoomResult:
         room = self._room
         trackers = [
@@ -182,13 +213,20 @@ class RoomSimulator:
                 dt_s=self._dt,
                 record_decimation=self._decimation,
                 tracker=tracker,
+                injector=injector,
+                server_index=index,
             )
-            for slot, tracker in zip(room, trackers)
+            for index, (slot, tracker) in enumerate(zip(room, trackers))
         ]
 
+        start = room.slots[0].plant.time_s
         inlet_sums = np.zeros(room.n_servers)
-        for _ in range(n_steps):
+        for k in range(n_steps):
             # Exhaust produced up to step k sets the inlets for step k+1.
+            if injector is not None:
+                # Same instant the batch lane polls: the step time the
+                # offsets computed below will be in force for.
+                injector.poll_crac(start + (k + 1) * self._dt)
             room.update_inlets()
             for stepper in steppers:
                 stepper.step()
@@ -215,4 +253,6 @@ class RoomSimulator:
                 )
             )
             start = stop
-        return self._package(rack_results, label, extras)
+        return self._package(
+            rack_results, label, self._fault_extras(extras, injector, n_steps)
+        )

@@ -65,6 +65,7 @@ def stacked_stepper(
     degradation_window: int = 10,
     coupling: SparseCoupling | None = None,
     precheck: bool = True,
+    injector=None,
 ) -> BatchStepper:
     """Build the ``(R*B,)`` batch stepper for a stack of racks.
 
@@ -96,6 +97,7 @@ def stacked_stepper(
         ],
         coupling=coupling,
         exhaust=racks[0].exhaust,
+        injector=injector,
     )
 
 

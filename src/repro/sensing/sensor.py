@@ -70,6 +70,7 @@ class TemperatureSensor:
         self._next_sample_time = 0.0
         self._last_reading: SensorReading | None = None
         self._primed = initial_value_c is not None
+        self._fault = None
 
     @property
     def config(self) -> SensingConfig:
@@ -92,6 +93,25 @@ class TemperatureSensor:
         return self._primed
 
     @property
+    def fault_state(self):
+        """The installed sensing-fault pipeline (None = clean sensor)."""
+        return self._fault
+
+    def set_fault_state(self, state) -> None:
+        """Install (or clear, with None) a per-run sensing-fault pipeline.
+
+        The state object is a
+        :class:`~repro.faults.states.SensorFaultState`: its
+        ``pre_adc`` hook corrupts the analog (noisy) value before
+        quantization, ``post_adc`` the digital value after - the same
+        scalar transforms the batch backend applies, so fault-injected
+        runs agree bit-for-bit across lanes.  Simulators install it at
+        run start; it carries per-run state (stuck-register captures),
+        so never reuse one across runs.
+        """
+        self._fault = state
+
+    @property
     def lag_s(self) -> float:
         """Transport delay of the pipeline."""
         return self._delay.delay_s
@@ -108,7 +128,12 @@ class TemperatureSensor:
         if not self._primed:
             # Before anything clears the 10 s delay, firmware sees the
             # power-on reading: the first sampled value.
-            quantized = self._adc.quantize(true_temp_c + self._noise.sample())
+            measured = true_temp_c + self._noise.sample()
+            if self._fault is not None:
+                measured = self._fault.pre_adc(time_s, measured)
+            quantized = self._adc.quantize(measured)
+            if self._fault is not None:
+                quantized = self._fault.post_adc(time_s, quantized)
             self._delay = DelayLine(self._config.lag_s, initial_value=quantized)
             self._delay.push(time_s, quantized)
             self._primed = True
@@ -117,7 +142,11 @@ class TemperatureSensor:
         if time_s + 1e-9 < self._next_sample_time:
             return
         measured = true_temp_c + self._noise.sample()
+        if self._fault is not None:
+            measured = self._fault.pre_adc(time_s, measured)
         quantized = self._adc.quantize(measured)
+        if self._fault is not None:
+            quantized = self._fault.post_adc(time_s, quantized)
         self._delay.push(time_s, quantized)
         # Schedule the next sample; catch up if observe() was called late.
         while self._next_sample_time <= time_s + 1e-9:

@@ -129,9 +129,26 @@ class BatchSensorBank:
     as per-server ring buffers.
     """
 
-    def __init__(self, sensors: Sequence[TemperatureSensor]) -> None:
+    def __init__(
+        self,
+        sensors: Sequence[TemperatureSensor],
+        fault_states: Sequence[Any] | None = None,
+    ) -> None:
         n = len(sensors)
         configs = [sensor.config for sensor in sensors]
+        # Per-server sensing-fault pipelines (repro.faults): the same
+        # scalar transform objects the scalar sensor calls, applied to
+        # the same sampled values at the same instants, so fault-injected
+        # runs stay bit-for-bit equal across backends.  Fault-free
+        # servers never enter the loop.
+        if fault_states is None:
+            self._fault_rows: list[int] = []
+            self._fault_states: list[Any] = []
+        else:
+            self._fault_rows = [
+                i for i, state in enumerate(fault_states) if state is not None
+            ]
+            self._fault_states = list(fault_states)
         self._n = n
         self._rows = np.arange(n)
         self._lag = np.array([cfg.lag_s for cfg in configs])
@@ -180,15 +197,45 @@ class BatchSensorBank:
         """Firmware-visible reading per server (after :meth:`pop_until`)."""
         return self._current
 
-    def _sample_noise(self, measured: np.ndarray, idx: np.ndarray) -> None:
+    def _sample_noise(
+        self, measured: np.ndarray, positions: dict[int, int]
+    ) -> None:
         """Add one noise draw per sampled server, in server order."""
-        if not self._noisy_rows:
-            return
-        positions = {int(i): j for j, i in enumerate(idx)}
         for i in self._noisy_rows:
             j = positions.get(i)
             if j is not None:
                 measured[j] += self._noise[i].sample()
+
+    def _apply_pre_adc_faults(
+        self, time_s: float, measured: np.ndarray, positions: dict[int, int]
+    ) -> None:
+        """Analog-domain fault corruption, per faulted server in order."""
+        for i in self._fault_rows:
+            j = positions.get(i)
+            if j is not None:
+                measured[j] = self._fault_states[i].pre_adc(
+                    time_s, float(measured[j])
+                )
+
+    def _apply_post_adc_faults(
+        self, time_s: float, quantized: np.ndarray, positions: dict[int, int]
+    ) -> None:
+        """Digital-domain fault corruption (stuck register, dropout)."""
+        for i in self._fault_rows:
+            j = positions.get(i)
+            if j is not None:
+                quantized[j] = self._fault_states[i].post_adc(
+                    time_s, float(quantized[j])
+                )
+
+    def _positions(self, idx: np.ndarray) -> dict[int, int] | None:
+        """One shared {server -> sample position} map per sample step.
+
+        ``None`` when neither noise nor faults need per-server lookups.
+        """
+        if not (self._noisy_rows or self._fault_rows):
+            return None
+        return {int(i): j for j, i in enumerate(idx)}
 
     def _quantize(self, measured: np.ndarray, idx: np.ndarray) -> np.ndarray:
         step = self._q_step[idx]
@@ -228,8 +275,14 @@ class BatchSensorBank:
     def prime(self, time_s: float, true_temps: np.ndarray) -> None:
         """First observation: sets the power-on reading for every server."""
         measured = true_temps.copy()
-        self._sample_noise(measured, self._rows)
+        positions = self._positions(self._rows)
+        if self._noisy_rows:
+            self._sample_noise(measured, positions)
+        if self._fault_rows:
+            self._apply_pre_adc_faults(time_s, measured, positions)
         quantized = self._quantize(measured, self._rows)
+        if self._fault_rows:
+            self._apply_post_adc_faults(time_s, quantized, positions)
         self._current = quantized.copy()
         self._push(self._rows, time_s, quantized)
         self._next_sample = time_s + self._interval
@@ -244,8 +297,14 @@ class BatchSensorBank:
         due = self._next_sample <= time_plus
         idx = np.nonzero(due)[0]
         measured = true_temps[idx].copy()
-        self._sample_noise(measured, idx)
+        positions = self._positions(idx)
+        if self._noisy_rows:
+            self._sample_noise(measured, positions)
+        if self._fault_rows:
+            self._apply_pre_adc_faults(time_s, measured, positions)
         quantized = self._quantize(measured, idx)
+        if self._fault_rows:
+            self._apply_post_adc_faults(time_s, quantized, positions)
         self._push(idx, time_s, quantized)
         next_sample = self._next_sample[idx]
         interval = self._interval[idx]
@@ -339,6 +398,11 @@ class BatchThermalPlant:
         self._fan_p = [c.fan.power_per_socket_w for c in configs]
         self._v_min = [c.fan.min_speed_rpm for c in configs]
         self._v_max = [c.fan.max_speed_rpm for c in configs]
+        # Heat-sink fouling (fault injection): extra base resistance per
+        # server, folded into the cached level coefficients with the same
+        # float expression HeatSink.resistance_at evaluates.  Seeded from
+        # the plants so residual fouling from an earlier run carries over.
+        self._fouling = [p.heatsink.fouling_k_per_w for p in plants]
         self._level_cache: list[dict[float, tuple[float, float, float]]] = [
             {} for _ in range(n)
         ]
@@ -363,7 +427,9 @@ class BatchThermalPlant:
                 raise ThermalModelError(
                     "heat sink resistance is undefined at zero fan speed"
                 )
-            resistance = self._r_base[i] + self._r_coeff[i] / clamped ** self._r_exp[i]
+            resistance = (
+                self._r_base[i] + self._fouling[i]
+            ) + self._r_coeff[i] / clamped ** self._r_exp[i]
             decay = math.exp(-self._dt / (resistance * self._hs_capacitance[i]))
             fan_power = self._fan_p[i] * (clamped / self._v_max[i]) ** 3
             entry = (resistance, decay, fan_power)
@@ -372,6 +438,24 @@ class BatchThermalPlant:
         self.hs_decay[i] = entry[1]
         self.fan_w[i] = entry[2] * self._n_sockets_f[i]
         self.clamped_speed[i] = clamped
+
+    @property
+    def fouling_k_per_w(self) -> list[float]:
+        """Per-server fouling resistance currently in force."""
+        return list(self._fouling)
+
+    def set_fouling(self, i: int, extra_k_per_w: float) -> None:
+        """Set one server's fouling resistance, invalidating its cache.
+
+        Mirrors :meth:`repro.thermal.heatsink.HeatSink.set_fouling_k_per_w`
+        with the identical float expression in :meth:`apply_fan_speed`,
+        so fouled batch servers match fouled scalar plants bit for bit.
+        The caller re-applies the current fan speed afterwards to refresh
+        the in-force coefficient arrays.
+        """
+        if extra_k_per_w != self._fouling[i]:
+            self._fouling[i] = extra_k_per_w
+            self._level_cache[i] = {}
 
     def snapshot_fan_state(self) -> None:
         """Detach the fan-level arrays before a round of speed changes.
@@ -436,6 +520,7 @@ class BatchStepper:
         trackers: Sequence[DeadlineTracker] | None = None,
         coupling: Any | None = None,
         exhaust: Any | None = None,
+        injector: Any | None = None,
     ) -> None:
         n = len(plants)
         if not (n == len(sensors) == len(workloads) == len(controllers)):
@@ -506,7 +591,45 @@ class BatchStepper:
                 [plant.ambient.temperature_c(self._start) for plant in plants]
             )
 
+        # Fault-injection hooks (repro.faults).  All transforms are the
+        # same scalar-math state objects the scalar engine drives, so
+        # fault-injected batches stay bit-for-bit equal to scalar runs;
+        # with no injector (or a clean schedule) every per-dt guard below
+        # reduces to one attribute/float check.
+        self._injector = injector
+        self._next_plant_change = math.inf
+        self._next_crac_change = math.inf
+        if injector is None:
+            self._watchdog = None
+            self._may_dropout = False
+            self._fan_fault_states: list[Any] = []
+            self._fan_fault_rows: tuple[int, ...] = ()
+            sensor_fault_states = None
+        else:
+            if injector.n_servers != n:
+                raise SimulationError(
+                    f"fault injector is bound to {injector.n_servers} "
+                    f"servers, batch has {n}"
+                )
+            self._watchdog = injector.watchdog
+            self._may_dropout = injector.may_dropout
+            self._fan_fault_states = injector.fan_states
+            self._fan_fault_rows = injector.fan_fault_servers
+            sensor_fault_states = (
+                injector.sensor_states if injector.has_sensor_faults else None
+            )
+            self._next_plant_change = injector.next_plant_change_s
+            self._next_crac_change = injector.next_crac_change_s
+
         self._plant = BatchThermalPlant(plants, dt_s)
+        if injector is not None:
+            # Fouling schedules are absolute: a faulted server's level is
+            # what the schedule says from the run's start (the scalar
+            # stepper applies the same baseline in its constructor).
+            for i in range(n):
+                fouling = injector.fouling_state(i)
+                if fouling is not None:
+                    self._plant.set_fouling(i, fouling.level(self._start))
         # Applied knob state from the controllers (what the scalar
         # ServerStepper carries in _fan_speed/_cap).
         self._fan_cmd = np.zeros(n)
@@ -563,7 +686,7 @@ class BatchStepper:
         self._energy_last_fan = self._state_fan_w
         self._energy_last_t = self._start
 
-        self._sensing = BatchSensorBank(sensors)
+        self._sensing = BatchSensorBank(sensors, sensor_fault_states)
         self._sensing.prime(self._start, self._plant.die_temp)
 
         n_records = (n_steps + record_decimation - 1) // record_decimation
@@ -631,9 +754,25 @@ class BatchStepper:
         # The divergence guard costs one reduction per call; NaN/inf
         # contamination persists once it appears, so probing every 32nd
         # step (plus once at chunk end) detects it all the same.
+        injector = self._injector
         for j in range(m):
             t = times[j]
             t_plus = t + 1e-9
+
+            if injector is not None:
+                # Refresh cached plant coefficients when a fan/fouling
+                # transform steps to a new level, and advance any CRAC
+                # brownout forcing; both guards are one float compare
+                # against locally cached bounds on the (overwhelming
+                # majority of) steps with nothing due.
+                if t_plus >= self._next_plant_change:
+                    self._refresh_faulted_plants(
+                        injector.pop_plant_changes(t), t
+                    )
+                    self._next_plant_change = injector.next_plant_change_s
+                if t_plus >= self._next_crac_change:
+                    injector.poll_crac(t)
+                    self._next_crac_change = injector.next_crac_change_s
 
             if coupled:
                 if decoupled:
@@ -695,6 +834,15 @@ class BatchStepper:
                 channels["heatsink"][:, r] = hs
                 channels["tmeas"][:, r] = sensing.current
                 channels["fan_speed"][:, r] = self._fan_cmd
+                if self._fan_fault_rows:
+                    # Telemetry shows the tachometer's view of the speed
+                    # the fan actually runs at (same transforms, same t,
+                    # as the scalar engine's record path).
+                    for i in self._fan_fault_rows:
+                        state = self._fan_fault_states[i]
+                        channels["fan_speed"][i, r] = state.reported(
+                            t, state.actual(t, float(self._fan_cmd[i]))
+                        )
                 channels["cpu_cap"][:, r] = self._cap
                 channels["demand"][:, r] = demand
                 channels["applied"][:, r] = applied
@@ -702,6 +850,81 @@ class BatchStepper:
                 self._record_idx = r + 1
         plant.check_finite()
         self._k = k0 + m
+
+    def _refresh_faulted_plants(self, servers: Sequence[int], t: float) -> None:
+        """Re-derive plant coefficients for servers whose faults stepped.
+
+        Fault transforms are piecewise constant between their change
+        instants, so re-applying the *current* command through the same
+        transform the scalar engine evaluates per step lands on the same
+        coefficients at the same steps.
+        """
+        if not servers:
+            return
+        plant = self._plant
+        plant.snapshot_fan_state()
+        injector = self._injector
+        for i in servers:
+            fouling = injector.fouling_state(i)
+            if fouling is not None:
+                plant.set_fouling(i, fouling.level(t))
+            speed = float(self._fan_cmd[i])
+            fan_state = self._fan_fault_states[i] if self._fan_fault_states else None
+            if fan_state is not None:
+                speed = fan_state.actual(t, speed)
+            plant.apply_fan_speed(i, speed)
+
+    def _failsafe_control_step(
+        self,
+        fs_idx: np.ndarray,
+        t: float,
+        t_plus: float,
+        demand: np.ndarray,
+    ) -> None:
+        """Watchdog override for due servers with invalid telemetry.
+
+        Mirrors the scalar engine's failsafe branch exactly: the period
+        is still scored by the deadline tracker, the fan command is
+        forced to the server's maximum, and the DTM is bypassed (its
+        state untouched) until readings recover.
+        """
+        vec_mask = self._vec_controllers[fs_idx]
+        vec_due = fs_idx[vec_mask]
+        if vec_due.size:
+            self._batch_trackers.record(
+                self._vec_pos[vec_due], demand[vec_due], self._cap[vec_due]
+            )
+        for i in fs_idx[~vec_mask]:
+            i = int(i)
+            self._trackers[i].record(float(demand[i]), float(self._cap[i]))
+
+        watchdog = self._watchdog
+        changed: list[int] = []
+        forced_speeds: list[float] = []
+        for i in fs_idx:
+            i = int(i)
+            if not watchdog.engaged(i):
+                watchdog.engage(i, t, float(self._fan_cmd[i]))
+            forced = watchdog.forced_rpm(i)
+            if forced != self._fan_cmd[i]:
+                changed.append(i)
+                forced_speeds.append(forced)
+        if changed:
+            self._apply_fan_changes(
+                np.asarray(changed, dtype=np.int64),
+                np.asarray(forced_speeds),
+                t,
+            )
+            self._fan_cmd[changed] = forced_speeds
+
+        next_control = self._next_control[fs_idx]
+        interval = self._cpu_interval[fs_idx]
+        while True:
+            late = next_control <= t_plus
+            if not late.any():
+                break
+            next_control = np.where(late, next_control + interval, next_control)
+        self._next_control[fs_idx] = next_control
 
     def _control_step(
         self,
@@ -718,8 +941,25 @@ class BatchStepper:
         step their scalar controller objects, with values crossing the
         array/scalar boundary as python floats so those controllers see
         exactly the types (and therefore the arithmetic) of the scalar
-        engine.
+        engine.  When a fault schedule can produce invalid readings, the
+        telemetry watchdog intercepts those servers first (failsafe) and
+        releases them once readings recover.
         """
+        if self._may_dropout:
+            finite = np.isfinite(self._sensing.current[due_idx])
+            if not finite.all():
+                self._failsafe_control_step(
+                    due_idx[~finite], t, t_plus, demand
+                )
+                due_idx = due_idx[finite]
+                if not due_idx.size:
+                    return
+            if self._watchdog.any_engaged:
+                engaged = [
+                    int(i) for i in due_idx if self._watchdog.engaged(int(i))
+                ]
+                for i in engaged:
+                    self._watchdog.release(i, t)
         if not self._controller_fallbacks:
             self._vec_control_step(due_idx, t, t_plus, demand, applied)
             return
@@ -755,7 +995,7 @@ class BatchStepper:
             new_fan = ctrl.fan_speed_rpm
             changed = np.nonzero(new_fan != self._fan_cmd)[0]
             if changed.size:
-                self._apply_fan_changes(changed, new_fan[changed])
+                self._apply_fan_changes(changed, new_fan[changed], t)
             self._fan_cmd = new_fan.copy()
             self._cap = ctrl.cpu_cap.copy()
             self._t_ref = ctrl.t_ref_c.copy()
@@ -768,7 +1008,7 @@ class BatchStepper:
             new_fan = ctrl.fan_speed_rpm[local]
             changed = np.nonzero(new_fan != self._fan_cmd[idx])[0]
             if changed.size:
-                self._apply_fan_changes(idx[changed], new_fan[changed])
+                self._apply_fan_changes(idx[changed], new_fan[changed], t)
             self._fan_cmd[idx] = new_fan
             self._cap[idx] = ctrl.cpu_cap[local]
             self._t_ref[idx] = ctrl.t_ref_c[local]
@@ -784,12 +1024,30 @@ class BatchStepper:
         else:
             self._next_control[idx] = next_control
 
-    def _apply_fan_changes(self, idx: np.ndarray, speeds: np.ndarray) -> None:
-        """Apply new fan commands (copy-on-write on the plant arrays)."""
+    def _apply_fan_changes(
+        self, idx: np.ndarray, speeds: np.ndarray, t: float
+    ) -> None:
+        """Apply new fan commands (copy-on-write on the plant arrays).
+
+        Commands pass through each server's actuator-fault transform (a
+        seized fan ignores them, a worn bearing caps them) before
+        reaching the plant, exactly as the scalar engine applies
+        ``FanFaultState.actual`` per step.
+        """
         plant = self._plant
         plant.snapshot_fan_state()
+        if not self._fan_fault_rows:
+            for k in range(idx.size):
+                plant.apply_fan_speed(int(idx[k]), float(speeds[k]))
+            return
+        states = self._fan_fault_states
         for k in range(idx.size):
-            plant.apply_fan_speed(int(idx[k]), float(speeds[k]))
+            i = int(idx[k])
+            speed = float(speeds[k])
+            state = states[i]
+            if state is not None:
+                speed = state.actual(t, speed)
+            plant.apply_fan_speed(i, speed)
 
     def _scalar_control_step(
         self,
@@ -820,7 +1078,12 @@ class BatchStepper:
                 if not snapshotted:
                     self._plant.snapshot_fan_state()
                     snapshotted = True
-                self._plant.apply_fan_speed(i, fan)
+                applied_fan = fan
+                if self._fan_fault_rows:
+                    fault_state = self._fan_fault_states[i]
+                    if fault_state is not None:
+                        applied_fan = fault_state.actual(t, fan)
+                self._plant.apply_fan_speed(i, applied_fan)
             self._fan_cmd[i] = fan
             self._cap[i] = float(state.cpu_cap)
             self._t_ref[i] = self._controllers[i].t_ref_c
@@ -857,8 +1120,13 @@ class BatchStepper:
         for _ in range(self._k):
             t_final += self._dt
         plant = self._plant
+        fouling = plant.fouling_k_per_w
         results = []
         for i, server_plant in enumerate(self._plants):
+            if fouling[i] != server_plant.heatsink.fouling_k_per_w:
+                # Fouling persists on the plant (like temperatures), so
+                # scalar runs after a faulted batch see the same sink.
+                server_plant.heatsink.set_fouling_k_per_w(fouling[i])
             state = ServerState(
                 time_s=t_final,
                 junction_c=float(plant.die_temp[i]),

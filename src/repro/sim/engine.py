@@ -24,6 +24,8 @@ together.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.base import ControlInputs
@@ -91,6 +93,8 @@ class ServerStepper:
         dt_s: float = 0.1,
         record_decimation: int = 1,
         tracker: DeadlineTracker | None = None,
+        injector=None,
+        server_index: int = 0,
     ) -> None:
         self._plant = plant
         self._sensor = sensor
@@ -112,6 +116,30 @@ class ServerStepper:
             if type(plant) is ServerThermalModel
             else plant.step
         )
+
+        # Fault-injection hooks (repro.faults): per-server transforms and
+        # the telemetry watchdog.  With no injector every hook is None and
+        # the loop body is exactly the fault-free one.
+        self._server_index = server_index
+        if injector is None:
+            self._watchdog = None
+            self._fault_fan = None
+            self._fault_fouling = None
+            # A sensor reused from an earlier faulted run must not keep
+            # its stale per-run fault pipeline.
+            if getattr(sensor, "fault_state", None) is not None:
+                sensor.set_fault_state(None)
+        else:
+            self._watchdog = injector.watchdog
+            self._fault_fan = injector.fan_state(server_index)
+            self._fault_fouling = injector.fouling_state(server_index)
+            sensor.set_fault_state(injector.sensor_state(server_index))
+        self._fouling_level = 0.0
+        if self._fault_fouling is not None:
+            # Fouling schedules are absolute from the run's start; the
+            # batch backend seeds its coefficient cache the same way.
+            self._fouling_level = self._fault_fouling.level(plant.time_s)
+            plant.heatsink.set_fouling_k_per_w(self._fouling_level)
 
         state = controller.state
         self._fan_speed = state.fan_speed_rpm
@@ -168,7 +196,19 @@ class ServerStepper:
         t = self._start_time + (k + 1) * self._dt
         demand = self._workload.demand(t)
         applied = min(demand, self._cap)
-        plant_state = self._plant_step(self._dt, applied, self._fan_speed)
+        if self._fault_fouling is not None:
+            extra = self._fault_fouling.level(t)
+            if extra != self._fouling_level:
+                self._plant.heatsink.set_fouling_k_per_w(extra)
+                self._fouling_level = extra
+        if self._fault_fan is None:
+            fan_actual = self._fan_speed
+        else:
+            # The fan achieves what the fault allows, not what the DTM
+            # commanded; the batch backend applies the same transform at
+            # its cached-coefficient refresh points.
+            fan_actual = self._fault_fan.actual(t, self._fan_speed)
+        plant_state = self._plant_step(self._dt, applied, fan_actual)
         self._sensor.observe(t, plant_state.junction_c)
         self._energy.record(t, plant_state.cpu_power_w, plant_state.fan_power_w)
 
@@ -179,16 +219,31 @@ class ServerStepper:
         if t + 1e-9 >= self._next_control:
             self._tracker.record(demand, self._cap)
             reading = self._sensor.read(t)
-            inputs = ControlInputs(
-                time_s=t,
-                tmeas_c=reading.value_c,
-                measured_util=applied,
-                recent_degradation=self._tracker.recent_degradation,
-                demand_estimate=demand,
-            )
-            new_state = self._controller.step(inputs)
-            self._fan_speed = new_state.fan_speed_rpm
-            self._cap = new_state.cpu_cap
+            if self._watchdog is not None and not math.isfinite(
+                reading.value_c
+            ):
+                # Failsafe: invalid telemetry forces max fan this period,
+                # bypassing (not reprogramming) the DTM - its state stays
+                # untouched until readings recover.
+                i = self._server_index
+                if not self._watchdog.engaged(i):
+                    self._watchdog.engage(i, t, self._fan_speed)
+                self._fan_speed = self._watchdog.forced_rpm(i)
+            else:
+                if self._watchdog is not None and self._watchdog.engaged(
+                    self._server_index
+                ):
+                    self._watchdog.release(self._server_index, t)
+                inputs = ControlInputs(
+                    time_s=t,
+                    tmeas_c=reading.value_c,
+                    measured_util=applied,
+                    recent_degradation=self._tracker.recent_degradation,
+                    demand_estimate=demand,
+                )
+                new_state = self._controller.step(inputs)
+                self._fan_speed = new_state.fan_speed_rpm
+                self._cap = new_state.cpu_cap
             while self._next_control <= t + 1e-9:
                 self._next_control += self._cpu_interval
 
@@ -201,7 +256,14 @@ class ServerStepper:
             channels["junction"][idx] = plant_state.junction_c
             channels["heatsink"][idx] = plant_state.heatsink_c
             channels["tmeas"][idx] = reading.value_c
-            channels["fan_speed"][idx] = self._fan_speed
+            if self._fault_fan is None:
+                channels["fan_speed"][idx] = self._fan_speed
+            else:
+                # Telemetry shows what the tachometer reports for the
+                # speed the fan actually runs at, not the DTM's command.
+                channels["fan_speed"][idx] = self._fault_fan.reported(
+                    t, self._fault_fan.actual(t, self._fan_speed)
+                )
             channels["cpu_cap"][idx] = self._cap
             channels["demand"][idx] = demand
             channels["applied"][idx] = applied
@@ -242,6 +304,11 @@ class Simulator:
     violation_tolerance:
         Utilization deficit above which a CPU period counts as a deadline
         violation (see :class:`~repro.workload.performance.DeadlineTracker`).
+    faults:
+        Optional :class:`~repro.faults.events.FaultSchedule`; installs
+        the fault-injection hooks and the telemetry watchdog for the run
+        (see :mod:`repro.faults`).  :attr:`fault_summary` reports what
+        fired afterwards.
     """
 
     def __init__(
@@ -254,6 +321,7 @@ class Simulator:
         record_decimation: int = 1,
         violation_tolerance: float = 0.01,
         degradation_window: int = 10,
+        faults=None,
     ) -> None:
         self._plant = plant
         self._sensor = sensor
@@ -266,6 +334,8 @@ class Simulator:
         self._tracker = DeadlineTracker(
             tolerance=violation_tolerance, window=degradation_window
         )
+        self._faults = faults
+        self._fault_summary: dict | None = None
 
     @property
     def plant(self) -> ServerThermalModel:
@@ -282,12 +352,27 @@ class Simulator:
         """The deadline/performance tracker."""
         return self._tracker
 
+    @property
+    def fault_summary(self) -> dict | None:
+        """What the fault schedule did during the most recent run.
+
+        ``None`` until a run with ``faults`` completes; fleet and room
+        simulators surface the same dict as ``extras["faults"]``.
+        """
+        return self._fault_summary
+
     def run(self, duration_s: float, label: str = "run") -> SimulationResult:
         """Simulate for ``duration_s`` seconds and collect the result."""
         check_duration(duration_s, "duration_s")
         n_steps = int(round(duration_s / self._dt))
         if n_steps < 1:
             raise SimulationError(f"duration {duration_s} shorter than one step")
+        injector = None
+        if self._faults is not None:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(self._faults, [self._plant])
+            injector.require_no_room_faults()
         stepper = ServerStepper(
             self._plant,
             self._sensor,
@@ -297,7 +382,13 @@ class Simulator:
             dt_s=self._dt,
             record_decimation=self._decimation,
             tracker=self._tracker,
+            injector=injector,
         )
         while not stepper.done:
             stepper.step()
+        if injector is not None:
+            # The simulated horizon (n_steps * dt) can differ from the
+            # requested duration by up to half a step after rounding;
+            # summarize over what actually ran, like the fleet lanes.
+            self._fault_summary = injector.summary(n_steps * self._dt)
         return stepper.finish(label)

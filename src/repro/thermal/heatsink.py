@@ -41,6 +41,7 @@ class HeatSink:
     ) -> None:
         self._config = config
         self._max_speed = check_positive(max_fan_speed_rpm, "max_fan_speed_rpm")
+        self._fouling_k_per_w = 0.0
         r_at_max = self.resistance_at(self._max_speed)
         capacitance = config.tau_at_max_airflow_s / r_at_max
         self._node = RCNode(
@@ -64,6 +65,28 @@ class HeatSink:
         """Current heat sink temperature in Celsius."""
         return self._node.temperature_c
 
+    @property
+    def fouling_k_per_w(self) -> float:
+        """Extra base resistance from surface fouling (0 when clean)."""
+        return self._fouling_k_per_w
+
+    def set_fouling_k_per_w(self, extra_k_per_w: float) -> None:
+        """Set the fouling term added to the base resistance.
+
+        Driven by the fault-injection subsystem (a ``fouling`` event
+        ramps it up over its window).  The derived capacitance stays
+        fixed - the sink's thermal mass does not change when its fins
+        clog - and the algebraic
+        :class:`~repro.thermal.steady_state.SteadyStateServerModel`
+        keeps the clean law, so controller-internal models stay honest
+        about what the firmware could know.
+        """
+        if not (extra_k_per_w >= 0.0):
+            raise ThermalModelError(
+                f"fouling resistance must be >= 0, got {extra_k_per_w!r}"
+            )
+        self._fouling_k_per_w = float(extra_k_per_w)
+
     def resistance_at(self, fan_speed_rpm: float) -> float:
         """Evaluate ``Rhs(V)`` for a fan speed in rpm.
 
@@ -76,7 +99,9 @@ class HeatSink:
                 "heat sink resistance is undefined at zero fan speed"
             )
         cfg = self._config
-        return cfg.r_base_k_per_w + cfg.r_coeff / speed**cfg.r_exponent
+        return (
+            cfg.r_base_k_per_w + self._fouling_k_per_w
+        ) + cfg.r_coeff / speed**cfg.r_exponent
 
     def resistance_slope_at(self, fan_speed_rpm: float) -> float:
         """Analytic derivative ``dRhs/dV`` in (K/W)/rpm.
