@@ -35,6 +35,19 @@ def smoke_mode() -> bool:
     return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 
+def phase_fractions(obs_summary: dict, ndigits: int = 4) -> dict[str, float]:
+    """Per-phase share of timed work from an ``extras["obs"]`` summary.
+
+    Benchmarks attach this to their records so the JSON answers *where*
+    the time goes, not just how much of it there is.
+    """
+    phases = obs_summary.get("phases", {})
+    return {
+        name: round(entry["fraction"], ndigits)
+        for name, entry in sorted(phases.items())
+    }
+
+
 def bench_record(file_key: str, name: str, **fields) -> None:
     """Collect one benchmark's headline numbers.
 

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import time
 
-from bench_report import bench_record, smoke_mode
+from bench_report import bench_record, phase_fractions, smoke_mode
 
 from repro.faults import FaultEvent, FaultSchedule
 from repro.fleet import FleetSimulator, homogeneous_rack
+from repro.obs import ObsConfig
 
 _N_SERVERS = 16
 _DT_S = 0.1
@@ -73,6 +74,22 @@ def _one_run(faults) -> float:
     return elapsed
 
 
+def _faulted_phases() -> dict[str, float]:
+    """Phase breakdown from one instrumented (untimed) faulted run."""
+    rack = homogeneous_rack(
+        n_servers=_N_SERVERS, duration_s=_DURATION_S, seed=1
+    )
+    sim = FleetSimulator(
+        rack,
+        dt_s=_DT_S,
+        record_decimation=10,
+        backend="vectorized",
+        faults=_busy_schedule(),
+        obs=ObsConfig(trace=False),
+    )
+    return phase_fractions(sim.run(_DURATION_S).extras["obs"])
+
+
 def _elapsed(faults, rounds: int = _ROUNDS) -> float:
     """Best-of-N wall time for one vectorized 16-server rack run."""
     return min(_one_run(faults) for _ in range(rounds))
@@ -91,6 +108,7 @@ def test_faulted_rack_throughput():
         dt_s=_DT_S,
         n_fault_events=len(_busy_schedule().events),
         faulted_server_steps_per_sec=round(server_steps / elapsed, 1),
+        phases=_faulted_phases(),
     )
 
 

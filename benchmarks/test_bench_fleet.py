@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 
 import pytest
-from bench_report import bench_record, smoke_mode
+from bench_report import bench_record, phase_fractions, smoke_mode
 
 from repro.config import FleetConfig
 from repro.fleet import (
@@ -24,6 +24,7 @@ from repro.fleet import (
     FleetSimulator,
     homogeneous_rack,
 )
+from repro.obs import ObsConfig
 
 _N_SERVERS = 4
 _DURATION_S = 30.0
@@ -93,6 +94,28 @@ def _backend_throughput(backend: str, n_servers: int) -> float:
     return n_servers * n_steps / best
 
 
+def _vectorized_phases(n_servers: int) -> dict[str, float]:
+    """Phase breakdown from one instrumented (untimed) vectorized run.
+
+    Kept separate from the timed rounds so the recorded throughputs stay
+    bare-run numbers; the breakdown rides along as context.
+    """
+    rack = homogeneous_rack(
+        n_servers=n_servers,
+        duration_s=_BACKEND_DURATION_S,
+        seed=1,
+        fleet=FleetConfig(n_servers=n_servers, recirc_fraction=0.25),
+    )
+    sim = FleetSimulator(
+        rack,
+        dt_s=_BACKEND_DT,
+        record_decimation=10,
+        backend="vectorized",
+        obs=ObsConfig(trace=False),
+    )
+    return phase_fractions(sim.run(_BACKEND_DURATION_S).extras["obs"])
+
+
 @pytest.mark.parametrize("n_servers", [16, 64])
 def test_backend_throughput_scalar_vs_vectorized(n_servers):
     """The tentpole numbers: vectorized vs scalar at rack scale."""
@@ -108,6 +131,7 @@ def test_backend_throughput_scalar_vs_vectorized(n_servers):
         scalar_server_steps_per_sec=round(scalar, 1),
         vectorized_server_steps_per_sec=round(vectorized, 1),
         vectorized_speedup=round(speedup, 2),
+        phases=_vectorized_phases(n_servers),
     )
     if not smoke_mode():
         floor = _MIN_SPEEDUP[n_servers]

@@ -1,0 +1,94 @@
+"""Observability overhead: bare vs disabled vs fully instrumented.
+
+The obs subsystem's performance contract (docs/observability.md):
+
+1. A **disabled** collector costs nothing measurable - the hot loops
+   collapse instrumentation to one ``is not None`` check, so a run with
+   ``ObsConfig(enabled=False)`` must stay within 2% of a bare run.
+2. A **fully enabled** collector (phase timing + counters + span trace)
+   stays within 10% of bare on the vectorized 16-server rack, where the
+   per-``dt`` python dispatch is already the dominant cost.
+
+Both ratios are interleaved best-of-N (bare/disabled/enabled runs
+alternate so machine-load swings hit all three equally) and land in
+``BENCH_fleet.json`` as ``obs_overhead``; the bench-smoke CI job gates
+on the recorded ratios, mirroring the fault-hook gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_report import bench_record, phase_fractions, smoke_mode
+
+from repro.fleet import FleetSimulator, homogeneous_rack
+from repro.obs import ObsConfig
+
+_N_SERVERS = 16
+_DT_S = 0.1
+#: The disabled gate (2%) is tighter than the fault-hook gate (5%), so
+#: even the smoke run needs runs long enough (~40 ms) that per-run fixed
+#: costs (allocation, interpreter warm-up) stop dominating the ratio.
+_DURATION_S = 60.0 if smoke_mode() else 120.0
+#: More rounds than the throughput benches: runs are ~40 ms, and a 2%
+#: gate needs the best-of min on both sides to actually converge.
+_OVERHEAD_ROUNDS = 20 if smoke_mode() else 15
+
+
+def _one_run(obs):
+    """Wall time + result of one vectorized 16-server rack run."""
+    rack = homogeneous_rack(
+        n_servers=_N_SERVERS, duration_s=_DURATION_S, seed=1
+    )
+    sim = FleetSimulator(
+        rack,
+        dt_s=_DT_S,
+        record_decimation=10,
+        backend="vectorized",
+        obs=obs,
+    )
+    start = time.perf_counter()
+    result = sim.run(_DURATION_S)
+    elapsed = time.perf_counter() - start
+    assert result.extras["backend"] == "vectorized"
+    return elapsed, result
+
+
+def test_obs_overhead():
+    """Disabled must be free; enabled must stay within 10% of bare."""
+    n_steps = int(round(_DURATION_S / _DT_S))
+    server_steps = _N_SERVERS * n_steps
+    bare = disabled = enabled = float("inf")
+    _one_run(None)  # warm caches outside the timed rounds
+    summary = {}
+    for _ in range(_OVERHEAD_ROUNDS):
+        bare = min(bare, _one_run(None)[0])
+        disabled = min(disabled, _one_run(ObsConfig(enabled=False))[0])
+        elapsed, result = _one_run(ObsConfig())
+        enabled = min(enabled, elapsed)
+        summary = result.extras["obs"]
+    disabled_ratio = disabled / bare
+    enabled_ratio = enabled / bare
+    assert summary["counters"]["server_steps"] == server_steps
+    bench_record(
+        "fleet",
+        "obs_overhead",
+        n_servers=_N_SERVERS,
+        n_steps=n_steps,
+        dt_s=_DT_S,
+        bare_server_steps_per_sec=round(server_steps / bare, 1),
+        disabled_server_steps_per_sec=round(server_steps / disabled, 1),
+        enabled_server_steps_per_sec=round(server_steps / enabled, 1),
+        disabled_overhead_ratio=round(disabled_ratio, 4),
+        enabled_overhead_ratio=round(enabled_ratio, 4),
+        phases=phase_fractions(summary),
+    )
+    if not smoke_mode():
+        assert disabled_ratio <= 1.02, (
+            f"disabled obs config slowed the hot path {disabled_ratio:.3f}x "
+            "(limit 1.02x; a disabled collector must cost one None check)"
+        )
+        assert enabled_ratio <= 1.10, (
+            f"full instrumentation slowed the hot path {enabled_ratio:.3f}x "
+            "(limit 1.10x)"
+        )

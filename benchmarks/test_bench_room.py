@@ -18,10 +18,11 @@ from __future__ import annotations
 import time
 
 import pytest
-from bench_report import bench_record, smoke_mode
+from bench_report import bench_record, phase_fractions, smoke_mode
 
 from repro.config import RoomConfig
 from repro.fleet import FleetSimulator, homogeneous_rack
+from repro.obs import ObsConfig
 from repro.room import RoomSimulator, uniform_room
 from repro.room.scenarios import _rack_seed
 
@@ -84,6 +85,15 @@ def _per_rack_elapsed(n_racks: int) -> float:
     return best
 
 
+def _stacked_phases(n_racks: int) -> dict[str, float]:
+    """Phase breakdown from one instrumented (untimed) stacked run."""
+    room = uniform_room(_room_config(n_racks), duration_s=_DURATION_S, seed=1)
+    sim = RoomSimulator(
+        room, dt_s=_DT_S, record_decimation=10, obs=ObsConfig(trace=False)
+    )
+    return phase_fractions(sim.run(_DURATION_S).extras["obs"])
+
+
 def test_room_stacked_vs_per_rack_throughput():
     """The headline room number: stacked batch vs n_racks separate runs."""
     n_steps = int(round(_DURATION_S / _DT_S))
@@ -103,6 +113,7 @@ def test_room_stacked_vs_per_rack_throughput():
         stacked_server_steps_per_sec=round(server_steps / stacked, 1),
         per_rack_server_steps_per_sec=round(server_steps / per_rack, 1),
         stacked_speedup=round(speedup, 2),
+        phases=_stacked_phases(_N_RACKS),
     )
     if not smoke_mode():
         assert speedup > 1.0, (

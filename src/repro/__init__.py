@@ -76,6 +76,12 @@ from repro.fleet import (
     ServerSlot,
     build_fleet_scenario,
     campaign_grid,
+    merge_campaign_obs,
+)
+from repro.obs import (
+    ObsCollector,
+    ObsConfig,
+    merge_summaries,
 )
 from repro.room import (
     CRACUnit,
@@ -141,6 +147,8 @@ __all__ = [
     "GainSchedule",
     "GlobalController",
     "HeatSinkConfig",
+    "ObsCollector",
+    "ObsConfig",
     "PIDController",
     "ParameterSweep",
     "PIDGains",
@@ -182,6 +190,8 @@ __all__ = [
     "default_server_config",
     "find_ultimate_gain",
     "ideal_sensing_config",
+    "merge_campaign_obs",
+    "merge_summaries",
     "paper_workload",
     "parallel_map",
     "room_campaign_grid",

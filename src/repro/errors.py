@@ -60,6 +60,10 @@ class WorkloadError(ReproError, ValueError):
     """A workload generator was configured with invalid parameters."""
 
 
+class ObsError(ReproError, ValueError):
+    """An observability config, sink spec, or report input is invalid."""
+
+
 class AnalysisError(ReproError):
     """Post-processing (stability / metrics) could not interpret a trace."""
 

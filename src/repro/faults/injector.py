@@ -69,6 +69,11 @@ class TelemetryWatchdog:
         self._windows: list[dict] = []
         self._open: list[dict | None] = [None] * n
         self.any_engaged = False
+        self._obs = None
+
+    def bind_obs(self, obs: Any) -> None:
+        """Count future engagements on an observability collector."""
+        self._obs = obs
 
     def engaged(self, server: int) -> bool:
         """Whether the failsafe currently overrides this server."""
@@ -109,6 +114,8 @@ class TelemetryWatchdog:
             self._windows.append(window)
             self._engaged[server] = True
             self.any_engaged = True
+            if self._obs is not None:
+                self._obs.count("failsafe_engagements")
         return self._forced[server]
 
     def _integrated_penalty_j(self, window: dict) -> float:
@@ -279,6 +286,15 @@ class FaultInjector:
     def n_servers(self) -> int:
         """Width of the run this injector is bound to."""
         return self._n
+
+    def bind_obs(self, obs: Any) -> None:
+        """Count failsafe engagements on an observability collector.
+
+        Engagement windows open at deterministic simulated instants, so
+        the counter merges identically across lanes and campaign
+        execution modes.  No-op for ``None``.
+        """
+        self.watchdog.bind_obs(obs)
 
     def require_no_room_faults(self) -> None:
         """Reject room-infrastructure events outside a room run."""

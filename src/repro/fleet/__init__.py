@@ -24,6 +24,7 @@ from repro.fleet.campaign import (
     CampaignRunner,
     CampaignTask,
     campaign_grid,
+    merge_campaign_obs,
     run_campaign_chunk,
     run_campaign_task,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "heterogeneous_sensor_rack",
     "homogeneous_rack",
     "hot_spot_rack",
+    "merge_campaign_obs",
     "run_campaign_chunk",
     "run_campaign_task",
     "staggered_waves_rack",

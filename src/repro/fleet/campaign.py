@@ -25,6 +25,8 @@ e.g. when profiling or bisecting a backend discrepancy.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
@@ -33,6 +35,7 @@ from repro.errors import FleetError
 from repro.fleet.result import FleetResult
 from repro.fleet.scenarios import FLEET_SCENARIOS, build_fleet_scenario
 from repro.fleet.simulator import FleetSimulator
+from repro.obs.collector import ObsConfig, merge_summaries
 from repro.sim.parallel import parallel_map
 
 #: Default racks per stacked chunk.  Past ~4 racks the per-``dt``
@@ -59,12 +62,25 @@ class CampaignTask:
     #: Faulted tasks run one rack per task - schedules target servers by
     #: rack position, which stacking would re-index.
     faults: Any = None
+    #: Optional :class:`~repro.obs.ObsConfig` profiling the run
+    #: (repro.obs).  Must be a *config*, not a live collector - tasks
+    #: cross process-pool boundaries, so everything they carry must
+    #: pickle.  Workers collect into memory regardless of the config's
+    #: sink spec and ship the summary back as ``extras["obs"]``;
+    #: instrumented tasks run one rack per task so each summary
+    #: attributes exactly its own run.
+    obs: ObsConfig | None = None
 
     def __post_init__(self) -> None:
         if self.scenario not in FLEET_SCENARIOS:
             raise FleetError(
                 f"unknown fleet scenario {self.scenario!r}; choose from "
                 f"{sorted(FLEET_SCENARIOS)}"
+            )
+        if self.obs is not None and not isinstance(self.obs, ObsConfig):
+            raise FleetError(
+                "task obs must be an ObsConfig (picklable), got "
+                f"{type(self.obs).__name__}"
             )
 
     @property
@@ -94,6 +110,7 @@ class CampaignTask:
             self.record_decimation,
             self.backend,
             self.faults,
+            self.obs,
         )
 
 
@@ -110,16 +127,46 @@ def _build_rack(task: CampaignTask):
     )
 
 
+def worker_info(task_wall_s: float) -> dict:
+    """The executing process's attribution record (``extras["worker"]``).
+
+    ``pid`` identifies which pool worker (or the parent, on the serial
+    path) ran the task; ``task_wall_s`` is the task's wall time there.
+    Stacked tasks share their chunk's wall time - the batch advances
+    them together, so per-task splits would be fiction.
+    """
+    return {"pid": os.getpid(), "task_wall_s": task_wall_s}
+
+
+def _worker_obs(obs: ObsConfig | None) -> ObsConfig | None:
+    """Worker-local collector config: always an in-memory sink.
+
+    Pool workers must not contend for one JSONL file or interleave
+    stdout; summaries ride back in ``extras["obs"]`` and the parent
+    merges (see :func:`merge_campaign_obs`) or re-emits them.
+    """
+    if obs is None:
+        return None
+    return replace(obs, sink="memory")
+
+
 def _simulate_task(task: CampaignTask, rack) -> FleetResult:
+    t0 = time.perf_counter()
     sim = FleetSimulator(
         rack,
         dt_s=task.dt_s,
         record_decimation=task.record_decimation,
         backend=task.backend,
         faults=task.faults,
+        obs=_worker_obs(task.obs),
     )
     result = sim.run(task.duration_s, label=task.label)
-    return replace(result, extras={**result.extras, "task": task})
+    extras = {
+        **result.extras,
+        "task": task,
+        "worker": worker_info(time.perf_counter() - t0),
+    }
+    return replace(result, extras=extras)
 
 
 def run_campaign_task(task: CampaignTask) -> FleetResult:
@@ -159,6 +206,10 @@ def run_campaign_chunk(
     racks = [_build_rack(task) for task in tasks]
     if any(task.faults is not None for task in tasks):
         reason = "fault schedules target servers by rack position"
+    elif any(task.obs is not None for task in tasks):
+        # A stacked batch would profile the whole chunk as one run;
+        # solo runs keep each summary attributable to its own task.
+        reason = "observability profiles one run per task"
     elif any(task.backend == "scalar" for task in tasks):
         reason = "scalar backend requested"
     else:
@@ -168,6 +219,7 @@ def run_campaign_chunk(
             _simulate_task(task, rack) for task, rack in zip(tasks, racks)
         ]
     labels = [task.label for task in tasks]
+    t0 = time.perf_counter()
     results = run_stacked_racks(
         racks,
         duration_s=tasks[0].duration_s,
@@ -177,6 +229,7 @@ def run_campaign_chunk(
         # stacked_unsupported_reason already vetted these racks above.
         precheck=False,
     )
+    worker = worker_info(time.perf_counter() - t0)
     chunk_info = {"size": len(tasks), "labels": tuple(labels)}
     return [
         replace(
@@ -185,10 +238,26 @@ def run_campaign_chunk(
                 **result.extras,
                 "task": task,
                 "chunk": {**chunk_info, "position": i},
+                "worker": worker,
             },
         )
         for i, (task, result) in enumerate(zip(tasks, results))
     ]
+
+
+def merge_campaign_obs(results: Sequence[Any]) -> dict:
+    """Merge the observability summaries of campaign results.
+
+    Results arrive in task order whichever workers ran them, and
+    :func:`~repro.obs.merge_summaries` folds deterministic fields
+    (counters, phase/histogram counts) with integer addition in input
+    order, so serial and parallel executions of the same campaign merge
+    to identical counters.  Uninstrumented results are skipped; with
+    none instrumented the merge reports zero runs.
+    """
+    return merge_summaries(
+        result.extras.get("obs", {}) for result in results
+    )
 
 
 def campaign_grid(

@@ -24,11 +24,15 @@ independent single-server simulations bit-for-bit.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.fleet.rack import Rack
 from repro.fleet.result import FleetResult
+from repro.obs.collector import resolve_obs
 from repro.sim.batch import BatchStepper, batch_unsupported_reason
 from repro.sim.engine import ServerStepper
 from repro.units import check_duration
@@ -61,6 +65,11 @@ class FleetSimulator:
         Optional :class:`~repro.faults.events.FaultSchedule` applied to
         the run on either backend (bit-for-bit identically); the run's
         fault summary lands in ``result.extras["faults"]``.
+    obs:
+        Optional :class:`~repro.obs.ObsCollector` or
+        :class:`~repro.obs.ObsConfig`; profiles the run on either
+        backend and attaches the summary as ``result.extras["obs"]``
+        without perturbing the simulation (see :mod:`repro.obs`).
     """
 
     def __init__(
@@ -72,6 +81,7 @@ class FleetSimulator:
         degradation_window: int = 10,
         backend: str = "auto",
         faults=None,
+        obs=None,
     ) -> None:
         if backend not in BACKENDS:
             raise SimulationError(
@@ -84,6 +94,7 @@ class FleetSimulator:
         self._degradation_window = degradation_window
         self._backend = backend
         self._faults = faults
+        self._obs = resolve_obs(obs)
 
     @property
     def rack(self) -> Rack:
@@ -126,6 +137,12 @@ class FleetSimulator:
             raise SimulationError(f"duration {duration_s} shorter than one step")
 
         injector = self._injector()
+        obs = self._obs
+        if obs is not None:
+            obs.label = label
+            obs.arm_stream(next(iter(self._rack)).plant.time_s)
+            if injector is not None:
+                injector.bind_obs(obs)
         fallback_reason = None
         if self._backend in ("auto", "vectorized"):
             fallback_reason = batch_unsupported_reason(
@@ -145,6 +162,15 @@ class FleetSimulator:
 
         return attach_fault_summary(extras, injector, n_steps * self._dt)
 
+    def _obs_extras(self, extras: dict) -> dict:
+        """Finalize the run's collector and attach ``extras["obs"]``."""
+        obs = self._obs
+        if obs is not None:
+            end = next(iter(self._rack)).plant.time_s
+            obs.finish_run(end)
+            extras["obs"] = obs.summary()
+        return extras
+
     def _run_vectorized(
         self, n_steps: int, label: str, injector=None
     ) -> FleetResult:
@@ -161,8 +187,13 @@ class FleetSimulator:
             coupling=rack.coupling,
             exhaust=rack.exhaust,
             injector=injector,
+            obs=self._obs,
         )
-        stepper.run()
+        if self._obs is not None:
+            with self._obs.span("run"):
+                stepper.run()
+        else:
+            stepper.run()
         results = stepper.finish(
             [f"{label}/{slot.name}" for slot in rack]
         )
@@ -182,7 +213,9 @@ class FleetSimulator:
             server_results=tuple(results),
             mean_inlet_c=stepper.mean_inlet_c(),
             label=label,
-            extras=self._fault_extras(extras, injector, n_steps),
+            extras=self._obs_extras(
+                self._fault_extras(extras, injector, n_steps)
+            ),
         )
 
     def _run_scalar(
@@ -201,17 +234,26 @@ class FleetSimulator:
                 tracker=tracker,
                 injector=injector,
                 server_index=index,
+                obs=self._obs,
             )
             for index, (slot, tracker) in enumerate(zip(self._rack, trackers))
         ]
 
+        obs = self._obs
         inlet_sums = np.zeros(self._rack.n_servers)
-        for _ in range(n_steps):
-            # Exhaust produced up to step k sets the inlets for step k+1.
-            self._rack.update_inlets()
-            for stepper in steppers:
-                stepper.step()
-            inlet_sums += self._rack.inlet_temperatures_c()
+        with obs.span("run") if obs is not None else nullcontext():
+            for _ in range(n_steps):
+                # Exhaust produced up to step k sets the inlets for
+                # step k+1.
+                if obs is not None:
+                    t0 = time.perf_counter()
+                    self._rack.update_inlets()
+                    obs.phase("coupling", t0, time.perf_counter())
+                else:
+                    self._rack.update_inlets()
+                for stepper in steppers:
+                    stepper.step()
+                inlet_sums += self._rack.inlet_temperatures_c()
 
         results = tuple(
             stepper.finish(label=f"{label}/{slot.name}")
@@ -221,5 +263,7 @@ class FleetSimulator:
             server_results=results,
             mean_inlet_c=tuple(float(s) for s in inlet_sums / n_steps),
             label=label,
-            extras=self._fault_extras(extras, injector, n_steps),
+            extras=self._obs_extras(
+                self._fault_extras(extras, injector, n_steps)
+            ),
         )

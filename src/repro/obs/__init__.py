@@ -1,0 +1,61 @@
+"""Run-scoped observability: phase tracing, streaming metrics, profiling.
+
+The ``repro.obs`` subsystem instruments every simulation lane - scalar
+:class:`~repro.sim.engine.ServerStepper`, vectorized
+:class:`~repro.sim.batch.BatchStepper`, stacked rooms, and campaign
+workers - without ever perturbing the simulation: instrumented runs are
+bit-for-bit identical to uninstrumented ones on every backend.
+
+Quickstart::
+
+    from repro import Simulator
+    from repro.obs import ObsCollector, ObsConfig
+
+    obs = ObsCollector(ObsConfig(emit_every_s=60.0, sink="jsonl:run.jsonl"))
+    sim = Simulator(plant, sensor, workload, controller, obs=obs)
+    result = sim.run(600.0)
+    print(result.extras["obs"]["phases"])      # where step time went
+    obs.export_trace_jsonl("run_trace.jsonl")  # span trace
+
+Then render tables from the emitted files::
+
+    python -m repro.obs.report run.jsonl
+    python -m repro.obs.report --trace run_trace.jsonl
+
+See ``docs/observability.md`` for the span taxonomy, the sink contract,
+and the CI-gated overhead budget.
+"""
+
+from repro.obs.collector import (
+    PHASES,
+    Histogram,
+    ObsCollector,
+    ObsConfig,
+    Span,
+    SpanBuffer,
+    merge_summaries,
+    resolve_obs,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    MetricSink,
+    StdoutSink,
+    build_sink,
+)
+
+__all__ = [
+    "PHASES",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricSink",
+    "ObsCollector",
+    "ObsConfig",
+    "Span",
+    "SpanBuffer",
+    "StdoutSink",
+    "build_sink",
+    "merge_summaries",
+    "resolve_obs",
+]

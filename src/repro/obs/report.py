@@ -1,0 +1,186 @@
+"""Render observability files as summary tables: ``python -m repro.obs.report``.
+
+Reads the JSONL files the observability subsystem emits - metrics
+streams from :class:`~repro.obs.sinks.JsonlSink` and span traces from
+:meth:`~repro.obs.collector.ObsCollector.export_trace_jsonl` - and
+renders aligned plain-text tables (via
+:func:`repro.analysis.report.format_table`, the same renderer the
+experiment scripts use).
+
+Usage::
+
+    python -m repro.obs.report run_metrics.jsonl [more.jsonl ...]
+    python -m repro.obs.report --trace run_trace.jsonl
+    python -m repro.obs.report --phases run_metrics.jsonl
+
+Modes:
+
+* default - one row per run label (the last snapshot wins): simulated
+  time, server steps, throughput, wall time, and the dominant phase.
+* ``--phases`` - the per-phase breakdown of every run: total seconds,
+  call count, and share of timed work.
+* ``--trace`` - span-file mode: per-span-name totals (count, total and
+  mean duration) from a trace JSONL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.analysis.report import format_table
+from repro.errors import ObsError
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse one record per non-empty line; raises ObsError on bad input."""
+    path = Path(path)
+    if not path.exists():
+        raise ObsError(f"no such file: {path}")
+    records = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"{path}:{lineno}: not JSON ({exc})") from exc
+        if not isinstance(record, dict):
+            raise ObsError(f"{path}:{lineno}: expected a JSON object")
+        records.append(record)
+    return records
+
+
+def _final_snapshots(records: Iterable[dict]) -> dict[str, dict]:
+    """Last snapshot per run label (streams end with a 'final' record)."""
+    finals: dict[str, dict] = {}
+    for record in records:
+        label = str(record.get("label", "run"))
+        finals[label] = record
+    return finals
+
+
+def _dominant_phase(record: dict) -> str:
+    phases = record.get("phases", {})
+    if not phases:
+        return "-"
+    name, entry = max(phases.items(), key=lambda item: item[1]["total_s"])
+    total = sum(e["total_s"] for e in phases.values())
+    share = entry["total_s"] / total if total > 0 else 0.0
+    return f"{name} ({100 * share:.0f}%)"
+
+
+def render_runs(records: list[dict]) -> str:
+    """The default table: one row per run label."""
+    rows = []
+    for label, record in sorted(_final_snapshots(records).items()):
+        counters = record.get("counters", {})
+        server_steps = counters.get("server_steps", 0)
+        wall = record.get("wall_s", 0.0)
+        rows.append(
+            [
+                label,
+                record.get("sim_time_s", 0.0),
+                server_steps,
+                server_steps / wall if wall > 0 else 0.0,
+                wall,
+                _dominant_phase(record),
+            ]
+        )
+    return format_table(
+        ["run", "sim_time_s", "server_steps", "steps/s", "wall_s", "top phase"],
+        rows,
+        float_format="{:,.1f}",
+    )
+
+
+def render_phases(records: list[dict]) -> str:
+    """Per-phase breakdown of every run in the input."""
+    rows = []
+    for label, record in sorted(_final_snapshots(records).items()):
+        phases = record.get("phases", {})
+        timed = sum(entry["total_s"] for entry in phases.values())
+        ordered = sorted(
+            phases.items(), key=lambda item: item[1]["total_s"], reverse=True
+        )
+        for name, entry in ordered:
+            share = entry["total_s"] / timed if timed > 0 else 0.0
+            rows.append(
+                [label, name, entry["total_s"], entry["count"], 100 * share]
+            )
+    if not rows:
+        return "no phase data found"
+    return format_table(
+        ["run", "phase", "total_s", "count", "% of timed"],
+        rows,
+        float_format="{:,.3f}",
+    )
+
+
+def render_trace(records: list[dict]) -> str:
+    """Per-span-name aggregates from a trace JSONL."""
+    totals: dict[str, list] = {}
+    for record in records:
+        name = str(record.get("name", "?"))
+        duration = float(record.get("end_s", 0.0)) - float(
+            record.get("start_s", 0.0)
+        )
+        slot = totals.setdefault(name, [0, 0.0])
+        slot[0] += 1
+        slot[1] += duration
+    rows = [
+        [name, count, total, 1e6 * total / count if count else 0.0]
+        for name, (count, total) in sorted(
+            totals.items(), key=lambda item: item[1][1], reverse=True
+        )
+    ]
+    if not rows:
+        return "no spans found"
+    return format_table(
+        ["span", "count", "total_s", "mean_us"], rows, float_format="{:,.3f}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize repro observability JSONL files.",
+    )
+    parser.add_argument("files", nargs="+", help="metrics or trace JSONL files")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--phases",
+        action="store_true",
+        help="per-phase breakdown instead of the per-run summary",
+    )
+    mode.add_argument(
+        "--trace",
+        action="store_true",
+        help="treat inputs as span-trace JSONL files",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        records: list[dict] = []
+        for path in args.files:
+            records.extend(read_jsonl(path))
+        if args.trace:
+            output = render_trace(records)
+        elif args.phases:
+            output = render_phases(records)
+        else:
+            output = render_runs(records)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Metric sinks: where streaming observability records go.
+
+A sink receives plain-dict records (JSON-friendly: strings, numbers,
+nested dicts/lists only) from an :class:`~repro.obs.collector.ObsCollector`
+at its configured cadence plus once at run end.  The contract is
+deliberately tiny so new transports (sockets, databases, dashboards)
+bolt on without touching the collectors:
+
+* ``emit(record)`` - accept one record; must not raise on well-formed
+  input and must never mutate the record.
+* ``close()`` - flush and release resources; idempotent.
+
+Sinks are resolved from picklable string specs (``"memory"``,
+``"stdout"``, ``"jsonl:<path>"``) so campaign tasks can carry their
+observability configuration across process-pool boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.errors import ObsError
+
+
+class MetricSink:
+    """Base class: the two-method sink contract."""
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Accept one streaming record (a plain JSON-friendly dict)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent; default: nothing)."""
+
+
+class MemorySink(MetricSink):
+    """Collect records in a list (the default; no I/O on the hot path)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+
+class JsonlSink(MetricSink):
+    """Append records to a JSONL file, one JSON object per line.
+
+    The file opens lazily on the first record (so an enabled-but-silent
+    run touches nothing) and appends, so several sequential runs can
+    share one file; concurrent writers should use distinct paths (the
+    campaign runner keeps workers on in-memory sinks and re-emits
+    merged records from the parent for exactly this reason).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: TextIO | None = None
+        self.n_records = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.n_records += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class StdoutSink(MetricSink):
+    """Print records as JSON lines to stdout (progress for console runs)."""
+
+    def emit(self, record: dict[str, Any]) -> None:
+        sys.stdout.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def build_sink(spec: str | MetricSink | None) -> MetricSink:
+    """Resolve a sink spec: ``"memory"``, ``"stdout"``, ``"jsonl:<path>"``.
+
+    An existing :class:`MetricSink` instance passes through unchanged;
+    ``None`` means the in-memory default.
+    """
+    if spec is None:
+        return MemorySink()
+    if isinstance(spec, MetricSink):
+        return spec
+    if spec == "memory":
+        return MemorySink()
+    if spec == "stdout":
+        return StdoutSink()
+    if spec.startswith("jsonl:"):
+        path = spec[len("jsonl:") :]
+        if not path:
+            raise ObsError("jsonl sink spec needs a path: 'jsonl:<path>'")
+        return JsonlSink(path)
+    raise ObsError(
+        f"unknown sink spec {spec!r}; use 'memory', 'stdout', or "
+        "'jsonl:<path>'"
+    )

@@ -20,11 +20,13 @@ so serial and parallel executions produce identical results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.config import CRACConfig, RoomConfig
 from repro.errors import FleetError
 from repro.faults.events import FaultSchedule
+from repro.obs.collector import ObsConfig
 from repro.room.result import RoomResult
 from repro.room.scenarios import ROOM_SCENARIOS, build_room_scenario
 from repro.room.simulator import RoomSimulator
@@ -69,8 +71,18 @@ class RoomTask:
     backend: str = "auto"
     faults: FaultSchedule | None = None
     crac_tau_s: float = 0.0
+    #: Optional :class:`~repro.obs.ObsConfig` profiling the room run;
+    #: same contract as :attr:`~repro.fleet.campaign.CampaignTask.obs`
+    #: (picklable config, worker collects in memory, summary ships back
+    #: as ``extras["obs"]``).
+    obs: ObsConfig | None = None
 
     def __post_init__(self) -> None:
+        if self.obs is not None and not isinstance(self.obs, ObsConfig):
+            raise FleetError(
+                "task obs must be an ObsConfig (picklable), got "
+                f"{type(self.obs).__name__}"
+            )
         fault_scenarios = _room_fault_scenarios()
         if (
             self.scenario not in ROOM_SCENARIOS
@@ -111,6 +123,7 @@ class RoomTask:
 
 def run_room_task(task: RoomTask) -> RoomResult:
     """Build and simulate one room task (module-level: pool-picklable)."""
+    t0 = time.perf_counter()
     faults = task.faults
     fault_scenarios = _room_fault_scenarios()
     if task.scenario in fault_scenarios:
@@ -137,15 +150,19 @@ def run_room_task(task: RoomTask) -> RoomResult:
             scheme=task.scheme,
             forcing_units=forcing_units,
         )
+    from repro.fleet.campaign import _worker_obs, worker_info
+
     sim = RoomSimulator(
         room,
         dt_s=task.dt_s,
         record_decimation=task.record_decimation,
         backend=task.backend,
         faults=faults,
+        obs=_worker_obs(task.obs),
     )
     result = sim.run(task.duration_s, label=task.label)
     result.extras["task"] = task
+    result.extras["worker"] = worker_info(time.perf_counter() - t0)
     return result
 
 

@@ -22,10 +22,14 @@ recorded in ``RoomResult.extras``) otherwise.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.fleet.result import FleetResult
+from repro.obs.collector import resolve_obs
 from repro.room.result import RoomResult
 from repro.room.room import Room
 from repro.room.stack import (
@@ -60,6 +64,7 @@ class RoomSimulator:
         backend: str = "auto",
         inlet_limit_c: float | None = None,
         faults=None,
+        obs=None,
     ) -> None:
         if backend not in BACKENDS:
             raise SimulationError(
@@ -75,6 +80,7 @@ class RoomSimulator:
             room.inlet_limit_c if inlet_limit_c is None else inlet_limit_c
         )
         self._faults = faults
+        self._obs = resolve_obs(obs)
 
     @property
     def room(self) -> Room:
@@ -111,6 +117,12 @@ class RoomSimulator:
         if getattr(coupling, "is_dynamic", False):
             coupling.prepare_run(self._dt)
         injector = self._injector()
+        obs = self._obs
+        if obs is not None:
+            obs.label = label
+            obs.arm_stream(self._room.slots[0].plant.time_s)
+            if injector is not None:
+                injector.bind_obs(obs)
 
         fallback_reason = None
         if self._backend in ("auto", "vectorized"):
@@ -160,6 +172,14 @@ class RoomSimulator:
 
         return attach_fault_summary(extras, injector, n_steps * self._dt)
 
+    def _obs_extras(self, extras: dict) -> dict:
+        """Finalize the run's collector and attach ``extras["obs"]``."""
+        obs = self._obs
+        if obs is not None:
+            obs.finish_run(self._room.slots[0].plant.time_s)
+            extras["obs"] = obs.summary()
+        return extras
+
     def _run_vectorized(
         self, n_steps: int, label: str, injector=None
     ) -> RoomResult:
@@ -175,8 +195,13 @@ class RoomSimulator:
             # run() already consulted stacked_unsupported_reason.
             precheck=False,
             injector=injector,
+            obs=self._obs,
         )
-        stepper.run()
+        if self._obs is not None:
+            with self._obs.span("run"):
+                stepper.run()
+        else:
+            stepper.run()
         rack_results = split_stacked_results(
             stepper, room.racks, self._rack_labels(label)
         )
@@ -189,7 +214,9 @@ class RoomSimulator:
         else:
             extras["controller_backend"] = "mixed"
         return self._package(
-            rack_results, label, self._fault_extras(extras, injector, n_steps)
+            rack_results,
+            label,
+            self._obs_extras(self._fault_extras(extras, injector, n_steps)),
         )
 
     def _run_scalar(
@@ -215,22 +242,30 @@ class RoomSimulator:
                 tracker=tracker,
                 injector=injector,
                 server_index=index,
+                obs=self._obs,
             )
             for index, (slot, tracker) in enumerate(zip(room, trackers))
         ]
 
+        obs = self._obs
         start = room.slots[0].plant.time_s
         inlet_sums = np.zeros(room.n_servers)
-        for k in range(n_steps):
-            # Exhaust produced up to step k sets the inlets for step k+1.
-            if injector is not None:
-                # Same instant the batch lane polls: the step time the
-                # offsets computed below will be in force for.
-                injector.poll_crac(start + (k + 1) * self._dt)
-            room.update_inlets()
-            for stepper in steppers:
-                stepper.step()
-            inlet_sums += room.inlet_temperatures_c()
+        with obs.span("run") if obs is not None else nullcontext():
+            for k in range(n_steps):
+                # Exhaust produced up to step k sets the inlets for
+                # step k+1.
+                if obs is not None:
+                    t0 = time.perf_counter()
+                if injector is not None:
+                    # Same instant the batch lane polls: the step time
+                    # the offsets computed below will be in force for.
+                    injector.poll_crac(start + (k + 1) * self._dt)
+                room.update_inlets()
+                if obs is not None:
+                    obs.phase("coupling", t0, time.perf_counter())
+                for stepper in steppers:
+                    stepper.step()
+                inlet_sums += room.inlet_temperatures_c()
         mean_inlets = inlet_sums / n_steps
 
         rack_results = []
@@ -254,5 +289,7 @@ class RoomSimulator:
             )
             start = stop
         return self._package(
-            rack_results, label, self._fault_extras(extras, injector, n_steps)
+            rack_results,
+            label,
+            self._obs_extras(self._fault_extras(extras, injector, n_steps)),
         )

@@ -66,6 +66,7 @@ def stacked_stepper(
     coupling: SparseCoupling | None = None,
     precheck: bool = True,
     injector=None,
+    obs=None,
 ) -> BatchStepper:
     """Build the ``(R*B,)`` batch stepper for a stack of racks.
 
@@ -98,6 +99,7 @@ def stacked_stepper(
         coupling=coupling,
         exhaust=racks[0].exhaust,
         injector=injector,
+        obs=obs,
     )
 
 

@@ -3,9 +3,19 @@
 The simulation engine records one sample per step into named channels
 (time, junction temperature, fan speed, ...).  Channels grow in amortized
 O(1) python lists and convert to numpy arrays on demand for analysis.
+
+For unbounded streams (long soak runs, live dashboards fed by the
+observability subsystem) pass ``max_samples`` to cap memory: channels
+become rings that keep only the most recent ``max_samples`` samples,
+evicting the oldest sample across *all* channels atomically so they stay
+index-aligned.  :attr:`TelemetryRecorder.dropped` counts evictions and
+:attr:`TelemetryRecorder.total_recorded` the lifetime sample count, so
+consumers can tell a full window from a short run.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 import numpy as np
 
@@ -17,28 +27,64 @@ class TelemetryRecorder:
 
     Every :meth:`record` call must provide the same set of channels as the
     first call, keeping all channels equal-length and index-aligned.
+
+    Parameters
+    ----------
+    max_samples:
+        ``None`` (default) grows without bound.  A positive value keeps
+        only the most recent ``max_samples`` samples per channel; older
+        samples are evicted oldest-first, simultaneously from every
+        channel, and counted in :attr:`dropped`.
     """
 
-    def __init__(self) -> None:
-        self._channels: dict[str, list[float]] = {}
+    def __init__(self, max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise AnalysisError(
+                f"max_samples must be >= 1 or None, got {max_samples}"
+            )
+        self._max_samples = max_samples
+        self._channels: dict[str, list[float] | deque[float]] = {}
         self._length = 0
+        self._total = 0
+
+    @property
+    def max_samples(self) -> int | None:
+        """The retention cap (None = unbounded)."""
+        return self._max_samples
 
     @property
     def length(self) -> int:
-        """Number of recorded samples."""
+        """Number of retained samples (= lifetime count when unbounded)."""
         return self._length
+
+    @property
+    def total_recorded(self) -> int:
+        """Lifetime number of :meth:`record` calls, evicted or not."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Samples evicted from the front to honour ``max_samples``."""
+        return self._total - self._length
 
     @property
     def channel_names(self) -> list[str]:
         """Names of all channels (insertion order)."""
         return list(self._channels)
 
+    def _new_channel(self) -> list[float] | deque[float]:
+        if self._max_samples is None:
+            return []
+        # deque(maxlen=...) evicts its own oldest entry on append, so one
+        # record() call shifts every channel's window by the same sample.
+        return deque(maxlen=self._max_samples)
+
     def record(self, **values: float) -> None:
         """Append one sample across all channels."""
         if not values:
             raise AnalysisError("record() needs at least one channel")
         if not self._channels:
-            self._channels = {name: [] for name in values}
+            self._channels = {name: self._new_channel() for name in values}
         elif set(values) != set(self._channels):
             raise AnalysisError(
                 f"channel set changed: expected {sorted(self._channels)}, "
@@ -46,10 +92,12 @@ class TelemetryRecorder:
             )
         for name, value in values.items():
             self._channels[name].append(float(value))
-        self._length += 1
+        self._total += 1
+        if self._max_samples is None or self._length < self._max_samples:
+            self._length += 1
 
     def array(self, name: str) -> np.ndarray:
-        """One channel as a float numpy array."""
+        """One channel as a float numpy array (oldest retained first)."""
         if name not in self._channels:
             raise AnalysisError(
                 f"unknown channel {name!r}; have {sorted(self._channels)}"

@@ -40,6 +40,7 @@ to the scalar objects (see :attr:`BatchStepper.controller_fallbacks`).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -521,6 +522,7 @@ class BatchStepper:
         coupling: Any | None = None,
         exhaust: Any | None = None,
         injector: Any | None = None,
+        obs: Any | None = None,
     ) -> None:
         n = len(plants)
         if not (n == len(sensors) == len(workloads) == len(controllers)):
@@ -554,6 +556,10 @@ class BatchStepper:
         self._decimation = record_decimation
         self._k = 0
         self._start = plants[0].time_s
+        # Observability (repro.obs): a live ObsCollector or None.  Hooks
+        # below only read wall clocks and write collector-owned buffers,
+        # so instrumented batches stay bit-for-bit identical.
+        self._obs = obs
 
         self._coupled = coupling is not None
         if self._coupled:
@@ -730,12 +736,28 @@ class BatchStepper:
             self._run_chunk(min(_CHUNK_STEPS, self._n_steps - self._k))
 
     def _run_chunk(self, m: int) -> None:
+        # Phase timing (repro.obs): adjacent phases share boundary
+        # timestamps, so each phase costs one clock read per dt.  Phase
+        # time accumulates in chunk-local floats and flushes once per
+        # chunk via phase_add - per-dt collector calls would cost more
+        # than the array work they time.  The demand precompute is a
+        # per-chunk "workload" phase; the scalar engine, which samples
+        # demand inline, folds it into "plant".
+        obs = self._obs
+        if obs is not None:
+            _pc = time.perf_counter
+            t_prev = _pc()
         start, dt, k0 = self._start, self._dt, self._k
         times = [start + (k + 1) * dt for k in range(k0, k0 + m)]
         times_arr = np.array(times)
         demands = np.empty((self._n, m))
         for i, workload in enumerate(self._workloads):
             demands[i] = workload.demand_array(times_arr)
+        if obs is not None:
+            obs.phase("workload", t_prev, _pc())
+            acc_faults = acc_coupling = acc_plant = 0.0
+            acc_sensing = acc_control = acc_record = 0.0
+            n_control = n_record = ctl_due = 0
 
         plant = self._plant
         sensing = self._sensing
@@ -758,6 +780,8 @@ class BatchStepper:
         for j in range(m):
             t = times[j]
             t_plus = t + 1e-9
+            if obs is not None:
+                t_prev = _pc()
 
             if injector is not None:
                 # Refresh cached plant coefficients when a fan/fouling
@@ -773,6 +797,10 @@ class BatchStepper:
                 if t_plus >= self._next_crac_change:
                     injector.poll_crac(t)
                     self._next_crac_change = injector.next_crac_change_s
+                if obs is not None:
+                    t_now = _pc()
+                    acc_faults += t_now - t_prev
+                    t_prev = t_now
 
             if coupled:
                 if decoupled:
@@ -791,6 +819,10 @@ class BatchStepper:
                     offsets = coupling_apply(rises)
                 self._last_offsets = offsets
                 ambient = room + offsets
+                if obs is not None:
+                    t_now = _pc()
+                    acc_coupling += t_now - t_prev
+                    t_prev = t_now
 
             demand = demands[:, j]
             applied = np.minimum(demand, self._cap)
@@ -812,19 +844,32 @@ class BatchStepper:
             self._energy_last_cpu = cpu_w
             self._energy_last_fan = fan_w
             self._energy_last_t = t
+            if obs is not None:
+                t_now = _pc()
+                acc_plant += t_now - t_prev
+                t_prev = t_now
 
             observe(t, t_plus, die)
             pop_until(t)
 
             if coupled:
                 self._inlet_sums += ambient
+            if obs is not None:
+                t_now = _pc()
+                acc_sensing += t_now - t_prev
+                t_prev = t_now
 
             if self._next_control_min <= t_plus:
                 due = self._next_control <= t_plus
-                self._control_step(
-                    np.nonzero(due)[0], t, t_plus, demand, applied
-                )
+                due_idx = np.nonzero(due)[0]
+                self._control_step(due_idx, t, t_plus, demand, applied)
                 self._next_control_min = float(self._next_control.min())
+                if obs is not None:
+                    t_now = _pc()
+                    acc_control += t_now - t_prev
+                    t_prev = t_now
+                    n_control += 1
+                    ctl_due += due_idx.size
 
             k = k0 + j
             if k % decimation == 0:
@@ -848,6 +893,23 @@ class BatchStepper:
                 channels["applied"][:, r] = applied
                 channels["t_ref"][:, r] = self._t_ref
                 self._record_idx = r + 1
+                if obs is not None:
+                    acc_record += _pc() - t_prev
+                    n_record += 1
+            if obs is not None:
+                obs.tick(t, self._n)
+        if obs is not None:
+            if injector is not None:
+                obs.phase_add("faults", acc_faults, m)
+            if coupled:
+                obs.phase_add("coupling", acc_coupling, m)
+            obs.phase_add("plant", acc_plant, m)
+            obs.phase_add("sensing", acc_sensing, m)
+            if n_control:
+                obs.phase_add("control", acc_control, n_control)
+                obs.count("control_steps", ctl_due)
+            if n_record:
+                obs.phase_add("record", acc_record, n_record)
         plant.check_finite()
         self._k = k0 + m
 

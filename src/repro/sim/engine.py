@@ -25,6 +25,7 @@ together.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -95,6 +96,7 @@ class ServerStepper:
         tracker: DeadlineTracker | None = None,
         injector=None,
         server_index: int = 0,
+        obs=None,
     ) -> None:
         self._plant = plant
         self._sensor = sensor
@@ -109,6 +111,11 @@ class ServerStepper:
         self._decimation = record_decimation
         self._tracker = tracker or DeadlineTracker()
         self._cpu_interval = controller.control.cpu_interval_s
+        # Observability (repro.obs): a live ObsCollector or None.  The
+        # collector only reads wall clocks and writes its own buffers,
+        # so instrumented runs stay bit-for-bit identical; with no
+        # collector each hook below is a single ``is not None`` check.
+        self._obs = obs
         # dt is validated once here, so the stock plant can skip per-step
         # re-validation; subclasses keep their step() override in charge.
         self._plant_step = (
@@ -192,6 +199,15 @@ class ServerStepper:
             raise SimulationError(
                 f"stepper already completed its {self._n_steps} steps"
             )
+        # Phase timing (repro.obs): adjacent phases share boundary
+        # timestamps, so each phase costs one clock read.  The workload
+        # sample and fault transforms ride in the "plant" phase here;
+        # the batch backend, which hoists demand evaluation out of the
+        # loop, reports them as a separate "workload" phase.
+        obs = self._obs
+        if obs is not None:
+            _pc = time.perf_counter
+            t_prev = _pc()
         k = self._k
         t = self._start_time + (k + 1) * self._dt
         demand = self._workload.demand(t)
@@ -209,6 +225,10 @@ class ServerStepper:
             # its cached-coefficient refresh points.
             fan_actual = self._fault_fan.actual(t, self._fan_speed)
         plant_state = self._plant_step(self._dt, applied, fan_actual)
+        if obs is not None:
+            t_now = _pc()
+            obs.phase("plant", t_prev, t_now)
+            t_prev = t_now
         self._sensor.observe(t, plant_state.junction_c)
         self._energy.record(t, plant_state.cpu_power_w, plant_state.fan_power_w)
 
@@ -216,6 +236,10 @@ class ServerStepper:
         # so both consumers see the same value and sensing work isn't done
         # twice on recorded control steps.
         reading = None
+        if obs is not None:
+            t_now = _pc()
+            obs.phase("sensing", t_prev, t_now)
+            t_prev = t_now
         if t + 1e-9 >= self._next_control:
             self._tracker.record(demand, self._cap)
             reading = self._sensor.read(t)
@@ -246,6 +270,11 @@ class ServerStepper:
                 self._cap = new_state.cpu_cap
             while self._next_control <= t + 1e-9:
                 self._next_control += self._cpu_interval
+            if obs is not None:
+                t_now = _pc()
+                obs.phase("control", t_prev, t_now)
+                t_prev = t_now
+                obs.count("control_steps")
 
         if k % self._decimation == 0:
             if reading is None:
@@ -269,8 +298,12 @@ class ServerStepper:
             channels["applied"][idx] = applied
             channels["t_ref"][idx] = self._controller.t_ref_c
             self._record_idx = idx + 1
+            if obs is not None:
+                obs.phase("record", t_prev, _pc())
 
         self._k = k + 1
+        if obs is not None:
+            obs.tick(t, 1)
         return plant_state
 
     def finish(self, label: str = "run") -> SimulationResult:
@@ -309,6 +342,13 @@ class Simulator:
         the fault-injection hooks and the telemetry watchdog for the run
         (see :mod:`repro.faults`).  :attr:`fault_summary` reports what
         fired afterwards.
+    obs:
+        Optional :class:`~repro.obs.ObsCollector` or
+        :class:`~repro.obs.ObsConfig`; instruments the run with phase
+        timing and streaming metrics (see :mod:`repro.obs`) and attaches
+        the profile to ``result.extras["obs"]``.  Observation never
+        perturbs the simulation: instrumented runs are bit-for-bit
+        identical to uninstrumented ones.
     """
 
     def __init__(
@@ -322,6 +362,7 @@ class Simulator:
         violation_tolerance: float = 0.01,
         degradation_window: int = 10,
         faults=None,
+        obs=None,
     ) -> None:
         self._plant = plant
         self._sensor = sensor
@@ -336,6 +377,9 @@ class Simulator:
         )
         self._faults = faults
         self._fault_summary: dict | None = None
+        from repro.obs.collector import resolve_obs
+
+        self._obs = resolve_obs(obs)
 
     @property
     def plant(self) -> ServerThermalModel:
@@ -373,6 +417,12 @@ class Simulator:
 
             injector = FaultInjector(self._faults, [self._plant])
             injector.require_no_room_faults()
+        obs = self._obs
+        if obs is not None:
+            obs.label = label
+            obs.arm_stream(self._plant.time_s)
+            if injector is not None:
+                injector.bind_obs(obs)
         stepper = ServerStepper(
             self._plant,
             self._sensor,
@@ -383,12 +433,22 @@ class Simulator:
             record_decimation=self._decimation,
             tracker=self._tracker,
             injector=injector,
+            obs=obs,
         )
-        while not stepper.done:
-            stepper.step()
+        if obs is not None:
+            with obs.span("run"):
+                while not stepper.done:
+                    stepper.step()
+        else:
+            while not stepper.done:
+                stepper.step()
         if injector is not None:
             # The simulated horizon (n_steps * dt) can differ from the
             # requested duration by up to half a step after rounding;
             # summarize over what actually ran, like the fleet lanes.
             self._fault_summary = injector.summary(n_steps * self._dt)
-        return stepper.finish(label)
+        result = stepper.finish(label)
+        if obs is not None:
+            obs.finish_run(self._plant.time_s)
+            result.extras["obs"] = obs.summary()
+        return result

@@ -312,3 +312,42 @@ class TestTelemetryRecorder:
         rec.record(a=1.0, b=2.0)
         arrays = rec.arrays()
         assert set(arrays) == {"a", "b"}
+
+    def test_unbounded_by_default(self):
+        rec = TelemetryRecorder()
+        for i in range(100):
+            rec.record(a=float(i))
+        assert rec.max_samples is None
+        assert rec.length == rec.total_recorded == 100
+        assert rec.dropped == 0
+
+    def test_ring_keeps_most_recent_samples(self):
+        rec = TelemetryRecorder(max_samples=3)
+        for i in range(7):
+            rec.record(t=float(i), v=float(10 * i))
+        assert rec.length == 3
+        assert rec.total_recorded == 7
+        assert rec.dropped == 4
+        assert list(rec.array("t")) == [4.0, 5.0, 6.0]
+        assert list(rec.array("v")) == [40.0, 50.0, 60.0]
+
+    def test_ring_channels_stay_aligned(self):
+        rec = TelemetryRecorder(max_samples=2)
+        for i in range(5):
+            rec.record(t=float(i), v=float(-i))
+        t, v = rec.array("t"), rec.array("v")
+        assert list(t) == [3.0, 4.0]
+        assert list(v) == [-3.0, -4.0]
+        assert rec.last("v") == -4.0
+
+    def test_ring_shorter_than_cap(self):
+        rec = TelemetryRecorder(max_samples=10)
+        rec.record(a=1.0)
+        rec.record(a=2.0)
+        assert rec.length == 2
+        assert rec.dropped == 0
+        assert list(rec.array("a")) == [1.0, 2.0]
+
+    def test_invalid_cap_raises(self):
+        with pytest.raises(Exception):
+            TelemetryRecorder(max_samples=0)
