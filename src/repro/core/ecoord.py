@@ -86,6 +86,38 @@ class EnergyAwareCoordinator(Coordinator):
         """Histogram of actions chosen so far."""
         return dict(self._action_counts)
 
+    @property
+    def model(self) -> SteadyStateServerModel:
+        """The steady-state plant model used for marginal estimates."""
+        return self._model
+
+    @property
+    def t_emergency_c(self) -> float:
+        """Measured temperature at/above which cooling is mandatory."""
+        return self._t_emergency_c
+
+    @property
+    def t_comfort_c(self) -> float:
+        """Measured temperature below which relaxation is considered."""
+        return self._t_comfort_c
+
+    @property
+    def fan_admission_margin_c(self) -> float:
+        """Width of the pre-emergency fan-admission band."""
+        return self._fan_margin_c
+
+    def restore_trace(
+        self,
+        last_action: CoordinationAction,
+        action_counts: dict[CoordinationAction, int],
+    ) -> None:
+        """Overwrite the decision trace (batch backend sync-back)."""
+        self._last_action = last_action
+        self._action_counts = {
+            action: int(action_counts.get(action, 0))
+            for action in CoordinationAction
+        }
+
     def coordinate(
         self,
         current: ControlState,

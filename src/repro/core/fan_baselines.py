@@ -5,6 +5,14 @@ schemes; Fig. 4 shows the deadzone controller oscillating under a fixed
 workload once the measurement lag and quantization are present.  These
 implementations exist to reproduce that failure and to benchmark the
 adaptive PID against.
+
+Backend note: racks hosting these controllers still run their
+plant/sensing on the array lanes (vectorized or fused), but the control
+step demotes per server to these scalar objects -
+``batch_controller_unsupported_reason`` only vets the stock
+adaptive-PID composition.  The benchmark no-silent-fallback gates
+therefore run the Table III schemes, not these baselines; see
+``docs/backends.md``.
 """
 
 from __future__ import annotations

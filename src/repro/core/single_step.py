@@ -107,6 +107,47 @@ class SingleStepFanScaling:
         """The triggering degradation level."""
         return self._threshold
 
+    @property
+    def model(self) -> SteadyStateServerModel:
+        """The steady-state plant model used for landing speeds."""
+        return self._model
+
+    @property
+    def max_boost_periods(self) -> int:
+        """Upper bound on consecutive max-speed boost periods."""
+        return self._max_boost
+
+    @property
+    def refractory_periods(self) -> int:
+        """Periods after landing during which no re-trigger is allowed."""
+        return self._refractory
+
+    @property
+    def headroom_util(self) -> float:
+        """Extra utilization margin for the landing-speed computation."""
+        return self._headroom
+
+    @property
+    def landing_margin_c(self) -> float:
+        """Safety margin below the critical temperature when landing."""
+        return self._landing_margin_c
+
+    @property
+    def periods_in_phase(self) -> int:
+        """CPU control periods spent in the current phase."""
+        return self._periods_in_phase
+
+    def restore_state(
+        self,
+        phase: SingleStepPhase,
+        periods_in_phase: int,
+        boost_count: int,
+    ) -> None:
+        """Overwrite the spike-history state (batch backend sync-back)."""
+        self._phase = phase
+        self._periods_in_phase = int(periods_in_phase)
+        self._boost_count = int(boost_count)
+
     def _required_speed_rpm(
         self, inputs: ControlInputs, predicted_util: float
     ) -> float:

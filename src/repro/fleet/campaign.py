@@ -219,6 +219,11 @@ def run_campaign_chunk(
             _simulate_task(task, rack) for task, rack in zip(tasks, racks)
         ]
     labels = [task.label for task in tasks]
+    # chunk_key groups by backend, so the whole chunk shares one lane;
+    # "auto" means the vetted racks stack on the vectorized stepper.
+    batch_backend = (
+        "fused" if tasks[0].backend == "fused" else "vectorized"
+    )
     t0 = time.perf_counter()
     results = run_stacked_racks(
         racks,
@@ -228,6 +233,7 @@ def run_campaign_chunk(
         labels=labels,
         # stacked_unsupported_reason already vetted these racks above.
         precheck=False,
+        backend=batch_backend,
     )
     worker = worker_info(time.perf_counter() - t0)
     chunk_info = {"size": len(tasks), "labels": tuple(labels)}

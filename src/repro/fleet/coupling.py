@@ -163,6 +163,23 @@ class CouplingOperator(ABC):
             )
         return self.apply(rises)
 
+    def apply_window(self, rises_c: np.ndarray) -> np.ndarray:
+        """Apply the operator to a ``(n_servers, w)`` window of rises.
+
+        Column ``j`` of the result is ``apply(rises_c[:, j])``.  The
+        base implementation loops the columns through :meth:`apply`,
+        which keeps *stateful* operators exact - a dynamic supply
+        filter advances once per column, just as it advances once per
+        step on the scalar and vectorized lanes.  Purely linear
+        subclasses override this with one batched matmul; the fused
+        backend calls it once per control window instead of once per
+        ``dt``.
+        """
+        out = np.empty_like(rises_c)
+        for j in range(rises_c.shape[1]):
+            out[:, j] = self.apply(rises_c[:, j])
+        return out
+
 
 class RecirculationMatrix(CouplingOperator):
     """Dense mixing matrix mapping exhaust rises to inlet offsets.
@@ -229,6 +246,10 @@ class RecirculationMatrix(CouplingOperator):
 
     def apply(self, rises_c: np.ndarray) -> np.ndarray:
         """``M @ rises`` with no validation (the per-step hot path)."""
+        return self._m @ rises_c
+
+    def apply_window(self, rises_c: np.ndarray) -> np.ndarray:
+        """``M @ rises`` on a whole ``(n, w)`` window as one gemm."""
         return self._m @ rises_c
 
     def to_dense(self) -> np.ndarray:

@@ -16,10 +16,15 @@ interchangeable execution backends:
   racks the batch backend cannot represent (time-varying ambients,
   custom plant/sensor subclasses, pre-used sensors) fall back to the
   scalar path automatically.
+* ``"fused"`` - the :class:`~repro.sim.fused.FusedStepper` window
+  backend: same representability rules and fallback behaviour as
+  vectorized, but the per-``dt`` array work collapses into one set of
+  matrix ops per control window.  Equivalence is tier B (tolerances,
+  not bits) - see ``docs/backends.md``.
 
 ``backend="auto"`` (the default) picks vectorized whenever the rack
-supports it.  With a decoupled rack either backend reduces to N
-independent single-server simulations bit-for-bit.
+supports it.  With a decoupled rack the scalar and vectorized backends
+reduce to N independent single-server simulations bit-for-bit.
 """
 
 from __future__ import annotations
@@ -33,12 +38,13 @@ from repro.errors import SimulationError
 from repro.fleet.rack import Rack
 from repro.fleet.result import FleetResult
 from repro.obs.collector import resolve_obs
+from repro.sim.backends import stepper_backend
 from repro.sim.batch import BatchStepper, batch_unsupported_reason
 from repro.sim.engine import ServerStepper
 from repro.units import check_duration
 
 #: Valid execution backends.
-BACKENDS = ("auto", "scalar", "vectorized")
+BACKENDS = ("auto", "scalar", "vectorized", "fused")
 
 
 class FleetSimulator:
@@ -59,8 +65,9 @@ class FleetSimulator:
         :class:`~repro.sim.engine.Simulator`).
     backend:
         ``"auto"`` (vectorized when the rack supports it), ``"scalar"``,
-        or ``"vectorized"`` (falls back to scalar - recorded in the
-        result's ``extras`` - when the rack cannot batch).
+        ``"vectorized"``, or ``"fused"`` (the batch backends fall back
+        to scalar - recorded in the result's ``extras`` - when the rack
+        cannot batch).
     faults:
         Optional :class:`~repro.faults.events.FaultSchedule` applied to
         the run on either backend (bit-for-bit identically); the run's
@@ -144,7 +151,7 @@ class FleetSimulator:
             if injector is not None:
                 injector.bind_obs(obs)
         fallback_reason = None
-        if self._backend in ("auto", "vectorized"):
+        if self._backend in ("auto", "vectorized", "fused"):
             fallback_reason = batch_unsupported_reason(
                 [slot.plant for slot in self._rack],
                 [slot.sensor for slot in self._rack],
@@ -153,7 +160,7 @@ class FleetSimulator:
             if fallback_reason is None:
                 return self._run_vectorized(n_steps, label, injector)
         extras = {"backend": "scalar"}
-        if self._backend == "vectorized":
+        if self._backend in ("vectorized", "fused"):
             extras["fallback_reason"] = fallback_reason
         return self._run_scalar(n_steps, label, extras, injector)
 
@@ -175,7 +182,15 @@ class FleetSimulator:
         self, n_steps: int, label: str, injector=None
     ) -> FleetResult:
         rack = self._rack
-        stepper = BatchStepper(
+        batch_backend = (
+            "fused" if self._backend == "fused" else "vectorized"
+        )
+        stepper_cls = (
+            stepper_backend(batch_backend)
+            if batch_backend != "vectorized"
+            else BatchStepper
+        )
+        stepper = stepper_cls(
             plants=[slot.plant for slot in rack],
             sensors=[slot.sensor for slot in rack],
             workloads=[slot.workload for slot in rack],
@@ -197,7 +212,10 @@ class FleetSimulator:
         results = stepper.finish(
             [f"{label}/{slot.name}" for slot in rack]
         )
-        extras = {"backend": "vectorized"}
+        extras = {"backend": batch_backend}
+        scan_impl = getattr(stepper, "scan_impl", None)
+        if scan_impl is not None:
+            extras["scan_impl"] = scan_impl
         fallbacks = stepper.controller_fallbacks
         if not fallbacks:
             extras["controller_backend"] = "vectorized"

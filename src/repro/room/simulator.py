@@ -11,6 +11,10 @@
   mat-vec once per ``dt``.  This is the room's native execution model:
   the per-``dt`` Python dispatch is paid once for the whole room
   instead of once per rack.
+* ``"fused"`` - the same ``(R*B,)`` stacking executed by the
+  window-fused :class:`~repro.sim.fused.FusedStepper`, which advances
+  whole control windows per dispatch (tier-B equivalence, see
+  ``docs/backends.md``).
 * ``"scalar"`` - one :class:`~repro.sim.engine.ServerStepper` per
   server with :meth:`Room.update_inlets` once per step; the bit-for-bit
   reference the stacked path is tested against.
@@ -42,7 +46,7 @@ from repro.units import check_duration
 from repro.workload.performance import DeadlineTracker
 
 #: Valid execution backends (same meaning as FleetSimulator's).
-BACKENDS = ("auto", "scalar", "vectorized")
+BACKENDS = ("auto", "scalar", "vectorized", "fused")
 
 
 class RoomSimulator:
@@ -125,7 +129,7 @@ class RoomSimulator:
                 injector.bind_obs(obs)
 
         fallback_reason = None
-        if self._backend in ("auto", "vectorized"):
+        if self._backend in ("auto", "vectorized", "fused"):
             fallback_reason = stacked_unsupported_reason(
                 self._room.racks, self._room.coupling
             )
@@ -184,6 +188,9 @@ class RoomSimulator:
         self, n_steps: int, label: str, injector=None
     ) -> RoomResult:
         room = self._room
+        batch_backend = (
+            "fused" if self._backend == "fused" else "vectorized"
+        )
         stepper = stacked_stepper(
             room.racks,
             n_steps=n_steps,
@@ -196,6 +203,7 @@ class RoomSimulator:
             precheck=False,
             injector=injector,
             obs=self._obs,
+            backend=batch_backend,
         )
         if self._obs is not None:
             with self._obs.span("run"):
@@ -203,9 +211,12 @@ class RoomSimulator:
         else:
             stepper.run()
         rack_results = split_stacked_results(
-            stepper, room.racks, self._rack_labels(label)
+            stepper, room.racks, self._rack_labels(label), backend=batch_backend
         )
-        extras = {"backend": "vectorized"}
+        extras = {"backend": batch_backend}
+        scan_impl = getattr(stepper, "scan_impl", None)
+        if scan_impl is not None:
+            extras["scan_impl"] = scan_impl
         fallbacks = stepper.controller_fallbacks
         if not fallbacks:
             extras["controller_backend"] = "vectorized"

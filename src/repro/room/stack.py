@@ -24,6 +24,7 @@ from repro.errors import SimulationError
 from repro.fleet.rack import Rack
 from repro.fleet.result import FleetResult
 from repro.room.coupling import SparseCoupling
+from repro.sim.backends import stepper_backend
 from repro.sim.batch import BatchStepper, batch_unsupported_reason
 from repro.units import check_duration
 from repro.workload.performance import DeadlineTracker
@@ -67,9 +68,12 @@ def stacked_stepper(
     precheck: bool = True,
     injector=None,
     obs=None,
+    backend: str = "vectorized",
 ) -> BatchStepper:
     """Build the ``(R*B,)`` batch stepper for a stack of racks.
 
+    ``backend`` names the batch stepper lane (``"vectorized"`` or any
+    name registered in :mod:`repro.sim.backends`, e.g. ``"fused"``).
     Raises :class:`~repro.errors.SimulationError` when the stack cannot
     batch; callers wanting a silent fallback should consult
     :func:`stacked_unsupported_reason` first - and may then pass
@@ -82,7 +86,10 @@ def stacked_stepper(
     if coupling is None:
         coupling = SparseCoupling.from_racks(racks)
     slots = [slot for rack in racks for slot in rack]
-    return BatchStepper(
+    stepper_cls = (
+        BatchStepper if backend == "vectorized" else stepper_backend(backend)
+    )
+    return stepper_cls(
         plants=[slot.plant for slot in slots],
         sensors=[slot.sensor for slot in slots],
         workloads=[slot.workload for slot in slots],
@@ -107,6 +114,7 @@ def split_stacked_results(
     stepper: BatchStepper,
     racks: Sequence[Rack],
     labels: Sequence[str],
+    backend: str = "vectorized",
 ) -> list[FleetResult]:
     """Package a finished stacked run into one :class:`FleetResult` per rack.
 
@@ -133,13 +141,16 @@ def split_stacked_results(
             if start <= i < stop
         }
         extras = {
-            "backend": "vectorized",
+            "backend": backend,
             "stacked": {
                 "n_racks": len(racks),
                 "width": stepper.n_servers,
                 "position": position,
             },
         }
+        scan_impl = getattr(stepper, "scan_impl", None)
+        if scan_impl is not None:
+            extras["scan_impl"] = scan_impl
         if not rack_fallbacks:
             extras["controller_backend"] = "vectorized"
         elif len(rack_fallbacks) == rack.n_servers:
@@ -170,6 +181,7 @@ def run_stacked_racks(
     labels: Sequence[str] | None = None,
     coupling: SparseCoupling | None = None,
     precheck: bool = True,
+    backend: str = "vectorized",
 ) -> list[FleetResult]:
     """Run R racks as one stacked ``(R*B,)`` vectorized batch.
 
@@ -195,6 +207,7 @@ def run_stacked_racks(
         degradation_window=degradation_window,
         coupling=coupling,
         precheck=precheck,
+        backend=backend,
     )
     stepper.run()
-    return split_stacked_results(stepper, racks, labels)
+    return split_stacked_results(stepper, racks, labels, backend=backend)

@@ -1,0 +1,190 @@
+"""Execution-backend registry and the fused lane's scan kernels.
+
+Simulation drivers (:class:`~repro.fleet.simulator.FleetSimulator`,
+:class:`~repro.room.simulator.RoomSimulator`, :func:`~repro.sim.batch.
+run_batch`, campaigns) accept a backend *name*; this module maps batch
+backend names to stepper classes without importing them eagerly, so the
+fused backend (and anything registered later) never creates an import
+cycle with :mod:`repro.sim.batch`.
+
+It also owns the **exponential-scan** kernels the fused backend uses to
+advance a whole control window of first-order RC steps at once:
+
+* :func:`exp_scan_jit` - a numba-compiled version of the *exact*
+  per-step recurrence ``x <- ss + (x - ss) * decay`` (the same float
+  expression :meth:`repro.sim.batch.BatchThermalPlant.advance`
+  evaluates), used when numba is importable and not disabled via
+  ``REPRO_DISABLE_NUMBA``;
+* :func:`exp_scan_numpy` - the pure-NumPy fallback, a cumulative-sum
+  closed form that reorders the arithmetic and is therefore covered by
+  the tier-B tolerances of ``docs/backends.md`` rather than bit-for-bit
+  equality.
+
+Either way the fused backend stays within its equivalence tier; the
+kernels only trade Python dispatch for throughput.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import math
+import os
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Precision budget for one closed-form scan block: ``decay**-j`` may
+#: grow to at most this factor before the scan restarts from carried
+#: state (bounds the cumulative sum's relative error near 1e-10).
+SPAN_TARGET_LOG = math.log(1e6)
+
+#: Set (to anything but "" or "0") to force the pure-NumPy scan even
+#: when numba is importable.  CI runs the backend-conformance suite in
+#: both configurations.
+DISABLE_NUMBA_ENV = "REPRO_DISABLE_NUMBA"
+
+#: Batch-backend name -> "module:class" for lazy resolution.  "scalar"
+#: is deliberately absent: it is not a batch stepper but the per-server
+#: reference loop the drivers implement themselves.
+_BUILTIN_STEPPERS: dict[str, tuple[str, str]] = {
+    "vectorized": ("repro.sim.batch", "BatchStepper"),
+    "fused": ("repro.sim.fused", "FusedStepper"),
+}
+
+_RESOLVED: dict[str, Any] = {}
+
+
+def stepper_backend(name: str) -> Any:
+    """The stepper class registered under ``name`` (lazily imported)."""
+    cls = _RESOLVED.get(name)
+    if cls is not None:
+        return cls
+    spec = _BUILTIN_STEPPERS.get(name)
+    if spec is None:
+        raise SimulationError(
+            f"unknown batch backend {name!r}; choose from "
+            f"{tuple(sorted(_BUILTIN_STEPPERS))}"
+        )
+    module, attr = spec
+    cls = getattr(importlib.import_module(module), attr)
+    _RESOLVED[name] = cls
+    return cls
+
+
+def register_stepper_backend(name: str, module: str, attr: str) -> None:
+    """Register (or override) a batch backend by dotted location."""
+    _BUILTIN_STEPPERS[name] = (module, attr)
+    _RESOLVED.pop(name, None)
+
+
+def batch_backend_names() -> tuple[str, ...]:
+    """Registered batch-backend names, sorted."""
+    return tuple(sorted(_BUILTIN_STEPPERS))
+
+
+# ----------------------------------------------------------------------
+# Optional numba acceleration
+
+_numba_checked = False
+_numba_importable = False
+_jit_scan: Callable | None = None
+
+
+def numba_disabled() -> bool:
+    """Whether the environment forces the NumPy fallback."""
+    return os.environ.get(DISABLE_NUMBA_ENV, "") not in ("", "0")
+
+
+def numba_available() -> bool:
+    """Whether the optional numba JIT may be used (import + env gate)."""
+    global _numba_checked, _numba_importable
+    if numba_disabled():
+        return False
+    if not _numba_checked:
+        _numba_importable = importlib.util.find_spec("numba") is not None
+        _numba_checked = True
+    return _numba_importable
+
+
+def fused_scan_impl() -> str:
+    """Which scan kernel the fused backend will pick: "numba" or "numpy"."""
+    return "numba" if numba_available() else "numpy"
+
+
+def exp_scan_jit() -> Callable | None:
+    """The numba-compiled exponential-scan kernel, or ``None``.
+
+    Signature: ``scan(x0, decay, forcing, out)`` with ``x0``/``decay``
+    of shape ``(n,)`` and ``forcing``/``out`` of shape ``(n, w)``; the
+    kernel fills ``out[:, j]`` with the state *after* step ``j`` of the
+    recurrence ``x <- s_j + (x - s_j) * a`` - the identical float
+    expression the vectorized plant steps, so the jitted fused lane
+    reproduces the vectorized trajectories term for term.
+    """
+    global _jit_scan
+    if not numba_available():
+        return None
+    if _jit_scan is None:
+        import numba
+
+        @numba.njit(cache=True)
+        def _scan(x0, decay, forcing, out):  # pragma: no cover - jitted
+            n, w = forcing.shape
+            for i in range(n):
+                x = x0[i]
+                a = decay[i]
+                for j in range(w):
+                    s = forcing[i, j]
+                    x = s + (x - s) * a
+                    out[i, j] = x
+
+        _jit_scan = _scan
+    return _jit_scan
+
+
+def exp_scan_numpy(
+    x0: np.ndarray,
+    forcing: np.ndarray,
+    powers: np.ndarray,
+    geom: np.ndarray,
+    span: int,
+) -> np.ndarray:
+    """Exponential-recurrence trajectories via a cumulative closed form.
+
+    Solves ``x_J = a^J x_0 + sum_{i<J} a^(J-1-i) (1-a) s_i`` for
+    ``J = 1..w`` (the recurrence ``x <- s + (x - s) a``) as one
+    cumulative sum per block::
+
+        C_J = sum_{i<J} s_i * geom_i      (cumsum along the window)
+        x_J = a^J x_0 + a^(J-1) C_J
+
+    ``powers[:, j] = a^j`` and ``geom[:, j] = (1 - a) a^-j`` come
+    precomputed (the fused backend caches them per plant version).
+    ``span`` bounds how many steps one scan covers before ``a^-j``
+    erodes float precision; past it the scan restarts from the carried
+    state.  All forcing terms are nonnegative for this plant (steady
+    states are temperatures), so the cumulative sum never cancels.
+    """
+    n, w = forcing.shape
+    if w <= span:
+        # Single block (the per-control-window common case).
+        c = np.cumsum(forcing * geom[:, :w], axis=1)
+        np.multiply(powers[:, :w], c, out=c)
+        c += powers[:, 1 : w + 1] * x0[:, None]
+        return c
+    out = np.empty((n, w))
+    lo = 0
+    x = x0
+    while lo < w:
+        hi = min(w, lo + span)
+        wb = hi - lo
+        c = np.cumsum(forcing[:, lo:hi] * geom[:, :wb], axis=1)
+        block = out[:, lo:hi]
+        np.multiply(powers[:, :wb], c, out=block)
+        block += powers[:, 1 : wb + 1] * x[:, None]
+        x = out[:, hi - 1]
+        lo = hi
+    return out

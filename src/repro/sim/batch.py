@@ -21,12 +21,13 @@ rack or a sweep grid pays the whole interpreter overhead B times per
   control decisions - which fire once per CPU period, not per ``dt`` -
   run through the vectorized
   :class:`~repro.sim.batch_control.BatchGlobalController` for every
-  server whose DTM is the common composition (adaptive-PID fan +
-  deadzone capper + rule-based/uncoordinated coordination + optional
-  A-Tref), with a per-server fallback to the scalar controller objects
-  for anything else (SSfan, E-coord, subclasses).  Equivalence with the
-  scalar engine is structural either way, not approximate: the same
-  floating-point operations run in the same order, just element-wise.
+  server whose DTM is a stock composition (adaptive-PID fan + deadzone
+  capper + rule-based/E-coord/uncoordinated coordination + optional
+  A-Tref + optional SSfan - every Table III scheme), with a per-server
+  fallback to the scalar controller objects for anything else
+  (subclasses, non-stock models).  Equivalence with the scalar engine
+  is structural either way, not approximate: the same floating-point
+  operations run in the same order, just element-wise.
 
 Heterogeneous *parameters* (per-server sensing quality, workloads,
 power envelopes) batch fine; heterogeneous *structure* (time-varying
@@ -181,6 +182,29 @@ class BatchSensorBank:
         # (majority of) steps where nothing is due anywhere in the batch.
         self._next_due = -np.inf
         self._next_arrival = np.inf
+        # Uniform-pipeline fast lane: with one shared cadence and no
+        # noise/fault hooks, every sample step is all-servers-at-once and
+        # the ring pointers stay lockstep, so observe/pop can use scalar
+        # pointers and whole-column FIFO ops.  Same float operations on
+        # the same values - the lane is bit-for-bit, not a tolerance.
+        self._uniform_cadence = (
+            not self._fault_rows
+            and not self._noisy_rows
+            and bool(np.all(self._interval == self._interval[0]))
+            and bool(np.all(self._lag == self._lag[0]))
+        )
+        self._interval_u = float(self._interval[0])
+        self._lag_u = float(self._lag[0])
+        # Scalar ADC parameters when every server shares the same ADC.
+        self._uniform_adc = (
+            bool(np.all(self._q_step == self._q_step[0]))
+            and bool(np.all(self._q_min == self._q_min[0]))
+            and bool(np.all(self._max_code == self._max_code[0]))
+        )
+        self._q_step_u = float(self._q_step[0])
+        self._q_min_u = float(self._q_min[0])
+        self._q_div_u = float(self._q_div[0])
+        self._max_code_u = float(self._max_code[0])
         # Transport-delay FIFOs: ring buffers sized to the worst-case
         # number of in-flight samples (lag / sample interval), grown on
         # demand if a pathological cadence ever overflows them.
@@ -248,6 +272,23 @@ class BatchSensorBank:
         )
         return np.where(step == 0.0, measured, minimum + code * step)
 
+    def _quantize_uniform(self, measured: np.ndarray) -> np.ndarray:
+        """:meth:`_quantize` with one shared ADC as scalar operands.
+
+        Scalar-vs-array broadcasting is elementwise-identical IEEE
+        arithmetic, so the codes match :meth:`_quantize` bit for bit.
+        """
+        if self._q_step_u == 0.0:
+            return measured.copy()
+        code = np.clip(
+            np.rint((measured - self._q_min_u) / self._q_div_u),
+            0.0,
+            self._max_code_u,
+        )
+        code *= self._q_step_u
+        code += self._q_min_u
+        return code
+
     def _push(self, idx: np.ndarray, time_s: float, values: np.ndarray) -> None:
         if np.any(self._count[idx] >= self._capacity):
             self._grow()
@@ -257,6 +298,19 @@ class BatchSensorBank:
         self._fifo_v[idx, tail] = values
         self._count[idx] += 1
         self._next_arrival = min(self._next_arrival, float(arrivals.min()))
+
+    def _push_uniform(self, time_s: float, values: np.ndarray) -> None:
+        """All-servers push with lockstep ring pointers (column write)."""
+        count = int(self._count[0])
+        if count >= self._capacity:
+            self._grow()
+        tail = (int(self._head[0]) + count) % self._capacity
+        arrival = time_s + self._lag_u
+        self._fifo_t[:, tail] = arrival
+        self._fifo_v[:, tail] = values
+        self._count += 1
+        if arrival < self._next_arrival:
+            self._next_arrival = arrival
 
     def _grow(self) -> None:
         old = self._capacity
@@ -294,6 +348,22 @@ class BatchSensorBank:
     ) -> None:
         """Feed the physical temperatures; samples at each server's cadence."""
         if self._next_due > time_plus:
+            return
+        if self._uniform_cadence:
+            # Shared cadence: the bound above *is* every server's due
+            # check, so all sample now and the ring stays lockstep.
+            if self._uniform_adc:
+                quantized = self._quantize_uniform(true_temps)
+            else:
+                quantized = self._quantize(true_temps.copy(), self._rows)
+            self._push_uniform(time_s, quantized)
+            # Same chained float adds as the general while-advance (one
+            # per late period), applied to the shared scalar bound.
+            nxt = self._next_due + self._interval_u
+            while nxt <= time_plus:
+                nxt += self._interval_u
+            self._next_sample[:] = nxt
+            self._next_due = nxt
             return
         due = self._next_sample <= time_plus
         idx = np.nonzero(due)[0]
@@ -335,6 +405,19 @@ class BatchSensorBank:
     def pop_until(self, time_s: float) -> None:
         """Promote every sample whose arrival time has passed (ZOH read)."""
         if self._next_arrival > time_s:
+            return
+        if self._uniform_cadence:
+            head = int(self._head[0])
+            count = int(self._count[0])
+            while count > 0 and self._fifo_t[0, head] <= time_s:
+                self._current[:] = self._fifo_v[:, head]
+                head = (head + 1) % self._capacity
+                count -= 1
+            self._head[:] = head
+            self._count[:] = count
+            self._next_arrival = (
+                float(self._fifo_t[0, head]) if count > 0 else np.inf
+            )
             return
         while True:
             arrivals = self._fifo_t[self._rows, self._head]
@@ -411,6 +494,12 @@ class BatchThermalPlant:
         self.hs_decay = np.zeros(n)
         self.fan_w = np.zeros(n)
         self.clamped_speed = np.zeros(n)
+        # Monotonic coefficient-change counter.  The coefficient arrays
+        # are mutated *in place* (array identity never changes), so any
+        # cache derived from them - the fused backend's window power
+        # matrices in particular - must key on this counter, not on
+        # id(hs_decay).  Bumped by every apply_fan_speed/set_fouling.
+        self.version = 0
 
     def apply_fan_speed(self, i: int, speed_rpm: float) -> None:
         """Clamp and apply one server's commanded fan speed.
@@ -439,6 +528,7 @@ class BatchThermalPlant:
         self.hs_decay[i] = entry[1]
         self.fan_w[i] = entry[2] * self._n_sockets_f[i]
         self.clamped_speed[i] = clamped
+        self.version += 1
 
     @property
     def fouling_k_per_w(self) -> list[float]:
@@ -457,6 +547,7 @@ class BatchThermalPlant:
         if extra_k_per_w != self._fouling[i]:
             self._fouling[i] = extra_k_per_w
             self._level_cache[i] = {}
+            self.version += 1
 
     def snapshot_fan_state(self) -> None:
         """Detach the fan-level arrays before a round of speed changes.
@@ -670,8 +761,29 @@ class BatchStepper:
         self._batch_ctrl = (
             BatchGlobalController([controllers[i] for i in vec]) if vec else None
         )
+        # SSfan servers read the tracker bank's recent-degradation signal
+        # each period; the bank only maintains it when asked.
+        self._needs_deg = (
+            self._batch_ctrl.needs_degradation
+            if self._batch_ctrl is not None
+            else False
+        )
         self._batch_trackers = (
-            BatchTrackerBank([self._trackers[i] for i in vec]) if vec else None
+            BatchTrackerBank(
+                [self._trackers[i] for i in vec], track_recent=self._needs_deg
+            )
+            if vec
+            else None
+        )
+        # Uniform control fast lane: one shared CPU period, every DTM
+        # vectorized, and no dropout-capable faults means control steps
+        # are always whole-rack and the knob mirrors can alias the
+        # controller arrays (the all-servers step rebinds rather than
+        # mutates them), skipping three copies per decision.
+        self._ctrl_uniform = (
+            not self._controller_fallbacks
+            and not self._may_dropout
+            and bool(np.all(self._cpu_interval == self._cpu_interval[0]))
         )
 
         # Plant-state mirrors used by the coupling (exhaust of step k
@@ -1053,20 +1165,51 @@ class BatchStepper:
             # aliased _fan_cmd would defeat the changed-fan detection
             # below on those later subset steps.
             self._batch_trackers.record_all(demand, self._cap)
-            ctrl.step_due(self._all_idx, t, self._sensing.current, applied)
+            if self._needs_deg:
+                ctrl.step_due(
+                    self._all_idx,
+                    t,
+                    self._sensing.current,
+                    applied,
+                    demand,
+                    self._batch_trackers.recent_degradation_all(),
+                )
+            else:
+                ctrl.step_due(self._all_idx, t, self._sensing.current, applied)
             new_fan = ctrl.fan_speed_rpm
-            changed = np.nonzero(new_fan != self._fan_cmd)[0]
-            if changed.size:
-                self._apply_fan_changes(changed, new_fan[changed], t)
-            self._fan_cmd = new_fan.copy()
-            self._cap = ctrl.cpu_cap.copy()
-            self._t_ref = ctrl.t_ref_c.copy()
+            if new_fan is not self._fan_cmd:
+                changed = np.nonzero(new_fan != self._fan_cmd)[0]
+                if changed.size:
+                    self._apply_fan_changes(changed, new_fan[changed], t)
+            if self._ctrl_uniform:
+                # Subset steps never happen on this lane, so the
+                # controller arrays are only ever rebound (never written
+                # in place) and the mirrors may alias them directly.
+                self._fan_cmd = new_fan
+                self._cap = ctrl.cpu_cap
+                self._t_ref = ctrl.t_ref_c
+            else:
+                self._fan_cmd = new_fan.copy()
+                self._cap = ctrl.cpu_cap.copy()
+                self._t_ref = ctrl.t_ref_c.copy()
             next_control = self._next_control
             interval = self._cpu_interval
         else:
             local = self._vec_pos[idx]
             self._batch_trackers.record(local, demand[idx], self._cap[idx])
-            ctrl.step_due(local, t, self._sensing.current[idx], applied[idx])
+            if self._needs_deg:
+                ctrl.step_due(
+                    local,
+                    t,
+                    self._sensing.current[idx],
+                    applied[idx],
+                    demand[idx],
+                    self._batch_trackers.recent_degradation(local),
+                )
+            else:
+                ctrl.step_due(
+                    local, t, self._sensing.current[idx], applied[idx]
+                )
             new_fan = ctrl.fan_speed_rpm[local]
             changed = np.nonzero(new_fan != self._fan_cmd[idx])[0]
             if changed.size:
@@ -1242,11 +1385,15 @@ class BatchRunSpec:
     label: str = "run"
 
 
-def run_batch(specs: Sequence[BatchRunSpec]) -> list[SimulationResult]:
+def run_batch(
+    specs: Sequence[BatchRunSpec], backend: str = "vectorized"
+) -> list[SimulationResult]:
     """Run independent (uncoupled) closed loops as one batch.
 
     All specs must share ``duration_s``, ``dt_s``, and
-    ``record_decimation`` (one time grid).  Raises
+    ``record_decimation`` (one time grid).  ``backend`` picks the batch
+    stepper lane (``"vectorized"`` or any name registered in
+    :mod:`repro.sim.backends`, e.g. ``"fused"``).  Raises
     :class:`~repro.errors.SimulationError` when the servers cannot batch;
     callers wanting a silent fallback should check
     :func:`batch_unsupported_reason` first or catch the error.
@@ -1268,7 +1415,13 @@ def run_batch(specs: Sequence[BatchRunSpec]) -> list[SimulationResult]:
         raise SimulationError(
             f"duration {first.duration_s} shorter than one step"
         )
-    stepper = BatchStepper(
+    if backend == "vectorized":
+        stepper_cls = BatchStepper
+    else:
+        from repro.sim.backends import stepper_backend
+
+        stepper_cls = stepper_backend(backend)
+    stepper = stepper_cls(
         plants=[spec.plant for spec in specs],
         sensors=[spec.sensor for spec in specs],
         workloads=[spec.workload for spec in specs],

@@ -8,9 +8,14 @@ advances the *common* controller composition for all B servers at once:
 * :class:`~repro.core.fan_controller.AdaptivePIDFanController` (gain
   schedule + Eqn 10 quantization guard + slew limit),
 * :class:`~repro.core.cpu_capper.DeadzoneCpuCapper` (or no capper),
-* :class:`~repro.core.rules.RuleBasedCoordinator` (Table II) or the
-  uncoordinated baseline, and
-* the optional :class:`~repro.core.setpoint.AdaptiveSetpoint` (A-Tref).
+* :class:`~repro.core.rules.RuleBasedCoordinator` (Table II), the
+  :class:`~repro.core.ecoord.EnergyAwareCoordinator` baseline [6], or
+  the uncoordinated baseline,
+* the optional :class:`~repro.core.setpoint.AdaptiveSetpoint` (A-Tref),
+  and
+* the optional :class:`~repro.core.single_step.SingleStepFanScaling`
+  override (Section V-C), carried as int8 phase codes with masked
+  transitions.
 
 Equivalence with the scalar objects is *structural*: every branch of the
 scalar decision sequence is replayed element-wise with the same
@@ -22,9 +27,10 @@ scalar objects at construction and written back by :meth:`
 BatchGlobalController.sync_back`, so a scalar run can resume from a
 vectorized one with identical trajectories.
 
-Compositions the backend cannot represent - SSfan (Section V-C), the
-E-coord baseline, custom controller/fan/coordinator subclasses - are
-reported by :func:`batch_controller_unsupported_reason`; the
+With SSfan and E-coord on the array lane, every Table III scheme runs
+vectorized.  Compositions the backend cannot represent - custom
+controller/fan/coordinator subclasses, non-stock models - are reported
+by :func:`batch_controller_unsupported_reason`; the
 :class:`~repro.sim.batch.BatchStepper` then drives those servers'
 scalar objects individually while the rest of the rack stays vectorized.
 """
@@ -37,6 +43,7 @@ import numpy as np
 
 from repro.core.base import ControlState
 from repro.core.cpu_capper import DeadzoneCpuCapper
+from repro.core.ecoord import EnergyAwareCoordinator
 from repro.core.fan_controller import AdaptivePIDFanController
 from repro.core.gain_schedule import GainSchedule
 from repro.core.global_controller import GlobalController
@@ -44,8 +51,10 @@ from repro.core.pid import PIDController, PIDGains
 from repro.core.quantization import QuantizationGuard
 from repro.core.rules import CoordinationAction, RuleBasedCoordinator
 from repro.core.setpoint import AdaptiveSetpoint
+from repro.core.single_step import SingleStepFanScaling, SingleStepPhase
 from repro.core.uncoordinated import UncoordinatedCoordinator
 from repro.errors import SimulationError
+from repro.thermal.steady_state import SteadyStateServerModel
 from repro.workload.filters import MovingAverageFilter
 from repro.workload.performance import DeadlineTracker
 
@@ -67,14 +76,27 @@ _CAP_DOWN = ACTION_CODES[CoordinationAction.CAP_DOWN]
 #: classify() tolerance (must match repro.core.rules.classify).
 _SIGN_TOL = 1e-9
 
+#: SSfan phases as int8 codes (order of SingleStepPhase members).
+SS_PHASE_CODES: dict[SingleStepPhase, int] = {
+    phase: code for code, phase in enumerate(SingleStepPhase)
+}
+
+#: Inverse of :data:`SS_PHASE_CODES`.
+CODE_TO_SS_PHASE: tuple[SingleStepPhase, ...] = tuple(SingleStepPhase)
+
+_SS_INACTIVE = SS_PHASE_CODES[SingleStepPhase.INACTIVE]
+_SS_BOOSTED = SS_PHASE_CODES[SingleStepPhase.BOOSTED]
+_SS_REFRACTORY = SS_PHASE_CODES[SingleStepPhase.REFRACTORY]
+
 
 def batch_controller_unsupported_reason(controller: Any) -> str | None:
     """Why this controller cannot run vectorized (None = it can).
 
     The batch controller replays the exact scalar decision sequence, so
-    it only accepts the stock library classes whose branches it mirrors.
-    Anything else - SSfan, E-coord, subclasses - falls back to stepping
-    the scalar object (per server, inside an otherwise batched run).
+    it only accepts the stock library classes whose branches it mirrors
+    (every Table III scheme, SSfan and E-coord included).  Anything else
+    - subclasses, non-stock models - falls back to stepping the scalar
+    object (per server, inside an otherwise batched run).
     """
     if type(controller) is not GlobalController:
         return f"controller {type(controller).__name__} is not the stock GlobalController"
@@ -92,10 +114,16 @@ def batch_controller_unsupported_reason(controller: Any) -> str | None:
     if capper is not None and type(capper) is not DeadzoneCpuCapper:
         return f"capper {type(capper).__name__} is not the stock DeadzoneCpuCapper"
     coordinator = controller.coordinator
-    if type(coordinator) not in (RuleBasedCoordinator, UncoordinatedCoordinator):
+    if type(coordinator) is EnergyAwareCoordinator:
+        if type(coordinator.model) is not SteadyStateServerModel:
+            return (
+                f"E-coord model {type(coordinator.model).__name__} is not "
+                "the stock SteadyStateServerModel"
+            )
+    elif type(coordinator) not in (RuleBasedCoordinator, UncoordinatedCoordinator):
         return (
-            f"coordinator {type(coordinator).__name__} is not rule-based "
-            "or uncoordinated"
+            f"coordinator {type(coordinator).__name__} is not rule-based, "
+            "energy-aware, or uncoordinated"
         )
     setpoint = controller.setpoint
     if setpoint is not None:
@@ -106,8 +134,18 @@ def batch_controller_unsupported_reason(controller: Any) -> str | None:
                 f"setpoint filter {type(setpoint.prediction_filter).__name__} "
                 "is not the stock MovingAverageFilter"
             )
-    if controller.single_step is not None:
-        return "single-step fan scaling (SSfan) is stateful per spike history"
+    single_step = controller.single_step
+    if single_step is not None:
+        if type(single_step) is not SingleStepFanScaling:
+            return (
+                f"single-step override {type(single_step).__name__} is not "
+                "the stock SingleStepFanScaling"
+            )
+        if type(single_step.model) is not SteadyStateServerModel:
+            return (
+                f"SSfan model {type(single_step.model).__name__} is not "
+                "the stock SteadyStateServerModel"
+            )
     return None
 
 
@@ -117,10 +155,21 @@ class BatchTrackerBank:
     Mirrors :class:`~repro.workload.performance.DeadlineTracker.record`
     element-wise (same max/compare/add sequence) and restores the scalar
     tracker objects afterwards, sliding window included.
+
+    With ``track_recent=True`` (needed when any vectorized controller
+    carries SSfan) the bank additionally maintains an *append-ordered*
+    gap buffer so :meth:`recent_degradation_all` can replay the scalar
+    tracker's left-to-right ``sum(recent) / len(recent)`` exactly:
+    NumPy's axis reductions use pairwise accumulation, which rounds
+    differently, so the mean is instead built from sequential per-column
+    adds over a right-aligned shift buffer.
     """
 
-    def __init__(self, trackers: Sequence[DeadlineTracker]) -> None:
+    def __init__(
+        self, trackers: Sequence[DeadlineTracker], track_recent: bool = False
+    ) -> None:
         n = len(trackers)
+        self._n = n
         self._trackers = list(trackers)
         self._rows = np.arange(n)
         self._tol = np.array([t.tolerance for t in trackers])
@@ -133,6 +182,19 @@ class BatchTrackerBank:
         self._violations = np.zeros(n, dtype=np.int64)
         self._lost = np.zeros(n)
         self._demanded = np.zeros(n)
+        self._track_recent = track_recent
+        if track_recent:
+            # Right-aligned, newest in the last column.  Columns left of
+            # a server's valid suffix are kept at exactly 0.0 so the
+            # sequential sum below adds identity zeros before reaching
+            # the window (x + 0.0 == x for the nonnegative gaps).
+            self._gaps = np.zeros((n, w_max))
+            # Servers with a window narrower than the buffer evict into
+            # this column on every shift once their window is full.
+            evict_col = w_max - self._window - 1
+            self._evictable = evict_col >= 0
+            self._evict_col = np.maximum(evict_col, 0)
+            self._evict_rows = np.nonzero(self._evictable)[0]
         for i, tracker in enumerate(trackers):
             summary = tracker.summary
             self._periods[i] = summary.periods
@@ -143,6 +205,8 @@ class BatchTrackerBank:
             if gaps:
                 self._ring[i, : len(gaps)] = gaps
                 self._count[i] = len(gaps)
+                if track_recent:
+                    self._gaps[i, w_max - len(gaps) :] = gaps
 
     def record(
         self, idx: np.ndarray, demanded: np.ndarray, applied: np.ndarray
@@ -164,6 +228,13 @@ class BatchTrackerBank:
         self._ring[idx, slot] = gap
         self._head[idx] = np.where(full, (head + 1) % window, head)
         self._count[idx] = np.where(full, count, count + 1)
+        if self._track_recent:
+            gaps = self._gaps
+            gaps[idx, :-1] = gaps[idx, 1:]
+            gaps[idx, -1] = gap
+            evict = idx[self._evictable[idx]]
+            if evict.size:
+                gaps[evict, self._evict_col[evict]] = 0.0
 
     def record_all(self, demanded: np.ndarray, applied: np.ndarray) -> None:
         """One control period for every server (gather-free fast lane)."""
@@ -180,6 +251,38 @@ class BatchTrackerBank:
         self._ring[self._rows, slot] = gap
         self._head = np.where(full, (head + 1) % window, head)
         self._count = np.where(full, count, count + 1)
+        if self._track_recent:
+            gaps = self._gaps
+            gaps[:, :-1] = gaps[:, 1:]
+            gaps[:, -1] = gap
+            evict = self._evict_rows
+            if evict.size:
+                gaps[evict, self._evict_col[evict]] = 0.0
+
+    def recent_degradation_all(self) -> np.ndarray:
+        """Per-server mean recent gap, bit-identical to the scalar mean.
+
+        Requires ``track_recent=True``.  The sum is built left-to-right
+        over the shift buffer's columns - the same association order as
+        ``sum(self._recent)`` on the scalar tracker - with the leading
+        zero columns acting as exact additive identities.
+        """
+        gaps = self._gaps
+        acc = np.zeros(self._n)
+        for j in range(gaps.shape[1]):
+            acc = acc + gaps[:, j]
+        return np.where(
+            self._count > 0, acc / np.maximum(self._count, 1), 0.0
+        )
+
+    def recent_degradation(self, idx: np.ndarray) -> np.ndarray:
+        """:meth:`recent_degradation_all` for a row subset."""
+        gaps = self._gaps[idx]
+        acc = np.zeros(idx.size)
+        for j in range(gaps.shape[1]):
+            acc = acc + gaps[:, j]
+        count = self._count[idx]
+        return np.where(count > 0, acc / np.maximum(count, 1), 0.0)
 
     def sync_back(self) -> None:
         """Restore every tracker object to the accumulated state."""
@@ -311,18 +414,41 @@ class BatchGlobalController:
             [1.0 if cap is None else cap.cap_range[1] for cap in cappers]
         )
 
-        # --- coordinator (Table II codes / uncoordinated) ---
+        # --- coordinator (Table II codes / E-coord / uncoordinated) ---
         self._is_rule = np.array(
             [type(c.coordinator) is RuleBasedCoordinator for c in controllers]
+        )
+        self._is_eco = np.array(
+            [type(c.coordinator) is EnergyAwareCoordinator for c in controllers]
         )
         self._last_action = np.full(n, _NONE, dtype=np.int8)
         self._action_counts = np.zeros((n, len(CODE_TO_ACTION)), dtype=np.int64)
         for i, controller in enumerate(controllers):
             coordinator = controller.coordinator
-            if type(coordinator) is RuleBasedCoordinator:
+            if type(coordinator) in (RuleBasedCoordinator, EnergyAwareCoordinator):
                 self._last_action[i] = ACTION_CODES[coordinator.last_action]
                 for action, count in coordinator.action_counts.items():
                     self._action_counts[i, ACTION_CODES[action]] = count
+
+        # E-coord coefficients.  The fan-admission threshold replays the
+        # scalar's per-call ``t_emergency_c - fan_admission_margin_c``
+        # subtraction once (it is deterministic), and the marginal-power
+        # terms come from the same FanPowerModel / CpuPowerModel
+        # expressions the SteadyStateServerModel evaluates.
+        self._eco_gate_c = np.zeros(n)
+        self._eco_fan_pps = np.ones(n)
+        self._eco_fan_vmax = np.ones(n)
+        self._eco_neg_p_dyn = np.zeros(n)
+        for i, controller in enumerate(controllers):
+            coordinator = controller.coordinator
+            if type(coordinator) is EnergyAwareCoordinator:
+                cfg = coordinator.model.config
+                self._eco_gate_c[i] = (
+                    coordinator.t_emergency_c - coordinator.fan_admission_margin_c
+                )
+                self._eco_fan_pps[i] = cfg.fan.power_per_socket_w
+                self._eco_fan_vmax[i] = cfg.fan.max_speed_rpm
+                self._eco_neg_p_dyn[i] = -cfg.cpu.p_dynamic_w
 
         # --- adaptive set-point (A-Tref) ---
         setpoints = [c.setpoint for c in controllers]
@@ -361,6 +487,56 @@ class BatchGlobalController:
                 self._sp_ring[i, : len(samples)] = samples
                 self._sp_count[i] = len(samples)
             self._sp_sum[i] = sp.prediction_filter.running_sum
+        # Freshest predictor output, consumed by the SSfan landing-speed
+        # computation in the same step (the scalar path re-reads
+        # ``setpoint.predicted_util`` from the identical sum/count).
+        self._sp_predicted = np.zeros(n)
+
+        # --- single-step fan scaling (Section V-C) ---
+        single_steps = [c.single_step for c in controllers]
+        self._has_ss = np.array([ss is not None for ss in single_steps])
+        self._ss_phase = np.full(n, _SS_INACTIVE, dtype=np.int8)
+        self._ss_periods = np.zeros(n, dtype=np.int64)
+        self._ss_boosts = np.zeros(n, dtype=np.int64)
+        self._ss_threshold = np.zeros(n)
+        self._ss_max_boost = np.ones(n, dtype=np.int64)
+        self._ss_refractory = np.zeros(n, dtype=np.int64)
+        self._ss_headroom = np.zeros(n)
+        self._ss_target_c = np.zeros(n)
+        self._ss_ambient_c = np.zeros(n)
+        self._ss_max_speed = np.ones(n)
+        self._ss_min_speed = np.zeros(n)
+        self._ss_p_static = np.zeros(n)
+        self._ss_p_dynamic = np.zeros(n)
+        self._ss_r_die = np.zeros(n)
+        self._ss_r_base = np.zeros(n)
+        self._ss_r_coeff = np.ones(n)
+        self._ss_inv_r_exp = np.ones(n)
+        for i, ss in enumerate(single_steps):
+            if ss is None:
+                continue
+            cfg = ss.model.config
+            self._ss_phase[i] = SS_PHASE_CODES[ss.phase]
+            self._ss_periods[i] = ss.periods_in_phase
+            self._ss_boosts[i] = ss.boost_count
+            self._ss_threshold[i] = ss.degradation_threshold
+            self._ss_max_boost[i] = ss.max_boost_periods
+            self._ss_refractory[i] = ss.refractory_periods
+            self._ss_headroom[i] = ss.headroom_util
+            # The scalar recomputes this difference on every landing; the
+            # operands never change, so hoisting it preserves the bits.
+            self._ss_target_c[i] = (
+                cfg.control.t_critical_c - ss.landing_margin_c
+            )
+            self._ss_ambient_c[i] = cfg.ambient_c
+            self._ss_max_speed[i] = cfg.fan.max_speed_rpm
+            self._ss_min_speed[i] = cfg.fan.min_speed_rpm
+            self._ss_p_static[i] = cfg.cpu.p_static_w
+            self._ss_p_dynamic[i] = cfg.cpu.p_dynamic_w
+            self._ss_r_die[i] = cfg.die.r_die_k_per_w
+            self._ss_r_base[i] = cfg.heatsink.r_base_k_per_w
+            self._ss_r_coeff[i] = cfg.heatsink.r_coeff
+            self._ss_inv_r_exp[i] = 1.0 / cfg.heatsink.r_exponent
 
         # --- last proposals (scalar parity for sync-back) ---
         self._last_fan_prop = np.zeros(n)
@@ -384,9 +560,17 @@ class BatchGlobalController:
         self._all_sp = bool(self._has_sp.all())
         self._any_capper = bool(self._has_capper.any())
         self._all_capper = bool(self._has_capper.all())
-        self._rule_idx = np.nonzero(self._is_rule)[0]
-        self._any_rule = bool(self._is_rule.any())
-        self._all_rule = bool(self._is_rule.all())
+        # Rule-based and E-coord servers both follow an *action*: only the
+        # chosen knob moves.  The uncoordinated baseline applies every
+        # proposal.  ``_is_coord`` collects the action-followers.
+        self._is_coord = self._is_rule | self._is_eco
+        self._coord_idx = np.nonzero(self._is_coord)[0]
+        self._any_coord = bool(self._is_coord.any())
+        self._all_coord = bool(self._is_coord.all())
+        self._eco_idx = np.nonzero(self._is_eco)[0]
+        self._any_eco = bool(self._is_eco.any())
+        self._ss_idx = np.nonzero(self._has_ss)[0]
+        self._any_ss = bool(self._has_ss.any())
         self._zero_sign = np.zeros(n, dtype=np.int64)
         self._next_fan_min = float(self._next_fan.min())
 
@@ -394,6 +578,17 @@ class BatchGlobalController:
     def n_servers(self) -> int:
         """Batch width B."""
         return self._n
+
+    @property
+    def needs_degradation(self) -> bool:
+        """Whether :meth:`step_due` needs the recent-degradation signal.
+
+        True when any server carries the SSfan override; the caller then
+        passes the tracker bank's :meth:`BatchTrackerBank.
+        recent_degradation_all` (post-record, matching the scalar engine's
+        record-then-read order).
+        """
+        return self._any_ss
 
     def _update_setpoints(self, idx: np.ndarray, util: np.ndarray) -> None:
         """A-Tref: moving-average predictor -> linear T_ref schedule."""
@@ -414,11 +609,42 @@ class BatchGlobalController:
         total = total + util
         self._sp_sum[idx] = total
         predicted = total / count
+        self._sp_predicted[idx] = predicted
         fraction = (predicted - self._sp_u_low[idx]) / self._sp_u_span[idx]
         fraction = np.minimum(np.maximum(fraction, 0.0), 1.0)
         t_ref = self._sp_t_min[idx] + fraction * self._sp_t_span[idx]
         self.t_ref_c[idx] = t_ref
         self._pid_setpoint[idx] = t_ref
+
+    def _update_setpoints_all(self, util: np.ndarray) -> None:
+        """Gather-free :meth:`_update_setpoints` for the whole batch.
+
+        Same float operations on the same values (scatters become
+        rebinds), so the T_ref schedule matches the subset path bit for
+        bit.  ``t_ref_c`` and ``_pid_setpoint`` may alias after this:
+        the only in-place writers assign both the same values.
+        """
+        window = self._sp_window
+        count = self._sp_count
+        head = self._sp_head
+        full = count == window
+        total = np.where(
+            full, self._sp_sum - self._sp_ring[self._all_idx, head], self._sp_sum
+        )
+        slot = np.where(full, head, (head + count) % window)
+        self._sp_ring[self._all_idx, slot] = util
+        self._sp_head = np.where(full, (head + 1) % window, head)
+        count = np.where(full, count, count + 1)
+        self._sp_count = count
+        total = total + util
+        self._sp_sum = total
+        predicted = total / count
+        self._sp_predicted = predicted
+        fraction = (predicted - self._sp_u_low) / self._sp_u_span
+        fraction = np.minimum(np.maximum(fraction, 0.0), 1.0)
+        t_ref = self._sp_t_min + fraction * self._sp_t_span
+        self.t_ref_c = t_ref
+        self._pid_setpoint = t_ref
 
     def _fan_proposals(
         self, idx: np.ndarray, tmeas: np.ndarray
@@ -524,20 +750,172 @@ class BatchGlobalController:
         proposals[~held] = proposal
         return proposals
 
+    def _eco_actions(
+        self,
+        rows: np.ndarray,
+        tmeas: np.ndarray,
+        ds: np.ndarray,
+        du: np.ndarray,
+        fan_prop: np.ndarray,
+        cur_fan: np.ndarray,
+    ) -> np.ndarray:
+        """E-coord action codes for the servers in ``rows`` (all E-coord).
+
+        Replays :meth:`~repro.core.ecoord.EnergyAwareCoordinator.
+        coordinate` element-wise.  The candidate-list ``max`` reduces to
+        masks: the gate ``emergency or fan_useful`` is just
+        ``fan_useful`` (the margin is non-negative, so emergency implies
+        fan-useful); in the cooling branch cap-down's efficiency is
+        ``inf`` while fan-up's is finite unless its power increase is
+        non-positive (then both are ``inf`` and the first-listed fan-up
+        wins the tie); in the relaxing branch fan-down's saving is
+        ``>= 0`` while cap-up's is ``<= 0``, so fan-down always wins when
+        both are proposed (ties break to the first-listed fan-down).
+        """
+        fan_useful = tmeas >= self._eco_gate_c[rows]
+        fanup = (ds > 0) & fan_useful
+        capdown = du < 0
+        take_cooling = (fanup | capdown) & fan_useful
+        pps = self._eco_fan_pps[rows]
+        v_max = self._eco_fan_vmax[rows]
+        power_inc = (
+            pps * (fan_prop / v_max) ** 3 - pps * (cur_fan / v_max) ** 3
+        )
+        fan_wins = fanup & (~capdown | (power_inc <= 0.0))
+        cooling = np.where(fan_wins, _FAN_UP, _CAP_DOWN)
+        relaxing = np.where(
+            ds < 0, _FAN_DOWN, np.where(du > 0, _CAP_UP, _NONE)
+        )
+        return np.where(take_cooling, cooling, relaxing).astype(np.int8)
+
+    def _ssfan_override(
+        self,
+        rows: np.ndarray,
+        fan: np.ndarray,
+        util: np.ndarray,
+        demand: np.ndarray,
+        degradation: np.ndarray,
+    ) -> np.ndarray:
+        """SSfan phase machine for the servers in ``rows`` (all SSfan).
+
+        ``fan`` is the coordinated fan speed; the return value is the
+        (possibly overridden) speed to apply.  Mirrors
+        :meth:`~repro.core.single_step.SingleStepFanScaling.apply` with
+        int8 phase codes and masked transitions.
+        """
+        phase = self._ss_phase[rows]
+        thr = self._ss_threshold[rows]
+        boosted = phase == _SS_BOOSTED
+        refractory = phase == _SS_REFRACTORY
+        inactive = phase == _SS_INACTIVE
+        periods = self._ss_periods[rows] + (boosted | refractory)
+        degraded = degradation > thr
+        cont_boost = boosted & degraded & (periods < self._ss_max_boost[rows])
+        end_boost = boosted & ~cont_boost
+        refr_done = refractory & (periods >= self._ss_refractory[rows])
+        refr_hold = refractory & ~refr_done
+        trigger = inactive & (thr > 0.0) & degraded
+
+        max_speed = self._ss_max_speed[rows]
+        new_fan = np.where(cont_boost | trigger, max_speed, fan)
+
+        # Landing speed ("lowest possible fan speed which enables to run
+        # required CPU utilization"): the scalar closed form of
+        # SteadyStateServerModel.required_fan_speed_rpm, with safe
+        # denominators on the rows that take a different branch.  Only
+        # rows ending a boost or holding refractory need it, and the
+        # final exponentiation goes through CPython's ``**`` - NumPy's
+        # SIMD pow loop can differ from libm pow by an ulp, which would
+        # break tier-A bit-for-bit equality.
+        need = np.nonzero(end_boost | refr_hold)[0]
+        if need.size:
+            sub = rows[need]
+            predicted = np.where(
+                self._has_sp[sub], self._sp_predicted[sub], util[need]
+            )
+            demand_eff = np.minimum(
+                np.maximum(
+                    np.maximum(demand[need], predicted)
+                    + self._ss_headroom[sub],
+                    0.0,
+                ),
+                1.0,
+            )
+            power = (
+                self._ss_p_static[sub] + self._ss_p_dynamic[sub] * demand_eff
+            )
+            power_pos = power > 0.0
+            r_hs = (
+                self._ss_target_c[sub] - self._ss_ambient_c[sub]
+            ) / np.where(power_pos, power, 1.0) - self._ss_r_die[sub]
+            r_var = r_hs - self._ss_r_base[sub]
+            var_pos = r_var > 0.0
+            base = self._ss_r_coeff[sub] / np.where(var_pos, r_var, 1.0)
+            speed = np.array(
+                [
+                    float(b) ** float(e)
+                    for b, e in zip(base, self._ss_inv_r_exp[sub])
+                ]
+            )
+            sub_max = max_speed[need]
+            sub_min = self._ss_min_speed[sub]
+            landing = np.where(
+                power_pos,
+                np.where(
+                    var_pos,
+                    np.minimum(np.maximum(speed, sub_min), sub_max),
+                    sub_max,
+                ),
+                sub_min,
+            )
+            new_fan[need] = landing
+        transition = end_boost | refr_done | trigger
+        self._ss_phase[rows] = np.where(
+            end_boost,
+            _SS_REFRACTORY,
+            np.where(refr_done, _SS_INACTIVE, np.where(trigger, _SS_BOOSTED, phase)),
+        ).astype(np.int8)
+        self._ss_periods[rows] = np.where(transition, 0, periods)
+        self._ss_boosts[rows] += trigger
+        return new_fan
+
     def step_due(
-        self, idx: np.ndarray, t: float, tmeas: np.ndarray, util: np.ndarray
+        self,
+        idx: np.ndarray,
+        t: float,
+        tmeas: np.ndarray,
+        util: np.ndarray,
+        demand: np.ndarray | None = None,
+        degradation: np.ndarray | None = None,
     ) -> None:
         """One CPU control period for the servers in ``idx``.
 
-        ``tmeas`` and ``util`` are aligned with ``idx``.  Updated knob
-        settings land in :attr:`fan_speed_rpm` / :attr:`cpu_cap`.
+        ``tmeas``, ``util``, ``demand``, and ``degradation`` are aligned
+        with ``idx``.  ``demand`` (OS demand estimate) and
+        ``degradation`` (post-record recent mean deficit) are required
+        when any server carries the SSfan override (see
+        :attr:`needs_degradation`); without SSfan they are unused.
+        Updated knob settings land in :attr:`fan_speed_rpm` /
+        :attr:`cpu_cap`.
         """
+        if self._any_ss and degradation is None:
+            raise SimulationError(
+                "SSfan servers need the degradation signal; pass "
+                "demand/degradation to step_due"
+            )
         if idx.size == self._n:
-            self._step_all(t, tmeas, util)
+            self._step_all(t, tmeas, util, demand, degradation)
         else:
-            self._step_subset(idx, t, tmeas, util)
+            self._step_subset(idx, t, tmeas, util, demand, degradation)
 
-    def _step_all(self, t: float, tmeas: np.ndarray, util: np.ndarray) -> None:
+    def _step_all(
+        self,
+        t: float,
+        tmeas: np.ndarray,
+        util: np.ndarray,
+        demand: np.ndarray | None = None,
+        degradation: np.ndarray | None = None,
+    ) -> None:
         """All servers due at once (the common case: shared CPU period).
 
         Same decision sequence as :meth:`_step_subset`, minus the
@@ -547,7 +925,7 @@ class BatchGlobalController:
         # Section V-B: predictive T_ref adjustment, every CPU period.
         if self._any_sp:
             if self._all_sp:
-                self._update_setpoints(self._all_idx, util)
+                self._update_setpoints_all(util)
             else:
                 self._update_setpoints(self._sp_idx, util[self._has_sp])
 
@@ -600,7 +978,7 @@ class BatchGlobalController:
         else:
             self._last_fan_none.fill(True)
 
-        # Global coordination (Table II codes / apply-all).
+        # Global coordination (Table II codes / E-coord / apply-all).
         cur_fan = self.fan_speed_rpm
         if any_fan:
             d_fan = fan_prop - cur_fan
@@ -626,11 +1004,23 @@ class BatchGlobalController:
                 du > 0, _CAP_UP, np.where(du < 0, _CAP_DOWN, _NONE)
             ).astype(np.int8)
 
-        if self._all_rule:
+        if self._any_eco:
+            eco = self._eco_idx
+            if any_fan:
+                eco_ds = ds[eco]
+                eco_prop = fan_prop[eco]
+            else:
+                eco_ds = self._zero_sign[eco]
+                eco_prop = cur_fan[eco]
+            action[eco] = self._eco_actions(
+                eco, tmeas[eco], eco_ds, du[eco], eco_prop, cur_fan[eco]
+            )
+
+        if self._all_coord:
             take_cap = (action == _CAP_UP) | (action == _CAP_DOWN)
-        elif self._any_rule:
+        elif self._any_coord:
             take_cap = np.where(
-                self._is_rule,
+                self._is_coord,
                 (action == _CAP_UP) | (action == _CAP_DOWN),
                 self._has_capper,
             )
@@ -639,17 +1029,40 @@ class BatchGlobalController:
         self.cpu_cap = np.where(take_cap, cap_prop, cap)
 
         if any_fan:
-            if self._all_rule:
+            if self._all_coord:
                 take_fan = (action == _FAN_UP) | (action == _FAN_DOWN)
-            elif self._any_rule:
+            elif self._any_coord:
                 take_fan = np.where(
-                    self._is_rule,
+                    self._is_coord,
                     (action == _FAN_UP) | (action == _FAN_DOWN),
                     fan_due,
                 )
             else:
                 take_fan = fan_due
             new_fan = np.where(take_fan, fan_prop, cur_fan)
+        else:
+            new_fan = cur_fan
+
+        # Section V-C: SSfan override after coordination.
+        if self._any_ss:
+            assert demand is not None and degradation is not None
+            ss = self._ss_idx
+            if ss.size == self._n:
+                new_fan = self._ssfan_override(
+                    ss, new_fan, util, demand, degradation
+                )
+            else:
+                if new_fan is cur_fan:
+                    new_fan = cur_fan.copy()
+                new_fan[ss] = self._ssfan_override(
+                    ss, new_fan[ss], util[ss], demand[ss], degradation[ss]
+                )
+            self.fan_speed_rpm = new_fan
+            # notify_applied: clamp into the physical limits.
+            self._applied = np.minimum(
+                np.maximum(new_fan, self._v_min), self._v_max
+            )
+        elif any_fan:
             self.fan_speed_rpm = new_fan
             # notify_applied: clamp into the physical limits.
             self._applied = np.minimum(
@@ -658,17 +1071,23 @@ class BatchGlobalController:
 
         # Row indices are distinct (one action per server), so the
         # buffered fancy-index add is exact and cheaper than np.add.at.
-        if self._all_rule:
+        if self._all_coord:
             self._last_action = action
             self._action_counts[self._all_idx, action] += 1
-        elif self._any_rule:
-            rule_idx = self._rule_idx
-            rule_action = action[rule_idx]
-            self._last_action[rule_idx] = rule_action
-            self._action_counts[rule_idx, rule_action] += 1
+        elif self._any_coord:
+            coord_idx = self._coord_idx
+            coord_action = action[coord_idx]
+            self._last_action[coord_idx] = coord_action
+            self._action_counts[coord_idx, coord_action] += 1
 
     def _step_subset(
-        self, idx: np.ndarray, t: float, tmeas: np.ndarray, util: np.ndarray
+        self,
+        idx: np.ndarray,
+        t: float,
+        tmeas: np.ndarray,
+        util: np.ndarray,
+        demand: np.ndarray | None = None,
+        degradation: np.ndarray | None = None,
     ) -> None:
         """General path for a strict due subset (mixed CPU periods)."""
         # Section V-B: predictive T_ref adjustment, every CPU period.
@@ -735,20 +1154,38 @@ class BatchGlobalController:
                 np.where(du > 0, _CAP_UP, np.where(du < 0, _CAP_DOWN, _NONE)),
             ),
         ).astype(np.int8)
-        rule = self._is_rule[idx]
+        eco = self._is_eco[idx]
+        if eco.any():
+            action[eco] = self._eco_actions(
+                idx[eco],
+                tmeas[eco],
+                ds[eco],
+                du[eco],
+                fan_prop[eco],
+                cur_fan[eco],
+            )
+        coord = self._is_coord[idx]
         take_fan = np.where(
-            rule, (action == _FAN_UP) | (action == _FAN_DOWN), fan_due
+            coord, (action == _FAN_UP) | (action == _FAN_DOWN), fan_due
         )
         take_cap = np.where(
-            rule, (action == _CAP_UP) | (action == _CAP_DOWN), has_capper
+            coord, (action == _CAP_UP) | (action == _CAP_DOWN), has_capper
         )
         new_fan = np.where(take_fan, fan_prop, cur_fan)
         new_cap = np.where(take_cap, cap_prop, cap)
-        if rule.any():
-            rule_idx = idx[rule]
-            rule_action = action[rule]
-            self._last_action[rule_idx] = rule_action
-            self._action_counts[rule_idx, rule_action] += 1
+        if coord.any():
+            coord_idx = idx[coord]
+            coord_action = action[coord]
+            self._last_action[coord_idx] = coord_action
+            self._action_counts[coord_idx, coord_action] += 1
+
+        # Section V-C: SSfan override after coordination.
+        ss = self._has_ss[idx]
+        if ss.any():
+            assert demand is not None and degradation is not None
+            new_fan[ss] = self._ssfan_override(
+                idx[ss], new_fan[ss], util[ss], demand[ss], degradation[ss]
+            )
 
         self.fan_speed_rpm[idx] = new_fan
         self.cpu_cap[idx] = new_cap
@@ -790,13 +1227,20 @@ class BatchGlobalController:
             if guard is not None:
                 guard.restore_hold_count(int(self._hold_count[i]))
             coordinator = controller.coordinator
-            if type(coordinator) is RuleBasedCoordinator:
+            if type(coordinator) in (RuleBasedCoordinator, EnergyAwareCoordinator):
                 coordinator.restore_trace(
                     last_action=CODE_TO_ACTION[int(self._last_action[i])],
                     action_counts={
                         action: int(self._action_counts[i, code])
                         for code, action in enumerate(CODE_TO_ACTION)
                     },
+                )
+            single_step = controller.single_step
+            if single_step is not None:
+                single_step.restore_state(
+                    phase=CODE_TO_SS_PHASE[int(self._ss_phase[i])],
+                    periods_in_phase=int(self._ss_periods[i]),
+                    boost_count=int(self._ss_boosts[i]),
                 )
             setpoint = controller.setpoint
             if setpoint is not None:

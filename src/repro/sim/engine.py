@@ -20,6 +20,14 @@ energy accounting, telemetry buffers).  :class:`Simulator` drives one
 stepper to completion; :class:`~repro.fleet.simulator.FleetSimulator`
 interleaves many steppers in lockstep so coupled servers advance
 together.
+
+This scalar loop is the **reference semantics** of the backend
+contract (``docs/backends.md``): :class:`~repro.sim.batch.BatchStepper`
+re-executes it element-wise across a rack (tier A, bit-for-bit), and
+:class:`~repro.sim.fused.FusedStepper` fuses the spans between control
+decisions into closed-form window kernels (tier B, exact decisions,
+tolerance-bounded thermals).  Behaviour questions are settled here
+first; the array lanes follow.
 """
 
 from __future__ import annotations

@@ -92,8 +92,8 @@ class ParameterSweep:
         """
         if not values:
             raise SimulationError("sweep needs at least one parameter value")
-        if backend == "vectorized":
-            results = self._run_specs(values)
+        if backend in ("vectorized", "fused"):
+            results = self._run_specs(values, batch_backend=backend)
         elif backend == "scalar":
             if self._runner is not None:
                 results = parallel_map(self._runner, values, workers=workers)
@@ -101,7 +101,8 @@ class ParameterSweep:
                 results = self._run_specs(values, force_scalar=True)
         else:
             raise SimulationError(
-                f"unknown backend {backend!r}; choose 'scalar' or 'vectorized'"
+                f"unknown backend {backend!r}; choose 'scalar', 'vectorized',"
+                " or 'fused'"
             )
         points = []
         for value, result in zip(values, results):
@@ -112,17 +113,20 @@ class ParameterSweep:
         return points
 
     def _run_specs(
-        self, values: list[Any], force_scalar: bool = False
+        self,
+        values: list[Any],
+        force_scalar: bool = False,
+        batch_backend: str = "vectorized",
     ) -> list[SimulationResult]:
         if self._spec_builder is None:
             raise SimulationError(
-                "backend='vectorized' needs a spec_builder mapping each "
+                "batch backends need a spec_builder mapping each "
                 "value to a BatchRunSpec"
             )
         specs = [self._spec_builder(value) for value in values]
         if not force_scalar:
             try:
-                return run_batch(specs)
+                return run_batch(specs, backend=batch_backend)
             except SimulationError:
                 # Heterogeneous-structure grid: fall back to the scalar
                 # engine, which accepts anything the specs describe.

@@ -2,11 +2,12 @@
 
 The :class:`~repro.sim.batch_control.BatchGlobalController` contract is
 bit-for-bit agreement with the scalar controller objects for every stock
-DTM composition, *including* the state it writes back after a run - a
-scalar run resumed from a vectorized run must continue the exact
-trajectory.  Compositions it cannot represent (SSfan, E-coord, custom
-subclasses) must demote only their own server to the scalar objects,
-with the reason recorded in ``result.extras``.
+DTM composition - all five Table III schemes, SSfan and E-coord
+included - *including* the state it writes back after a run: a scalar
+run resumed from a vectorized run must continue the exact trajectory.
+Compositions it cannot represent (custom subclasses, non-stock models)
+must demote only their own server to the scalar objects, with the
+reason recorded in ``result.extras``.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from dataclasses import replace
 
 from repro.config import ControlConfig, FleetConfig, ServerConfig
 from repro.core.cpu_capper import DeadzoneCpuCapper
+from repro.core.ecoord import EnergyAwareCoordinator
 from repro.core.global_controller import GlobalController
 from repro.core.rules import RuleBasedCoordinator
 from repro.fleet import FleetSimulator, Rack, build_fleet_scenario
@@ -40,10 +42,14 @@ _DUR = 90.0
 _DT = 0.1
 _DEC = 3
 
-#: Schemes whose controller composition the batch backend vectorizes.
-VECTORIZED_SCHEMES = ("uncoordinated", "rcoord", "rcoord_atref")
-#: Schemes that must fall back to the scalar controller objects.
-FALLBACK_SCHEMES = ("ecoord", "rcoord_atref_ssfan")
+#: All Table III schemes vectorize (SSfan and E-coord included).
+VECTORIZED_SCHEMES = (
+    "uncoordinated",
+    "ecoord",
+    "rcoord",
+    "rcoord_atref",
+    "rcoord_atref_ssfan",
+)
 
 
 def _rack(scheme: str, seed: int = 11, n: int = _N):
@@ -84,21 +90,16 @@ class TestSchemeEquivalence:
         assert "controller_fallbacks" not in vectorized.extras
         _assert_results_identical(scalar, vectorized)
 
-    @pytest.mark.parametrize("scheme", FALLBACK_SCHEMES)
-    def test_fallback_controllers_bit_for_bit(self, scheme):
-        """Unsupported compositions batch the plant/sensing layers but
-        step the scalar controller objects - still bit-for-bit."""
-        scalar = FleetSimulator(
-            _rack(scheme), dt_s=_DT, record_decimation=_DEC, backend="scalar"
-        ).run(_DUR)
-        vectorized = FleetSimulator(
-            _rack(scheme), dt_s=_DT, record_decimation=_DEC,
-            backend="vectorized",
-        ).run(_DUR)
-        assert vectorized.extras["backend"] == "vectorized"
-        assert vectorized.extras["controller_backend"] == "scalar"
-        assert len(vectorized.extras["controller_fallbacks"]) == _N
-        _assert_results_identical(scalar, vectorized)
+    def test_no_scheme_falls_back(self):
+        """All five Table III schemes run on the array lane (the fused
+        backend's throughput targets assume zero controller fallbacks)."""
+        for scheme in VECTORIZED_SCHEMES:
+            result = FleetSimulator(
+                _rack(scheme), dt_s=_DT, record_decimation=_DEC,
+                backend="vectorized",
+            ).run(_DUR)
+            assert result.extras["controller_backend"] == "vectorized"
+            assert "controller_fallbacks" not in result.extras
 
 
 class TestMixedRack:
@@ -191,11 +192,18 @@ class TestControllerSyncBack:
             gs, gv = fs.quantization_guard, fv.quantization_guard
             if gs is not None:
                 assert gs.hold_count == gv.hold_count
-            if isinstance(cs.coordinator, RuleBasedCoordinator):
+            if isinstance(
+                cs.coordinator, (RuleBasedCoordinator, EnergyAwareCoordinator)
+            ):
                 assert cs.coordinator.last_action == cv.coordinator.last_action
                 assert (
                     cs.coordinator.action_counts == cv.coordinator.action_counts
                 )
+            if cs.single_step is not None:
+                ss, sv = cs.single_step, cv.single_step
+                assert ss.phase == sv.phase
+                assert ss.periods_in_phase == sv.periods_in_phase
+                assert ss.boost_count == sv.boost_count
             if cs.setpoint is not None:
                 ps, pv = cs.setpoint.prediction_filter, cv.setpoint.prediction_filter
                 assert ps.samples == pv.samples
@@ -242,9 +250,9 @@ def _scheme_sweep_spec(scheme: str) -> BatchRunSpec:
 
 class TestSeededSweep:
     def test_scheme_grid_matches_scalar(self):
-        """A sweep across all five schemes (vectorized and fallback
-        controllers mixed in one batch) equals the scalar runner path."""
-        values = list(VECTORIZED_SCHEMES + FALLBACK_SCHEMES)
+        """A sweep across all five schemes in one batch equals the
+        scalar runner path."""
+        values = list(VECTORIZED_SCHEMES)
         vectorized = ParameterSweep(spec_builder=_scheme_sweep_spec).run(
             values, backend="vectorized"
         )
@@ -327,15 +335,36 @@ class TestUnsupportedReasons:
             controller = build_global_controller(scheme, ServerConfig())
             assert batch_controller_unsupported_reason(controller) is None
 
-    def test_ssfan_and_ecoord_unsupported(self):
-        reason = batch_controller_unsupported_reason(
-            build_global_controller("rcoord_atref_ssfan", ServerConfig())
+    def test_non_stock_models_unsupported(self):
+        """SSfan/E-coord vectorize only with the stock steady-state
+        model whose closed forms the array lane replays."""
+        from repro.core.single_step import SingleStepFanScaling
+        from repro.thermal.steady_state import SteadyStateServerModel
+
+        class OddModel(SteadyStateServerModel):
+            pass
+
+        cfg = ServerConfig()
+        base = build_global_controller("rcoord_atref_ssfan", cfg)
+        odd = GlobalController(
+            control=cfg.control,
+            fan_controller=base.fan_controller,
+            coordinator=base.coordinator,
+            cpu_capper=base.cpu_capper,
+            setpoint=base.setpoint,
+            single_step=SingleStepFanScaling(OddModel(cfg)),
         )
-        assert reason is not None and "single-step" in reason
-        reason = batch_controller_unsupported_reason(
-            build_global_controller("ecoord", ServerConfig())
+        reason = batch_controller_unsupported_reason(odd)
+        assert reason is not None and "SSfan model" in reason
+
+        eco = GlobalController(
+            control=cfg.control,
+            fan_controller=base.fan_controller,
+            coordinator=EnergyAwareCoordinator(OddModel(cfg)),
+            cpu_capper=base.cpu_capper,
         )
-        assert reason is not None and "coordinator" in reason
+        reason = batch_controller_unsupported_reason(eco)
+        assert reason is not None and "E-coord model" in reason
 
     def test_subclasses_unsupported(self):
         cfg = ServerConfig()

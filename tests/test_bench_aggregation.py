@@ -1,0 +1,57 @@
+"""Unit tests for the benchmark wall-time aggregator.
+
+``bench_report.median_of_best`` exists because a ratio of two plain
+best-of-N minimums once put the obs-disabled lane 6% *under* bare
+(``disabled_overhead_ratio`` 0.94) - a lucky scheduler slot on one side,
+not a real speedup.  The benchmarks directory is not a package, so the
+module is loaded off its file path.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+)
+
+from bench_report import median_of_best  # noqa: E402
+
+
+class TestMedianOfBest:
+    def test_group_minima_then_median(self):
+        # groups of 2: minima are [1.0, 3.0, 5.0] -> median 3.0
+        samples = [1.0, 2.0, 4.0, 3.0, 5.0, 6.0]
+        assert median_of_best(samples, groups=3) == 3.0
+
+    def test_remainder_spreads_over_leading_groups(self):
+        # 7 samples over 3 groups -> sizes 3, 2, 2.
+        samples = [9.0, 1.0, 9.0, 2.0, 9.0, 3.0, 9.0]
+        # minima: min(9,1,9)=1, min(2,9)=2, min(3,9)=3 -> median 2
+        assert median_of_best(samples, groups=3) == 2.0
+
+    def test_single_group_is_plain_min(self):
+        assert median_of_best([5.0, 2.0, 7.0], groups=1) == 2.0
+
+    def test_one_sample_per_group_is_plain_median(self):
+        assert median_of_best([3.0, 1.0, 2.0], groups=3) == 2.0
+
+    def test_single_outlier_round_cannot_drag_the_aggregate(self):
+        """The artifact this aggregator fixes: one anomalously fast round
+        moves one group's minimum, but the median across groups holds."""
+        steady = [10.0] * 15
+        lucky = steady.copy()
+        lucky[7] = 6.0  # one round catches an idle machine
+        assert median_of_best(steady, groups=5) == 10.0
+        assert median_of_best(lucky, groups=5) == 10.0
+        # A plain min would have reported the outlier.
+        assert min(lucky) == 6.0
+
+    def test_rejects_bad_group_counts(self):
+        with pytest.raises(ValueError):
+            median_of_best([1.0, 2.0], groups=0)
+        with pytest.raises(ValueError):
+            median_of_best([1.0, 2.0], groups=3)

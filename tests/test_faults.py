@@ -189,8 +189,8 @@ class TestBackendEquivalence:
         _assert_results_equal(hooked, bare)
         assert hooked.extras["faults"]["n_fired"] == 0
 
-    def test_faults_with_scalar_fallback_controllers(self):
-        """Per-server scalar controller fallback composes with faults."""
+    def test_faults_with_ssfan_controllers(self):
+        """The vectorized controller lane composes with faults for SSfan."""
         schedule = FaultSchedule(
             events=(
                 FaultEvent("dropout", server=0, start_s=30.0, duration_s=40.0),
@@ -204,7 +204,8 @@ class TestBackendEquivalence:
         vectorized = self._run(
             "vectorized", schedule, duration_s=150.0, scheme="rcoord_atref_ssfan"
         )
-        assert vectorized.extras["controller_backend"] == "scalar"
+        assert vectorized.extras["controller_backend"] == "vectorized"
+        assert "controller_fallbacks" not in vectorized.extras
         _assert_results_equal(scalar, vectorized)
 
 

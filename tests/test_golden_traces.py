@@ -1,0 +1,151 @@
+"""Golden-trace reproduction: every backend against pinned fixtures.
+
+``tests/golden/`` holds one canonical rack run per Table III scheme and
+one faulted room (CRAC brownout), generated on the scalar reference
+backend by ``tools/regen_golden.py``.  Replaying them here pins the
+two-tier contract against *stored* values, so a regression that shifts
+both live backends the same way (which the pairwise equivalence tests
+cannot see) still fails:
+
+* scalar and vectorized must reproduce the fixtures **bit-for-bit**
+  (JSON round-trips floats exactly);
+* fused must reproduce the decision channels bit-for-bit and the
+  thermal channels / energies within the tier-B tolerances.
+
+After an intentional behaviour change, regenerate with
+``PYTHONPATH=src python tools/regen_golden.py`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import FleetConfig
+from repro.fleet import FleetSimulator, build_fleet_scenario
+from repro.room.campaign import RoomTask, run_room_task
+from tests.test_backend_conformance import (
+    ENERGY_RTOL,
+    EXACT_CHANNELS,
+    INLET_ATOL,
+    THERMAL_ATOL,
+    THERMAL_CHANNELS,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+RACK_FIXTURES = sorted(GOLDEN_DIR.glob("rack_*.json"))
+ROOM_FIXTURE = GOLDEN_DIR / "room_crac_brownout.json"
+
+BACKENDS = ("scalar", "vectorized", "fused")
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def _assert_fleet_matches(result, fixture_payload, subsample, backend, tag):
+    """One FleetResult against one fixture's servers/mean-inlet block."""
+    exact = backend in ("scalar", "vectorized")
+    servers = fixture_payload["servers"]
+    assert result.n_servers == len(servers), tag
+    for i, expected in enumerate(servers):
+        got = result.server(i)
+        for name, pinned in expected["channels"].items():
+            live = np.asarray(got.channels[name])[::subsample]
+            pinned = np.asarray(pinned)
+            if exact or name in EXACT_CHANNELS:
+                assert np.array_equal(live, pinned, equal_nan=True), (
+                    f"{tag}: server {i} channel {name} diverged from golden"
+                )
+            else:
+                assert name in THERMAL_CHANNELS, name
+                drift = np.max(np.abs(live - pinned))
+                assert drift < THERMAL_ATOL, (
+                    f"{tag}: server {i} {name} drift {drift:.3e}"
+                )
+        summary = got.summary()
+        for key, pinned in expected["summary"].items():
+            if exact or key in ("duration_s", "violation_percent",
+                                "mean_fan_speed_rpm"):
+                assert summary[key] == pinned, f"{tag}: server {i} {key}"
+            elif key == "max_junction_c":
+                assert abs(summary[key] - pinned) < THERMAL_ATOL, (
+                    f"{tag}: server {i} {key}"
+                )
+            else:
+                rel = abs(summary[key] - pinned) / max(abs(pinned), 1e-12)
+                assert rel < ENERGY_RTOL, f"{tag}: server {i} {key}"
+    live_inlets = np.asarray(result.mean_inlet_c)
+    pinned_inlets = np.asarray(fixture_payload["mean_inlet_c"])
+    if exact:
+        assert np.array_equal(live_inlets, pinned_inlets), tag
+    else:
+        assert np.max(np.abs(live_inlets - pinned_inlets)) < INLET_ATOL, tag
+
+
+@pytest.mark.parametrize(
+    "fixture_path", RACK_FIXTURES, ids=lambda p: p.stem
+)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_rack_golden_traces(fixture_path, backend):
+    fixture = _load(fixture_path)
+    p = fixture["params"]
+    rack = build_fleet_scenario(
+        p["scenario"],
+        n_servers=p["n_servers"],
+        duration_s=p["duration_s"],
+        seed=p["seed"],
+        fleet=FleetConfig(
+            n_servers=p["n_servers"],
+            recirc_fraction=p["recirc_fraction"],
+        ),
+        scheme=fixture["scheme"],
+    )
+    sim = FleetSimulator(
+        rack,
+        dt_s=p["dt_s"],
+        record_decimation=p["record_decimation"],
+        backend=backend,
+    )
+    result = sim.run(p["duration_s"], label=fixture_path.stem)
+    assert result.extras["backend"] == backend
+    _assert_fleet_matches(
+        result,
+        fixture,
+        fixture["subsample"],
+        backend,
+        f"{fixture_path.stem}/{backend}",
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_room_golden_trace(backend):
+    fixture = _load(ROOM_FIXTURE)
+    result = run_room_task(RoomTask(backend=backend, **fixture["params"]))
+    assert result.extras["backend"] == backend
+    for r, rack_payload in enumerate(fixture["racks"]):
+        _assert_fleet_matches(
+            result.rack_results[r],
+            rack_payload,
+            fixture["subsample"],
+            backend,
+            f"room/rack{r}/{backend}",
+        )
+    live_supply = np.asarray(result.supply_c)
+    pinned_supply = np.asarray(fixture["supply_c"])
+    if backend in ("scalar", "vectorized"):
+        assert np.array_equal(live_supply, pinned_supply)
+        assert result.crac_energy_j == fixture["crac_energy_j"]
+    else:
+        assert np.max(np.abs(live_supply - pinned_supply)) < INLET_ATOL
+        rel = abs(result.crac_energy_j - fixture["crac_energy_j"]) / max(
+            fixture["crac_energy_j"], 1e-12
+        )
+        assert rel < 1e-9
+    # The fault summary (event counts, impact windows) is backend-
+    # independent: shared injector state, identical decision sequences.
+    live_faults = json.loads(json.dumps(result.extras["faults"]))
+    assert live_faults == fixture["faults"]
