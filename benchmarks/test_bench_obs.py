@@ -119,3 +119,56 @@ def test_obs_overhead():
             f"full instrumentation slowed the hot path {enabled_ratio:.3f}x "
             "(limit 1.10x)"
         )
+
+
+def test_monitor_overhead():
+    """Health monitors must stay within 5% of a monitor-less obs run.
+
+    Same harness as ``test_obs_overhead`` (interleaved reps, rotated
+    lane order, median-of-best), but the baseline is the *enabled*
+    collector: the gate isolates what the detector sweep itself adds on
+    top of instrumentation the run already pays for.  The bench-smoke
+    CI job gates on ``monitor_overhead_ratio``.
+    """
+    from repro.obs import MonitorConfig
+
+    n_steps = int(round(_DURATION_S / _DT_S))
+    server_steps = _N_SERVERS * n_steps
+    _one_run(None)  # warm caches outside the timed rounds
+    lanes = ("enabled", "monitored")
+    configs = {
+        "enabled": ObsConfig(),
+        "monitored": ObsConfig(monitor=MonitorConfig()),
+    }
+    samples: dict[str, list[float]] = {lane: [] for lane in lanes}
+    summary = {}
+    for rnd in range(_OVERHEAD_ROUNDS):
+        for k in range(len(lanes)):
+            lane = lanes[(rnd + k) % len(lanes)]
+            elapsed, result = _one_run(configs[lane])
+            samples[lane].append(elapsed)
+            if lane == "monitored":
+                summary = result.extras["obs"]
+    enabled = median_of_best(samples["enabled"], _GROUPS)
+    monitored = median_of_best(samples["monitored"], _GROUPS)
+    ratio = monitored / enabled
+    assert summary["counters"]["server_steps"] == server_steps
+    # The monitor phase must actually have run, once per due instant.
+    cadence = MonitorConfig().sample_every_s
+    assert summary["phases"]["monitor"]["count"] >= _DURATION_S / cadence - 1
+    bench_record(
+        "fleet",
+        "monitor_overhead",
+        n_servers=_N_SERVERS,
+        n_steps=n_steps,
+        dt_s=_DT_S,
+        enabled_server_steps_per_sec=round(server_steps / enabled, 1),
+        monitored_server_steps_per_sec=round(server_steps / monitored, 1),
+        monitor_overhead_ratio=round(ratio, 4),
+        n_incidents=len(summary.get("incidents", ())),
+    )
+    if not smoke_mode():
+        assert ratio <= 1.05, (
+            f"health monitors slowed the instrumented hot path {ratio:.3f}x "
+            "(limit 1.05x)"
+        )

@@ -146,10 +146,21 @@ class FleetSimulator:
         injector = self._injector()
         obs = self._obs
         if obs is not None:
+            from repro.obs.monitor import arm_run_monitor
+
             obs.label = label
             obs.arm_stream(next(iter(self._rack)).plant.time_s)
             if injector is not None:
                 injector.bind_obs(obs)
+            arm_run_monitor(
+                obs,
+                plants=[slot.plant for slot in self._rack],
+                controllers=[slot.controller for slot in self._rack],
+                start_s=next(iter(self._rack)).plant.time_s,
+                label=label,
+                sensors=[slot.sensor for slot in self._rack],
+                schedule=self._faults,
+            )
         fallback_reason = None
         if self._backend in ("auto", "vectorized", "fused"):
             fallback_reason = batch_unsupported_reason(
@@ -253,6 +264,11 @@ class FleetSimulator:
                 injector=injector,
                 server_index=index,
                 obs=self._obs,
+                # All steppers share one per-step due instant; only the
+                # last commits the monitor sample, so rack-scope checks
+                # and the cadence advance run once per step - the same
+                # append order the batch lanes produce.
+                monitor_commit=(index == self._rack.n_servers - 1),
             )
             for index, (slot, tracker) in enumerate(zip(self._rack, trackers))
         ]

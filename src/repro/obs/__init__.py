@@ -17,13 +17,25 @@ Quickstart::
     print(result.extras["obs"]["phases"])      # where step time went
     obs.export_trace_jsonl("run_trace.jsonl")  # span trace
 
+Add streaming health monitors (stuck/drift/threshold detectors emitting
+severity-tagged incidents) with :class:`MonitorConfig`::
+
+    obs = ObsConfig(monitor=MonitorConfig())
+    result = sim.run(600.0)
+    print(result.extras["obs"]["incidents"])   # onset/clear records
+
 Then render tables from the emitted files::
 
     python -m repro.obs.report run.jsonl
+    python -m repro.obs.report --incidents run.jsonl
     python -m repro.obs.report --trace run_trace.jsonl
 
+And diagnose run-vs-run regressions down to the first divergent sample::
+
+    python -m repro.obs.diff run_a.json run_b.json
+
 See ``docs/observability.md`` for the span taxonomy, the sink contract,
-and the CI-gated overhead budget.
+the detector taxonomy, and the CI-gated overhead budgets.
 """
 
 from repro.obs.collector import (
@@ -36,6 +48,19 @@ from repro.obs.collector import (
     merge_summaries,
     resolve_obs,
 )
+from repro.obs.diff import (
+    Divergence,
+    diff_channels,
+    diff_fleet_results,
+    diff_results,
+)
+from repro.obs.monitor import (
+    SEVERITIES,
+    HealthMonitor,
+    MonitorConfig,
+    arm_run_monitor,
+    score_detections,
+)
 from repro.obs.sinks import (
     JsonlSink,
     MemorySink,
@@ -46,16 +71,25 @@ from repro.obs.sinks import (
 
 __all__ = [
     "PHASES",
+    "SEVERITIES",
+    "Divergence",
+    "HealthMonitor",
     "Histogram",
     "JsonlSink",
     "MemorySink",
     "MetricSink",
+    "MonitorConfig",
     "ObsCollector",
     "ObsConfig",
     "Span",
     "SpanBuffer",
     "StdoutSink",
+    "arm_run_monitor",
     "build_sink",
+    "diff_channels",
+    "diff_fleet_results",
+    "diff_results",
     "merge_summaries",
     "resolve_obs",
+    "score_detections",
 ]

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import ObsError
+from repro.obs.monitor import HealthMonitor, MonitorConfig
 from repro.obs.sinks import MetricSink, build_sink
 
 #: Phase names the simulation lanes record, in loop order.  Collectors
@@ -52,6 +53,7 @@ PHASES = (
     "plant",
     "sensing",
     "control",
+    "monitor",
     "record",
 )
 
@@ -83,6 +85,11 @@ class ObsConfig:
     sink:
         Sink spec: ``"memory"``, ``"stdout"``, or ``"jsonl:<path>"``
         (see :func:`~repro.obs.sinks.build_sink`).
+    monitor:
+        Optional :class:`~repro.obs.monitor.MonitorConfig`.  When set
+        (and enabled), simulators arm a per-run
+        :class:`~repro.obs.monitor.HealthMonitor` that evaluates
+        streaming health rules and records incidents.
     """
 
     enabled: bool = True
@@ -90,6 +97,7 @@ class ObsConfig:
     trace_capacity: int = 4096
     emit_every_s: float | None = None
     sink: str = "memory"
+    monitor: MonitorConfig | None = None
 
     def __post_init__(self) -> None:
         if self.trace_capacity < 1:
@@ -99,6 +107,13 @@ class ObsConfig:
         if self.emit_every_s is not None and self.emit_every_s <= 0.0:
             raise ObsError(
                 f"emit_every_s must be > 0, got {self.emit_every_s}"
+            )
+        if self.monitor is not None and not isinstance(
+            self.monitor, MonitorConfig
+        ):
+            raise ObsError(
+                "monitor must be a MonitorConfig or None, got "
+                f"{type(self.monitor).__name__}"
             )
 
 
@@ -245,6 +260,10 @@ class ObsCollector:
         self._spans = SpanBuffer(self.config.trace_capacity)
         self._trace_on = bool(self.config.trace)
         self._depth = 0
+        #: This run's armed health monitor (simulators assign it via
+        #: :meth:`arm_monitor`; ``None`` when monitoring is off).
+        self.monitor: HealthMonitor | None = None
+        self._incidents: list[dict] = []
         self._t_created = time.perf_counter()
         # Streaming state: next simulated-time emit threshold.  inf when
         # streaming is off, so the per-step check is one float compare.
@@ -324,6 +343,34 @@ class ObsCollector:
                 self._next_emit += self._emit_every
             self.emit_snapshot(sim_time_s)
 
+    def arm_monitor(self, monitor: HealthMonitor | None) -> None:
+        """Install this run's health monitor (or clear it with ``None``)."""
+        self.monitor = monitor
+        if monitor is not None:
+            monitor.bind(self)
+
+    def record_incident(self, incident: dict) -> None:
+        """Register an opened incident: list, counter, sink, trace span.
+
+        Called by the monitor at incident *onset*; the incident dict is
+        shared, so a later clear updates the stored record in place.
+        The trace span is zero-duration - :meth:`trace_events` renders
+        those as Chrome instant events.
+        """
+        self._incidents.append(incident)
+        self.count("incidents")
+        if self._trace_on:
+            wall = time.perf_counter()
+            self._spans.append(
+                f"incident:{incident['detector']}", wall, wall, self._depth + 1
+            )
+        self.sink.emit({"type": "incident", "label": self.label, **incident})
+
+    @property
+    def incidents(self) -> list[dict]:
+        """Incidents recorded so far (shared dicts; clears mutate them)."""
+        return list(self._incidents)
+
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
         """Record a nested macro span around a code region.
@@ -361,6 +408,7 @@ class ObsCollector:
             "hists": {
                 name: hist.as_dict() for name, hist in self._hists.items()
             },
+            "incidents": [dict(inc) for inc in self._incidents],
         }
         self.sink.emit(record)
         self._emitted += 1
@@ -419,6 +467,7 @@ class ObsCollector:
             "hists": {
                 name: hist.as_dict() for name, hist in self._hists.items()
             },
+            "incidents": [dict(inc) for inc in self._incidents],
             "wall_s": wall,
             "trace": {
                 "recorded": len(self._spans),
@@ -431,23 +480,35 @@ class ObsCollector:
     # Trace export
 
     def trace_events(self) -> list[dict[str, Any]]:
-        """Chrome-trace "complete" events (``ph: "X"``, microseconds)."""
+        """Chrome-trace events (microseconds since the first span).
+
+        Phase and macro spans export as "complete" events (``ph: "X"``).
+        Zero-duration spans - incident onsets - export as thread-scoped
+        *instant* events (``ph: "i"``): Perfetto draws a complete event
+        with ``dur: 0`` as nothing at all, so detector firings would be
+        invisible on the phase timeline.
+        """
         spans = self.spans()
         if not spans:
             return []
         t0 = min(span.start_s for span in spans)
-        return [
-            {
+        events = []
+        for span in spans:
+            event: dict[str, Any] = {
                 "name": span.name,
-                "ph": "X",
                 "ts": (span.start_s - t0) * 1e6,
-                "dur": span.duration_s * 1e6,
                 "pid": 0,
                 "tid": span.depth,
                 "cat": "repro",
             }
-            for span in spans
-        ]
+            if span.start_s == span.end_s:
+                event["ph"] = "i"
+                event["s"] = "t"
+            else:
+                event["ph"] = "X"
+                event["dur"] = span.duration_s * 1e6
+            events.append(event)
+        return events
 
     def chrome_trace(self) -> dict[str, Any]:
         """The full Chrome trace document (load in ``chrome://tracing``)."""
@@ -520,6 +581,7 @@ def merge_summaries(summaries: Iterable[dict]) -> dict[str, Any]:
         "counters": {},
         "gauges": {},
         "hists": {},
+        "incidents": [],
         "wall_s": 0.0,
         "trace": {"recorded": 0, "dropped": 0},
     }
@@ -558,10 +620,24 @@ def merge_summaries(summaries: Iterable[dict]) -> dict[str, Any]:
                 slot["buckets"][bucket] = (
                     slot["buckets"].get(bucket, 0) + count
                 )
+        merged["incidents"].extend(
+            dict(inc) for inc in summary.get("incidents", ())
+        )
         trace = summary.get("trace")
         if trace:
             merged["trace"]["recorded"] += trace.get("recorded", 0)
             merged["trace"]["dropped"] += trace.get("dropped", 0)
+    # Incidents sort on deterministic simulation-time fields, so the
+    # merged list is identical whether the summaries came from a serial
+    # loop or a process pool (whose completion order is arbitrary).
+    merged["incidents"].sort(
+        key=lambda inc: (
+            inc.get("onset_s", 0.0),
+            inc.get("run", ""),
+            inc.get("scope", ""),
+            inc.get("detector", ""),
+        )
+    )
     timed = sum(slot["total_s"] for slot in merged["phases"].values())
     for slot in merged["phases"].values():
         slot["fraction"] = slot["total_s"] / timed if timed > 0.0 else 0.0

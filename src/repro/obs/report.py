@@ -12,6 +12,7 @@ Usage::
     python -m repro.obs.report run_metrics.jsonl [more.jsonl ...]
     python -m repro.obs.report --trace run_trace.jsonl
     python -m repro.obs.report --phases run_metrics.jsonl
+    python -m repro.obs.report --incidents run_metrics.jsonl
 
 Modes:
 
@@ -21,6 +22,10 @@ Modes:
   call count, and share of timed work.
 * ``--trace`` - span-file mode: per-span-name totals (count, total and
   mean duration) from a trace JSONL.
+* ``--incidents`` - the health-monitor incident table (severity, scope,
+  onset/clear, detector) from live ``type == "incident"`` records,
+  final snapshots, or campaign-merged summaries - whatever mix the
+  input files carry.
 """
 
 from __future__ import annotations
@@ -145,6 +150,66 @@ def render_trace(records: list[dict]) -> str:
     )
 
 
+def collect_incidents(records: Iterable[dict]) -> list[dict]:
+    """Incident dicts from a mixed JSONL stream, deduplicated per run.
+
+    Three record shapes carry incidents: live ``type == "incident"``
+    emits (no clear time yet - they fire at onset), periodic/final
+    snapshots with an ``"incidents"`` list, and campaign-merged
+    summaries (same key).  Snapshot lists supersede the live records of
+    the same run label because they carry clear times; the *last*
+    snapshot per label wins, matching :func:`_final_snapshots`.
+    """
+    live: dict[str, list[dict]] = {}
+    snapshot: dict[str, list[dict]] = {}
+    for record in records:
+        label = str(record.get("label", record.get("run", "run")))
+        if record.get("type") == "incident":
+            live.setdefault(label, []).append(
+                {k: v for k, v in record.items() if k not in ("type", "label")}
+            )
+        elif isinstance(record.get("incidents"), list):
+            snapshot[label] = [dict(inc) for inc in record["incidents"]]
+    out: list[dict] = []
+    for label in sorted(set(live) | set(snapshot)):
+        out.extend(snapshot.get(label, live.get(label, [])))
+    return out
+
+
+def render_incidents(records: list[dict]) -> str:
+    """The health-monitor incident table."""
+    incidents = collect_incidents(records)
+    incidents.sort(
+        key=lambda inc: (
+            inc.get("onset_s", 0.0),
+            str(inc.get("run", "")),
+            str(inc.get("scope", "")),
+            str(inc.get("detector", "")),
+        )
+    )
+    if not incidents:
+        return "no incidents found"
+    rows = []
+    for inc in incidents:
+        clear = inc.get("clear_s")
+        rows.append(
+            [
+                str(inc.get("run", "-")),
+                str(inc.get("detector", "?")),
+                str(inc.get("severity", "?")),
+                str(inc.get("scope", "?")),
+                float(inc.get("onset_s", 0.0)),
+                "open" if clear is None else f"{float(clear):,.1f}",
+                float(inc.get("value", 0.0)),
+            ]
+        )
+    return format_table(
+        ["run", "detector", "severity", "scope", "onset_s", "clear_s", "value"],
+        rows,
+        float_format="{:,.1f}",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -163,6 +228,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="treat inputs as span-trace JSONL files",
     )
+    mode.add_argument(
+        "--incidents",
+        action="store_true",
+        help="health-monitor incident table instead of the run summary",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -173,6 +243,8 @@ def main(argv: list[str] | None = None) -> int:
             output = render_trace(records)
         elif args.phases:
             output = render_phases(records)
+        elif args.incidents:
+            output = render_incidents(records)
         else:
             output = render_runs(records)
     except ObsError as exc:

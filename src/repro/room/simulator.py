@@ -123,10 +123,23 @@ class RoomSimulator:
         injector = self._injector()
         obs = self._obs
         if obs is not None:
+            from repro.obs.monitor import arm_run_monitor
+
             obs.label = label
             obs.arm_stream(self._room.slots[0].plant.time_s)
             if injector is not None:
                 injector.bind_obs(obs)
+            arm_run_monitor(
+                obs,
+                plants=[slot.plant for slot in self._room],
+                controllers=[slot.controller for slot in self._room],
+                start_s=self._room.slots[0].plant.time_s,
+                label=label,
+                sensors=[slot.sensor for slot in self._room],
+                schedule=self._faults,
+                room=self._room,
+                inlet_limit_c=self._inlet_limit_c,
+            )
 
         fallback_reason = None
         if self._backend in ("auto", "vectorized", "fused"):
@@ -254,6 +267,10 @@ class RoomSimulator:
                 injector=injector,
                 server_index=index,
                 obs=self._obs,
+                # Only the last stepper commits the monitor sample (see
+                # FleetSimulator._run_scalar): rack-scope checks and the
+                # cadence advance must run once per step.
+                monitor_commit=(index == room.n_servers - 1),
             )
             for index, (slot, tracker) in enumerate(zip(room, trackers))
         ]

@@ -651,6 +651,11 @@ class BatchStepper:
         # below only read wall clocks and write collector-owned buffers,
         # so instrumented batches stay bit-for-bit identical.
         self._obs = obs
+        # Health monitoring: armed on the collector by the simulator
+        # before stepper construction.  ingest_batch casts array entries
+        # to python floats and runs the scalar detector code, so the
+        # incident list is identical to the scalar lane's.
+        self._monitor = None if obs is None else getattr(obs, "monitor", None)
 
         self._coupled = coupling is not None
         if self._coupled:
@@ -868,8 +873,8 @@ class BatchStepper:
         if obs is not None:
             obs.phase("workload", t_prev, _pc())
             acc_faults = acc_coupling = acc_plant = 0.0
-            acc_sensing = acc_control = acc_record = 0.0
-            n_control = n_record = ctl_due = 0
+            acc_sensing = acc_control = acc_monitor = acc_record = 0.0
+            n_control = n_monitor = n_record = ctl_due = 0
 
         plant = self._plant
         sensing = self._sensing
@@ -889,6 +894,7 @@ class BatchStepper:
         # contamination persists once it appears, so probing every 32nd
         # step (plus once at chunk end) detects it all the same.
         injector = self._injector
+        monitor = self._monitor
         for j in range(m):
             t = times[j]
             t_plus = t + 1e-9
@@ -983,6 +989,16 @@ class BatchStepper:
                     n_control += 1
                     ctl_due += due_idx.size
 
+            # Health monitoring: same due test as the scalar lane
+            # (identical floats: t comes from the same start+(k+1)*dt
+            # product), sampling the post-control decision channels.
+            if monitor is not None and t_plus >= monitor.next_due_s:
+                monitor.ingest_batch(t, sensing.current, self._fan_cmd, applied)
+                t_now = _pc()
+                acc_monitor += t_now - t_prev
+                t_prev = t_now
+                n_monitor += 1
+
             k = k0 + j
             if k % decimation == 0:
                 r = self._record_idx
@@ -1020,6 +1036,8 @@ class BatchStepper:
             if n_control:
                 obs.phase_add("control", acc_control, n_control)
                 obs.count("control_steps", ctl_due)
+            if n_monitor:
+                obs.phase_add("monitor", acc_monitor, n_monitor)
             if n_record:
                 obs.phase_add("record", acc_record, n_record)
         plant.check_finite()

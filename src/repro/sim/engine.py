@@ -105,6 +105,7 @@ class ServerStepper:
         injector=None,
         server_index: int = 0,
         obs=None,
+        monitor_commit: bool = True,
     ) -> None:
         self._plant = plant
         self._sensor = sensor
@@ -124,6 +125,16 @@ class ServerStepper:
         # so instrumented runs stay bit-for-bit identical; with no
         # collector each hook below is a single ``is not None`` check.
         self._obs = obs
+        # Health monitoring (repro.obs.monitor): the simulator arms the
+        # monitor on the collector *before* building steppers.  In
+        # multi-stepper lanes every stepper samples its own server at a
+        # due instant, but only the last stepper commits the sample
+        # (monitor_commit), so rack-scope checks and the cadence advance
+        # run exactly once per step - the same order the batch lanes
+        # produce.  Monitors only read already-computed channel values;
+        # monitored runs stay bit-for-bit identical to bare runs.
+        self._monitor = None if obs is None else getattr(obs, "monitor", None)
+        self._monitor_commit = monitor_commit
         # dt is validated once here, so the stock plant can skip per-step
         # re-validation; subclasses keep their step() override in charge.
         self._plant_step = (
@@ -284,6 +295,19 @@ class ServerStepper:
                 t_prev = t_now
                 obs.count("control_steps")
 
+        monitor = self._monitor
+        if monitor is not None and t + 1e-9 >= monitor.next_due_s:
+            if reading is None:
+                reading = self._sensor.read(t)
+            monitor.sample_server(
+                t, self._server_index, reading.value_c, self._fan_speed, applied
+            )
+            if self._monitor_commit:
+                monitor.commit(t)
+            t_now = _pc()
+            obs.phase("monitor", t_prev, t_now)
+            t_prev = t_now
+
         if k % self._decimation == 0:
             if reading is None:
                 reading = self._sensor.read(t)
@@ -427,10 +451,21 @@ class Simulator:
             injector.require_no_room_faults()
         obs = self._obs
         if obs is not None:
+            from repro.obs.monitor import arm_run_monitor
+
             obs.label = label
             obs.arm_stream(self._plant.time_s)
             if injector is not None:
                 injector.bind_obs(obs)
+            arm_run_monitor(
+                obs,
+                plants=[self._plant],
+                controllers=[self._controller],
+                start_s=self._plant.time_s,
+                label=label,
+                sensors=[self._sensor],
+                schedule=self._faults,
+            )
         stepper = ServerStepper(
             self._plant,
             self._sensor,

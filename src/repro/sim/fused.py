@@ -160,8 +160,8 @@ class FusedStepper(BatchStepper):
         if obs is not None:
             obs.phase("workload", t_prev, _pc())
             acc_faults = acc_coupling = acc_plant = 0.0
-            acc_sensing = acc_control = acc_record = 0.0
-            n_control = n_record = ctl_due = 0
+            acc_sensing = acc_control = acc_monitor = acc_record = 0.0
+            n_control = n_monitor = n_record = ctl_due = 0
 
         plant = self._plant
         sensing = self._sensing
@@ -173,6 +173,7 @@ class FusedStepper(BatchStepper):
         decoupled = coupled and self._decoupled
         injector = self._injector
         fan_fault_rows = self._fan_fault_rows
+        monitor = self._monitor
 
         j = 0
         while j < m:
@@ -377,6 +378,21 @@ class FusedStepper(BatchStepper):
                         t_prev = t_now
                         n_control += 1
                         ctl_due += due_idx.size
+                # Health monitoring: per-step like the per-dt lanes
+                # (mid-window fan/cap are frozen there too, so the
+                # sampled decision channels match bitwise).  A non-None
+                # monitor implies a live collector.
+                if monitor is not None and t_plus >= monitor.next_due_s:
+                    t_now = _pc()
+                    acc_sensing += t_now - t_prev
+                    t_prev = t_now
+                    monitor.ingest_batch(
+                        t, sensing.current, self._fan_cmd, applied[:, c]
+                    )
+                    t_now = _pc()
+                    acc_monitor += t_now - t_prev
+                    t_prev = t_now
+                    n_monitor += 1
                 k = k0 + kk
                 if k % decimation == 0:
                     if obs is not None:
@@ -420,6 +436,8 @@ class FusedStepper(BatchStepper):
             if n_control:
                 obs.phase_add("control", acc_control, n_control)
                 obs.count("control_steps", ctl_due)
+            if n_monitor:
+                obs.phase_add("monitor", acc_monitor, n_monitor)
             if n_record:
                 obs.phase_add("record", acc_record, n_record)
         plant.check_finite()

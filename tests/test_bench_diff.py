@@ -1,0 +1,183 @@
+"""Perf-trajectory diffing (tools/bench_diff.py).
+
+The tool gates CI on throughput regressions between the working tree's
+``BENCH_*.json`` and a baseline (git ref or directory), so this suite
+pins the exit-code contract: 0 clean/informational, 1 regression past
+the threshold, 2 bad input - and the soft modes (mode mismatch,
+``--no-fail``) that must never fail a run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_diff", REPO_ROOT / "tools" / "bench_diff.py"
+)
+bench_diff = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_diff)
+
+
+def _bench_payload(steps_per_sec, *, smoke=False, bench="rack16"):
+    return {
+        "meta": {"smoke": smoke},
+        "benchmarks": {
+            bench: {
+                "n_servers": 16,
+                "server_steps_per_sec": steps_per_sec,
+                "overhead_ratio": 1.01,
+            }
+        },
+    }
+
+
+def _write(dirpath: Path, payload, name="BENCH_fleet.json"):
+    dirpath.mkdir(parents=True, exist_ok=True)
+    (dirpath / name).write_text(json.dumps(payload))
+    return dirpath
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return tmp_path / "current", tmp_path / "baseline"
+
+
+def _run(current, baseline, *extra):
+    return bench_diff.main(
+        [
+            "--current-dir",
+            str(current),
+            "--baseline-dir",
+            str(baseline),
+            *extra,
+        ]
+    )
+
+
+class TestDeltas:
+    def test_throughput_deltas_only_per_sec_metrics(self):
+        rows = bench_diff.throughput_deltas(
+            _bench_payload(900.0), _bench_payload(1000.0)
+        )
+        (row,) = rows  # overhead_ratio and n_servers are ignored
+        assert row["metric"] == "server_steps_per_sec"
+        assert row["delta"] == pytest.approx(-0.10)
+
+    def test_disjoint_benchmarks_yield_nothing(self):
+        rows = bench_diff.throughput_deltas(
+            _bench_payload(900.0, bench="a"), _bench_payload(1000.0, bench="b")
+        )
+        assert rows == []
+
+    def test_render_plain_and_markdown_flag_regressions(self):
+        rows = [
+            {
+                "benchmark": "rack16",
+                "metric": "server_steps_per_sec",
+                "baseline": 1000.0,
+                "current": 800.0,
+                "delta": -0.20,
+            }
+        ]
+        plain = bench_diff.render_rows(rows, markdown=False, threshold=0.10)
+        assert "-20.0% !" in plain
+        md = bench_diff.render_rows(rows, markdown=True, threshold=0.10)
+        assert md.splitlines()[0].startswith("| benchmark |")
+        assert "| -20.0% ! |" in md
+        ok = bench_diff.render_rows(
+            [dict(rows[0], delta=-0.05, current=950.0)],
+            markdown=False,
+            threshold=0.10,
+        )
+        assert "!" not in ok
+
+
+class TestExitCodes:
+    def test_no_regression_exit_0(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, _bench_payload(1010.0))
+        _write(baseline, _bench_payload(1000.0))
+        assert _run(current, baseline) == 0
+        assert "+1.0%" in capsys.readouterr().out
+
+    def test_regression_past_threshold_exit_1(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, _bench_payload(800.0))
+        _write(baseline, _bench_payload(1000.0))
+        assert _run(current, baseline) == 1
+        captured = capsys.readouterr()
+        assert "-20.0% !" in captured.out
+        assert "regressed" in captured.err
+
+    def test_no_fail_downgrades_to_exit_0(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, _bench_payload(800.0))
+        _write(baseline, _bench_payload(1000.0))
+        assert _run(current, baseline, "--no-fail") == 0
+        capsys.readouterr()
+
+    def test_threshold_is_adjustable(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, _bench_payload(800.0))
+        _write(baseline, _bench_payload(1000.0))
+        assert _run(current, baseline, "--threshold", "0.25") == 0
+        assert _run(current, baseline, "--threshold", "0.15") == 1
+        capsys.readouterr()
+
+    def test_mode_mismatch_is_informational(self, dirs, capsys):
+        """Smoke vs full records use different durations: never gate."""
+        current, baseline = dirs
+        _write(current, _bench_payload(500.0, smoke=True))
+        _write(baseline, _bench_payload(1000.0, smoke=False))
+        assert _run(current, baseline) == 0
+        assert "mode mismatch" in capsys.readouterr().out
+
+    def test_missing_baseline_skips(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, _bench_payload(800.0))
+        baseline.mkdir()
+        assert _run(current, baseline) == 0
+        assert "no baseline found" in capsys.readouterr().out
+
+    def test_no_current_files_exit_0(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert _run(empty, empty) == 0
+        assert "nothing to diff" in capsys.readouterr().out
+
+    def test_malformed_current_exit_2(self, dirs, capsys):
+        current, baseline = dirs
+        current.mkdir()
+        (current / "BENCH_fleet.json").write_text('{"not": "benchmarks"}')
+        _write(baseline, _bench_payload(1000.0))
+        assert _run(current, baseline) == 2
+        capsys.readouterr()
+
+    def test_negative_threshold_exit_2(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, _bench_payload(1000.0))
+        _write(baseline, _bench_payload(1000.0))
+        assert _run(current, baseline, "--threshold", "-1") == 2
+        capsys.readouterr()
+
+
+class TestGitBaseline:
+    def test_head_baseline_matches_committed_records(self, capsys):
+        """The committed BENCH files diff cleanly against themselves."""
+        committed = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        if not committed:
+            pytest.skip("no committed BENCH_*.json")
+        payload = bench_diff.baseline_from_git(committed[0].name, "HEAD")
+        assert payload is not None and "benchmarks" in payload
+
+    def test_unknown_ref_returns_none(self):
+        assert (
+            bench_diff.baseline_from_git("BENCH_fleet.json", "no-such-ref")
+            is None
+        )

@@ -1,0 +1,268 @@
+"""First-divergence locator (repro.obs.diff): API and CLI.
+
+The acceptance contract: on a deliberately perturbed fused-backend run,
+the diff names the *exact* first divergent ``(step, channel)`` - not
+merely "the runs differ".
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import FleetConfig
+from repro.errors import ObsError
+from repro.fleet import FleetSimulator, build_fleet_scenario, homogeneous_rack
+from repro.obs.diff import (
+    DECISION_CHANNELS,
+    Divergence,
+    diff_channels,
+    diff_fleet_results,
+    diff_results,
+    diff_vs_golden,
+    main,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def _fused_result(duration_s=60.0, seed=7, n_servers=4):
+    rack = homogeneous_rack(
+        n_servers=n_servers, duration_s=duration_s, seed=seed
+    )
+    sim = FleetSimulator(rack, dt_s=0.1, record_decimation=5, backend="fused")
+    return sim.run(duration_s, label="fused")
+
+
+def _as_payload(result):
+    """A FleetResult as the golden-style ``{"servers": [...]}`` mapping."""
+    return {
+        "servers": [
+            {"channels": {k: np.asarray(v).tolist() for k, v in r.channels.items()}}
+            for r in result.server_results
+        ]
+    }
+
+
+class TestDiffChannels:
+    def test_identical_returns_none(self):
+        a = {"time": [0.0, 1.0], "tmeas": [50.0, 51.0]}
+        assert diff_channels(a, dict(a)) is None
+
+    def test_reports_first_index_and_time(self):
+        a = {"time": [0.0, 1.0, 2.0], "tmeas": [50.0, 51.0, 52.0]}
+        b = {"time": [0.0, 1.0, 2.0], "tmeas": [50.0, 51.0, 99.0]}
+        found = diff_channels(a, b, where="server 0")
+        assert found == Divergence(
+            index=2, channel="tmeas", a=52.0, b=99.0, time_s=2.0, where="server 0"
+        )
+        assert "step 2" in found.describe()
+        assert "'tmeas'" in found.describe()
+        assert "[server 0]" in found.describe()
+        assert "t=2" in found.describe()
+
+    def test_ties_resolve_to_recording_order(self):
+        # Both channels diverge at index 1; "tmeas" precedes "fan_speed"
+        # in the telemetry recording order.
+        a = {"fan_speed": [1.0, 2.0], "tmeas": [50.0, 51.0]}
+        b = {"fan_speed": [1.0, 9.0], "tmeas": [50.0, 99.0]}
+        assert diff_channels(a, b).channel == "tmeas"
+
+    def test_earlier_index_wins_over_channel_order(self):
+        a = {"tmeas": [50.0, 51.0, 52.0], "fan_speed": [1.0, 2.0, 3.0]}
+        b = {"tmeas": [50.0, 51.0, 99.0], "fan_speed": [1.0, 9.0, 3.0]}
+        found = diff_channels(a, b)
+        assert (found.index, found.channel) == (1, "fan_speed")
+
+    def test_nan_equals_nan(self):
+        a = {"tmeas": [50.0, math.nan, 52.0]}
+        b = {"tmeas": [50.0, math.nan, 52.0]}
+        assert diff_channels(a, b) is None
+        c = {"tmeas": [50.0, math.nan, math.nan]}
+        found = diff_channels(a, c)
+        assert found.index == 2
+
+    def test_tolerance_mode(self):
+        a = {"junction": [60.0, 61.0]}
+        b = {"junction": [60.0, 61.0 + 1e-9]}
+        assert diff_channels(a, b) is not None  # exact mode sees it
+        assert diff_channels(a, b, atol=1e-6) is None
+        assert diff_channels(a, b, rtol=1e-6) is None
+
+    def test_channel_subset_and_errors(self):
+        a = {"tmeas": [50.0], "junction": [60.0]}
+        b = {"tmeas": [50.0], "junction": [99.0]}
+        assert diff_channels(a, b, channels=["tmeas"]) is None
+        with pytest.raises(ObsError):
+            diff_channels(a, b, channels=["nope"])
+        with pytest.raises(ObsError):
+            diff_channels({"x": [1.0]}, {"y": [1.0]})
+        with pytest.raises(ObsError):
+            diff_channels({"tmeas": [1.0]}, {"tmeas": [1.0, 2.0]})
+
+
+class TestDiffResults:
+    def test_identical_runs_return_none(self):
+        a = _fused_result()
+        b = _fused_result()
+        assert diff_fleet_results(a, b) is None
+        assert diff_results(a.server(0), b.server(0)) is None
+
+    def test_perturbed_fused_run_pinpoints_step_and_channel(self):
+        """The acceptance case: a deliberate flip is located exactly."""
+        result = _fused_result()
+        payload_a = _as_payload(result)
+        payload_b = _as_payload(result)
+        chan = payload_b["servers"][2]["channels"]["tmeas"]
+        step = 37
+        chan[step] += 1.0  # one quantization code on one server
+        found = diff_fleet_results(payload_a, payload_b)
+        assert found is not None
+        assert found.index == step
+        assert found.channel == "tmeas"
+        assert found.where == "server 2"
+        times = payload_a["servers"][2]["channels"]["time"]
+        assert found.time_s == times[step]
+        assert found.b == found.a + 1.0
+
+    def test_earliest_server_wins(self):
+        result = _fused_result()
+        payload_a = _as_payload(result)
+        payload_b = _as_payload(result)
+        payload_b["servers"][3]["channels"]["fan_speed"][10] += 1.0
+        payload_b["servers"][1]["channels"]["fan_speed"][5] += 1.0
+        found = diff_fleet_results(payload_a, payload_b)
+        assert (found.index, found.where) == (5, "server 1")
+
+    def test_decision_only_ignores_thermal_drift(self):
+        result = _fused_result()
+        payload_a = _as_payload(result)
+        payload_b = _as_payload(result)
+        payload_b["servers"][0]["channels"]["junction"][12] += 1e-7
+        assert (
+            diff_fleet_results(payload_a, payload_b, channels=DECISION_CHANNELS)
+            is None
+        )
+        assert diff_fleet_results(payload_a, payload_b) is not None
+
+
+class TestDiffVsGolden:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        fixture = json.loads((GOLDEN_DIR / "rack_rcoord.json").read_text())
+        p = fixture["params"]
+        rack = build_fleet_scenario(
+            p["scenario"],
+            n_servers=p["n_servers"],
+            duration_s=p["duration_s"],
+            seed=p["seed"],
+            fleet=FleetConfig(
+                n_servers=p["n_servers"],
+                recirc_fraction=p["recirc_fraction"],
+            ),
+            scheme=fixture["scheme"],
+        )
+        sim = FleetSimulator(
+            rack,
+            dt_s=p["dt_s"],
+            record_decimation=p["record_decimation"],
+            backend="vectorized",
+        )
+        return fixture, sim.run(p["duration_s"], label="rcoord")
+
+    def test_fresh_run_matches_fixture(self, golden):
+        fixture, result = golden
+        assert diff_vs_golden(result, fixture) is None
+
+    def test_perturbed_fixture_located_on_subsampled_grid(self, golden):
+        fixture, result = golden
+        tampered = json.loads(json.dumps(fixture))
+        chan = tampered["servers"][1]["channels"]["fan_speed"]
+        chan[4] += 10.0
+        found = diff_vs_golden(result, tampered)
+        assert (found.index, found.channel, found.where) == (
+            4,
+            "fan_speed",
+            "server 1",
+        )
+        # Index lives on the fixture's subsampled grid.
+        stride = fixture["subsample"]
+        recorded = np.asarray(result.server(1).channels["time"])
+        assert found.time_s == recorded[::stride][4]
+
+
+class TestCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_identical_exit_0(self, tmp_path, capsys):
+        result = _fused_result(duration_s=20.0)
+        a = self._write(tmp_path, "a.json", _as_payload(result))
+        b = self._write(tmp_path, "b.json", _as_payload(result))
+        assert main([a, b]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_divergent_exit_1_names_step_and_channel(self, tmp_path, capsys):
+        result = _fused_result(duration_s=20.0)
+        payload = _as_payload(result)
+        a = self._write(tmp_path, "a.json", payload)
+        tampered = json.loads(json.dumps(payload))
+        tampered["servers"][0]["channels"]["cpu_cap"][9] -= 0.5
+        b = self._write(tmp_path, "b.json", tampered)
+        assert main([a, b]) == 1
+        out = capsys.readouterr().out
+        assert "step 9" in out
+        assert "'cpu_cap'" in out
+        assert "server 0" in out
+
+    def test_decision_only_flag(self, tmp_path, capsys):
+        result = _fused_result(duration_s=20.0)
+        payload = _as_payload(result)
+        a = self._write(tmp_path, "a.json", payload)
+        tampered = json.loads(json.dumps(payload))
+        tampered["servers"][0]["channels"]["junction"][3] += 1e-7
+        b = self._write(tmp_path, "b.json", tampered)
+        assert main([a, b, "--decision-only"]) == 0
+        assert main([a, b]) == 1
+        capsys.readouterr()
+
+    def test_tolerance_flags(self, tmp_path, capsys):
+        payload = {"channels": {"time": [0.0, 1.0], "junction": [60.0, 61.0]}}
+        a = self._write(tmp_path, "a.json", payload)
+        tampered = json.loads(json.dumps(payload))
+        tampered["channels"]["junction"][1] += 1e-9
+        b = self._write(tmp_path, "b.json", tampered)
+        assert main([a, b]) == 1
+        assert main([a, b, "--atol", "1e-6"]) == 0
+        capsys.readouterr()
+
+    def test_bad_input_exit_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        ok = self._write(
+            tmp_path, "ok.json", {"channels": {"tmeas": [1.0]}}
+        )
+        assert main([missing, ok]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json{")
+        assert main([str(bad), ok]) == 2
+        short = self._write(
+            tmp_path, "short.json", {"channels": {"tmeas": [1.0, 2.0]}}
+        )
+        assert main([ok, short]) == 2  # shape mismatch is an input error
+        capsys.readouterr()
+
+    def test_channels_flag(self, tmp_path, capsys):
+        payload = {"channels": {"tmeas": [50.0], "junction": [60.0]}}
+        a = self._write(tmp_path, "a.json", payload)
+        tampered = json.loads(json.dumps(payload))
+        tampered["channels"]["junction"][0] = 99.0
+        b = self._write(tmp_path, "b.json", tampered)
+        assert main([a, b, "--channels", "tmeas"]) == 0
+        assert main([a, b]) == 1
+        capsys.readouterr()

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Perf-trajectory diff for ``BENCH_*.json`` files (stdlib only).
+
+Compares the working tree's benchmark records against a baseline - a
+directory of older ``BENCH_*.json`` files or (default) the copies
+committed at a git ref - and prints per-benchmark throughput deltas.
+Exits non-zero when any throughput metric regressed past the threshold,
+so CI can gate on it; run with ``--no-fail`` for an informational
+report.
+
+Usage::
+
+    python tools/bench_diff.py                       # vs git HEAD
+    python tools/bench_diff.py --baseline-ref HEAD~1
+    python tools/bench_diff.py --baseline-dir /path/to/old --markdown
+    python tools/bench_diff.py --threshold 0.15 --no-fail
+
+Only ``*_per_sec`` metrics are gated (higher is better); ratio and
+configuration fields are ignored.  When the current and baseline files
+were produced in different modes (``meta.smoke`` differs - e.g. a CI
+smoke run diffed against committed full-mode records), the deltas are
+printed for information but never fail the run: smoke and full runs use
+different durations and are not comparable.
+
+Exit codes: 0 - no regression (or soft/informational mode),
+1 - regression past the threshold, 2 - bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_bench_file(path: Path) -> dict:
+    """Parse one ``BENCH_*.json`` payload ({"benchmarks": ..., "meta": ...})."""
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        raise ValueError(f"{path}: not a benchmark record file")
+    return payload
+
+
+def baseline_from_git(name: str, ref: str) -> dict | None:
+    """The committed copy of *name* at *ref*, or None when absent."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        payload = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) and "benchmarks" in payload else None
+
+
+def throughput_deltas(current: dict, baseline: dict) -> list[dict]:
+    """Per-metric rows for every ``*_per_sec`` field both sides share."""
+    rows = []
+    cur_benches = current.get("benchmarks", {})
+    base_benches = baseline.get("benchmarks", {})
+    for bench in sorted(set(cur_benches) & set(base_benches)):
+        cur, base = cur_benches[bench], base_benches[bench]
+        if not isinstance(cur, dict) or not isinstance(base, dict):
+            continue
+        for metric in sorted(set(cur) & set(base)):
+            if not metric.endswith("_per_sec"):
+                continue
+            new, old = cur[metric], base[metric]
+            if not isinstance(new, (int, float)) or not isinstance(
+                old, (int, float)
+            ):
+                continue
+            rows.append(
+                {
+                    "benchmark": bench,
+                    "metric": metric,
+                    "baseline": float(old),
+                    "current": float(new),
+                    "delta": (new - old) / old if old else 0.0,
+                }
+            )
+    return rows
+
+
+def render_rows(rows: list[dict], *, markdown: bool, threshold: float) -> str:
+    """Delta table, plain text or GitHub-flavored markdown."""
+    header = ["benchmark", "metric", "baseline", "current", "delta"]
+    body = []
+    for row in rows:
+        flag = " !" if row["delta"] < -threshold else ""
+        body.append(
+            [
+                row["benchmark"],
+                row["metric"],
+                f"{row['baseline']:,.1f}",
+                f"{row['current']:,.1f}",
+                f"{100 * row['delta']:+.1f}%{flag}",
+            ]
+        )
+    if markdown:
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "|" + "|".join("---" for _ in header) + "|",
+        ]
+        lines += ["| " + " | ".join(row) + " |" for row in body]
+        return "\n".join(lines)
+    widths = [
+        max(len(header[c]), *(len(row[c]) for row in body))
+        for c in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in body
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_diff.py",
+        description="Diff BENCH_*.json throughput against a baseline.",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the current BENCH_*.json (default: repo root)",
+    )
+    base = parser.add_mutually_exclusive_group()
+    base.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref to take baseline files from (default: HEAD)",
+    )
+    base.add_argument(
+        "--baseline-dir",
+        type=Path,
+        help="directory of baseline BENCH_*.json instead of a git ref",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="regression fraction that fails the run (default: 0.10)",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a GitHub-flavored markdown table (for job summaries)",
+    )
+    parser.add_argument(
+        "--no-fail",
+        action="store_true",
+        help="always exit 0; report deltas only",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        print("error: --threshold must be >= 0", file=sys.stderr)
+        return 2
+
+    current_files = sorted(args.current_dir.glob("BENCH_*.json"))
+    if not current_files:
+        print(f"no BENCH_*.json under {args.current_dir}; nothing to diff")
+        return 0
+
+    all_rows: list[dict] = []
+    soft = False
+    notes: list[str] = []
+    for path in current_files:
+        try:
+            current = load_bench_file(path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.baseline_dir is not None:
+            base_path = args.baseline_dir / path.name
+            baseline = (
+                load_bench_file(base_path) if base_path.exists() else None
+            )
+        else:
+            baseline = baseline_from_git(path.name, args.baseline_ref)
+        if baseline is None:
+            notes.append(f"{path.name}: no baseline found (skipped)")
+            continue
+        cur_smoke = bool(current.get("meta", {}).get("smoke"))
+        base_smoke = bool(baseline.get("meta", {}).get("smoke"))
+        if cur_smoke != base_smoke:
+            soft = True
+            notes.append(
+                f"{path.name}: mode mismatch (current smoke={cur_smoke}, "
+                f"baseline smoke={base_smoke}) - deltas informational only"
+            )
+        all_rows.extend(throughput_deltas(current, baseline))
+
+    for note in notes:
+        print(note)
+    if not all_rows:
+        print("no shared throughput metrics to compare")
+        return 0
+    print(render_rows(all_rows, markdown=args.markdown, threshold=args.threshold))
+
+    regressions = [row for row in all_rows if row["delta"] < -args.threshold]
+    if regressions and not soft and not args.no_fail:
+        print(
+            f"\n{len(regressions)} metric(s) regressed more than "
+            f"{100 * args.threshold:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
