@@ -18,4 +18,4 @@ import bench_report  # noqa: E402  (needs the sys.path insert above)
 
 
 def pytest_sessionfinish(session, exitstatus):
-    bench_report.write_records()
+    bench_report.write_records(exitstatus=int(exitstatus))

@@ -436,7 +436,10 @@ class FaultInjector:
 
         # Pair each server's first engagement with the *latest* dropout
         # onset at or before it - earlier dropouts may have been too
-        # short to straddle a control instant and never engaged.
+        # short to straddle a control instant and never engaged.  The
+        # comparison carries the window-membership EPS: an onset a hair
+        # past a step time activates *at* that step (``window_active``),
+        # so the engagement may legally precede the onset by up to EPS.
         detection: dict[int, float] = {}
         dropout_starts: dict[int, list[float]] = {}
         for event in self._schedule.events_of("dropout"):
@@ -449,10 +452,10 @@ class FaultInjector:
             causes = [
                 start
                 for start in dropout_starts.get(server, ())
-                if start <= engaged
+                if start <= engaged + EPS
             ]
             if causes:
-                detection[server] = engaged - max(causes)
+                detection[server] = max(0.0, engaged - max(causes))
 
         return {
             "schedule": self._schedule.describe(),

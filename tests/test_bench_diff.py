@@ -75,6 +75,18 @@ class TestDeltas:
         )
         assert rows == []
 
+    def test_missing_benchmarks_lists_dropped_names(self):
+        missing = bench_diff.missing_benchmarks(
+            _bench_payload(900.0, bench="a"), _bench_payload(1000.0, bench="b")
+        )
+        assert missing == ["b"]
+        assert (
+            bench_diff.missing_benchmarks(
+                _bench_payload(900.0), _bench_payload(1000.0)
+            )
+            == []
+        )
+
     def test_render_plain_and_markdown_flag_regressions(self):
         rows = [
             {
@@ -128,6 +140,38 @@ class TestExitCodes:
         _write(baseline, _bench_payload(1000.0))
         assert _run(current, baseline, "--threshold", "0.25") == 0
         assert _run(current, baseline, "--threshold", "0.15") == 1
+        capsys.readouterr()
+
+    def test_dropped_benchmark_exit_1(self, dirs, capsys):
+        """A lane vanishing from the records must fail the gate, not
+        silently shrink the comparison to the intersection."""
+        current, baseline = dirs
+        _write(current, _bench_payload(1000.0, bench="rack16"))
+        baseline_payload = _bench_payload(1000.0, bench="rack16")
+        baseline_payload["benchmarks"]["room4x16_stacked"] = {
+            "server_steps_per_sec": 500.0
+        }
+        _write(baseline, baseline_payload)
+        assert _run(current, baseline) == 1
+        captured = capsys.readouterr()
+        assert "room4x16_stacked" in captured.out
+        assert "missing from the current records" in captured.err
+
+    def test_dropped_benchmark_soft_modes(self, dirs, capsys):
+        current, baseline = dirs
+        _write(current, _bench_payload(1000.0, smoke=True, bench="rack16"))
+        baseline_payload = _bench_payload(1000.0, bench="rack16")
+        baseline_payload["benchmarks"]["room4x16_stacked"] = {
+            "server_steps_per_sec": 500.0
+        }
+        _write(baseline, baseline_payload)
+        # Mode mismatch: informational only (smoke runs may legitimately
+        # collect a different set).
+        assert _run(current, baseline) == 0
+        capsys.readouterr()
+        # Same mode but --no-fail: informational only.
+        _write(current, _bench_payload(1000.0, bench="rack16"))
+        assert _run(current, baseline, "--no-fail") == 0
         capsys.readouterr()
 
     def test_mode_mismatch_is_informational(self, dirs, capsys):

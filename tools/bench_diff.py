@@ -62,6 +62,18 @@ def baseline_from_git(name: str, ref: str) -> dict | None:
     return payload if isinstance(payload, dict) and "benchmarks" in payload else None
 
 
+def missing_benchmarks(current: dict, baseline: dict) -> list[str]:
+    """Baseline benchmark names absent from the current file.
+
+    Deltas cover only the intersection of names, so a benchmark that
+    vanishes (e.g. a subset run clobbered the file and dropped a whole
+    lane) would otherwise leave the gate silently narrower.
+    """
+    cur_benches = current.get("benchmarks", {})
+    base_benches = baseline.get("benchmarks", {})
+    return sorted(set(base_benches) - set(cur_benches))
+
+
 def throughput_deltas(current: dict, baseline: dict) -> list[dict]:
     """Per-metric rows for every ``*_per_sec`` field both sides share."""
     rows = []
@@ -176,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     all_rows: list[dict] = []
+    missing: list[str] = []
     soft = False
     notes: list[str] = []
     for path in current_files:
@@ -203,21 +216,37 @@ def main(argv: list[str] | None = None) -> int:
                 f"baseline smoke={base_smoke}) - deltas informational only"
             )
         all_rows.extend(throughput_deltas(current, baseline))
+        for name in missing_benchmarks(current, baseline):
+            missing.append(f"{path.name}: {name}")
+            notes.append(
+                f"{path.name}: benchmark '{name}' present in baseline but "
+                "missing from current (dropped lane?)"
+            )
 
     for note in notes:
         print(note)
-    if not all_rows:
+    if not all_rows and not missing:
         print("no shared throughput metrics to compare")
         return 0
-    print(render_rows(all_rows, markdown=args.markdown, threshold=args.threshold))
+    if all_rows:
+        print(
+            render_rows(all_rows, markdown=args.markdown, threshold=args.threshold)
+        )
 
     regressions = [row for row in all_rows if row["delta"] < -args.threshold]
-    if regressions and not soft and not args.no_fail:
-        print(
-            f"\n{len(regressions)} metric(s) regressed more than "
-            f"{100 * args.threshold:.0f}%",
-            file=sys.stderr,
-        )
+    if (regressions or missing) and not soft and not args.no_fail:
+        if regressions:
+            print(
+                f"\n{len(regressions)} metric(s) regressed more than "
+                f"{100 * args.threshold:.0f}%",
+                file=sys.stderr,
+            )
+        if missing:
+            print(
+                f"\n{len(missing)} baseline benchmark(s) missing from the "
+                "current records",
+                file=sys.stderr,
+            )
         return 1
     return 0
 
