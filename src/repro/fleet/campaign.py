@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
@@ -35,8 +36,9 @@ from repro.errors import FleetError
 from repro.fleet.result import FleetResult
 from repro.fleet.scenarios import FLEET_SCENARIOS, build_fleet_scenario
 from repro.fleet.simulator import FleetSimulator
-from repro.obs.collector import ObsConfig, merge_summaries
-from repro.sim.parallel import parallel_map
+from repro.obs.collector import ObsCollector, ObsConfig, merge_summaries
+from repro.obs.sinks import QueueSink
+from repro.sim.parallel import parallel_map, resolve_workers
 
 #: Default racks per stacked chunk.  Past ~4 racks the per-``dt``
 #: dispatch is already well amortized and wider stacks only grow worker
@@ -150,15 +152,76 @@ def _worker_obs(obs: ObsConfig | None) -> ObsConfig | None:
     return replace(obs, sink="memory")
 
 
-def _simulate_task(task: CampaignTask, rack) -> FleetResult:
+def _worker_collector(
+    task, queue
+) -> tuple[ObsCollector | None, QueueSink | None]:
+    """The worker-side collector (and its queue sink) for one task.
+
+    Without a stream queue the config alone suffices (the simulator
+    builds a memory-sink collector from it); with one, the collector's
+    periodic snapshots route through a :class:`QueueSink` so the parent
+    sees progress mid-task.  Returns ``(None, None)`` for
+    uninstrumented or disabled tasks.
+    """
+    cfg = _worker_obs(task.obs)
+    if cfg is None or not cfg.enabled:
+        return None, None
+    sink = QueueSink(queue) if queue is not None else None
+    return ObsCollector(cfg, sink=sink), sink
+
+
+def _export_worker_trace(collector: ObsCollector | None, task) -> None:
+    """Write this task's span trace where ``ObsConfig.trace_export`` says.
+
+    One pid-tagged JSONL per task (labels sanitized for the filesystem);
+    ``python -m repro.obs.report --merged-trace`` stitches the files
+    into one Perfetto timeline with per-worker lanes.
+    """
+    if collector is None or task.obs is None or task.obs.trace_export is None:
+        return
+    from pathlib import Path
+
+    out_dir = Path(task.obs.trace_export)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe_label = task.label.replace("/", "_").replace("\\", "_")
+    collector.export_trace_jsonl(
+        out_dir / f"trace-{os.getpid()}-{safe_label}.jsonl"
+    )
+
+
+def _push_task_final(queue, index, task, result, sink) -> None:
+    """Ship one task's authoritative final record to the parent.
+
+    Blocking ``put``: unlike periodic snapshots (droppable on a full
+    queue), every final summary must arrive exactly once for the
+    streamed fold to merge byte-identically with the post-hoc one.
+    """
+    if queue is None:
+        return
+    queue.put(
+        {
+            "type": "task_final",
+            "index": index,
+            "label": task.label,
+            "summary": result.extras.get("obs"),
+            "worker": result.extras.get("worker"),
+            "sink_dropped": sink.dropped if sink is not None else 0,
+        }
+    )
+
+
+def _simulate_task(
+    task: CampaignTask, rack, queue=None, index: int | None = None
+) -> FleetResult:
     t0 = time.perf_counter()
+    collector, sink = _worker_collector(task, queue)
     sim = FleetSimulator(
         rack,
         dt_s=task.dt_s,
         record_decimation=task.record_decimation,
         backend=task.backend,
         faults=task.faults,
-        obs=_worker_obs(task.obs),
+        obs=collector if collector is not None else _worker_obs(task.obs),
     )
     result = sim.run(task.duration_s, label=task.label)
     extras = {
@@ -166,16 +229,23 @@ def _simulate_task(task: CampaignTask, rack) -> FleetResult:
         "task": task,
         "worker": worker_info(time.perf_counter() - t0),
     }
-    return replace(result, extras=extras)
+    result = replace(result, extras=extras)
+    _export_worker_trace(collector, task)
+    _push_task_final(queue, index, task, result, sink)
+    return result
 
 
-def run_campaign_task(task: CampaignTask) -> FleetResult:
+def run_campaign_task(
+    task: CampaignTask, queue=None, index: int | None = None
+) -> FleetResult:
     """Build and simulate one task's rack (module-level: pool-picklable)."""
-    return _simulate_task(task, _build_rack(task))
+    return _simulate_task(task, _build_rack(task), queue=queue, index=index)
 
 
 def run_campaign_chunk(
     tasks: Sequence[CampaignTask],
+    queue=None,
+    indices: Sequence[int] | None = None,
 ) -> list[FleetResult]:
     """Run a chunk of same-shape tasks as one stacked batch.
 
@@ -185,8 +255,15 @@ def run_campaign_chunk(
     cannot stack (scalar backend requested, or a rack the batch backend
     cannot represent) every task silently falls back to its own
     :class:`~repro.fleet.simulator.FleetSimulator` run.
+
+    ``queue``/``indices`` are the streaming-campaign plumbing: when a
+    :class:`~repro.obs.live.CampaignStream` is attached, each task's
+    final record (and any periodic snapshots) flow to the parent
+    through the queue, tagged with the task's campaign-wide index.
     """
     tasks = list(tasks)
+    if indices is None:
+        indices = list(range(len(tasks)))
     rack_flags = [isinstance(task, CampaignTask) for task in tasks]
     if any(rack_flags) and not all(rack_flags):
         raise FleetError(
@@ -198,9 +275,12 @@ def run_campaign_chunk(
         # chunk is just its tasks run back to back.
         from repro.room.campaign import run_room_task
 
-        return [run_room_task(task) for task in tasks]
+        return [
+            run_room_task(task, queue=queue, index=index)
+            for task, index in zip(tasks, indices)
+        ]
     if len(tasks) == 1:
-        return [run_campaign_task(tasks[0])]
+        return [run_campaign_task(tasks[0], queue=queue, index=indices[0])]
     from repro.room.stack import run_stacked_racks, stacked_unsupported_reason
 
     racks = [_build_rack(task) for task in tasks]
@@ -216,7 +296,8 @@ def run_campaign_chunk(
         reason = stacked_unsupported_reason(racks)
     if reason is not None:
         return [
-            _simulate_task(task, rack) for task, rack in zip(tasks, racks)
+            _simulate_task(task, rack, queue=queue, index=index)
+            for task, rack, index in zip(tasks, racks, indices)
         ]
     labels = [task.label for task in tasks]
     # chunk_key groups by backend, so the whole chunk shares one lane;
@@ -237,7 +318,7 @@ def run_campaign_chunk(
     )
     worker = worker_info(time.perf_counter() - t0)
     chunk_info = {"size": len(tasks), "labels": tuple(labels)}
-    return [
+    out = [
         replace(
             result,
             extras={
@@ -249,6 +330,15 @@ def run_campaign_chunk(
         )
         for i, (task, result) in enumerate(zip(tasks, results))
     ]
+    for index, task, result in zip(indices, tasks, out):
+        _push_task_final(queue, index, task, result, None)
+    return out
+
+
+def _run_chunk_streamed(payload) -> list[FleetResult]:
+    """Pool entry point for streamed chunks: ``(indices, tasks, queue)``."""
+    indices, tasks, queue = payload
+    return run_campaign_chunk(tasks, queue=queue, indices=indices)
 
 
 def merge_campaign_obs(results: Sequence[Any]) -> dict:
@@ -342,28 +432,120 @@ class CampaignRunner:
         chunks.sort(key=lambda chunk: chunk[0][0])
         return chunks
 
-    def run(self, tasks: Iterable) -> list:
+    def run(self, tasks: Iterable, stream=None) -> list:
         """Run every task and return results in task order.
 
         Accepts a mix of :class:`CampaignTask` (rack) and
         :class:`~repro.room.campaign.RoomTask` (room) entries; each
         result slot holds the matching :class:`FleetResult` or
         :class:`~repro.room.result.RoomResult`.
+
+        ``stream`` optionally names a
+        :class:`~repro.obs.live.CampaignStream`: workers then push
+        periodic obs snapshots and one final record per task to the
+        parent (over a bounded multiprocessing queue when a pool is in
+        play), so progress, aggregate throughput, and incident tallies
+        are available *mid-campaign* - e.g. through a
+        :class:`~repro.obs.live.LiveObsServer` serving the stream.
+        Results are value-identical with and without a stream attached.
         """
         task_list = list(tasks)
         if not task_list:
             raise FleetError("campaign needs at least one task")
         chunks = self._chunks(task_list)
-        chunk_results = parallel_map(
-            run_campaign_chunk,
-            [chunk_tasks for _, chunk_tasks in chunks],
-            workers=self._workers,
-        )
+        if stream is None:
+            chunk_results = parallel_map(
+                run_campaign_chunk,
+                [chunk_tasks for _, chunk_tasks in chunks],
+                workers=self._workers,
+            )
+        else:
+            chunk_results = self._run_streamed(task_list, chunks, stream)
         results: list[FleetResult | None] = [None] * len(task_list)
         for (indices, _), chunk in zip(chunks, chunk_results):
             for i, result in zip(indices, chunk):
                 results[i] = result
         return results  # type: ignore[return-value]
+
+    def _run_streamed(self, task_list: list, chunks: list, stream) -> list:
+        """Execute chunks while routing worker records into ``stream``.
+
+        Serial path: chunks run in-process against a local queue,
+        drained after each chunk.  Pool path: a ``multiprocessing``
+        manager queue (bounded by ``stream.queue_maxsize``) carries the
+        records, drained continuously by a parent thread so progress is
+        visible while workers are still simulating.
+        """
+        stream.begin(len(task_list))
+        campaign_span = (
+            stream.obs.span("campaign")
+            if stream.obs is not None
+            else nullcontext()
+        )
+        with campaign_span:
+            n_workers = resolve_workers(self._workers, len(chunks))
+            if n_workers <= 1:
+                import queue as queue_mod
+
+                local: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+                chunk_results = []
+                for indices, chunk_tasks in chunks:
+                    chunk_results.append(
+                        run_campaign_chunk(
+                            chunk_tasks, queue=local, indices=indices
+                        )
+                    )
+                    while not local.empty():
+                        stream.add_record(local.get())
+                return chunk_results
+            import multiprocessing
+            import threading
+
+            manager = multiprocessing.Manager()
+            try:
+                queue = manager.Queue(maxsize=stream.queue_maxsize)
+                stop = threading.Event()
+
+                def drain() -> None:
+                    import queue as queue_mod
+
+                    while True:
+                        try:
+                            record = queue.get(timeout=0.1)
+                        except queue_mod.Empty:
+                            if stop.is_set():
+                                return
+                            continue
+                        except (EOFError, OSError):
+                            return  # manager torn down
+                        stream.add_record(record)
+
+                drainer = threading.Thread(
+                    target=drain, name="repro-campaign-drain", daemon=True
+                )
+                drainer.start()
+                try:
+                    chunk_results = parallel_map(
+                        _run_chunk_streamed,
+                        [
+                            (indices, chunk_tasks, queue)
+                            for indices, chunk_tasks in chunks
+                        ],
+                        workers=self._workers,
+                    )
+                finally:
+                    stop.set()
+                    drainer.join(timeout=10.0)
+                    # The drainer exits on its first post-stop timeout;
+                    # records still queued at that instant drain here.
+                    while True:
+                        try:
+                            stream.add_record(queue.get_nowait())
+                        except Exception:
+                            break
+                return chunk_results
+            finally:
+                manager.shutdown()
 
     def run_summaries(
         self, tasks: Iterable[CampaignTask]

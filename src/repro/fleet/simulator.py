@@ -113,6 +113,15 @@ class FleetSimulator:
         """The configured execution backend."""
         return self._backend
 
+    @property
+    def obs(self):
+        """The run's resolved collector (None when uninstrumented).
+
+        A :class:`~repro.obs.live.LiveObsServer` attaches here to serve
+        ``/metrics`` while the run executes.
+        """
+        return self._obs
+
     def _trackers(self, n: int) -> list:
         from repro.workload.performance import DeadlineTracker
 

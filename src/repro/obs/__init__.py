@@ -34,8 +34,30 @@ And diagnose run-vs-run regressions down to the first divergent sample::
 
     python -m repro.obs.diff run_a.json run_b.json
 
+Serve live metrics while a run executes - attach a
+:class:`LiveObsServer` to any simulator's collector and scrape
+OpenMetrics text from ``/metrics`` (``/healthz`` and ``/incidents``
+ride along)::
+
+    from repro.obs import LiveObsServer
+
+    sim = FleetSimulator(rack, obs=ObsConfig())
+    with LiveObsServer(sim) as live:
+        print(live.url)      # http://127.0.0.1:<port>
+        result = sim.run(3600.0)
+
+Stream a campaign's observability while it runs (workers push snapshots
+and incidents over a queue; the parent folds incrementally)::
+
+    from repro.obs import CampaignStream
+
+    stream = CampaignStream()
+    results = CampaignRunner(workers=4).run(tasks, stream=stream)
+    merged = stream.merged()   # byte-identical to post-hoc merging
+
 See ``docs/observability.md`` for the span taxonomy, the sink contract,
-the detector taxonomy, and the CI-gated overhead budgets.
+the detector taxonomy, the metric naming scheme, and the CI-gated
+overhead budgets.
 """
 
 from repro.obs.collector import (
@@ -54,6 +76,12 @@ from repro.obs.diff import (
     diff_fleet_results,
     diff_results,
 )
+from repro.obs.export import (
+    lint_openmetrics,
+    quantiles_from_hist,
+    render_openmetrics,
+)
+from repro.obs.live import CampaignStream, LiveObsServer
 from repro.obs.monitor import (
     SEVERITIES,
     HealthMonitor,
@@ -65,6 +93,7 @@ from repro.obs.sinks import (
     JsonlSink,
     MemorySink,
     MetricSink,
+    QueueSink,
     StdoutSink,
     build_sink,
 )
@@ -72,15 +101,18 @@ from repro.obs.sinks import (
 __all__ = [
     "PHASES",
     "SEVERITIES",
+    "CampaignStream",
     "Divergence",
     "HealthMonitor",
     "Histogram",
     "JsonlSink",
+    "LiveObsServer",
     "MemorySink",
     "MetricSink",
     "MonitorConfig",
     "ObsCollector",
     "ObsConfig",
+    "QueueSink",
     "Span",
     "SpanBuffer",
     "StdoutSink",
@@ -89,7 +121,10 @@ __all__ = [
     "diff_channels",
     "diff_fleet_results",
     "diff_results",
+    "lint_openmetrics",
     "merge_summaries",
+    "quantiles_from_hist",
+    "render_openmetrics",
     "resolve_obs",
     "score_detections",
 ]

@@ -90,6 +90,12 @@ class ObsConfig:
         (and enabled), simulators arm a per-run
         :class:`~repro.obs.monitor.HealthMonitor` that evaluates
         streaming health rules and records incidents.
+    trace_export:
+        Optional directory campaign workers write their span traces to
+        (one pid-tagged JSONL per task, via
+        :meth:`ObsCollector.export_trace_jsonl`).  Those files are the
+        inputs ``python -m repro.obs.report --merged-trace`` stitches
+        into one Perfetto timeline; see docs/observability.md.
     """
 
     enabled: bool = True
@@ -98,11 +104,19 @@ class ObsConfig:
     emit_every_s: float | None = None
     sink: str = "memory"
     monitor: MonitorConfig | None = None
+    trace_export: str | None = None
 
     def __post_init__(self) -> None:
         if self.trace_capacity < 1:
             raise ObsError(
                 f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
+        if self.trace_export is not None and not isinstance(
+            self.trace_export, str
+        ):
+            raise ObsError(
+                "trace_export must be a directory path string or None, "
+                f"got {type(self.trace_export).__name__}"
             )
         if self.emit_every_s is not None and self.emit_every_s <= 0.0:
             raise ObsError(
@@ -257,6 +271,10 @@ class ObsCollector:
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._hists: dict[str, Histogram] = {}
+        # phase name -> its "<name>_seconds" duration histogram; a hot
+        # -path cache so phase()/phase_add() skip the f-string + double
+        # dict probe after the first interval.
+        self._phase_hists: dict[str, Histogram] = {}
         self._spans = SpanBuffer(self.config.trace_capacity)
         self._trace_on = bool(self.config.trace)
         self._depth = 0
@@ -289,8 +307,18 @@ class ObsCollector:
         acc = self._phases.get(name)
         if acc is None:
             acc = self._phases[name] = [0.0, 0]
-        acc[0] += end_s - start_s
+        duration = end_s - start_s
+        acc[0] += duration
         acc[1] += 1
+        # Per-interval duration distribution: feeds the p50/p95/p99
+        # columns of ``--hists`` and the ``*_quantile`` gauges on
+        # ``/metrics``.  The cache keeps the hot path to one dict probe.
+        hist = self._phase_hists.get(name)
+        if hist is None:
+            hist = self._phase_hists[name] = self._hists.setdefault(
+                f"{name}_seconds", Histogram()
+            )
+        hist.observe(duration)
         if self._trace_on:
             self._spans.append(name, start_s, end_s, self._depth + 1)
 
@@ -302,12 +330,23 @@ class ObsCollector:
         :meth:`phase` calls there would cost more than the work they
         time.  No trace span is recorded: an aggregate has no single
         ``[start, end)`` interval.
+
+        The ``<name>_seconds`` histogram receives one sample per flush
+        (the chunk aggregate), so on the batch lanes its quantiles
+        describe per-window phase cost rather than per-``dt`` cost -
+        documented in ``docs/observability.md``.
         """
         acc = self._phases.get(name)
         if acc is None:
             acc = self._phases[name] = [0.0, 0]
         acc[0] += duration_s
         acc[1] += count
+        hist = self._phase_hists.get(name)
+        if hist is None:
+            hist = self._phase_hists[name] = self._hists.setdefault(
+                f"{name}_seconds", Histogram()
+            )
+        hist.observe(duration_s)
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter."""
@@ -370,6 +409,17 @@ class ObsCollector:
     def incidents(self) -> list[dict]:
         """Incidents recorded so far (shared dicts; clears mutate them)."""
         return list(self._incidents)
+
+    def mark(self, name: str) -> None:
+        """Record a named zero-duration instant on the trace timeline.
+
+        Instants render as Chrome/Perfetto instant events (the same
+        treatment incident onsets get); campaign streams use them to
+        put task-completion markers on the stitched timeline.
+        """
+        if self._trace_on:
+            wall = time.perf_counter()
+            self._spans.append(name, wall, wall, self._depth + 1)
 
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
@@ -519,11 +569,19 @@ class ObsCollector:
         }
 
     def export_trace_jsonl(self, path) -> int:
-        """Write one span per line as JSON; returns the span count."""
+        """Write one span per line as JSON; returns the span count.
+
+        Each line carries the recording process's pid and the run
+        label, so traces exported by different campaign workers can be
+        stitched into one timeline with per-worker lanes
+        (``python -m repro.obs.report --merged-trace``).
+        """
         import json
+        import os
         from pathlib import Path
 
         spans = self.spans()
+        pid = os.getpid()
         with Path(path).open("w") as fh:
             for span in spans:
                 fh.write(
@@ -533,6 +591,8 @@ class ObsCollector:
                             "start_s": span.start_s,
                             "end_s": span.end_s,
                             "depth": span.depth,
+                            "pid": pid,
+                            "label": self.label,
                         },
                         sort_keys=True,
                     )

@@ -1,0 +1,569 @@
+"""OpenMetrics/Prometheus text exposition of observability state.
+
+:func:`render_openmetrics` turns an observability summary - the dict
+:meth:`~repro.obs.collector.ObsCollector.summary` produces, a
+campaign-merged :func:`~repro.obs.collector.merge_summaries` result, or
+the live view a :class:`~repro.obs.live.CampaignStream` folds - into the
+Prometheus text exposition format, terminated by the OpenMetrics
+``# EOF`` marker.  The :mod:`repro.obs.live` HTTP endpoint serves this
+text at ``/metrics``; any Prometheus-compatible scraper ingests it.
+
+Metric naming scheme (documented in ``docs/observability.md``):
+
+========================================  =========  ====================
+family                                    type       source
+========================================  =========  ====================
+``repro_<counter>_total``                 counter    collector counters
+                                                     (``server_steps``,
+                                                     ``control_steps``,
+                                                     ``incidents``, ...)
+``repro_<gauge>``                         gauge      collector gauges
+``repro_phase_seconds_total{phase=}``     counter    phase accumulators
+``repro_phase_calls_total{phase=}``       counter    phase call counts
+``repro_<hist>`` (+ ``_bucket``/``_sum``  histogram  collector histograms
+/``_count``)                                         (power-of-two
+                                                     buckets)
+``repro_<hist>_quantile{quantile=}``      gauge      estimated quantiles
+                                                     (:func:`quantiles_from_hist`)
+``repro_incidents_total{detector=,        counter    incident records
+severity=}``
+``repro_incidents_active{detector=,       gauge      incidents with no
+severity=}``                                         clear time yet
+``repro_runs_total``                      counter    merged run count
+``repro_wall_seconds``                    gauge      collector wall time
+``repro_trace_spans_total`` /             counter    span-ring totals
+``repro_trace_dropped_total``
+========================================  =========  ====================
+
+Every family carries the caller's base labels (e.g. ``run="fleet"``,
+``lane="fused"``, ``rack="r0"``); label values are escaped per the
+exposition-format rules (backslash, double quote, newline).
+
+:func:`lint_openmetrics` is the pure-python lint ``tests/test_export.py``
+and the CI live-scrape gate run against real scrapes: it checks
+``# HELP``/``# TYPE`` headers, sample syntax and label escaping,
+counter monotonicity (non-negative, ``_total``-suffixed), histogram
+bucket coherence (cumulative, ``+Inf`` bucket equal to ``_count``), and
+the terminating ``# EOF``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ObsError
+
+__all__ = [
+    "METRIC_PREFIX",
+    "QUANTILES",
+    "escape_label_value",
+    "lint_openmetrics",
+    "metric_name",
+    "quantiles_from_hist",
+    "render_openmetrics",
+]
+
+#: Prefix every exported metric family carries.
+METRIC_PREFIX = "repro"
+
+#: Quantiles the exposition (and the report CLI) estimate per histogram.
+QUANTILES = (0.5, 0.95, 0.99)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+_VALID_TYPES = ("counter", "gauge", "histogram")
+
+
+def metric_name(name: str) -> str:
+    """Sanitize an arbitrary collector key into a metric-name token.
+
+    Invalid characters collapse to ``_``; a leading digit gains a ``_``
+    prefix.  Collector keys are already snake_case, so in practice this
+    is the identity - the sanitation exists so a user-defined counter
+    like ``"cache.hits"`` cannot produce an unparseable exposition.
+    """
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format escapes; everything else passes through.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """A sample value in exposition syntax (Go-style infinities/NaN)."""
+    if isinstance(value, bool):  # bool is an int subclass; reject early
+        raise ObsError(f"sample value must be numeric, got {value!r}")
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+class _Writer:
+    """Accumulates one exposition document family by family."""
+
+    def __init__(self, base_labels: Mapping[str, str]) -> None:
+        self.base = dict(base_labels)
+        self.lines: list[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        merged = dict(self.base)
+        if labels:
+            merged.update(labels)
+        self.lines.append(f"{name}{_format_labels(merged)} {_format_value(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines + ["# EOF"]) + "\n"
+
+
+def _hist_bounds_counts(hist: Mapping[str, Any]) -> list[tuple[float, int]]:
+    """Sorted ``(upper_bound, count)`` pairs from a hist ``as_dict``.
+
+    Bucket keys are ``"%g"``-rendered bounds (``"inf"`` for the overflow
+    bucket); zero-count buckets are omitted at the source, which is fine
+    for both cumulative rendering and quantile estimation.
+    """
+    pairs = []
+    for key, count in hist.get("buckets", {}).items():
+        bound = math.inf if key == "inf" else float(key)
+        pairs.append((bound, int(count)))
+    pairs.sort(key=lambda pair: pair[0])
+    return pairs
+
+
+def quantiles_from_hist(
+    hist: Mapping[str, Any], qs: Iterable[float] = QUANTILES
+) -> dict[float, float | None]:
+    """Estimate quantiles of a bucketed histogram from its bounds.
+
+    The estimate interpolates linearly inside the bucket the quantile
+    rank falls into (bucket lower edge = the previous bucket's upper
+    bound, 0.0 before the first).  Power-of-two bounds make each bucket
+    at most 8x wide here, so the estimate is coarse but order-of-
+    magnitude honest; ranks landing in the overflow bucket clamp to the
+    recorded ``max`` (or the last finite bound when no max is carried).
+    Returns ``None`` per quantile for an empty histogram.
+    """
+    total = int(hist.get("count", 0))
+    out: dict[float, float | None] = {}
+    if total <= 0:
+        return {float(q): None for q in qs}
+    pairs = _hist_bounds_counts(hist)
+    observed_max = hist.get("max")
+    observed_min = hist.get("min")
+    for q in qs:
+        q = float(q)
+        if not 0.0 < q <= 1.0:
+            raise ObsError(f"quantile must be in (0, 1], got {q}")
+        rank = q * total
+        cumulative = 0
+        lower = 0.0
+        value: float | None = None
+        for bound, count in pairs:
+            if cumulative + count >= rank:
+                if math.isinf(bound):
+                    value = (
+                        float(observed_max)
+                        if observed_max is not None
+                        else lower
+                    )
+                else:
+                    fraction = (rank - cumulative) / count
+                    value = lower + fraction * (bound - lower)
+                break
+            cumulative += count
+            lower = bound if not math.isinf(bound) else lower
+        if value is None:  # pragma: no cover - counts always reach rank
+            value = float(observed_max) if observed_max is not None else lower
+        if observed_min is not None:
+            value = max(value, float(observed_min))
+        if observed_max is not None:
+            value = min(value, float(observed_max))
+        out[q] = value
+    return out
+
+
+def _incident_tallies(
+    incidents: Iterable[Mapping[str, Any]],
+) -> tuple[dict[tuple[str, str], int], dict[tuple[str, str], int]]:
+    """Total and still-active incident counts keyed ``(detector, severity)``."""
+    totals: dict[tuple[str, str], int] = {}
+    active: dict[tuple[str, str], int] = {}
+    for incident in incidents:
+        key = (
+            str(incident.get("detector", "unknown")),
+            str(incident.get("severity", "unknown")),
+        )
+        totals[key] = totals.get(key, 0) + 1
+        if incident.get("clear_s") is None:
+            active[key] = active.get(key, 0) + 1
+    return totals, active
+
+
+def render_openmetrics(
+    summary: Mapping[str, Any],
+    labels: Mapping[str, str] | None = None,
+) -> str:
+    """Render one observability summary as exposition text.
+
+    ``summary`` is any summary-shaped dict (single run, campaign merge,
+    or live fold); ``labels`` are base labels stamped on every sample.
+    The document always declares the ``repro_incidents_total`` and
+    ``repro_incidents_active`` families - even with zero incidents - so
+    scrapers (and the CI gate) can rely on their presence.
+    """
+    if not isinstance(summary, Mapping):
+        raise ObsError(
+            f"summary must be a mapping, got {type(summary).__name__}"
+        )
+    base = dict(labels or {})
+    if "run" not in base and summary.get("label"):
+        base["run"] = str(summary["label"])
+    writer = _Writer(base)
+
+    for name in sorted(summary.get("counters", {})):
+        value = summary["counters"][name]
+        token = metric_name(name)
+        # The incidents counter re-exports below with detector/severity
+        # labels; an unlabeled twin would double-count on aggregation.
+        if token == "incidents":
+            continue
+        family = f"{METRIC_PREFIX}_{token}_total"
+        writer.family(family, "counter", f"Collector counter '{name}'.")
+        writer.sample(family, int(value))
+
+    for name in sorted(summary.get("gauges", {})):
+        family = f"{METRIC_PREFIX}_{metric_name(name)}"
+        writer.family(family, "gauge", f"Collector gauge '{name}'.")
+        writer.sample(family, float(summary["gauges"][name]))
+
+    phases = summary.get("phases", {})
+    if phases:
+        seconds = f"{METRIC_PREFIX}_phase_seconds_total"
+        calls = f"{METRIC_PREFIX}_phase_calls_total"
+        writer.family(
+            seconds, "counter", "Accumulated wall seconds per phase."
+        )
+        for name in sorted(phases):
+            writer.sample(seconds, float(phases[name]["total_s"]), {"phase": name})
+        writer.family(calls, "counter", "Phase interval count per phase.")
+        for name in sorted(phases):
+            writer.sample(calls, int(phases[name]["count"]), {"phase": name})
+
+    for name in sorted(summary.get("hists", {})):
+        hist = summary["hists"][name]
+        family = f"{METRIC_PREFIX}_{metric_name(name)}"
+        writer.family(
+            family, "histogram", f"Collector histogram '{name}'."
+        )
+        cumulative = 0
+        saw_inf = False
+        for bound, count in _hist_bounds_counts(hist):
+            cumulative += count
+            if math.isinf(bound):
+                le, saw_inf = "+Inf", True
+            else:
+                le = f"{bound:g}"
+            writer.sample(f"{family}_bucket", cumulative, {"le": le})
+        total = int(hist.get("count", 0))
+        if not saw_inf:
+            # The summary elides zero-count buckets, which usually drops
+            # the overflow bucket; OpenMetrics requires the +Inf bucket
+            # to exist and equal the total count.
+            writer.sample(f"{family}_bucket", total, {"le": "+Inf"})
+        writer.sample(f"{family}_sum", float(hist.get("sum", 0.0)))
+        writer.sample(f"{family}_count", total)
+        quantile_family = f"{family}_quantile"
+        writer.family(
+            quantile_family,
+            "gauge",
+            f"Estimated quantiles of histogram '{name}' "
+            "(interpolated from power-of-two buckets).",
+        )
+        for q, value in quantiles_from_hist(hist).items():
+            if value is None:
+                continue
+            writer.sample(quantile_family, value, {"quantile": f"{q:g}"})
+
+    incidents = summary.get("incidents", [])
+    totals, active = _incident_tallies(incidents)
+    totals_family = f"{METRIC_PREFIX}_incidents_total"
+    active_family = f"{METRIC_PREFIX}_incidents_active"
+    writer.family(
+        totals_family,
+        "counter",
+        "Health-monitor incidents recorded, by detector and severity.",
+    )
+    for detector, severity in sorted(totals):
+        writer.sample(
+            totals_family,
+            totals[(detector, severity)],
+            {"detector": detector, "severity": severity},
+        )
+    writer.family(
+        active_family,
+        "gauge",
+        "Incidents with no clear time yet, by detector and severity.",
+    )
+    for detector, severity in sorted(active):
+        writer.sample(
+            active_family,
+            active[(detector, severity)],
+            {"detector": detector, "severity": severity},
+        )
+
+    if "runs" in summary:
+        family = f"{METRIC_PREFIX}_runs_total"
+        writer.family(family, "counter", "Runs folded into this summary.")
+        writer.sample(family, int(summary["runs"]))
+
+    if "wall_s" in summary:
+        family = f"{METRIC_PREFIX}_wall_seconds"
+        writer.family(
+            family, "gauge", "Wall-clock seconds observed by the collector."
+        )
+        writer.sample(family, float(summary["wall_s"]))
+
+    trace = summary.get("trace")
+    if trace:
+        spans_family = f"{METRIC_PREFIX}_trace_spans_total"
+        writer.family(spans_family, "counter", "Trace spans recorded.")
+        writer.sample(spans_family, int(trace.get("recorded", 0)))
+        dropped_family = f"{METRIC_PREFIX}_trace_dropped_total"
+        writer.family(
+            dropped_family, "counter", "Trace spans evicted from the ring."
+        )
+        writer.sample(dropped_family, int(trace.get("dropped", 0)))
+
+    return writer.text()
+
+
+# ----------------------------------------------------------------------
+# Lint
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _parse_labels(raw: str, errors: list[str], lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    rest = raw
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            errors.append(f"line {lineno}: malformed label set {raw!r}")
+            return labels
+        key = match.group("key")
+        if key in labels:
+            errors.append(f"line {lineno}: duplicate label {key!r}")
+        labels[key] = match.group("value")
+        rest = rest[match.end() :]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"line {lineno}: malformed label set {raw!r}")
+            return labels
+    return labels
+
+
+def _parse_value(raw: str) -> float | None:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _family_of(sample_name: str, types: Mapping[str, str]) -> str | None:
+    """The declared family a sample belongs to, or None when undeclared."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if sample_name.endswith(suffix):
+            stem = sample_name[: -len(suffix)]
+            if stem in types:
+                return stem
+    return None
+
+
+def lint_openmetrics(text: str) -> list[str]:
+    """Check one exposition document; returns a list of error strings.
+
+    An empty list means the document passes.  The checks:
+
+    * document ends with a ``# EOF`` line;
+    * ``# TYPE`` lines declare a known type, once per family, with a
+      ``# HELP`` line for the same family;
+    * every sample parses (name, optional label set, value) with valid
+      metric/label names and escaped label values;
+    * every sample belongs to a declared family, after the type's
+      allowed suffixes (``_total`` for counters; ``_bucket``/``_sum``/
+      ``_count`` for histograms);
+    * counter samples are finite and non-negative and their names end
+      in ``_total``;
+    * histogram buckets carry parseable ``le`` bounds, are cumulative
+      (non-decreasing with ``le``), and the ``+Inf`` bucket equals the
+      family's ``_count`` sample.
+    """
+    errors: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        errors.append("document does not end with '# EOF'")
+
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    # family -> list of (le, value) bucket samples, and _count values.
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    counts: dict[str, float] = {}
+
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            errors.append(f"line {lineno}: blank line")
+            continue
+        if stripped == "# EOF":
+            if lineno != len(lines):
+                errors.append(f"line {lineno}: '# EOF' before end of document")
+            continue
+        if stripped.startswith("# HELP "):
+            parts = stripped.split(" ", 3)
+            if len(parts) < 4 or not _NAME_OK.match(parts[2]):
+                errors.append(f"line {lineno}: malformed HELP line")
+            else:
+                helps.add(parts[2])
+            continue
+        if stripped.startswith("# TYPE "):
+            parts = stripped.split(" ")
+            if len(parts) != 4 or not _NAME_OK.match(parts[2]):
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            family, kind = parts[2], parts[3]
+            if kind not in _VALID_TYPES:
+                errors.append(
+                    f"line {lineno}: unknown metric type {kind!r} "
+                    f"for {family}"
+                )
+            if family in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {family}")
+            types[family] = kind
+            if family not in helps:
+                errors.append(f"line {lineno}: TYPE for {family} has no HELP")
+            continue
+        if stripped.startswith("#"):
+            errors.append(f"line {lineno}: unexpected comment {stripped!r}")
+            continue
+
+        match = _SAMPLE_RE.match(stripped)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample {stripped!r}")
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", errors, lineno)
+        for key in labels:
+            if not _LABEL_OK.match(key):
+                errors.append(f"line {lineno}: invalid label name {key!r}")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            errors.append(
+                f"line {lineno}: unparseable value {match.group('value')!r}"
+            )
+            continue
+        family = _family_of(name, types)
+        if family is None:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+            continue
+        kind = types[family]
+        if kind == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter sample {name!r} must end "
+                    "in '_total'"
+                )
+            if math.isnan(value) or math.isinf(value) or value < 0:
+                errors.append(
+                    f"line {lineno}: counter {name!r} has non-monotone-"
+                    f"compatible value {match.group('value')}"
+                )
+        elif kind == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without 'le' label"
+                    )
+                else:
+                    bound = _parse_value(labels["le"])
+                    if bound is None:
+                        errors.append(
+                            f"line {lineno}: unparseable le bound "
+                            f"{labels['le']!r}"
+                        )
+                    else:
+                        buckets.setdefault(family, []).append((bound, value))
+            elif name.endswith("_count"):
+                counts[family] = value
+
+    for family, pairs in buckets.items():
+        ordered = sorted(pairs, key=lambda pair: pair[0])
+        values = [value for _, value in ordered]
+        if any(b > a for a, b in zip(values[1:], values)):
+            errors.append(
+                f"histogram {family}: bucket counts are not cumulative"
+            )
+        if not ordered or not math.isinf(ordered[-1][0]):
+            errors.append(f"histogram {family}: missing '+Inf' bucket")
+        elif family in counts and ordered[-1][1] != counts[family]:
+            errors.append(
+                f"histogram {family}: '+Inf' bucket ({ordered[-1][1]:g}) "
+                f"!= _count ({counts[family]:g})"
+            )
+    return errors

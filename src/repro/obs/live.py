@@ -1,0 +1,445 @@
+"""Live observability: an HTTP endpoint and streaming campaign folds.
+
+Two pieces make a running simulation observable *while it runs*:
+
+* :class:`LiveObsServer` - a stdlib :mod:`http.server` endpoint serving
+
+  - ``/metrics`` - the OpenMetrics exposition of the source's current
+    summary (:func:`repro.obs.export.render_openmetrics`),
+  - ``/healthz`` - JSON health derived from active incidents (HTTP 503
+    while any *critical* incident is open, 200 otherwise),
+  - ``/incidents`` - the raw incident list as JSON.
+
+  The server runs in a daemon thread and only ever *reads* collector
+  state - it takes no locks the simulation could contend on and never
+  touches simulator objects, so attaching it cannot perturb a run (the
+  bit-for-bit contract from ``docs/observability.md`` holds with a
+  scraper hammering ``/metrics`` mid-run; pinned by
+  ``tests/test_export.py``).  Lock-free reads mean a scrape can race a
+  collector update; the handler retries the snapshot a few times and
+  returns 503 if the collector never holds still, which in practice
+  does not happen (updates are single dict writes under the GIL).
+
+* :class:`CampaignStream` - the parent-side fold of the records
+  campaign workers push through a queue-backed sink
+  (:class:`~repro.obs.sinks.QueueSink`).  Periodic worker snapshots
+  give mid-task progress; one ``task_final`` record per task carries
+  the authoritative summary.  :meth:`CampaignStream.merged` folds the
+  final summaries **in task order** with
+  :func:`~repro.obs.collector.merge_summaries`, so the finished fold is
+  byte-identical to the post-hoc serial merge
+  (:func:`~repro.fleet.campaign.merge_campaign_obs`) no matter how many
+  workers raced; :meth:`live_summary` additionally folds the latest
+  in-flight snapshots for the live view the server exports.
+
+Quickstart::
+
+    sim = FleetSimulator(rack, obs=ObsConfig())
+    with LiveObsServer(sim) as server:
+        print(server.url)            # http://127.0.0.1:<port>
+        result = sim.run(600.0)      # scrape /metrics while this runs
+
+    stream = CampaignStream()
+    with LiveObsServer(stream) as server:
+        results = CampaignRunner(workers=4).run(tasks, stream=stream)
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from repro.errors import ObsError
+from repro.obs.collector import ObsCollector, merge_summaries
+from repro.obs.export import render_openmetrics
+
+__all__ = ["CampaignStream", "LiveObsServer"]
+
+
+def _resolve_source(source: Any) -> Callable[[], dict]:
+    """Normalize a metrics source to a zero-arg summary callable.
+
+    Accepts an :class:`ObsCollector`, anything exposing a
+    ``live_summary()`` method (:class:`CampaignStream`), anything
+    exposing an ``obs`` attribute holding a collector (the simulators'
+    ``obs`` property), or a plain callable returning a summary dict.
+    """
+    if isinstance(source, ObsCollector):
+        return source.summary
+    live = getattr(source, "live_summary", None)
+    if callable(live):
+        return live
+    obs = getattr(source, "obs", None)
+    if isinstance(obs, ObsCollector):
+        return obs.summary
+    if callable(source):
+        return source
+    raise ObsError(
+        "live server source must be an ObsCollector, a CampaignStream, "
+        "a simulator with an armed collector, or a callable returning a "
+        f"summary dict; got {type(source).__name__}"
+        + (
+            " (was the simulator built without obs=?)"
+            if obs is None and hasattr(source, "run")
+            else ""
+        )
+    )
+
+
+def _snapshot(summary_fn: Callable[[], dict], attempts: int = 5) -> dict:
+    """One summary read, retried if a concurrent update moves a dict."""
+    last: RuntimeError | None = None
+    for _ in range(attempts):
+        try:
+            return summary_fn()
+        except RuntimeError as exc:  # dict mutated during iteration
+            last = exc
+            time.sleep(0.001)
+    raise ObsError(f"summary source never settled: {last}")
+
+
+def _health(summary: Mapping[str, Any]) -> tuple[int, dict]:
+    """HTTP status + body for ``/healthz`` from the incident state."""
+    active: dict[str, int] = {}
+    totals: dict[str, int] = {}
+    for incident in summary.get("incidents", ()):
+        severity = str(incident.get("severity", "unknown"))
+        totals[severity] = totals.get(severity, 0) + 1
+        if incident.get("clear_s") is None:
+            active[severity] = active.get(severity, 0) + 1
+    if active.get("critical"):
+        status, code = "critical", 503
+    elif active:
+        status, code = "degraded", 200
+    else:
+        status, code = "ok", 200
+    body = {
+        "status": status,
+        "active_incidents": active,
+        "total_incidents": totals,
+        "server_steps": summary.get("counters", {}).get("server_steps", 0),
+    }
+    if "runs" in summary:
+        body["runs"] = summary["runs"]
+    return code, body
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/metrics``, ``/healthz``, ``/incidents``; silent logs."""
+
+    server: "_Server"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Suppress per-request stderr logging (scrapes are frequent)."""
+
+    def _send(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: Any) -> None:
+        self._send(
+            code,
+            "application/json",
+            (json.dumps(payload, sort_keys=True) + "\n").encode(),
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                summary = _snapshot(self.server.summary_fn)
+                text = render_openmetrics(summary, self.server.labels)
+                self._send(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    text.encode(),
+                )
+            elif path == "/healthz":
+                code, body = _health(_snapshot(self.server.summary_fn))
+                self._send_json(code, body)
+            elif path == "/incidents":
+                summary = _snapshot(self.server.summary_fn)
+                self._send_json(200, list(summary.get("incidents", ())))
+            else:
+                self._send_json(404, {"error": f"no such path: {path}"})
+        except Exception as exc:  # never kill the serving thread
+            self._send_json(503, {"error": str(exc)})
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    summary_fn: Callable[[], dict]
+    labels: dict[str, str]
+
+
+class LiveObsServer:
+    """Serve a live ``/metrics`` + ``/healthz`` + ``/incidents`` endpoint.
+
+    Parameters
+    ----------
+    source:
+        What to export: an :class:`~repro.obs.ObsCollector`, a simulator
+        carrying one (``Simulator``/``FleetSimulator``/``RoomSimulator``
+        built with ``obs=``), a :class:`CampaignStream`, or a callable
+        returning a summary dict.
+    host, port:
+        Bind address.  ``port=0`` (default) picks an ephemeral port;
+        read it back from :attr:`port` / :attr:`url` after
+        :meth:`start`.
+    labels:
+        Base labels stamped on every exported sample (e.g.
+        ``{"rack": "r0"}``).
+
+    Use as a context manager (starts on enter, stops on exit) or call
+    :meth:`start` / :meth:`stop` explicitly.  The serving thread is a
+    daemon: an unstopped server never blocks interpreter exit.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        self._summary_fn = _resolve_source(source)
+        self._host = host
+        self._requested_port = port
+        self._labels = dict(labels or {})
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None:
+            raise ObsError("server not started")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running endpoint."""
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        """Whether the serving thread is live."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "LiveObsServer":
+        """Bind and serve in a daemon thread; returns ``self``."""
+        if self._server is not None:
+            raise ObsError("server already started")
+        server = _Server((self._host, self._requested_port), _Handler)
+        server.summary_fn = self._summary_fn
+        server.labels = self._labels
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-obs-live",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread (idempotent)."""
+        server, thread = self._server, self._thread
+        self._server, self._thread = None, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "LiveObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+class CampaignStream:
+    """Parent-side incremental fold of streamed campaign observability.
+
+    Pass one to :meth:`~repro.fleet.campaign.CampaignRunner.run` via
+    ``stream=``; the runner routes every worker record here (serially
+    or through a bounded multiprocessing queue) and the stream exposes:
+
+    * :meth:`progress` - tasks done, aggregate server-steps/s, incident
+      tallies by detector/severity - available *mid-campaign*;
+    * :meth:`live_summary` - completed-task summaries plus the latest
+      in-flight snapshots, folded for the :class:`LiveObsServer`;
+    * :meth:`merged` - the deterministic final fold: completed-task
+      summaries only, in task order, so the result is byte-identical to
+      the post-hoc :func:`~repro.fleet.campaign.merge_campaign_obs`
+      merge whichever workers ran the tasks.
+
+    ``obs`` optionally names a parent-process collector; the stream
+    marks a zero-duration ``task:<label>`` span on it as each task
+    finishes, which is how campaign macro events land on the stitched
+    trace timeline (``python -m repro.obs.report --merged-trace``).
+
+    All public methods are thread-safe: the runner's drain thread calls
+    :meth:`add_record` while HTTP handler threads read.
+    """
+
+    def __init__(
+        self,
+        queue_maxsize: int = 1024,
+        obs: ObsCollector | None = None,
+    ) -> None:
+        if queue_maxsize < 0:
+            raise ObsError(
+                f"queue_maxsize must be >= 0, got {queue_maxsize}"
+            )
+        #: Bound for the worker->parent record queue (0 = unbounded).
+        #: Workers drop *snapshot* records (counted) when the queue is
+        #: full; ``task_final`` records block instead - see
+        #: docs/observability.md "backpressure".
+        self.queue_maxsize = queue_maxsize
+        self.obs = obs
+        self._lock = threading.Lock()
+        self._finals: dict[int, dict | None] = {}
+        self._partials: dict[str, dict] = {}
+        self._live_incidents: dict[str, list[dict]] = {}
+        self._n_tasks: int | None = None
+        self._sink_dropped = 0
+        self._t0 = time.perf_counter()
+
+    def begin(self, n_tasks: int) -> None:
+        """Reset for a campaign of ``n_tasks`` tasks (runner calls this)."""
+        with self._lock:
+            self._n_tasks = n_tasks
+            self._finals.clear()
+            self._partials.clear()
+            self._live_incidents.clear()
+            self._sink_dropped = 0
+            self._t0 = time.perf_counter()
+
+    @property
+    def n_tasks(self) -> int | None:
+        """Campaign size, once the runner announced it."""
+        return self._n_tasks
+
+    @property
+    def tasks_done(self) -> int:
+        """Tasks whose final record arrived."""
+        with self._lock:
+            return len(self._finals)
+
+    @property
+    def sink_dropped(self) -> int:
+        """Snapshot records workers dropped on a full queue."""
+        with self._lock:
+            return self._sink_dropped
+
+    def add_record(self, record: Mapping[str, Any]) -> None:
+        """Fold one worker record (snapshot, incident, or task final)."""
+        kind = record.get("type")
+        label = str(record.get("label", "run"))
+        with self._lock:
+            if self._n_tasks is None:
+                raise ObsError(
+                    "CampaignStream received a record before begin(); "
+                    "pass the stream to CampaignRunner.run(stream=...) "
+                    "rather than feeding it directly"
+                )
+            if kind == "task_final":
+                index = int(record["index"])
+                self._finals[index] = record.get("summary")
+                self._sink_dropped += int(record.get("sink_dropped", 0))
+                self._partials.pop(label, None)
+                self._live_incidents.pop(label, None)
+                if self.obs is not None:
+                    self.obs.mark(f"task:{label}")
+            elif kind == "incident":
+                incident = {
+                    k: v
+                    for k, v in record.items()
+                    if k not in ("type", "label")
+                }
+                self._live_incidents.setdefault(label, []).append(incident)
+            elif kind in ("metrics", "final"):
+                self._partials[label] = dict(record)
+                # Snapshots carry the full incident list with clear
+                # times; the live overlay for this run is superseded.
+                self._live_incidents.pop(label, None)
+
+    def merged(self) -> dict[str, Any]:
+        """Final deterministic fold: completed tasks only, task order."""
+        with self._lock:
+            ordered = [
+                self._finals[index] for index in sorted(self._finals)
+            ]
+        return merge_summaries(
+            summary for summary in ordered if summary is not None
+        )
+
+    def live_summary(self) -> dict[str, Any]:
+        """Completed summaries plus in-flight snapshots, one fold."""
+        with self._lock:
+            ordered = [
+                self._finals[index]
+                for index in sorted(self._finals)
+                if self._finals[index] is not None
+            ]
+            for label in sorted(self._partials):
+                partial = dict(self._partials[label])
+                partial["enabled"] = True
+                incidents = list(partial.get("incidents", ()))
+                partial["incidents"] = incidents
+                ordered.append(partial)
+            extra_incidents = [
+                dict(incident)
+                for label in sorted(self._live_incidents)
+                for incident in self._live_incidents[label]
+            ]
+        summary = merge_summaries(ordered)
+        if extra_incidents:
+            summary["incidents"] = sorted(
+                summary["incidents"] + extra_incidents,
+                key=lambda inc: (
+                    inc.get("onset_s", 0.0),
+                    inc.get("run", ""),
+                    inc.get("scope", ""),
+                    inc.get("detector", ""),
+                ),
+            )
+        return summary
+
+    def progress(self) -> dict[str, Any]:
+        """Mid-campaign progress: tasks, throughput, incident tallies."""
+        summary = self.live_summary()
+        with self._lock:
+            done = len(self._finals)
+            n_tasks = self._n_tasks
+            dropped = self._sink_dropped
+            elapsed = time.perf_counter() - self._t0
+        steps = summary.get("counters", {}).get("server_steps", 0)
+        incidents: dict[str, dict[str, int]] = {}
+        active = 0
+        for incident in summary.get("incidents", ()):
+            detector = str(incident.get("detector", "unknown"))
+            severity = str(incident.get("severity", "unknown"))
+            slot = incidents.setdefault(detector, {})
+            slot[severity] = slot.get(severity, 0) + 1
+            if incident.get("clear_s") is None:
+                active += 1
+        return {
+            "tasks_done": done,
+            "n_tasks": n_tasks,
+            "elapsed_s": elapsed,
+            "server_steps": steps,
+            "server_steps_per_sec": steps / elapsed if elapsed > 0 else 0.0,
+            "incidents": incidents,
+            "active_incidents": active,
+            "sink_dropped": dropped,
+        }

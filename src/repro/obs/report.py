@@ -5,14 +5,17 @@ streams from :class:`~repro.obs.sinks.JsonlSink` and span traces from
 :meth:`~repro.obs.collector.ObsCollector.export_trace_jsonl` - and
 renders aligned plain-text tables (via
 :func:`repro.analysis.report.format_table`, the same renderer the
-experiment scripts use).
+experiment scripts use) or, with ``--format json``, the same rows as a
+JSON array for scripting.
 
 Usage::
 
     python -m repro.obs.report run_metrics.jsonl [more.jsonl ...]
     python -m repro.obs.report --trace run_trace.jsonl
     python -m repro.obs.report --phases run_metrics.jsonl
+    python -m repro.obs.report --hists run_metrics.jsonl
     python -m repro.obs.report --incidents run_metrics.jsonl
+    python -m repro.obs.report --merged-trace traces/*.jsonl --out merged.json
 
 Modes:
 
@@ -20,12 +23,23 @@ Modes:
   time, server steps, throughput, wall time, and the dominant phase.
 * ``--phases`` - the per-phase breakdown of every run: total seconds,
   call count, and share of timed work.
+* ``--hists`` - histogram rows per run: count, mean, and p50/p95/p99
+  estimated from the power-of-two bucket bounds
+  (:func:`repro.obs.export.quantiles_from_hist`, the same estimator
+  the ``/metrics`` exposition uses).
 * ``--trace`` - span-file mode: per-span-name totals (count, total and
   mean duration) from a trace JSONL.
 * ``--incidents`` - the health-monitor incident table (severity, scope,
   onset/clear, detector) from live ``type == "incident"`` records,
   final snapshots, or campaign-merged summaries - whatever mix the
   input files carry.
+* ``--merged-trace`` - stitch several pid-tagged span-trace JSONL files
+  (per-worker campaign exports plus the parent's) into **one** Chrome/
+  Perfetto trace document with a lane per worker pid (thread rows are
+  span depths).  All files share a single time origin: CPython's
+  ``perf_counter`` reads a system-wide monotonic clock on Linux and
+  Windows, so worker and parent clocks are directly comparable there
+  (see docs/observability.md for the platform caveat).
 """
 
 from __future__ import annotations
@@ -38,6 +52,7 @@ from typing import Any, Iterable
 
 from repro.analysis.report import format_table
 from repro.errors import ObsError
+from repro.obs.export import QUANTILES, quantiles_from_hist
 
 
 def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
@@ -79,7 +94,7 @@ def _dominant_phase(record: dict) -> str:
     return f"{name} ({100 * share:.0f}%)"
 
 
-def render_runs(records: list[dict]) -> str:
+def runs_rows(records: list[dict]) -> tuple[list[str], list[list]]:
     """The default table: one row per run label."""
     rows = []
     for label, record in sorted(_final_snapshots(records).items()):
@@ -96,14 +111,13 @@ def render_runs(records: list[dict]) -> str:
                 _dominant_phase(record),
             ]
         )
-    return format_table(
-        ["run", "sim_time_s", "server_steps", "steps/s", "wall_s", "top phase"],
-        rows,
-        float_format="{:,.1f}",
-    )
+    headers = [
+        "run", "sim_time_s", "server_steps", "steps/s", "wall_s", "top phase",
+    ]
+    return headers, rows
 
 
-def render_phases(records: list[dict]) -> str:
+def phases_rows(records: list[dict]) -> tuple[list[str], list[list]]:
     """Per-phase breakdown of every run in the input."""
     rows = []
     for label, record in sorted(_final_snapshots(records).items()):
@@ -117,16 +131,39 @@ def render_phases(records: list[dict]) -> str:
             rows.append(
                 [label, name, entry["total_s"], entry["count"], 100 * share]
             )
-    if not rows:
-        return "no phase data found"
-    return format_table(
-        ["run", "phase", "total_s", "count", "% of timed"],
-        rows,
-        float_format="{:,.3f}",
-    )
+    return ["run", "phase", "total_s", "count", "% of timed"], rows
 
 
-def render_trace(records: list[dict]) -> str:
+def hists_rows(records: list[dict]) -> tuple[list[str], list[list]]:
+    """Histogram rows per run, with bucket-estimated quantiles.
+
+    The p50/p95/p99 columns come from
+    :func:`~repro.obs.export.quantiles_from_hist` - the exact values the
+    live ``/metrics`` exposition exports as ``*_quantile`` gauges.
+    """
+    rows = []
+    for label, record in sorted(_final_snapshots(records).items()):
+        for name in sorted(record.get("hists", {})):
+            hist = record["hists"][name]
+            count = int(hist.get("count", 0))
+            quantiles = quantiles_from_hist(hist)
+            rows.append(
+                [
+                    label,
+                    name,
+                    count,
+                    hist.get("mean") if count else None,
+                    *(quantiles[q] for q in QUANTILES),
+                    hist.get("max"),
+                ]
+            )
+    headers = ["run", "hist", "count", "mean"]
+    headers += [f"p{100 * q:g}" for q in QUANTILES]
+    headers += ["max"]
+    return headers, rows
+
+
+def trace_rows(records: list[dict]) -> tuple[list[str], list[list]]:
     """Per-span-name aggregates from a trace JSONL."""
     totals: dict[str, list] = {}
     for record in records:
@@ -143,11 +180,7 @@ def render_trace(records: list[dict]) -> str:
             totals.items(), key=lambda item: item[1][1], reverse=True
         )
     ]
-    if not rows:
-        return "no spans found"
-    return format_table(
-        ["span", "count", "total_s", "mean_us"], rows, float_format="{:,.3f}"
-    )
+    return ["span", "count", "total_s", "mean_us"], rows
 
 
 def collect_incidents(records: Iterable[dict]) -> list[dict]:
@@ -176,7 +209,7 @@ def collect_incidents(records: Iterable[dict]) -> list[dict]:
     return out
 
 
-def render_incidents(records: list[dict]) -> str:
+def incidents_rows(records: list[dict]) -> tuple[list[str], list[list]]:
     """The health-monitor incident table."""
     incidents = collect_incidents(records)
     incidents.sort(
@@ -187,8 +220,6 @@ def render_incidents(records: list[dict]) -> str:
             str(inc.get("detector", "")),
         )
     )
-    if not incidents:
-        return "no incidents found"
     rows = []
     for inc in incidents:
         clear = inc.get("clear_s")
@@ -203,11 +234,140 @@ def render_incidents(records: list[dict]) -> str:
                 float(inc.get("value", 0.0)),
             ]
         )
-    return format_table(
-        ["run", "detector", "severity", "scope", "onset_s", "clear_s", "value"],
-        rows,
-        float_format="{:,.1f}",
+    headers = [
+        "run", "detector", "severity", "scope", "onset_s", "clear_s", "value",
+    ]
+    return headers, rows
+
+
+def _render(
+    headers: list[str],
+    rows: list[list],
+    fmt: str,
+    float_format: str,
+    empty: str,
+) -> str:
+    """Rows as an aligned table or a JSON array of row objects."""
+    if fmt == "json":
+        return json.dumps(
+            [dict(zip(headers, row)) for row in rows], sort_keys=True
+        )
+    if not rows:
+        return empty
+    return format_table(headers, rows, float_format=float_format)
+
+
+def render_runs(records: list[dict], fmt: str = "table") -> str:
+    """The default per-run summary table."""
+    return _render(*runs_rows(records), fmt, "{:,.1f}", "no runs found")
+
+
+def render_phases(records: list[dict], fmt: str = "table") -> str:
+    """Per-phase breakdown of every run in the input."""
+    return _render(
+        *phases_rows(records), fmt, "{:,.3f}", "no phase data found"
     )
+
+
+def render_hists(records: list[dict], fmt: str = "table") -> str:
+    """Histogram rows with bucket-estimated p50/p95/p99."""
+    headers, rows = hists_rows(records)
+    if fmt == "table":
+        rows = [
+            ["-" if cell is None else cell for cell in row] for row in rows
+        ]
+    return _render(headers, rows, fmt, "{:,.6g}", "no histograms found")
+
+
+def render_trace(records: list[dict], fmt: str = "table") -> str:
+    """Per-span-name aggregates from a trace JSONL."""
+    return _render(*trace_rows(records), fmt, "{:,.3f}", "no spans found")
+
+
+def render_incidents(records: list[dict], fmt: str = "table") -> str:
+    """The health-monitor incident table."""
+    return _render(
+        *incidents_rows(records), fmt, "{:,.1f}", "no incidents found"
+    )
+
+
+def merge_traces(
+    trace_files: list[tuple[str, list[dict]]],
+) -> dict[str, Any]:
+    """Stitch pid-tagged span traces into one Chrome trace document.
+
+    ``trace_files`` pairs a source name (for fallback lanes) with its
+    records.  Spans land on ``pid`` lanes (records missing a ``pid`` -
+    pre-PR-10 exports - get a synthetic per-file lane) with ``tid`` set
+    to the span's nesting depth; zero-duration spans (incident onsets,
+    ``task:`` completion marks) render as thread-scoped instant events.
+    One global time origin aligns every file: ``perf_counter`` is a
+    system-wide monotonic clock on Linux and Windows, so worker and
+    parent readings share an epoch and the campaign timeline is real.
+    """
+    lanes: list[tuple[int, str, dict]] = []
+    for file_index, (source, records) in enumerate(trace_files):
+        for record in records:
+            if "start_s" not in record or "end_s" not in record:
+                raise ObsError(
+                    f"{source}: not a span-trace record: {record!r}"
+                )
+            pid = int(record.get("pid", -(file_index + 1)))
+            lanes.append((pid, source, record))
+    if not lanes:
+        return {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+            "metadata": {"sources": [name for name, _ in trace_files]},
+        }
+    t0 = min(float(record["start_s"]) for _, _, record in lanes)
+    events: list[dict[str, Any]] = []
+    labels_by_pid: dict[int, list[str]] = {}
+    for pid, _, record in lanes:
+        label = str(record.get("label", ""))
+        known = labels_by_pid.setdefault(pid, [])
+        if label and label not in known:
+            known.append(label)
+        start = float(record["start_s"])
+        end = float(record["end_s"])
+        event: dict[str, Any] = {
+            "name": str(record.get("name", "?")),
+            "ts": (start - t0) * 1e6,
+            "pid": pid,
+            "tid": int(record.get("depth", 0)),
+            "cat": "repro",
+        }
+        if start == end:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = (end - start) * 1e6
+        events.append(event)
+    for pid in sorted(labels_by_pid):
+        labels = labels_by_pid[pid]
+        name = f"worker {pid}" if pid >= 0 else "trace"
+        if labels:
+            shown = ", ".join(labels[:3]) + (", ..." if len(labels) > 3 else "")
+            name = f"{name} ({shown})"
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    events.sort(key=lambda e: (e.get("ph") == "M", e.get("ts", 0.0)))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "sources": [name for name, _ in trace_files],
+            "pids": sorted(labels_by_pid),
+        },
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -224,6 +384,11 @@ def main(argv: list[str] | None = None) -> int:
         help="per-phase breakdown instead of the per-run summary",
     )
     mode.add_argument(
+        "--hists",
+        action="store_true",
+        help="histogram table with bucket-estimated p50/p95/p99",
+    )
+    mode.add_argument(
         "--trace",
         action="store_true",
         help="treat inputs as span-trace JSONL files",
@@ -233,24 +398,53 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="health-monitor incident table instead of the run summary",
     )
+    mode.add_argument(
+        "--merged-trace",
+        action="store_true",
+        help="stitch pid-tagged trace JSONL files into one Chrome trace",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format for the table modes (default: table)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        help="write output to a file instead of stdout "
+        "(the natural home for --merged-trace documents)",
+    )
     args = parser.parse_args(argv)
 
     try:
-        records: list[dict] = []
-        for path in args.files:
-            records.extend(read_jsonl(path))
-        if args.trace:
-            output = render_trace(records)
-        elif args.phases:
-            output = render_phases(records)
-        elif args.incidents:
-            output = render_incidents(records)
+        if args.merged_trace:
+            trace_files = [
+                (path, read_jsonl(path)) for path in args.files
+            ]
+            output = json.dumps(merge_traces(trace_files))
         else:
-            output = render_runs(records)
+            records: list[dict] = []
+            for path in args.files:
+                records.extend(read_jsonl(path))
+            if args.trace:
+                output = render_trace(records, args.format)
+            elif args.phases:
+                output = render_phases(records, args.format)
+            elif args.hists:
+                output = render_hists(records, args.format)
+            elif args.incidents:
+                output = render_incidents(records, args.format)
+            else:
+                output = render_runs(records, args.format)
     except ObsError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(output)
+    if args.out is not None:
+        args.out.write_text(output + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(output)
     return 0
 
 

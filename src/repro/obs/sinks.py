@@ -81,6 +81,38 @@ class StdoutSink(MetricSink):
         sys.stdout.write(json.dumps(record, sort_keys=True) + "\n")
 
 
+class QueueSink(MetricSink):
+    """Push records onto a (multiprocessing) queue without ever blocking.
+
+    The campaign streaming lane (:class:`~repro.obs.live.CampaignStream`)
+    hands each worker a bounded queue; the worker's collector emits its
+    periodic snapshots through this sink.  Backpressure semantics, as
+    documented in docs/observability.md:
+
+    * periodic **snapshot** records use ``put_nowait`` - a full queue
+      *drops* the record and increments :attr:`dropped` (a slow parent
+      must never stall the simulation);
+    * the per-task **final** record (pushed by the campaign worker
+      itself, not this sink) blocks, because the deterministic merged
+      fold needs every final summary exactly once.
+
+    Accepts any object with ``put_nowait``; ``multiprocessing.Manager``
+    queue proxies qualify and pickle across pool boundaries.
+    """
+
+    def __init__(self, queue: Any) -> None:
+        self.queue = queue
+        #: Records dropped because the queue was full.
+        self.dropped = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        try:
+            self.queue.put_nowait(record)
+        except Exception:
+            # queue.Full (or a Manager proxy's wrapped equivalent).
+            self.dropped += 1
+
+
 def build_sink(spec: str | MetricSink | None) -> MetricSink:
     """Resolve a sink spec: ``"memory"``, ``"stdout"``, ``"jsonl:<path>"``.
 

@@ -121,8 +121,16 @@ class RoomTask:
         )
 
 
-def run_room_task(task: RoomTask) -> RoomResult:
-    """Build and simulate one room task (module-level: pool-picklable)."""
+def run_room_task(
+    task: RoomTask, queue=None, index: int | None = None
+) -> RoomResult:
+    """Build and simulate one room task (module-level: pool-picklable).
+
+    ``queue``/``index`` are the streaming-campaign plumbing (see
+    :func:`~repro.fleet.campaign.run_campaign_chunk`): snapshots and the
+    task's final record flow to the parent's
+    :class:`~repro.obs.live.CampaignStream` while the room runs.
+    """
     t0 = time.perf_counter()
     faults = task.faults
     fault_scenarios = _room_fault_scenarios()
@@ -150,19 +158,28 @@ def run_room_task(task: RoomTask) -> RoomResult:
             scheme=task.scheme,
             forcing_units=forcing_units,
         )
-    from repro.fleet.campaign import _worker_obs, worker_info
+    from repro.fleet.campaign import (
+        _export_worker_trace,
+        _push_task_final,
+        _worker_collector,
+        _worker_obs,
+        worker_info,
+    )
 
+    collector, sink = _worker_collector(task, queue)
     sim = RoomSimulator(
         room,
         dt_s=task.dt_s,
         record_decimation=task.record_decimation,
         backend=task.backend,
         faults=faults,
-        obs=_worker_obs(task.obs),
+        obs=collector if collector is not None else _worker_obs(task.obs),
     )
     result = sim.run(task.duration_s, label=task.label)
     result.extras["task"] = task
     result.extras["worker"] = worker_info(time.perf_counter() - t0)
+    _export_worker_trace(collector, task)
+    _push_task_final(queue, index, task, result, sink)
     return result
 
 

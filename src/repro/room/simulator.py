@@ -96,6 +96,15 @@ class RoomSimulator:
         """The configured execution backend."""
         return self._backend
 
+    @property
+    def obs(self):
+        """The run's resolved collector (None when uninstrumented).
+
+        A :class:`~repro.obs.live.LiveObsServer` attaches here to serve
+        ``/metrics`` while the run executes.
+        """
+        return self._obs
+
     def _injector(self):
         """Fresh per-run fault machinery bound to the room (or None)."""
         if self._faults is None:

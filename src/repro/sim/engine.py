@@ -437,6 +437,15 @@ class Simulator:
         """
         return self._fault_summary
 
+    @property
+    def obs(self):
+        """The run's resolved collector (None when uninstrumented).
+
+        A :class:`~repro.obs.live.LiveObsServer` attaches here to serve
+        ``/metrics`` while the run executes.
+        """
+        return self._obs
+
     def run(self, duration_s: float, label: str = "run") -> SimulationResult:
         """Simulate for ``duration_s`` seconds and collect the result."""
         check_duration(duration_s, "duration_s")

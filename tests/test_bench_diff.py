@@ -225,3 +225,90 @@ class TestGitBaseline:
             bench_diff.baseline_from_git("BENCH_fleet.json", "no-such-ref")
             is None
         )
+
+
+class TestHistory:
+    def _append(self, tmp_path, payload, name="BENCH_fleet.json"):
+        current = _write(tmp_path / "current", payload, name)
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        added = bench_diff.append_history(
+            history, sorted(current.glob("BENCH_*.json"))
+        )
+        return history, added
+
+    def test_append_records_per_sec_metrics(self, tmp_path):
+        history, added = self._append(tmp_path, _bench_payload(1000.0))
+        assert added == 1
+        records = bench_diff.read_history(history)
+        (record,) = records
+        assert record["benchmark"] == "rack16"
+        assert record["mode"] == "full"
+        assert record["metrics"] == {"server_steps_per_sec": 1000.0}
+        # Ratio/config fields never enter the trajectory.
+        assert "overhead_ratio" not in record["metrics"]
+        assert record["commit"] and record["date"]
+
+    def test_append_is_idempotent_per_commit(self, tmp_path):
+        history, added = self._append(tmp_path, _bench_payload(1000.0))
+        assert added == 1
+        again = bench_diff.append_history(
+            history, sorted((tmp_path / "current").glob("BENCH_*.json"))
+        )
+        assert again == 0
+        assert len(bench_diff.read_history(history)) == 1
+
+    def test_smoke_mode_recorded(self, tmp_path):
+        history, _ = self._append(tmp_path, _bench_payload(1.0, smoke=True))
+        assert bench_diff.read_history(history)[0]["mode"] == "smoke"
+
+    def test_history_rows_delta_same_mode_only(self):
+        records = [
+            {"commit": "a", "date": "d1", "mode": "full",
+             "file": "BENCH_fleet.json", "benchmark": "rack16",
+             "metrics": {"server_steps_per_sec": 1000.0}},
+            {"commit": "b", "date": "d2", "mode": "smoke",
+             "file": "BENCH_fleet.json", "benchmark": "rack16",
+             "metrics": {"server_steps_per_sec": 10.0}},
+            {"commit": "c", "date": "d3", "mode": "full",
+             "file": "BENCH_fleet.json", "benchmark": "rack16",
+             "metrics": {"server_steps_per_sec": 1100.0}},
+        ]
+        rows = bench_diff.history_rows(records)
+        assert rows[0]["delta"] is None
+        assert rows[1]["delta"] is None  # smoke never diffs against full
+        assert rows[2]["delta"] == pytest.approx(0.10)
+
+    def test_history_cli_round_trip(self, tmp_path, capsys):
+        current = _write(tmp_path / "current", _bench_payload(1000.0))
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        assert bench_diff.main([
+            "--current-dir", str(current),
+            "--history-file", str(history),
+            "--append-history",
+        ]) == 0
+        capsys.readouterr()
+        assert bench_diff.main([
+            "--history", "--history-file", str(history),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rack16" in out and "server_steps_per_sec" in out
+
+    def test_history_cli_empty_file(self, tmp_path, capsys):
+        assert bench_diff.main([
+            "--history", "--history-file", str(tmp_path / "none.jsonl"),
+        ]) == 0
+        assert "no history" in capsys.readouterr().out
+
+    def test_seeded_repo_history_parses(self):
+        """The committed BENCH_HISTORY.jsonl stays loadable and typed."""
+        path = REPO_ROOT / "BENCH_HISTORY.jsonl"
+        if not path.exists():
+            pytest.skip("no committed history")
+        records = bench_diff.read_history(path)
+        assert records
+        for record in records:
+            assert record["mode"] in ("full", "smoke")
+            assert all(
+                name.endswith("_per_sec")
+                for name in record["metrics"]
+            )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 
 import numpy as np
 import pytest
@@ -270,7 +271,12 @@ class TestCollector:
         n = obs.export_trace_jsonl(path)
         assert n == len(doc["traceEvents"])
         first = json.loads(path.read_text().splitlines()[0])
-        assert set(first) == {"name", "start_s", "end_s", "depth"}
+        # pid/label identify the producing worker so multi-process
+        # campaign traces can be stitched into one timeline.
+        assert set(first) == {
+            "name", "start_s", "end_s", "depth", "pid", "label",
+        }
+        assert first["pid"] == os.getpid()
 
 
 class TestMergeSummaries:

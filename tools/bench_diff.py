@@ -14,6 +14,15 @@ Usage::
     python tools/bench_diff.py --baseline-ref HEAD~1
     python tools/bench_diff.py --baseline-dir /path/to/old --markdown
     python tools/bench_diff.py --threshold 0.15 --no-fail
+    python tools/bench_diff.py --append-history      # record trajectory
+    python tools/bench_diff.py --history             # render trajectory
+
+Beyond one-shot diffs, the tool keeps a perf *trajectory*:
+``--append-history`` appends one JSONL line per benchmark (commit,
+commit date, mode, every ``*_per_sec`` metric) to ``BENCH_HISTORY.jsonl``
+- idempotent per (commit, file, benchmark), so re-running on the same
+commit never duplicates rows - and ``--history`` renders the recorded
+trajectory with per-metric deltas against the previous same-mode entry.
 
 Only ``*_per_sec`` metrics are gated (higher is better); ratio and
 configuration fields are ignored.  When the current and baseline files
@@ -103,6 +112,176 @@ def throughput_deltas(current: dict, baseline: dict) -> list[dict]:
     return rows
 
 
+def git_head_info() -> tuple[str, str]:
+    """(short commit sha, commit date YYYY-MM-DD) of HEAD.
+
+    Falls back to ``("worktree", "unknown")`` outside a git checkout so
+    history appends still work on exported trees.
+    """
+    sha = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if sha.returncode != 0:
+        return "worktree", "unknown"
+    date = subprocess.run(
+        ["git", "show", "-s", "--format=%cs", "HEAD"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return (
+        sha.stdout.strip(),
+        date.stdout.strip() if date.returncode == 0 else "unknown",
+    )
+
+
+def history_records(
+    current_files: list[Path], commit: str, date: str
+) -> list[dict]:
+    """One history line per benchmark: throughput metrics + provenance."""
+    records = []
+    for path in current_files:
+        payload = load_bench_file(path)
+        mode = "smoke" if payload.get("meta", {}).get("smoke") else "full"
+        for bench in sorted(payload.get("benchmarks", {})):
+            fields = payload["benchmarks"][bench]
+            if not isinstance(fields, dict):
+                continue
+            metrics = {
+                name: float(value)
+                for name, value in sorted(fields.items())
+                if name.endswith("_per_sec")
+                and isinstance(value, (int, float))
+            }
+            if not metrics:
+                continue
+            records.append(
+                {
+                    "commit": commit,
+                    "date": date,
+                    "mode": mode,
+                    "file": path.name,
+                    "benchmark": bench,
+                    "metrics": metrics,
+                }
+            )
+    return records
+
+
+def read_history(path: Path) -> list[dict]:
+    """Parse BENCH_HISTORY.jsonl (missing file = empty history)."""
+    if not path.exists():
+        return []
+    records = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from exc
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def append_history(history_path: Path, current_files: list[Path]) -> int:
+    """Append this commit's benchmark rows; returns how many were added.
+
+    Idempotent per (commit, file, benchmark): re-running on the same
+    commit - e.g. a retried CI job - appends nothing.
+    """
+    commit, date = git_head_info()
+    existing = {
+        (rec.get("commit"), rec.get("file"), rec.get("benchmark"))
+        for rec in read_history(history_path)
+    }
+    fresh = [
+        rec
+        for rec in history_records(current_files, commit, date)
+        if (rec["commit"], rec["file"], rec["benchmark"]) not in existing
+    ]
+    if fresh:
+        with history_path.open("a") as fh:
+            for rec in fresh:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    return len(fresh)
+
+
+def history_rows(records: list[dict]) -> list[dict]:
+    """Flat per-metric trajectory rows with same-mode deltas.
+
+    Rows keep file order (append order = chronological); each metric's
+    delta compares against the **previous same-mode entry** of the same
+    (file, benchmark, metric) - smoke and full runs use different
+    durations, so cross-mode deltas would be noise.
+    """
+    rows = []
+    last: dict[tuple, float] = {}
+    for rec in records:
+        mode = rec.get("mode", "full")
+        for metric, value in sorted(rec.get("metrics", {}).items()):
+            key = (rec.get("file"), rec.get("benchmark"), metric, mode)
+            prev = last.get(key)
+            last[key] = value
+            rows.append(
+                {
+                    "commit": rec.get("commit", "?"),
+                    "date": rec.get("date", "?"),
+                    "mode": mode,
+                    "benchmark": rec.get("benchmark", "?"),
+                    "metric": metric,
+                    "value": value,
+                    "delta": (
+                        (value - prev) / prev if prev else None
+                    ),
+                }
+            )
+    return rows
+
+
+def render_history(rows: list[dict], *, markdown: bool) -> str:
+    """The trajectory table, plain text or markdown."""
+    header = [
+        "commit", "date", "mode", "benchmark", "metric", "value", "delta",
+    ]
+    body = [
+        [
+            row["commit"],
+            row["date"],
+            row["mode"],
+            row["benchmark"],
+            row["metric"],
+            f"{row['value']:,.1f}",
+            "-" if row["delta"] is None else f"{100 * row['delta']:+.1f}%",
+        ]
+        for row in rows
+    ]
+    if markdown:
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "|" + "|".join("---" for _ in header) + "|",
+        ]
+        lines += ["| " + " | ".join(row) + " |" for row in body]
+        return "\n".join(lines)
+    widths = [
+        max(len(header[c]), *(len(row[c]) for row in body))
+        for c in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in body
+    ]
+    return "\n".join(lines)
+
+
 def render_rows(rows: list[dict], *, markdown: bool, threshold: float) -> str:
     """Delta table, plain text or GitHub-flavored markdown."""
     header = ["benchmark", "metric", "baseline", "current", "delta"]
@@ -177,14 +356,51 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="always exit 0; report deltas only",
     )
+    parser.add_argument(
+        "--history-file",
+        type=Path,
+        default=REPO_ROOT / "BENCH_HISTORY.jsonl",
+        help="perf-trajectory JSONL (default: BENCH_HISTORY.jsonl)",
+    )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help="append this commit's *_per_sec metrics to the history file",
+    )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="render the recorded perf trajectory instead of diffing",
+    )
     args = parser.parse_args(argv)
     if args.threshold < 0:
         print("error: --threshold must be >= 0", file=sys.stderr)
         return 2
 
+    if args.history:
+        try:
+            records = read_history(args.history_file)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not records:
+            print(f"no history recorded in {args.history_file}")
+            return 0
+        print(render_history(history_rows(records), markdown=args.markdown))
+        return 0
+
     current_files = sorted(args.current_dir.glob("BENCH_*.json"))
     if not current_files:
         print(f"no BENCH_*.json under {args.current_dir}; nothing to diff")
+        return 0
+
+    if args.append_history:
+        try:
+            added = append_history(args.history_file, current_files)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"appended {added} history row(s) to {args.history_file}")
         return 0
 
     all_rows: list[dict] = []
